@@ -1,0 +1,37 @@
+# Standard developer entry points. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test race vet bench experiments examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+experiments:
+	$(GO) run ./cmd/proxybench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/filecache
+	$(GO) run ./examples/directory
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/bank
+	$(GO) run ./examples/typedcalc
+	$(GO) run ./examples/newsfeed
+
+clean:
+	$(GO) clean ./...

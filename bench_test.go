@@ -1,0 +1,491 @@
+package repro
+
+// One testing.B benchmark per experiment in EXPERIMENTS.md. These measure
+// the *key operation* of each experiment over a perfect (zero-latency)
+// simulated network, so they expose protocol overhead rather than
+// simulated wire time; cmd/proxybench runs the full sweeps with latency.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dsm"
+	"repro/internal/migrate"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// mustCluster builds a cluster or aborts the benchmark.
+func mustCluster(b *testing.B, n int, opts ...netsim.Option) *bench.Cluster {
+	b.Helper()
+	c, err := bench.NewCluster(n, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+func mustImport(b *testing.B, rt *core.Runtime, ref codec.Ref) core.Proxy {
+	b.Helper()
+	p, err := rt.Import(ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func mustExport(b *testing.B, rt *core.Runtime, svc core.Service, typ string) codec.Ref {
+	b.Helper()
+	ref, err := rt.Export(svc, typ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref
+}
+
+func invokeLoop(b *testing.B, p core.Proxy, method string, args ...any) {
+	b.Helper()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(ctx, method, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1InvocationLadder: the four placements of a null invocation.
+func BenchmarkE1InvocationLadder(b *testing.B) {
+	c := mustCluster(b, 2)
+	kv := bench.NewKV()
+	ref := mustExport(b, c.RT(0), kv, "KV")
+
+	b.Run("direct", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := kv.Invoke(ctx, "noop", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bypass", func(b *testing.B) {
+		invokeLoop(b, mustImport(b, c.RT(0), ref), "noop")
+	})
+	b.Run("cross-context", func(b *testing.B) {
+		rt2, err := c.NewContextRuntime(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		invokeLoop(b, mustImport(b, rt2, ref), "noop")
+	})
+	b.Run("remote", func(b *testing.B) {
+		invokeLoop(b, mustImport(b, c.RT(1), ref), "noop")
+	})
+}
+
+// BenchmarkE2CacheCrossover: a warm cached read vs the stub read it
+// replaces, plus the write path that keeps it coherent.
+func BenchmarkE2CacheCrossover(b *testing.B) {
+	factory := cache.NewFactory(bench.KVReads())
+	c := mustCluster(b, 2)
+	for _, rt := range c.Runtimes {
+		rt.RegisterProxyType("KV", factory)
+	}
+	ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+	p := mustImport(b, c.RT(1), ref)
+	ctx := context.Background()
+	if _, err := p.Invoke(ctx, "put", "k", int64(1)); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("stub-read", func(b *testing.B) {
+		stub := core.NewStub(c.RT(1), ref)
+		invokeLoop(b, stub, "get", "k")
+	})
+	b.Run("cached-read", func(b *testing.B) {
+		invokeLoop(b, p, "get", "k")
+	})
+	b.Run("coherent-write", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(ctx, "put", "k", int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3MigrationCrossover: the op cost before and after the object
+// migrates to its caller.
+func BenchmarkE3MigrationCrossover(b *testing.B) {
+	b.Run("remote-stub", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+		invokeLoop(b, mustImport(b, c.RT(1), ref), "incr", "hot")
+	})
+	b.Run("after-pull", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		factory := migrate.NewFactory("KV", migrate.WithThreshold(1))
+		for _, rt := range c.Runtimes {
+			rt.RegisterProxyType("KV", factory)
+			host := migrate.NewHost(rt)
+			host.RegisterType("KV", func() migrate.Migratable { return bench.NewKV() })
+			factory.AttachHost(rt, host)
+		}
+		ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+		p := mustImport(b, c.RT(1), ref)
+		ctx := context.Background()
+		// Trigger the pull before measuring.
+		for i := 0; i < 3; i++ {
+			if _, err := p.Invoke(ctx, "incr", "hot"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !p.(*migrate.Proxy).IsLocal() {
+			b.Fatal("object did not migrate")
+		}
+		invokeLoop(b, p, "incr", "hot")
+	})
+}
+
+// BenchmarkE4ReplicaScaling: a replicated read vs the stub read.
+func BenchmarkE4ReplicaScaling(b *testing.B) {
+	factory := replica.NewFactory(bench.KVReads(), func() replica.StateMachine { return bench.NewKV() })
+	c := mustCluster(b, 2)
+	for _, rt := range c.Runtimes {
+		rt.RegisterProxyType("KV", factory)
+	}
+	kv := bench.NewKV()
+	if _, err := kv.Invoke(context.Background(), "put", []any{"k", int64(1)}); err != nil {
+		b.Fatal(err)
+	}
+	ref := mustExport(b, c.RT(0), kv, "KV")
+	p := mustImport(b, c.RT(1), ref)
+
+	b.Run("stub-read", func(b *testing.B) {
+		invokeLoop(b, core.NewStub(c.RT(1), ref), "get", "k")
+	})
+	b.Run("replica-read", func(b *testing.B) {
+		invokeLoop(b, p, "get", "k")
+	})
+	b.Run("replicated-write", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(ctx, "put", "k", int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5DesignSpace: one 90%-read mixed operation through each
+// design.
+func BenchmarkE5DesignSpace(b *testing.B) {
+	run := func(b *testing.B, p core.Proxy) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := fmt.Sprintf("k%d", i%12)
+			if i%10 == 0 {
+				if _, err := p.Invoke(ctx, "put", key, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, err := p.Invoke(ctx, "get", key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("rpc-stub", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+		run(b, mustImport(b, c.RT(1), ref))
+	})
+	b.Run("caching-proxy", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		f := cache.NewFactory(bench.KVReads())
+		for _, rt := range c.Runtimes {
+			rt.RegisterProxyType("KV", f)
+		}
+		ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+		run(b, mustImport(b, c.RT(1), ref))
+	})
+	b.Run("replicated-proxy", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		f := replica.NewFactory(bench.KVReads(), func() replica.StateMachine { return bench.NewKV() })
+		for _, rt := range c.Runtimes {
+			rt.RegisterProxyType("KV", f)
+		}
+		ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+		run(b, mustImport(b, c.RT(1), ref))
+	})
+	b.Run("dsm-page", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		mgr := dsm.NewManager(c.RT(0), dsm.WithPageSize(64))
+		ag := dsm.NewAgent(c.RT(1), mgr.Addr())
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			page := dsm.PageID(i % 12)
+			if i%10 == 0 {
+				if err := ag.Write(ctx, page, func(p []byte) { p[0] = byte(i) }); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, err := ag.Read(ctx, page); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// e6BenchSpawner mirrors the E6 experiment service.
+type e6BenchSpawner struct{ next int64 }
+
+type e6BenchRoom struct{ id int64 }
+
+func (r *e6BenchRoom) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	return []any{r.id}, nil
+}
+
+func (r *e6BenchRoom) ProxyType() string { return "E6Room" }
+
+func (s *e6BenchSpawner) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	n, _ := args[0].(int64)
+	out := make([]any, n)
+	for i := range out {
+		s.next++
+		out[i] = &e6BenchRoom{id: s.next}
+	}
+	return []any{out}, nil
+}
+
+// BenchmarkE6RefExport: one invocation whose reply exports 8 references,
+// each installed as a proxy at the importer.
+func BenchmarkE6RefExport(b *testing.B) {
+	c := mustCluster(b, 2)
+	ref := mustExport(b, c.RT(0), &e6BenchSpawner{}, "Spawner")
+	p := mustImport(b, c.RT(1), ref)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Invoke(ctx, "spawn", int64(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res[0].([]any)) != 8 {
+			b.Fatal("short spawn")
+		}
+	}
+}
+
+// BenchmarkE7AtMostOnce: a reliable call over a 10%-loss link.
+func BenchmarkE7AtMostOnce(b *testing.B) {
+	c := mustCluster(b, 2,
+		netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.10}),
+		netsim.WithSeed(1))
+	srv := rpc.NewServer(rpc.HandlerFunc(func(req *rpc.Request) (wire.Kind, []byte, []byte) {
+		return wire.KindReply, nil, nil
+	}))
+	id := c.RT(0).Kernel().Register(srv)
+	dst := wire.ObjAddr{Addr: c.RT(0).Addr(), Object: id}
+	client := rpc.NewClient(c.RT(1).Kernel(),
+		rpc.WithRetryInterval(time.Millisecond), rpc.WithMaxAttempts(100))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ctx, dst, wire.KindRequest, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Marshalling: encode+decode of a 4 KiB argument vector.
+func BenchmarkE8Marshalling(b *testing.B) {
+	payload := make([]byte, 4<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := codec.EncodeArgs("echo", payload, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.DecodeArgs(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9ForwardingChains: invoking through a 4-tombstone chain, fresh
+// stub per call (uncompressed) vs a rebound stub (compressed).
+func BenchmarkE9ForwardingChains(b *testing.B) {
+	const k = 4
+	c := mustCluster(b, k+2)
+	hosts := make([]*migrate.Host, k+1)
+	for i := 0; i <= k; i++ {
+		hosts[i] = migrate.NewHost(c.RT(i))
+		hosts[i].RegisterType("KV", func() migrate.Migratable { return bench.NewKV() })
+	}
+	svc := bench.NewKV()
+	origRef := mustExport(b, c.RT(0), svc, "KV")
+	ctx := context.Background()
+	var cur migrate.Migratable = svc
+	curRT := c.RT(0)
+	for hop := 1; hop <= k; hop++ {
+		newRef, err := migrate.Move(ctx, curRT, cur, "KV", "KV", hosts[hop].Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		next, ok := c.RT(hop).LocalService(newRef)
+		if !ok {
+			b.Fatal("lost the object mid-chain")
+		}
+		cur = next.(*bench.KV)
+		curRT = c.RT(hop)
+	}
+	client := c.RT(k + 1)
+
+	b.Run("uncompressed", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stub := core.NewStub(client, codec.Ref{Target: origRef.Target, Type: origRef.Type})
+			if _, err := stub.Invoke(ctx, "noop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		stub := core.NewStub(client, codec.Ref{Target: origRef.Target, Type: origRef.Type})
+		if _, err := stub.Invoke(context.Background(), "noop"); err != nil {
+			b.Fatal(err)
+		}
+		invokeLoop(b, stub, "noop")
+	})
+}
+
+// BenchmarkE10InvalidationStorm: one write with 8 warm sharers, sync vs
+// async invalidation.
+func BenchmarkE10InvalidationStorm(b *testing.B) {
+	run := func(b *testing.B, opts ...cache.Option) {
+		const sharers = 8
+		factory := cache.NewFactory(bench.KVReads(), opts...)
+		c := mustCluster(b, sharers+2)
+		for _, rt := range c.Runtimes {
+			rt.RegisterProxyType("KV", factory)
+		}
+		ref := mustExport(b, c.RT(0), bench.NewKV(), "KV")
+		writer := mustImport(b, c.RT(1), ref)
+		readers := make([]core.Proxy, sharers)
+		for i := range readers {
+			readers[i] = mustImport(b, c.RT(i+2), ref)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for _, r := range readers {
+				if _, err := r.Invoke(ctx, "get", "hot"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if _, err := writer.Invoke(ctx, "put", "hot", int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sync", func(b *testing.B) { run(b) })
+	b.Run("async", func(b *testing.B) { run(b, cache.WithAsyncInvalidation()) })
+}
+
+// BenchmarkCapabilityCheck: the per-invocation cost of the protection
+// boundary — a protected export verifies an unforgeable token on every
+// call.
+func BenchmarkCapabilityCheck(b *testing.B) {
+	run := func(b *testing.B, opts ...core.ExportOption) {
+		c := mustCluster(b, 2)
+		ref, err := c.RT(0).Export(bench.NewKV(), "KV", opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		invokeLoop(b, mustImport(b, c.RT(1), ref), "noop")
+	}
+	b.Run("unprotected", func(b *testing.B) { run(b) })
+	b.Run("protected", func(b *testing.B) { run(b, core.Protected()) })
+}
+
+// BenchmarkE11Batching: one-way append through the batching proxy
+// (amortized) vs through a stub (one round trip each).
+func BenchmarkE11Batching(b *testing.B) {
+	sink := core.ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return nil, nil
+	})
+	b.Run("stub", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		ref := mustExport(b, c.RT(0), sink, "Log")
+		invokeLoop(b, mustImport(b, c.RT(1), ref), "append", "x")
+	})
+	b.Run("batched-32", func(b *testing.B) {
+		c := mustCluster(b, 2)
+		factory := core.NewBatchFactory([]string{"append"},
+			core.WithBatchSize(32), core.WithBatchInterval(0))
+		c.RT(1).RegisterProxyType("Log", factory)
+		ref := mustExport(b, c.RT(0), sink, "Log")
+		p := mustImport(b, c.RT(1), ref)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(ctx, "append", "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := p.(*core.BatchProxy).Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkE12PubSubFanout: one publish with 8 subscribers, measured to
+// full delivery.
+func BenchmarkE12PubSubFanout(b *testing.B) {
+	const subs = 8
+	c := mustCluster(b, subs+2)
+	topic := pubsub.NewTopic("bench")
+	b.Cleanup(topic.Close)
+	topicRef := mustExport(b, c.RT(0), topic, pubsub.TypeName)
+	client := pubsub.NewClient(mustImport(b, c.RT(1), topicRef))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		rt := c.RT(i + 2)
+		cbRef := mustExport(b, rt, pubsub.NewCallback(func(string, any) { wg.Done() }), pubsub.SubscriberType)
+		cbProxy := mustImport(b, rt, cbRef)
+		if _, err := client.Subscribe(ctx, cbProxy); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(subs)
+		if err := client.Publish(ctx, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,212 @@
+// Proxyctl is the CLI client for a proxyd deployment: it bootstraps from a
+// directory node's well-known reference, resolves names, and invokes
+// methods through ordinary stub proxies.
+//
+// Usage:
+//
+//	proxyctl -node 99 -listen :0 -peers 1=host:7001 -dir 1 <command>
+//
+// Commands:
+//
+//	list [prefix]                 list bound names
+//	lookup <name>                 resolve a name to a reference
+//	bind <name> <ref>             bind name to "node.ctx/obj:Type"
+//	unbind <name>                 remove a binding
+//	invoke <name> <method> [args] resolve and invoke; integer-looking args
+//	                              are passed as int64, the rest as strings
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	nodeID := flag.Uint("node", 99, "this client's node id")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (for replies)")
+	peersFlag := flag.String("peers", "", "peer table: id=host:port,...")
+	dirNode := flag.Uint("dir", 1, "node id hosting the root directory")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+	ep, err := netsim.ListenTCP(wire.NodeID(*nodeID), *listen, peers)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	node := kernel.NewNode(ep)
+	defer node.Close()
+	ktx, err := node.NewContext()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := core.NewRuntime(ktx)
+	// Deployments that export their KV through the caching factory (proxyd
+	// -cached-kv) hand out references of type "CachedKV"; registering the
+	// factory here lets this client cache reads locally. Unknown types
+	// still fall back to plain stubs.
+	rt.RegisterProxyType("CachedKV", cache.NewFactory(nil))
+
+	dirRef := codec.Ref{
+		Target: wire.ObjAddr{
+			Addr:   wire.Addr{Node: wire.NodeID(*dirNode), Context: 1},
+			Object: naming.WellKnownObject,
+		},
+		Type: naming.TypeName,
+	}
+	dirProxy, err := rt.Import(dirRef)
+	if err != nil {
+		log.Fatalf("import directory: %v", err)
+	}
+	client := naming.NewClient(dirProxy)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd := args[0]; cmd {
+	case "list":
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		names, err := client.List(ctx, prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "lookup":
+		requireArgs(args, 2, "lookup <name>")
+		ref, err := client.Lookup(ctx, args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s/%d:%s\n", ref.Target.Addr, ref.Target.Object, ref.Type)
+	case "bind":
+		requireArgs(args, 3, "bind <name> <node.ctx/obj:Type>")
+		ref, err := parseRef(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.Bind(ctx, args[1], ref, 0); err != nil {
+			log.Fatal(err)
+		}
+	case "unbind":
+		requireArgs(args, 2, "unbind <name>")
+		if err := client.Unbind(ctx, args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "invoke":
+		requireArgs(args, 3, "invoke <name> <method> [args...]")
+		p, err := client.Resolve(ctx, rt, args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := p.Invoke(ctx, args[2], parseArgs(args[3:])...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("%v\n", r)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func requireArgs(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("usage: proxyctl %s", usage)
+	}
+}
+
+// parseArgs converts CLI strings into invocation arguments: integers
+// become int64, everything else stays a string.
+func parseArgs(raw []string) []any {
+	out := make([]any, len(raw))
+	for i, s := range raw {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			out[i] = v
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// parseRef parses "node.ctx/obj:Type".
+func parseRef(s string) (codec.Ref, error) {
+	addrPart, typ, ok := strings.Cut(s, ":")
+	if !ok {
+		return codec.Ref{}, fmt.Errorf("ref %q: missing :Type", s)
+	}
+	loc, objPart, ok := strings.Cut(addrPart, "/")
+	if !ok {
+		return codec.Ref{}, fmt.Errorf("ref %q: missing /object", s)
+	}
+	nodePart, ctxPart, ok := strings.Cut(loc, ".")
+	if !ok {
+		return codec.Ref{}, fmt.Errorf("ref %q: address must be node.ctx", s)
+	}
+	node, err := strconv.ParseUint(nodePart, 10, 32)
+	if err != nil {
+		return codec.Ref{}, fmt.Errorf("ref %q: %w", s, err)
+	}
+	ctxID, err := strconv.ParseUint(ctxPart, 10, 32)
+	if err != nil {
+		return codec.Ref{}, fmt.Errorf("ref %q: %w", s, err)
+	}
+	obj, err := strconv.ParseUint(objPart, 10, 64)
+	if err != nil {
+		return codec.Ref{}, fmt.Errorf("ref %q: %w", s, err)
+	}
+	return codec.Ref{
+		Target: wire.ObjAddr{
+			Addr:   wire.Addr{Node: wire.NodeID(node), Context: wire.ContextID(ctxID)},
+			Object: wire.ObjectID(obj),
+		},
+		Type: typ,
+	}, nil
+}
+
+func parsePeers(s string) (map[wire.NodeID]string, error) {
+	peers := make(map[wire.NodeID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not id=addr", part)
+		}
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", part, err)
+		}
+		peers[wire.NodeID(n)] = addr
+	}
+	return peers, nil
+}

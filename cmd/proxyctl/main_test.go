@@ -1,0 +1,76 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestParseRef(t *testing.T) {
+	tests := []struct {
+		in      string
+		node    wire.NodeID
+		ctx     wire.ContextID
+		obj     wire.ObjectID
+		typ     string
+		wantErr bool
+	}{
+		{in: "1.1/1:naming.Directory", node: 1, ctx: 1, obj: 1, typ: "naming.Directory"},
+		{in: "42.7/99:KV", node: 42, ctx: 7, obj: 99, typ: "KV"},
+		{in: "noType", wantErr: true},
+		{in: "1.1:T", wantErr: true},   // missing /object
+		{in: "11/5:T", wantErr: true},  // missing .ctx
+		{in: "a.b/c:T", wantErr: true}, // non-numeric
+		{in: "1.1/x:T", wantErr: true}, // non-numeric object
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		ref, err := parseRef(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseRef(%q) succeeded: %+v", tt.in, ref)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRef(%q): %v", tt.in, err)
+			continue
+		}
+		if ref.Target.Addr.Node != tt.node || ref.Target.Addr.Context != tt.ctx ||
+			ref.Target.Object != tt.obj || ref.Type != tt.typ {
+			t.Errorf("parseRef(%q) = %+v", tt.in, ref)
+		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	got := parseArgs([]string{"hello", "42", "-7", "3.5", "9999999999999999999999"})
+	want := []any{"hello", int64(42), int64(-7), "3.5", "9999999999999999999999"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseArgs = %#v, want %#v", got, want)
+	}
+	if len(parseArgs(nil)) != 0 {
+		t.Error("parseArgs(nil) non-empty")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("1=a:1, 2=b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != "a:1" || got[2] != "b:2" || len(got) != 2 {
+		t.Errorf("peers = %v", got)
+	}
+	if _, err := parsePeers("junk"); err == nil {
+		t.Error("parsePeers(junk) succeeded")
+	}
+	if _, err := parsePeers("x=addr"); err == nil {
+		t.Error("parsePeers(non-numeric id) succeeded")
+	}
+	empty, err := parsePeers("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("parsePeers(\"\") = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,194 @@
+// Proxyd hosts a node of the system over real TCP: a kernel context, a
+// proxy runtime, and a root name directory exported at the well-known
+// object id, so other processes can bootstrap from nothing but this
+// node's id and address.
+//
+// Usage:
+//
+//	proxyd -node 1 -listen :7001 [-peers 2=host:7002,3=host:7003] [-with-kv]
+//
+// The root directory of node N is importable as the reference
+// "N.1/1:naming.Directory" — which is exactly what cmd/proxyctl
+// constructs. With -with-kv the daemon also exports a demo KV service and
+// binds it at "services/kv".
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/persist"
+	"repro/internal/wire"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	nodeID := flag.Uint("node", 1, "this node's id")
+	listen := flag.String("listen", ":7001", "TCP listen address")
+	peersFlag := flag.String("peers", "", "peer table: id=host:port,id=host:port")
+	withKV := flag.Bool("with-kv", false, "export a demo KV service bound at services/kv")
+	cachedKV := flag.Bool("cached-kv", false, "export the demo KV through the caching smart proxy (clients with the factory registered cache reads locally)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
+	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+	ep, err := netsim.ListenTCP(wire.NodeID(*nodeID), *listen, peers)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	var nodeOpts []kernel.NodeOption
+	if *traceFrames {
+		nodeOpts = append(nodeOpts, kernel.WithTrace(func(dir kernel.TraceDirection, f *wire.Frame) {
+			log.Printf("%s %s", dir, f)
+		}))
+	}
+	node := kernel.NewNode(ep, nodeOpts...)
+	defer node.Close()
+	ktx, err := node.NewContext()
+	if err != nil {
+		log.Fatalf("context: %v", err)
+	}
+	rt := core.NewRuntime(ktx)
+
+	// The directory must land at the well-known object id, so it is the
+	// first export in this context.
+	dir := naming.NewDirectory()
+	dirRef, err := rt.Export(dir, naming.TypeName)
+	if err != nil {
+		log.Fatalf("export directory: %v", err)
+	}
+	if dirRef.Target.Object != naming.WellKnownObject {
+		log.Fatalf("directory landed at object %d, want %d", dirRef.Target.Object, naming.WellKnownObject)
+	}
+	log.Printf("node %d listening on %s; root directory at %s", *nodeID, ep.ListenAddr(), dirRef)
+
+	var kv *bench.KV
+	if *withKV || *cachedKV {
+		kv = bench.NewKV()
+		typeName := "KV"
+		if *cachedKV {
+			// The service chooses its distribution strategy: reads served
+			// from client-side caches kept coherent by callback
+			// invalidation. Clients that never register the factory fall
+			// back to plain stubs and still interoperate.
+			typeName = "CachedKV"
+			rt.RegisterProxyType(typeName, cache.NewFactory(bench.KVReads()))
+		}
+		kvRef, err := rt.Export(kv, typeName)
+		if err != nil {
+			log.Fatalf("export kv: %v", err)
+		}
+		dir.Bind("services/kv", kvRef, 0)
+		log.Printf("demo KV exported as %s, bound at services/kv", kvRef)
+	}
+
+	if *checkpoint != "" {
+		if err := loadCheckpoint(*checkpoint, dir, kv); err != nil {
+			log.Fatalf("load checkpoint: %v", err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	if *checkpoint != "" {
+		if err := saveCheckpoint(*checkpoint, dir, kv); err != nil {
+			log.Printf("save checkpoint: %v", err)
+		} else {
+			log.Printf("checkpoint saved to %s", *checkpoint)
+		}
+	}
+	log.Printf("shutting down")
+}
+
+// loadCheckpoint restores the directory (and KV, when exported) from a
+// prior incarnation's state. A missing file is a clean first boot.
+func loadCheckpoint(path string, dir *naming.Directory, kv *bench.KV) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ck, err := persist.ReadCheckpoint(f)
+	if err != nil {
+		return err
+	}
+	if err := ck.RestoreInto("directory", dir); err != nil && !errors.Is(err, persist.ErrUnknownEntry) {
+		return err
+	}
+	if kv != nil {
+		if err := ck.RestoreInto("services/kv", kv); err != nil && !errors.Is(err, persist.ErrUnknownEntry) {
+			return err
+		}
+	}
+	log.Printf("restored checkpoint %s (%v)", path, ck.Names())
+	return nil
+}
+
+// saveCheckpoint writes the node's durable state atomically (write to a
+// temp file, then rename).
+func saveCheckpoint(path string, dir *naming.Directory, kv *bench.KV) error {
+	ck := persist.NewCheckpoint()
+	if err := ck.Add("directory", dir); err != nil {
+		return err
+	}
+	if kv != nil {
+		if err := ck.Add("services/kv", kv); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := ck.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func parsePeers(s string) (map[wire.NodeID]string, error) {
+	peers := make(map[wire.NodeID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not id=addr", part)
+		}
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", part, err)
+		}
+		peers[wire.NodeID(n)] = addr
+	}
+	return peers, nil
+}

@@ -1,0 +1,51 @@
+// Proxygen is the stub compiler: it reads a Go source file containing
+// interfaces annotated with //proxygen:service and writes a companion
+// file with a typed client wrapper and a core.Service dispatcher for each
+// — the 1986 lineage's stub generator, driven by Go interfaces instead of
+// an IDL.
+//
+// Usage:
+//
+//	proxygen -in service.go [-out service_gen.go]
+//
+// It is also suitable as a go:generate directive:
+//
+//	//go:generate go run repro/cmd/proxygen -in calc.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	in := flag.String("in", "", "input Go file with annotated interfaces")
+	out := flag.String("out", "", "output file (default <in>_gen.go)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	target := *out
+	if target == "" {
+		target = strings.TrimSuffix(*in, ".go") + "_gen.go"
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := gen.Generate(*in, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(target, code, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proxygen: wrote %s (%d bytes)\n", target, len(code))
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of Marc Shapiro's
+// "Structure and Encapsulation in Distributed Systems: The Proxy
+// Principle" (6th ICDCS, 1986) — the paper that introduced the proxy as
+// the structuring unit of distributed systems and originated the RPC
+// stub/proxy pattern.
+//
+// The implementation lives under internal/: the kernel substrate
+// (wire, codec, netsim, kernel, rpc, naming, group, vclock), the proxy
+// runtime itself (core), the smart proxies (cache, replica, migrate), and
+// the comparators (rpc stubs, dsm). See README.md for the tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// measured reproduction of every claim. The benchmarks in this directory
+// (bench_test.go) expose one testing.B target per experiment.
+package repro

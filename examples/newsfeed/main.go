@@ -1,0 +1,112 @@
+// Newsfeed: publish/subscribe through reference-passing.
+//
+// A topic lives on node 1. Subscribers on nodes 2 and 3 pass *references*
+// to their callback objects when subscribing; the topic turns them into
+// proxies and publishes through them. One event even carries a live
+// service reference — the subscribers invoke it on arrival, showing
+// capabilities travelling inside events.
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/wire"
+)
+
+func main() {
+	net := netsim.New(netsim.WithDefaultLink(netsim.LinkConfig{Latency: 2 * time.Millisecond}))
+	defer net.Close()
+
+	hub := makeRuntime(net, 1)
+	alice := makeRuntime(net, 2)
+	bob := makeRuntime(net, 3)
+
+	topic := pubsub.NewTopic("headlines")
+	defer topic.Close()
+	topicRef, err := hub.Export(topic, pubsub.TypeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	subscribe := func(rt *core.Runtime, who string) *pubsub.Client {
+		p, err := rt.Import(topicRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client := pubsub.NewClient(p)
+		cb := pubsub.NewCallback(func(topic string, event any) {
+			defer wg.Done()
+			switch e := event.(type) {
+			case core.Proxy:
+				// The event is a capability: invoke it.
+				res, err := e.Invoke(context.Background(), "read")
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("[%s] %s: attached story says %q\n", topic, who, res[0])
+			default:
+				fmt.Printf("[%s] %s: %v\n", topic, who, e)
+			}
+		})
+		if _, err := client.Subscribe(context.Background(), cb); err != nil {
+			log.Fatal(err)
+		}
+		return client
+	}
+
+	aliceClient := subscribe(alice, "alice")
+	_ = subscribe(bob, "bob")
+	ctx := context.Background()
+
+	wg.Add(2)
+	if err := aliceClient.Publish(ctx, "proxies considered wonderful"); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	// Publish an event that IS a reference: a story object on the hub.
+	story := core.ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return []any{"the full text, served by reference"}, nil
+	})
+	storyRef, err := hub.Export(story, "Story")
+	if err != nil {
+		log.Fatal(err)
+	}
+	storyProxy, err := hub.Import(storyRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Add(2)
+	if err := aliceClient.Publish(ctx, storyProxy); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	st := topic.Stats()
+	fmt.Printf("topic stats: %d published, %d delivered, %d subscribers\n",
+		st.Published, st.Delivered, st.Subscribers)
+}
+
+func makeRuntime(net *netsim.Network, id wire.NodeID) *core.Runtime {
+	ep, err := net.Attach(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := kernel.NewNode(ep)
+	ktx, err := node.NewContext()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return core.NewRuntime(ktx)
+}

@@ -1,0 +1,16 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+)
+
+// kernelNodeForTest wraps a node with cleanup.
+func kernelNodeForTest(t *testing.T, ep netsim.Endpoint) *kernel.Node {
+	t.Helper()
+	node := kernel.NewNode(ep)
+	t.Cleanup(func() { node.Close() })
+	return node
+}

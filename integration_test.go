@@ -1,0 +1,312 @@
+package repro
+
+// Whole-system integration tests: several subsystems composed the way a
+// real deployment composes them, over an imperfect network.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/migrate"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// TestFullSystem builds a three-node deployment with a replicated name
+// service, a cached file-like KV, and a migratable worker object — all
+// reached by name — and drives them together over a lossy, slow network.
+func TestFullSystem(t *testing.T) {
+	net := netsim.New(
+		netsim.WithDefaultLink(netsim.LinkConfig{Latency: 200 * time.Microsecond, LossRate: 0.02}),
+		netsim.WithSeed(11),
+	)
+	defer net.Close()
+
+	dirFactory := replica.NewFactory(
+		[]string{"lookup", "list"},
+		func() replica.StateMachine { return naming.NewDirectory() },
+	)
+	kvCacheFactory := cache.NewFactory(bench.KVReads())
+	migFactory := migrate.NewFactory("Worker", migrate.WithThreshold(3))
+
+	mkRuntime := func(id wire.NodeID) *core.Runtime {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernelNodeForTest(t, ep)
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Retry fast: the link drops 2% of frames.
+		rt := core.NewRuntime(ktx, core.WithClient(rpc.NewClient(ktx,
+			rpc.WithRetryInterval(5*time.Millisecond), rpc.WithMaxAttempts(100))))
+		rt.RegisterProxyType(naming.TypeName, dirFactory)
+		rt.RegisterProxyType("CachedKV", kvCacheFactory)
+		rt.RegisterProxyType("Worker", migFactory)
+		host := migrate.NewHost(rt)
+		host.RegisterType("Worker", func() migrate.Migratable { return bench.NewKV() })
+		migFactory.AttachHost(rt, host)
+		return rt
+	}
+	ns := mkRuntime(1)
+	app := mkRuntime(2)
+	worker := mkRuntime(3)
+	ctx := context.Background()
+
+	// 1. Stand up the name service and register the other services in it.
+	dir := naming.NewDirectory()
+	dirRef, err := ns.Export(dir, naming.TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvRef, err := app.Export(bench.NewKV(), "CachedKV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wkRef, err := app.Export(bench.NewKV(), "Worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appDir, err := app.Import(dirRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appNames := naming.NewClient(appDir)
+	if err := appNames.Bind(ctx, "svc/kv", kvRef, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := appNames.Bind(ctx, "svc/worker", wkRef, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. The worker node resolves everything by name through its own
+	// (replicated) directory proxy.
+	wDir, err := worker.Import(dirRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wNames := naming.NewClient(wDir)
+	names, err := wNames.List(ctx, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+
+	// 3. Cached KV: write from app, read from worker (cold then warm).
+	kvApp, err := app.Import(kvRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kvApp.Invoke(ctx, "put", "cfg", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	kvWorker, err := wNames.Resolve(ctx, worker, "svc/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := kvWorker.Invoke(ctx, "get", "cfg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != int64(7) {
+			t.Fatalf("get = %v", res[0])
+		}
+	}
+	if cp, ok := kvWorker.(*cache.Proxy); ok {
+		if st := cp.Stats(); st.Hits < 3 {
+			t.Errorf("cache stats = %+v, want warm hits", st)
+		}
+	} else {
+		t.Errorf("kv proxy is %T, want caching", kvWorker)
+	}
+
+	// 4. Coherence across the composition: app writes, worker must see it.
+	if _, err := kvApp.Invoke(ctx, "put", "cfg", int64(8)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := kvWorker.Invoke(ctx, "get", "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(8) {
+		t.Fatalf("stale read after coherent write: %v", res[0])
+	}
+
+	// 5. The worker hammers the migratable object until it migrates in,
+	// then verifies the directory still resolves it (old ref forwards).
+	wkProxy, err := wNames.Resolve(ctx, worker, "svc/worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := wkProxy.Invoke(ctx, "incr", "jobs"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mp, ok := wkProxy.(*migrate.Proxy); ok {
+		if !mp.IsLocal() {
+			t.Error("worker object did not migrate to its heavy user")
+		}
+	} else {
+		t.Errorf("worker proxy is %T", wkProxy)
+	}
+	// A fresh resolve through the (possibly stale) directory binding must
+	// still reach the object wherever it lives now.
+	again, err := appNames.Resolve(ctx, app, "svc/worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = again.Invoke(ctx, "get", "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(8) {
+		t.Errorf("jobs = %v, want 8 (state survived migration)", res[0])
+	}
+}
+
+// TestPartitionRecovery drives calls through a partition: they fail while
+// the network is split and succeed after it heals, with at-most-once
+// intact throughout.
+func TestPartitionRecovery(t *testing.T) {
+	net := netsim.New()
+	defer net.Close()
+	mk := func(id wire.NodeID) *core.Runtime {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernelNodeForTest(t, ep)
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewRuntime(ktx, core.WithClient(rpc.NewClient(ktx,
+			rpc.WithRetryInterval(5*time.Millisecond), rpc.WithMaxAttempts(5))))
+	}
+	server, client := mk(1), mk(2)
+	kv := bench.NewKV()
+	ref, err := server.Export(kv, "KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := p.Invoke(ctx, "incr", "n"); err != nil {
+		t.Fatal(err)
+	}
+
+	net.Partition(1, 2)
+	if _, err := p.Invoke(ctx, "incr", "n"); err == nil {
+		t.Fatal("call succeeded across a partition")
+	}
+	net.Heal(1, 2)
+
+	if _, err := p.Invoke(ctx, "incr", "n"); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	if got := kv.Get("n"); got != 2 {
+		t.Errorf("n = %d, want 2 (partitioned call must not have half-applied)", got)
+	}
+}
+
+// TestManyClientsManyServices is a load-shaped soak: several clients, all
+// three smart proxy kinds, concurrent mixed traffic, zero tolerance for
+// errors or divergence.
+func TestManyClientsManyServices(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(3))
+	defer net.Close()
+	cacheF := cache.NewFactory(bench.KVReads())
+	replF := replica.NewFactory(bench.KVReads(), func() replica.StateMachine { return bench.NewKV() })
+	mk := func(id wire.NodeID) *core.Runtime {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernelNodeForTest(t, ep)
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := core.NewRuntime(ktx)
+		rt.RegisterProxyType("Cached", cacheF)
+		rt.RegisterProxyType("Replicated", replF)
+		return rt
+	}
+	const clients = 6
+	server := mk(1)
+	cl := make([]*core.Runtime, clients)
+	for i := range cl {
+		cl[i] = mk(wire.NodeID(i + 2))
+	}
+	cachedRef, err := server.Export(bench.NewKV(), "Cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replRef, err := server.Export(bench.NewKV(), "Replicated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubKV := bench.NewKV()
+	stubRef, err := server.Export(stubKV, "Plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*3)
+	for i := 0; i < clients; i++ {
+		for _, ref := range []struct {
+			r    any
+			name string
+		}{{cachedRef, "cached"}, {replRef, "replicated"}, {stubRef, "plain"}} {
+			wg.Add(1)
+			go func(i int, name string, refAny any) {
+				defer wg.Done()
+				r := refAny.(interface{ IsZero() bool })
+				_ = r
+				wl := bench.Mixed{ReadFraction: 0.8, Ops: 60, Keys: 8, Seed: int64(i)}
+				var p core.Proxy
+				var err error
+				switch name {
+				case "cached":
+					p, err = cl[i].Import(cachedRef)
+				case "replicated":
+					p, err = cl[i].Import(replRef)
+				default:
+					p, err = cl[i].Import(stubRef)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("%s import: %w", name, err)
+					return
+				}
+				if _, err := wl.Run(ctx, p); err != nil {
+					errCh <- fmt.Errorf("%s client %d: %w", name, i, err)
+				}
+			}(i, ref.name, ref.r)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package bench provides the shared fixtures for the experiment suite
+// (EXPERIMENTS.md): a multi-runtime cluster over the simulated network, a
+// KV service that satisfies every smart-proxy contract (plain service,
+// cacheable, replicable state machine, migratable object), seeded workload
+// generators, and latency/table helpers used by both the root benchmarks
+// and cmd/proxybench.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Cluster is n runtimes, one per simulated node, plus the network that
+// joins them.
+type Cluster struct {
+	Net      *netsim.Network
+	Runtimes []*core.Runtime
+	nodes    []*kernel.Node
+}
+
+// NewCluster builds a cluster of n runtimes.
+func NewCluster(n int, opts ...netsim.Option) (*Cluster, error) {
+	c := &Cluster{Net: netsim.New(opts...)}
+	for i := 0; i < n; i++ {
+		ep, err := c.Net.Attach(wire.NodeID(i + 1))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		node := kernel.NewNode(ep)
+		c.nodes = append(c.nodes, node)
+		ktx, err := node.NewContext()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Runtimes = append(c.Runtimes, core.NewRuntime(ktx))
+	}
+	return c, nil
+}
+
+// RT returns the i-th runtime.
+func (c *Cluster) RT(i int) *core.Runtime { return c.Runtimes[i] }
+
+// NewContextRuntime adds another context (and runtime) on node i — for
+// experiments that need same-node, cross-context placement (E1).
+func (c *Cluster) NewContextRuntime(i int) (*core.Runtime, error) {
+	ktx, err := c.nodes[i].NewContext()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRuntime(ktx), nil
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		_ = n.Close()
+	}
+	if c.Net != nil {
+		c.Net.Close()
+	}
+}
+
+// KV is the workhorse service: a keyed int64 store. Method surface:
+//
+//	get(k string) -> int64          (read)
+//	sum() -> int64                  (read)
+//	put(k string, v int64) -> int64 (write)
+//	incr(k string) -> int64         (write)
+//	noop() -> ()                    (read; for null-invocation latency)
+//
+// It implements core.Service, and via Snapshot/Restore also
+// replica.StateMachine and migrate.Migratable.
+type KV struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewKV builds an empty store.
+func NewKV() *KV { return &KV{m: make(map[string]int64)} }
+
+// KVReads lists the KV's cacheable/replicable read methods.
+func KVReads() []string { return []string{"get", "sum", "noop"} }
+
+// Invoke implements core.Service.
+func (s *KV) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "noop":
+		return nil, nil
+	case "get":
+		k, _ := args[0].(string)
+		return []any{s.m[k]}, nil
+	case "sum":
+		var t int64
+		for _, v := range s.m {
+			t += v
+		}
+		return []any{t}, nil
+	case "put":
+		k, _ := args[0].(string)
+		v, _ := args[1].(int64)
+		s.m[k] = v
+		return []any{v}, nil
+	case "incr":
+		k, _ := args[0].(string)
+		s.m[k]++
+		return []any{s.m[k]}, nil
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+// Snapshot implements the state-capture half of StateMachine/Migratable.
+func (s *KV) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return codec.Marshal(s.m)
+}
+
+// Restore implements the state-restore half of StateMachine/Migratable.
+func (s *KV) Restore(data []byte) error {
+	var m map[string]int64
+	if err := codec.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("bench: restore KV: %w", err)
+	}
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	return nil
+}
+
+// Get reads a key directly (test assertions on the authoritative copy).
+func (s *KV) Get(k string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/migrate"
+	"repro/internal/replica"
+)
+
+func TestClusterLifecycle(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Runtimes) != 3 {
+		t.Fatalf("runtimes = %d", len(c.Runtimes))
+	}
+	ref, err := c.RT(0).Export(NewKV(), "KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(context.Background(), "put", "k", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := c.NewContextRuntime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Addr().Node != c.RT(0).Addr().Node {
+		t.Error("extra context landed on a different node")
+	}
+}
+
+func TestKVInterfaces(t *testing.T) {
+	// KV must satisfy every smart-proxy contract.
+	var _ replica.StateMachine = NewKV()
+	var _ migrate.Migratable = NewKV()
+}
+
+func TestKVSnapshotRestore(t *testing.T) {
+	kv := NewKV()
+	ctx := context.Background()
+	if _, err := kv.Invoke(ctx, "put", []any{"a", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Invoke(ctx, "incr", []any{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := kv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv2 := NewKV()
+	if err := kv2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if kv2.Get("a") != 2 {
+		t.Errorf("restored a = %d", kv2.Get("a"))
+	}
+	res, err := kv2.Invoke(ctx, "sum", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(2) {
+		t.Errorf("sum = %v", res[0])
+	}
+}
+
+func TestMixedWorkloadDeterministic(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	kv := NewKV()
+	ref, err := c.RT(0).Export(kv, "KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Mixed{ReadFraction: 0.5, Ops: 200, Keys: 10, Seed: 42}
+	if _, err := w.Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	first, err := kv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-running the same seed against a fresh store gives identical state.
+	kv2 := NewKV()
+	ref2, err := c.RT(0).Export(kv2, "KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.RT(1).Import(ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(context.Background(), p2); err != nil {
+		t.Fatal(err)
+	}
+	second, err := kv2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("same seed produced different final states")
+	}
+}
+
+func TestRunFuncMirrorsRun(t *testing.T) {
+	// The func-shim path must issue the same op sequence as the proxy
+	// path: drive both into plain local KVs and compare.
+	kvA, kvB := NewKV(), NewKV()
+	ctx := context.Background()
+	w := Mixed{ReadFraction: 0.3, Ops: 150, Keys: 7, Seed: 9}
+
+	c, err := NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	refA, err := c.RT(0).Export(kvA, "KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA, err := c.RT(0).Import(refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(ctx, pA); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.RunFunc(ctx,
+		func(ctx context.Context, key string) error {
+			_, err := kvB.Invoke(ctx, "get", []any{key})
+			return err
+		},
+		func(ctx context.Context, key string, v int64) error {
+			_, err := kvB.Invoke(ctx, "put", []any{key, v})
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA, _ := kvA.Snapshot()
+	snapB, _ := kvB.Snapshot()
+	if !bytes.Equal(snapA, snapB) {
+		t.Error("RunFunc diverged from Run")
+	}
+}
+
+func TestTimerSummary(t *testing.T) {
+	var tm Timer
+	for i := 1; i <= 100; i++ {
+		tm.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := tm.Summary()
+	if s.Count != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P95 < 90*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if (&Timer{}).Summary().Count != 0 {
+		t.Error("empty timer summary")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := Table{Headers: []string{"design", "latency", "ratio"}}
+	tab.Add("stub", 150*time.Microsecond, 1.0)
+	tab.Add("caching proxy", 2*time.Microsecond, 0.01)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "caching proxy") || !strings.Contains(out, "design") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timer accumulates latency samples.
+type Timer struct {
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (t *Timer) Record(d time.Duration) { t.samples = append(t.samples, d) }
+
+// Time runs fn and records its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Record(time.Since(start))
+}
+
+// Summary reports sample statistics.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Summary computes the stats over all recorded samples.
+func (t *Timer) Summary() Summary {
+	if len(t.samples) == 0 {
+		return Summary{}
+	}
+	s := append([]time.Duration(nil), t.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var total time.Duration
+	for _, d := range s {
+		total += d
+	}
+	return Summary{
+		Count: len(s),
+		Mean:  total / time.Duration(len(s)),
+		P50:   s[len(s)/2],
+		P95:   s[(len(s)*95)/100],
+		Min:   s[0],
+		Max:   s[len(s)-1],
+	}
+}
+
+// Table renders aligned columns for experiment output.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row, stringifying each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			// Sub-10µs values keep nanosecond resolution (E1's lower
+			// rungs); anything larger reads better rounded.
+			if v < 10*time.Microsecond {
+				row[i] = v.Round(10 * time.Nanosecond).String()
+			} else {
+				row[i] = v.Round(time.Microsecond).String()
+			}
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	fmt.Fprintln(w, line(t.Headers))
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Mixed is a seeded read/write workload over a KV proxy: each operation is
+// a get with probability ReadFraction, else a put, on a uniformly chosen
+// key. The same seed produces the same operation sequence, so competing
+// designs (stub vs caching vs replica vs DSM) run literally identical
+// workloads.
+type Mixed struct {
+	ReadFraction float64
+	Ops          int
+	Keys         int
+	Seed         int64
+}
+
+// Run drives the workload through a proxy and returns the total wall time.
+func (w Mixed) Run(ctx context.Context, p core.Proxy) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(w.Seed))
+	start := time.Now()
+	for i := 0; i < w.Ops; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(max(w.Keys, 1)))
+		if rng.Float64() < w.ReadFraction {
+			if _, err := p.Invoke(ctx, "get", key); err != nil {
+				return 0, fmt.Errorf("op %d get %s: %w", i, key, err)
+			}
+		} else {
+			if _, err := p.Invoke(ctx, "put", key, int64(i)); err != nil {
+				return 0, fmt.Errorf("op %d put %s: %w", i, key, err)
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RunFunc drives the same operation sequence through arbitrary read/write
+// functions — the shim that lets the DSM comparator run the identical
+// workload without a proxy.
+func (w Mixed) RunFunc(ctx context.Context, read func(ctx context.Context, key string) error, write func(ctx context.Context, key string, v int64) error) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(w.Seed))
+	start := time.Now()
+	for i := 0; i < w.Ops; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(max(w.Keys, 1)))
+		if rng.Float64() < w.ReadFraction {
+			if err := read(ctx, key); err != nil {
+				return 0, fmt.Errorf("op %d read %s: %w", i, key, err)
+			}
+		} else {
+			if err := write(ctx, key, int64(i)); err != nil {
+				return 0, fmt.Errorf("op %d write %s: %w", i, key, err)
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Option configures a Factory.
+type Option func(*Factory)
+
+// WithMode selects the coherence protocol (default ModeCallback).
+func WithMode(m Mode) Option {
+	return func(f *Factory) { f.mode = m }
+}
+
+// WithLeaseTTL sets the lease length for ModeLease (default 100 ms).
+func WithLeaseTTL(ttl time.Duration) Option {
+	return func(f *Factory) {
+		if ttl > 0 {
+			f.leaseTTL = ttl
+		}
+	}
+}
+
+// WithAsyncInvalidation makes callback-mode writes return without waiting
+// for sharer acknowledgements (faster writes, a window of staleness) — an
+// ablation knob for experiment E10.
+func WithAsyncInvalidation() Option {
+	return func(f *Factory) { f.syncInv = false }
+}
+
+// Factory is the proxy factory for cached services. The *service side*
+// constructs it, declaring which methods are cacheable reads — the client
+// never needs to know the policy, the mode, or that caching happens at
+// all. Implements core.ProxyFactory and core.Exporter.
+type Factory struct {
+	reads    []string
+	mode     Mode
+	leaseTTL time.Duration
+	syncInv  bool
+
+	mu     sync.Mutex
+	coords map[wire.ObjAddr]*coordinator // by exported target, for stats
+}
+
+// NewFactory builds a caching factory; readMethods lists the methods whose
+// results may be cached (everything else is treated as a write).
+func NewFactory(readMethods []string, opts ...Option) *Factory {
+	f := &Factory{
+		reads:    append([]string(nil), readMethods...),
+		mode:     ModeCallback,
+		leaseTTL: 100 * time.Millisecond,
+		syncInv:  true,
+		coords:   make(map[wire.ObjAddr]*coordinator),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Export implements core.Exporter: it sets up the coordinator, registers
+// the control object, and produces the private hint. The export's
+// capability token (if any) also guards the private read/write protocol.
+func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (core.Service, []byte, error) {
+	readSet := make(map[string]bool, len(f.reads))
+	for _, r := range f.reads {
+		readSet[r] = true
+	}
+	isRead := func(m string) bool { return readSet[m] }
+	co := newCoordinator(rt, svc, isRead, f.mode, f.syncInv)
+	co.cap = ref.Cap
+	ctrlID := rt.Kernel().Register(co.kernelHandler())
+	h := hint{Ctrl: ctrlID, Mode: f.mode, LeaseTTL: f.leaseTTL, Reads: f.reads}
+
+	f.mu.Lock()
+	f.coords[ref.Target] = co
+	f.mu.Unlock()
+	return &wrapped{co: co}, h.encode(), nil
+}
+
+// New implements core.ProxyFactory: the importing side builds the caching
+// proxy from the reference's private hint.
+func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
+	h, err := decodeHint(ref.Hint)
+	if err != nil {
+		return nil, fmt.Errorf("cache: bad hint in %s: %w", ref, err)
+	}
+	return newProxy(rt, ref, h)
+}
+
+// CoordinatorStatsFor reports server-side counters for an exported target
+// (tests and benches).
+func (f *Factory) CoordinatorStatsFor(target wire.ObjAddr) (CoordinatorStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	co, ok := f.coords[target]
+	if !ok {
+		return CoordinatorStats{}, false
+	}
+	return co.stats(), true
+}

@@ -1,0 +1,248 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// ProxyStats counts client-side cache behaviour.
+type ProxyStats struct {
+	Hits          uint64
+	Misses        uint64
+	Writes        uint64
+	Invalidations uint64
+}
+
+// Proxy is the caching client-side representative. It keeps a result cache
+// keyed by (method, arguments); reads hit locally when the cached version
+// is current (callback mode) or the lease is fresh (lease mode); writes go
+// through the coordinator. It implements core.Proxy.
+type Proxy struct {
+	rt   *core.Runtime
+	ref  codec.Ref
+	h    hint
+	now  func() time.Time
+	ctrl wire.ObjAddr
+
+	reads map[string]bool
+
+	mu       sync.Mutex
+	version  uint64 // last version heard from the coordinator
+	entries  map[string]cacheEntry
+	cbObject wire.ObjectID
+	closed   bool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	writes atomic.Uint64
+	invs   atomic.Uint64
+}
+
+type cacheEntry struct {
+	results []any
+	version uint64
+	filled  time.Time
+}
+
+func newProxy(rt *core.Runtime, ref codec.Ref, h hint) (*Proxy, error) {
+	p := &Proxy{
+		rt:      rt,
+		ref:     ref,
+		h:       h,
+		now:     time.Now,
+		ctrl:    wire.ObjAddr{Addr: ref.Target.Addr, Object: h.Ctrl},
+		reads:   make(map[string]bool, len(h.Reads)),
+		entries: make(map[string]cacheEntry),
+	}
+	for _, r := range h.Reads {
+		p.reads[r] = true
+	}
+	if h.Mode == ModeCallback {
+		// Install the callback object and join the sharer set. The
+		// version in the reply seeds our view.
+		p.cbObject = rt.Kernel().Register(kernel.HandlerFunc(p.handleInvalidate))
+		cb := wire.ObjAddr{Addr: rt.Addr(), Object: p.cbObject}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		// Present the highest version we have observed (zero for a fresh
+		// proxy); the coordinator's clock absorbs it.
+		payload := wire.AppendUvarint(wire.AppendObjAddr(nil, cb), p.version)
+		reply, err := rt.Client().Call(ctx, p.ctrl, kindRegister, payload)
+		if err != nil {
+			rt.Kernel().Unregister(p.cbObject)
+			return nil, err
+		}
+		v, _, err := wire.Uvarint(reply)
+		if err != nil {
+			rt.Kernel().Unregister(p.cbObject)
+			return nil, err
+		}
+		p.version = v
+	}
+	return p, nil
+}
+
+// handleInvalidate processes coordinator invalidations (the push half of
+// the private protocol). It flushes the cache and acknowledges.
+func (p *Proxy) handleInvalidate(ktx *kernel.Context, f *wire.Frame) {
+	v, _, err := wire.Uvarint(f.Payload)
+	if err == nil {
+		p.mu.Lock()
+		if v > p.version {
+			p.version = v
+		}
+		p.entries = make(map[string]cacheEntry)
+		p.mu.Unlock()
+		p.invs.Add(1)
+	}
+	if f.Flags&wire.FlagOneWay == 0 {
+		_ = ktx.Respond(f, wire.KindAck, nil)
+	}
+}
+
+// Invoke implements core.Proxy.
+func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, core.ErrProxyClosed
+	}
+	lowered, err := p.rt.LowerArgs(args)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	payload, err := core.EncodeRequest(p.ref.Cap, method, lowered)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+
+	if !p.reads[method] {
+		return p.write(ctx, method, payload)
+	}
+	key := string(payload)
+	if results, ok := p.cachedResult(key); ok {
+		p.hits.Add(1)
+		return results, nil
+	}
+	p.misses.Add(1)
+	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindRead, payload)
+	if err != nil {
+		return nil, core.RemoteToInvokeError(method, err)
+	}
+	version, results, err := decodeVersioned(p.rt.Decoder(), reply)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	p.fill(key, version, results)
+	return results, nil
+}
+
+func (p *Proxy) cachedResult(key string) ([]any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key]
+	if !ok {
+		return nil, false
+	}
+	switch p.h.Mode {
+	case ModeCallback:
+		if e.version != p.version {
+			delete(p.entries, key)
+			return nil, false
+		}
+	case ModeLease:
+		if p.now().Sub(e.filled) >= p.h.LeaseTTL {
+			delete(p.entries, key)
+			return nil, false
+		}
+	}
+	return e.results, true
+}
+
+// fill stores a read result unless the world moved on while the read was
+// in flight (a newer version was announced), which prevents a slow read
+// from resurrecting stale data after an invalidation.
+func (p *Proxy) fill(key string, version uint64, results []any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.h.Mode {
+	case ModeCallback:
+		if version < p.version {
+			return
+		}
+		if version > p.version {
+			// The read observed a version we haven't been told about yet;
+			// adopt it and drop anything older.
+			p.version = version
+			p.entries = make(map[string]cacheEntry)
+		}
+		p.entries[key] = cacheEntry{results: results, version: version}
+	case ModeLease:
+		p.entries[key] = cacheEntry{results: results, filled: p.now()}
+	}
+}
+
+func (p *Proxy) write(ctx context.Context, method string, payload []byte) ([]any, error) {
+	p.writes.Add(1)
+	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindWrite, payload)
+	if err != nil {
+		return nil, core.RemoteToInvokeError(method, err)
+	}
+	version, results, err := decodeVersioned(p.rt.Decoder(), reply)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	// Our own copy is stale now; flush and adopt the post-write version.
+	p.mu.Lock()
+	if version > p.version {
+		p.version = version
+	}
+	p.entries = make(map[string]cacheEntry)
+	p.mu.Unlock()
+	return results, nil
+}
+
+// Ref implements core.Proxy.
+func (p *Proxy) Ref() codec.Ref { return p.ref }
+
+// Stats returns cache counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		Writes:        p.writes.Load(),
+		Invalidations: p.invs.Load(),
+	}
+}
+
+// Close implements core.Proxy: it leaves the sharer set and releases the
+// callback object.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	cbObj := p.cbObject
+	p.entries = nil
+	p.mu.Unlock()
+
+	p.rt.ForgetProxy(p.ref.Target)
+	if p.h.Mode == ModeCallback {
+		cb := wire.ObjAddr{Addr: p.rt.Addr(), Object: cbObj}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_, _ = p.rt.Client().Call(ctx, p.ctrl, kindDeregister, wire.AppendObjAddr(nil, cb))
+		p.rt.Kernel().Unregister(cbObj)
+	}
+	return nil
+}

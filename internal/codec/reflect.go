@@ -1,0 +1,345 @@
+package codec
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// Marshal encodes an arbitrary Go value by lowering it to the codec's
+// generic shapes with reflection: structs become TagStruct (exported fields
+// in declaration order), typed slices/arrays become TagList, typed maps
+// with string keys become TagMap, pointers dereference (nil → TagNil).
+// Fields tagged `codec:"-"` are skipped. Used for object state capture
+// during migration and for typed convenience in examples; hot invocation
+// paths use Append directly.
+func Marshal(v any) ([]byte, error) {
+	return MarshalAppend(nil, v)
+}
+
+// MarshalAppend is Marshal appending to dst.
+func MarshalAppend(dst []byte, v any) ([]byte, error) {
+	lowered, err := lower(reflect.ValueOf(v), 0)
+	if err != nil {
+		return dst, err
+	}
+	return Append(dst, lowered)
+}
+
+// Lower converts an arbitrary Go value into the codec's generic shapes
+// (typed slices to []any, structs to Struct, and so on) without encoding
+// it. Generated stubs use it so typed arguments of any marshalable shape
+// can travel through the dynamic invocation path; Assign is its inverse.
+func Lower(v any) (any, error) {
+	return lower(reflect.ValueOf(v), 0)
+}
+
+var (
+	refType   = reflect.TypeOf(Ref{})
+	timeType  = reflect.TypeOf(time.Time{})
+	bytesType = reflect.TypeOf([]byte(nil))
+)
+
+func lower(rv reflect.Value, depth int) (any, error) {
+	if depth > MaxDepth {
+		return nil, ErrTooDeep
+	}
+	if !rv.IsValid() {
+		return nil, nil
+	}
+	t := rv.Type()
+	switch t {
+	case refType:
+		return rv.Interface(), nil
+	case timeType:
+		return rv.Interface(), nil
+	case bytesType:
+		return rv.Interface(), nil
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		return rv.Bool(), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return rv.Int(), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return rv.Uint(), nil
+	case reflect.Float32, reflect.Float64:
+		return rv.Float(), nil
+	case reflect.String:
+		return rv.String(), nil
+	case reflect.Interface:
+		if rv.IsNil() {
+			return nil, nil
+		}
+		return lower(rv.Elem(), depth)
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return nil, nil
+		}
+		return lower(rv.Elem(), depth)
+	case reflect.Slice:
+		if rv.IsNil() {
+			return nil, nil
+		}
+		if t.Elem().Kind() == reflect.Uint8 {
+			return rv.Bytes(), nil
+		}
+		return lowerSeq(rv, depth)
+	case reflect.Array:
+		return lowerSeq(rv, depth)
+	case reflect.Map:
+		if t.Key().Kind() != reflect.String {
+			return nil, fmt.Errorf("%w: map key %s (want string)", ErrUnsupported, t.Key())
+		}
+		if rv.IsNil() {
+			return nil, nil
+		}
+		out := make(map[string]any, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			v, err := lower(iter.Value(), depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[iter.Key().String()] = v
+		}
+		return out, nil
+	case reflect.Struct:
+		s := Struct{Name: t.Name()}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() || f.Tag.Get("codec") == "-" {
+				continue
+			}
+			v, err := lower(rv.Field(i), depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
+			}
+			s.Fields = append(s.Fields, Field{Name: f.Name, Value: v})
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrUnsupported, t)
+	}
+}
+
+// Unmarshal decodes src into out, which must be a non-nil pointer. It is
+// the inverse of Marshal for the supported shapes, with lenient numeric
+// conversion (any decoded integer kind assigns to any integer field that
+// can represent it).
+func Unmarshal(src []byte, out any) error {
+	return (&Decoder{}).Unmarshal(src, out)
+}
+
+// Unmarshal decodes src into out using the decoder's hooks.
+func (d *Decoder) Unmarshal(src []byte, out any) error {
+	v, n, err := d.Decode(src)
+	if err != nil {
+		return err
+	}
+	if n != len(src) {
+		return fmt.Errorf("codec: %d trailing bytes", len(src)-n)
+	}
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("codec: Unmarshal target must be a non-nil pointer, got %T", out)
+	}
+	return assign(rv.Elem(), v)
+}
+
+// Assign stores a decoded generic value into the typed destination dst,
+// which must be an addressable reflect-able location exposed as a pointer.
+func Assign(decoded any, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("codec: Assign target must be a non-nil pointer, got %T", out)
+	}
+	return assign(rv.Elem(), decoded)
+}
+
+func assign(dst reflect.Value, v any) error {
+	if !dst.CanSet() {
+		return fmt.Errorf("codec: cannot set %s", dst.Type())
+	}
+	if v == nil {
+		dst.SetZero()
+		return nil
+	}
+	t := dst.Type()
+	// Exact interface satisfaction first: any destination accepts the raw
+	// decoded value.
+	if t.Kind() == reflect.Interface && reflect.TypeOf(v).AssignableTo(t) {
+		dst.Set(reflect.ValueOf(v))
+		return nil
+	}
+	switch x := v.(type) {
+	case bool:
+		if t.Kind() != reflect.Bool {
+			return convErr(t, v)
+		}
+		dst.SetBool(x)
+		return nil
+	case int64:
+		return assignInt(dst, x)
+	case uint64:
+		if x <= 1<<63-1 {
+			return assignInt(dst, int64(x))
+		}
+		if isUintKind(t.Kind()) && !dst.OverflowUint(x) {
+			dst.SetUint(x)
+			return nil
+		}
+		return convErr(t, v)
+	case float64:
+		if t.Kind() != reflect.Float32 && t.Kind() != reflect.Float64 {
+			return convErr(t, v)
+		}
+		dst.SetFloat(x)
+		return nil
+	case string:
+		if t.Kind() != reflect.String {
+			return convErr(t, v)
+		}
+		dst.SetString(x)
+		return nil
+	case []byte:
+		if t == bytesType {
+			dst.SetBytes(x)
+			return nil
+		}
+		return convErr(t, v)
+	case time.Time:
+		if t == timeType {
+			dst.Set(reflect.ValueOf(x))
+			return nil
+		}
+		return convErr(t, v)
+	case Ref:
+		if t == refType {
+			dst.Set(reflect.ValueOf(x))
+			return nil
+		}
+		return convErr(t, v)
+	case []any:
+		return assignList(dst, x)
+	case map[string]any:
+		return assignMap(dst, x)
+	case *Struct:
+		return assignStruct(dst, x)
+	default:
+		return convErr(t, v)
+	}
+}
+
+func lowerSeq(rv reflect.Value, depth int) (any, error) {
+	out := make([]any, rv.Len())
+	for i := range out {
+		v, err := lower(rv.Index(i), depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("elem %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func isUintKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return true
+	default:
+		return false
+	}
+}
+
+func assignInt(dst reflect.Value, x int64) error {
+	switch dst.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if dst.OverflowInt(x) {
+			return fmt.Errorf("codec: %d overflows %s", x, dst.Type())
+		}
+		dst.SetInt(x)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if x < 0 || dst.OverflowUint(uint64(x)) {
+			return fmt.Errorf("codec: %d overflows %s", x, dst.Type())
+		}
+		dst.SetUint(uint64(x))
+		return nil
+	case reflect.Float32, reflect.Float64:
+		dst.SetFloat(float64(x))
+		return nil
+	default:
+		return convErr(dst.Type(), x)
+	}
+}
+
+func assignList(dst reflect.Value, xs []any) error {
+	switch dst.Kind() {
+	case reflect.Slice:
+		out := reflect.MakeSlice(dst.Type(), len(xs), len(xs))
+		for i, e := range xs {
+			if err := assign(out.Index(i), e); err != nil {
+				return fmt.Errorf("elem %d: %w", i, err)
+			}
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Array:
+		if dst.Len() != len(xs) {
+			return fmt.Errorf("codec: list of %d into array of %d", len(xs), dst.Len())
+		}
+		for i, e := range xs {
+			if err := assign(dst.Index(i), e); err != nil {
+				return fmt.Errorf("elem %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		return convErr(dst.Type(), xs)
+	}
+}
+
+func assignMap(dst reflect.Value, m map[string]any) error {
+	if dst.Kind() != reflect.Map || dst.Type().Key().Kind() != reflect.String {
+		return convErr(dst.Type(), m)
+	}
+	out := reflect.MakeMapWithSize(dst.Type(), len(m))
+	elemT := dst.Type().Elem()
+	for k, v := range m {
+		ev := reflect.New(elemT).Elem()
+		if err := assign(ev, v); err != nil {
+			return fmt.Errorf("key %q: %w", k, err)
+		}
+		out.SetMapIndex(reflect.ValueOf(k).Convert(dst.Type().Key()), ev)
+	}
+	dst.Set(out)
+	return nil
+}
+
+func assignStruct(dst reflect.Value, s *Struct) error {
+	if dst.Kind() == reflect.Pointer {
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return assignStruct(dst.Elem(), s)
+	}
+	if dst.Kind() != reflect.Struct {
+		return convErr(dst.Type(), s)
+	}
+	t := dst.Type()
+	for _, f := range s.Fields {
+		sf, ok := t.FieldByName(f.Name)
+		if !ok || !sf.IsExported() {
+			continue // unknown fields are skipped for forward compatibility
+		}
+		if err := assign(dst.FieldByIndex(sf.Index), f.Value); err != nil {
+			return fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
+		}
+	}
+	return nil
+}
+
+func convErr(t reflect.Type, v any) error {
+	return fmt.Errorf("codec: cannot assign %T to %s", v, t)
+}

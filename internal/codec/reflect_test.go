@@ -1,0 +1,248 @@
+package codec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type mailbox struct {
+	Owner    string
+	Messages []message
+	Tags     map[string]int64
+	Created  time.Time
+	Backing  Ref
+	Size     uint32
+	secret   string `codec:"-"` // unexported: never marshalled
+	Skipped  string `codec:"-"`
+}
+
+type message struct {
+	From string
+	Body []byte
+	Read bool
+}
+
+func TestMarshalUnmarshalStruct(t *testing.T) {
+	in := mailbox{
+		Owner: "alice",
+		Messages: []message{
+			{From: "bob", Body: []byte("hi"), Read: true},
+			{From: "carol", Body: []byte("yo")},
+		},
+		Tags:    map[string]int64{"inbox": 2},
+		Created: time.Unix(1000, 42).UTC(),
+		Backing: Ref{Target: wire.ObjAddr{Addr: wire.Addr{Node: 1, Context: 2}, Object: 3}, Type: "Store"},
+		Size:    4096,
+		secret:  "hidden",
+		Skipped: "also hidden",
+	}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out mailbox
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Owner != in.Owner || out.Size != in.Size || !out.Created.Equal(in.Created) {
+		t.Errorf("scalars: got %+v", out)
+	}
+	if out.Backing.Target != in.Backing.Target || out.Backing.Type != in.Backing.Type {
+		t.Errorf("ref: got %+v, want %+v", out.Backing, in.Backing)
+	}
+	if len(out.Messages) != 2 || out.Messages[0].From != "bob" ||
+		!bytes.Equal(out.Messages[1].Body, []byte("yo")) || !out.Messages[0].Read {
+		t.Errorf("messages: got %+v", out.Messages)
+	}
+	if out.Tags["inbox"] != 2 {
+		t.Errorf("tags: got %+v", out.Tags)
+	}
+	if out.secret != "" || out.Skipped != "" {
+		t.Errorf("skipped fields leaked: %q %q", out.secret, out.Skipped)
+	}
+}
+
+func TestMarshalPointerAndNil(t *testing.T) {
+	type holder struct {
+		P *message
+		Q *message
+	}
+	in := holder{P: &message{From: "x"}}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out holder
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.P == nil || out.P.From != "x" {
+		t.Errorf("P = %+v", out.P)
+	}
+	if out.Q != nil {
+		t.Errorf("Q = %+v, want nil", out.Q)
+	}
+}
+
+func TestMarshalArray(t *testing.T) {
+	type fixed struct{ V [3]int32 }
+	in := fixed{V: [3]int32{7, 8, 9}}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out fixed
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.V != in.V {
+		t.Errorf("got %v, want %v", out.V, in.V)
+	}
+}
+
+func TestUnmarshalUnknownFieldSkipped(t *testing.T) {
+	// Encode a struct with an extra field; decoding into a narrower struct
+	// must succeed (forward compatibility).
+	s := Struct{Name: "message", Fields: []Field{
+		{Name: "From", Value: "bob"},
+		{Name: "Extra", Value: int64(99)},
+	}}
+	buf := mustAppend(t, s)
+	var out message
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.From != "bob" {
+		t.Errorf("From = %q", out.From)
+	}
+}
+
+func TestUnmarshalNumericWidths(t *testing.T) {
+	type wide struct{ V int64 }
+	type narrow struct{ V int8 }
+	buf, err := Marshal(wide{V: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n narrow
+	if err := Unmarshal(buf, &n); err == nil {
+		t.Error("Unmarshal(300 into int8) succeeded, want overflow error")
+	}
+	buf, err = Marshal(wide{V: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unmarshal(buf, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n.V != 100 {
+		t.Errorf("V = %d", n.V)
+	}
+}
+
+func TestUnmarshalIntoFloat(t *testing.T) {
+	type f struct{ V float64 }
+	s := Struct{Name: "f", Fields: []Field{{Name: "V", Value: int64(5)}}}
+	buf := mustAppend(t, s)
+	var out f
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.V != 5.0 {
+		t.Errorf("V = %v", out.V)
+	}
+}
+
+func TestUnmarshalTargetErrors(t *testing.T) {
+	buf := mustAppend(t, int64(5))
+	if err := Unmarshal(buf, nil); err == nil {
+		t.Error("Unmarshal(nil) succeeded")
+	}
+	var v int64
+	if err := Unmarshal(buf, v); err == nil {
+		t.Error("Unmarshal(non-pointer) succeeded")
+	}
+	var s string
+	if err := Unmarshal(buf, &s); err == nil {
+		t.Error("Unmarshal(int into string) succeeded")
+	}
+}
+
+func TestAssignIntoInterface(t *testing.T) {
+	buf := mustAppend(t, "hello")
+	var out any
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestMarshalUnsupportedMapKey(t *testing.T) {
+	type bad struct{ M map[int]string }
+	if _, err := Marshal(bad{M: map[int]string{1: "x"}}); err == nil {
+		t.Error("Marshal(int-keyed map) succeeded")
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	type sample struct {
+		A int64
+		B string
+		C []uint16
+		D bool
+		E float64
+	}
+	gen := func(a int64, b string, c []uint16, d bool, e float64) bool {
+		in := sample{A: a, B: b, C: c, D: d, E: e}
+		buf, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out sample
+		if err := Unmarshal(buf, &out); err != nil {
+			return false
+		}
+		if in.C == nil {
+			// nil slices decode as nil
+			return out.A == in.A && out.B == in.B && out.C == nil && out.D == in.D && out.E == in.E
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshalStruct(b *testing.B) {
+	in := mailbox{
+		Owner:    "alice",
+		Messages: []message{{From: "bob", Body: bytes.Repeat([]byte{1}, 128)}},
+		Tags:     map[string]int64{"a": 1, "b": 2},
+		Size:     10,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalStruct(b *testing.B) {
+	in := mailbox{Owner: "alice", Tags: map[string]int64{"a": 1}, Size: 10}
+	buf, _ := Marshal(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out mailbox
+		if err := Unmarshal(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/wire"
+)
+
+// KindBatch is the frame kind carrying a batched invocation vector: the
+// payload is a codec list of encoded requests, executed in order by the
+// receiving server object.
+const KindBatch = wire.KindCustom + 4
+
+// ErrNotBatchable reports a Call through a batching proxy for a method the
+// factory did not declare one-way.
+var ErrNotBatchable = errors.New("core: method is not one-way")
+
+// BatchOption configures a BatchFactory.
+type BatchOption func(*BatchFactory)
+
+// WithBatchSize flushes automatically after n queued invocations
+// (default 16).
+func WithBatchSize(n int) BatchOption {
+	return func(f *BatchFactory) {
+		if n > 0 {
+			f.maxBatch = n
+		}
+	}
+}
+
+// WithBatchInterval flushes at least this often while invocations are
+// queued (default 10 ms; zero disables the timer — explicit Flush or the
+// size trigger only).
+func WithBatchInterval(d time.Duration) BatchOption {
+	return func(f *BatchFactory) { f.interval = d }
+}
+
+// BatchFactory builds batching proxies: invocations of the declared
+// one-way methods are queued locally and shipped as a single frame,
+// amortizing the wire cost across the batch; all other methods flush the
+// queue (preserving program order) and then behave like a stub. The
+// classic use is a log or metrics object whose append cost must not be a
+// round trip. Implements ProxyFactory; no Exporter side is needed —
+// batches ride a custom kind the standard server object understands.
+type BatchFactory struct {
+	oneWay   map[string]bool
+	maxBatch int
+	interval time.Duration
+}
+
+// NewBatchFactory declares which methods may be batched (their results
+// are discarded; errors surface only as a failed flush).
+func NewBatchFactory(oneWayMethods []string, opts ...BatchOption) *BatchFactory {
+	f := &BatchFactory{
+		oneWay:   make(map[string]bool, len(oneWayMethods)),
+		maxBatch: 16,
+		interval: 10 * time.Millisecond,
+	}
+	for _, m := range oneWayMethods {
+		f.oneWay[m] = true
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// New implements ProxyFactory.
+func (f *BatchFactory) New(rt *Runtime, ref codec.Ref) (Proxy, error) {
+	return &BatchProxy{
+		rt:       rt,
+		stub:     NewStub(rt, ref),
+		oneWay:   f.oneWay,
+		maxBatch: f.maxBatch,
+		interval: f.interval,
+	}, nil
+}
+
+// BatchProxy queues one-way invocations and flushes them in one frame.
+type BatchProxy struct {
+	rt       *Runtime
+	stub     *Stub
+	oneWay   map[string]bool
+	maxBatch int
+	interval time.Duration
+
+	mu      sync.Mutex
+	queue   [][]byte
+	timer   *time.Timer
+	closed  bool
+	flushes uint64
+	queued  uint64
+}
+
+// Invoke implements Proxy. One-way methods return immediately with nil
+// results; everything else flushes then forwards synchronously.
+func (p *BatchProxy) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	if !p.oneWay[method] {
+		if err := p.Flush(ctx); err != nil {
+			return nil, err
+		}
+		return p.stub.Invoke(ctx, method, args...)
+	}
+	lowered, err := p.rt.LowerArgs(args)
+	if err != nil {
+		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
+	}
+	encoded, err := EncodeRequest(p.stub.Ref().Cap, method, lowered)
+	if err != nil {
+		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrProxyClosed
+	}
+	p.queue = append(p.queue, encoded)
+	p.queued++
+	full := len(p.queue) >= p.maxBatch
+	if !full && p.timer == nil && p.interval > 0 {
+		p.timer = time.AfterFunc(p.interval, func() {
+			// Background flush: best effort, bounded by the interval.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = p.Flush(ctx)
+		})
+	}
+	p.mu.Unlock()
+
+	if full {
+		return nil, p.Flush(ctx)
+	}
+	return nil, nil
+}
+
+// Flush ships every queued invocation in one frame and waits for the
+// server to acknowledge executing them all.
+func (p *BatchProxy) Flush(ctx context.Context) error {
+	p.mu.Lock()
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	batch := p.queue
+	p.queue = nil
+	if len(batch) > 0 {
+		p.flushes++
+	}
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+
+	vec := make([]any, len(batch))
+	for i, b := range batch {
+		vec[i] = b
+	}
+	payload, err := codec.Append(nil, vec)
+	if err != nil {
+		return &InvokeError{Code: CodeInternal, Msg: err.Error()}
+	}
+	if _, err := p.rt.Client().Call(ctx, p.stub.Ref().Target, KindBatch, payload); err != nil {
+		return RemoteToInvokeError("batch", err)
+	}
+	return nil
+}
+
+// Pending reports queued-but-unflushed invocations (tests/metrics).
+func (p *BatchProxy) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Stats reports (invocations queued, flush frames sent).
+func (p *BatchProxy) Stats() (queued, flushes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued, p.flushes
+}
+
+// Ref implements Proxy.
+func (p *BatchProxy) Ref() codec.Ref { return p.stub.Ref() }
+
+// Close flushes what remains and shuts the proxy down.
+func (p *BatchProxy) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := p.Flush(ctx)
+	p.mu.Lock()
+	p.closed = true
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	p.mu.Unlock()
+	if cerr := p.stub.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// handleBatch executes one batch frame against a service: each element of
+// the payload vector is a standard encoded request, applied in order.
+// serverObject routes KindBatch frames here.
+func (so *serverObject) handleBatch(payload []byte) ([]byte, error) {
+	vec, err := codec.DecodeArgs(payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode batch: %w", err)
+	}
+	svc := so.service()
+	for i, e := range vec {
+		raw, ok := e.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: batch element %d is %T", i, e)
+		}
+		cap, method, args, err := DecodeRequest(so.rt.decoder(), raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
+		}
+		if so.cap != 0 && cap != so.cap {
+			return nil, &InvokeError{Code: CodeDenied, Method: method, Msg: "capability required"}
+		}
+		// One-way semantics: results are discarded; an error aborts the
+		// rest of the batch and surfaces to the flusher.
+		if _, err := svc.Invoke(context.Background(), method, args); err != nil {
+			return nil, fmt.Errorf("core: batch element %d (%s): %w", i, method, err)
+		}
+	}
+	return nil, nil
+}

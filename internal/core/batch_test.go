@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logService records appended lines; append is one-way batchable, read is
+// synchronous.
+type logService struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (s *logService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "append":
+		line, _ := args[0].(string)
+		if line == "poison" {
+			return nil, Errorf(CodeApp, method, "poisoned line")
+		}
+		s.lines = append(s.lines, line)
+		return nil, nil
+	case "count":
+		return []any{int64(len(s.lines))}, nil
+	case "all":
+		out := make([]any, len(s.lines))
+		for i, l := range s.lines {
+			out[i] = l
+		}
+		return []any{out}, nil
+	default:
+		return nil, NoSuchMethod(method)
+	}
+}
+
+func (s *logService) snapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.lines...)
+}
+
+func batchWorld(t *testing.T, opts ...BatchOption) (*logService, *BatchProxy) {
+	t.Helper()
+	w := newWorld(t, 2)
+	factory := NewBatchFactory([]string{"append"}, opts...)
+	w.runtimes[1].RegisterProxyType("Log", factory)
+	svc := &logService{}
+	ref, err := w.runtimes[0].Export(svc, "Log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.runtimes[1].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ok := p.(*BatchProxy)
+	if !ok {
+		t.Fatalf("import produced %T", p)
+	}
+	return svc, bp
+}
+
+func TestBatchQueuesUntilSize(t *testing.T) {
+	svc, p := batchWorld(t, WithBatchSize(4), WithBatchInterval(0))
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Invoke(ctx, "append", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(svc.snapshot()); got != 0 {
+		t.Fatalf("server saw %d lines before the batch filled", got)
+	}
+	if p.Pending() != 3 {
+		t.Fatalf("pending = %d", p.Pending())
+	}
+	// Fourth append fills the batch and flushes synchronously.
+	if _, err := p.Invoke(ctx, "append", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.snapshot()); got != 4 {
+		t.Errorf("server saw %d lines after flush, want 4", got)
+	}
+	if queued, flushes := p.Stats(); queued != 4 || flushes != 1 {
+		t.Errorf("stats = %d queued, %d flushes", queued, flushes)
+	}
+}
+
+func TestBatchPreservesOrder(t *testing.T) {
+	svc, p := batchWorld(t, WithBatchSize(100), WithBatchInterval(0))
+	ctx := context.Background()
+	want := []string{"a", "b", "c", "d", "e"}
+	for _, l := range want {
+		if _, err := p.Invoke(ctx, "append", l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := svc.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("lines = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestSyncMethodFlushesFirst(t *testing.T) {
+	// A synchronous method must observe every queued one-way before it —
+	// program order is preserved across the batch boundary.
+	_, p := batchWorld(t, WithBatchSize(100), WithBatchInterval(0))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Invoke(ctx, "append", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Invoke(ctx, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(5) {
+		t.Errorf("count = %v, want 5 (flush-before-sync violated)", res[0])
+	}
+	if p.Pending() != 0 {
+		t.Errorf("pending after sync = %d", p.Pending())
+	}
+}
+
+func TestBatchIntervalFlushes(t *testing.T) {
+	svc, p := batchWorld(t, WithBatchSize(1000), WithBatchInterval(20*time.Millisecond))
+	if _, err := p.Invoke(context.Background(), "append", "timed"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(svc.snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never happened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBatchErrorSurfacesOnFlush(t *testing.T) {
+	svc, p := batchWorld(t, WithBatchSize(100), WithBatchInterval(0))
+	ctx := context.Background()
+	for _, l := range []string{"ok", "poison", "after"} {
+		if _, err := p.Invoke(ctx, "append", l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := p.Flush(ctx)
+	var ie *InvokeError
+	if !errors.As(err, &ie) {
+		t.Fatalf("flush error = %v", err)
+	}
+	// The batch aborts at the poisoned element.
+	got := svc.snapshot()
+	if len(got) != 1 || got[0] != "ok" {
+		t.Errorf("server lines = %v", got)
+	}
+}
+
+func TestBatchCloseFlushes(t *testing.T) {
+	svc, p := batchWorld(t, WithBatchSize(100), WithBatchInterval(0))
+	ctx := context.Background()
+	if _, err := p.Invoke(ctx, "append", "last words"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.snapshot(); len(got) != 1 {
+		t.Errorf("lines after close = %v", got)
+	}
+	if _, err := p.Invoke(ctx, "append", "too late"); !errors.Is(err, ErrProxyClosed) {
+		t.Errorf("invoke after close = %v", err)
+	}
+}
+
+func TestBatchAmortizesFrames(t *testing.T) {
+	// The point of the design: n one-ways cost ~n/batchSize frames.
+	w := newWorld(t, 2)
+	factory := NewBatchFactory([]string{"append"}, WithBatchSize(10), WithBatchInterval(0))
+	w.runtimes[1].RegisterProxyType("Log", factory)
+	svc := &logService{}
+	ref, err := w.runtimes[0].Export(svc, "Log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.runtimes[1].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.net.Snapshot().Sent
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := p.Invoke(ctx, "append", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.(*BatchProxy).Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	frames := w.net.Snapshot().Sent - before
+	// 10 batches → 10 request + 10 reply frames (plus nothing else).
+	if frames > 25 {
+		t.Errorf("100 one-ways used %d frames; batching is not amortizing", frames)
+	}
+	if got := len(svc.snapshot()); got != 100 {
+		t.Errorf("server saw %d lines", got)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+)
+
+// bypassProxy is installed when an imported reference turns out to target
+// an object in the importing context itself: the invocation degenerates to
+// a direct call — no marshalling, no kernel, no network. This is the
+// cheapest rung of the invocation-cost ladder (experiment E1) and the
+// reason passing references around a distributed system never penalises
+// the co-located case.
+//
+// Location transparency survives migration: each invocation re-checks
+// that the object is still exported here; once it has moved away, the
+// bypass falls back to a stub, whose first call follows the forwarding
+// tombstone and rebinds.
+type bypassProxy struct {
+	rt     *Runtime
+	ref    codec.Ref
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	fallback *Stub
+}
+
+func newBypassProxy(rt *Runtime, ref codec.Ref) Proxy {
+	return &bypassProxy{rt: rt, ref: ref}
+}
+
+// Invoke implements Proxy by calling the service directly while it remains
+// co-located, degrading to a forwarding stub after it migrates away.
+func (p *bypassProxy) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	if p.closed.Load() {
+		return nil, ErrProxyClosed
+	}
+	p.mu.Lock()
+	fallback := p.fallback
+	p.mu.Unlock()
+	if fallback != nil {
+		return fallback.Invoke(ctx, method, args...)
+	}
+	if svc, ok := p.rt.dispatchService(p.ref); ok {
+		// The caller address matters to coordination wrappers (a cache
+		// coordinator skips invalidating the writer's own context).
+		return svc.Invoke(WithCaller(ctx, p.rt.Addr()), method, args)
+	}
+	// The object left this context (migration or unexport); a stub's
+	// forward-following logic takes over from here.
+	p.mu.Lock()
+	if p.fallback == nil {
+		p.fallback = NewStub(p.rt, p.ref)
+	}
+	fallback = p.fallback
+	p.mu.Unlock()
+	return fallback.Invoke(ctx, method, args...)
+}
+
+// Ref implements Proxy; after a migration it reports the rebound location.
+func (p *bypassProxy) Ref() codec.Ref {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fallback != nil {
+		return p.fallback.Ref()
+	}
+	return p.ref
+}
+
+// Close implements Proxy.
+func (p *bypassProxy) Close() error {
+	p.closed.Store(true)
+	p.mu.Lock()
+	fallback := p.fallback
+	p.mu.Unlock()
+	if fallback != nil {
+		return fallback.Close()
+	}
+	return nil
+}

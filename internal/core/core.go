@@ -1,0 +1,182 @@
+// Package core implements the paper's primary contribution: the proxy
+// principle. A client never holds a raw remote reference — every service is
+// reached through a local proxy installed in the client's context, and the
+// proxy implementation is chosen by the *service* (via its registered
+// ProxyFactory), so the protocol between a proxy and its server is private
+// to the service. References that cross a context boundary in invocation
+// arguments or results are transparently converted: outbound, a proxy or
+// exportable service becomes a capability tuple (codec.Ref); inbound, a Ref
+// becomes a freshly installed proxy.
+//
+// Proxy kinds provided by this repository:
+//
+//   - stub (this package): pure forwarding over reliable RPC — the minimal
+//     proxy, equivalent to classic stub code;
+//   - bypass (this package): direct call on a co-located object, no
+//     marshalling at all;
+//   - batching (this package): queues one-way invocations and flushes them
+//     in a single frame;
+//   - caching (internal/cache): serves reads from a coherent local copy;
+//   - replicated (internal/replica): reads any replica, writes through the
+//     primary;
+//   - migratory (internal/migrate): moves the object toward its caller.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/wire"
+)
+
+// Service is an object implementation hosted in some context. Invocation
+// is dynamic — method name plus decoded arguments — which is what lets one
+// generic proxy layer serve every service type without generated code.
+// Implementations must be safe for concurrent invocations.
+type Service interface {
+	Invoke(ctx context.Context, method string, args []any) ([]any, error)
+}
+
+// ServiceFunc adapts a function to Service.
+type ServiceFunc func(ctx context.Context, method string, args []any) ([]any, error)
+
+// Invoke implements Service.
+func (fn ServiceFunc) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	return fn(ctx, method, args)
+}
+
+// Proxy is the client-side representative of a service: the only way a
+// client interacts with anything outside its own context. Close releases
+// proxy-local resources (caches, leases); the remote object is unaffected.
+type Proxy interface {
+	Invoke(ctx context.Context, method string, args ...any) ([]any, error)
+	Ref() codec.Ref
+	Close() error
+}
+
+// ProxyFactory creates the client-side proxy for a service type. The
+// factory is registered by the service (under its type name), which is how
+// the service — not the client — chooses its distribution strategy.
+type ProxyFactory interface {
+	New(rt *Runtime, ref codec.Ref) (Proxy, error)
+}
+
+// Exporter is implemented by proxy factories that participate in the
+// server side of an export: wrapping the service with coordination logic
+// (e.g. a cache coordinator that tracks copies) and producing the private
+// Hint blob embedded in every exported reference. The partially-built
+// reference passed in carries the export's target address and capability
+// token (its Hint is filled from this call's return). Factories that
+// don't implement Exporter export with a nil hint and the unwrapped
+// service.
+type Exporter interface {
+	Export(rt *Runtime, svc Service, ref codec.Ref) (wrapped Service, hint []byte, err error)
+}
+
+// Exportable is implemented by services that may be passed by reference in
+// invocation arguments or results without having been exported explicitly:
+// the runtime auto-exports them under the returned proxy type name.
+type Exportable interface {
+	Service
+	ProxyType() string
+}
+
+// Errors returned by the core layer.
+var (
+	// ErrNoFactory reports an import whose type has no registered factory
+	// and for which the runtime has no default factory.
+	ErrNoFactory = errors.New("core: no proxy factory for type")
+	// ErrNotExported reports an operation on a service that is not
+	// exported from this runtime.
+	ErrNotExported = errors.New("core: service not exported")
+	// ErrProxyClosed reports an invocation through a closed proxy.
+	ErrProxyClosed = errors.New("core: proxy closed")
+)
+
+// InvokeError is an application-level invocation failure, propagated from
+// the service to the caller with a stable code.
+type InvokeError struct {
+	Code   Code
+	Method string
+	Msg    string
+}
+
+// Code classifies invocation failures.
+type Code int64
+
+// Invocation failure codes.
+const (
+	// CodeApp is an error returned by the service implementation itself.
+	CodeApp Code = 1
+	// CodeNoSuchMethod reports an unknown method name.
+	CodeNoSuchMethod Code = 2
+	// CodeBadArgs reports arguments the method could not accept.
+	CodeBadArgs Code = 3
+	// CodeInternal reports a marshalling or dispatch failure in the layer
+	// itself.
+	CodeInternal Code = 4
+	// CodeUnavailable reports that the target object is (possibly
+	// temporarily) unreachable, e.g. mid-migration.
+	CodeUnavailable Code = 5
+	// CodeDenied reports an invocation that did not present the protected
+	// export's capability token.
+	CodeDenied Code = 6
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeApp:
+		return "app"
+	case CodeNoSuchMethod:
+		return "no-such-method"
+	case CodeBadArgs:
+		return "bad-args"
+	case CodeInternal:
+		return "internal"
+	case CodeUnavailable:
+		return "unavailable"
+	case CodeDenied:
+		return "denied"
+	default:
+		return fmt.Sprintf("code(%d)", int64(c))
+	}
+}
+
+// Error implements error.
+func (e *InvokeError) Error() string {
+	return fmt.Sprintf("core: %s invoking %q: %s", e.Code, e.Method, e.Msg)
+}
+
+// Errorf builds an application-level InvokeError.
+func Errorf(code Code, method, format string, args ...any) *InvokeError {
+	return &InvokeError{Code: code, Method: method, Msg: fmt.Sprintf(format, args...)}
+}
+
+// NoSuchMethod is the conventional error for unknown methods, used by
+// service implementations.
+func NoSuchMethod(method string) *InvokeError {
+	return &InvokeError{Code: CodeNoSuchMethod, Method: method, Msg: "unknown method"}
+}
+
+// BadArgs is the conventional error for malformed arguments.
+func BadArgs(method, detail string) *InvokeError {
+	return &InvokeError{Code: CodeBadArgs, Method: method, Msg: detail}
+}
+
+type callerKey struct{}
+
+// WithCaller annotates ctx with the invoking context's address; the server
+// dispatch path applies it before calling the service.
+func WithCaller(ctx context.Context, from wire.Addr) context.Context {
+	return context.WithValue(ctx, callerKey{}, from)
+}
+
+// CallerFrom reports the address of the context that issued the current
+// invocation, when called from inside a Service.Invoke.
+func CallerFrom(ctx context.Context) (wire.Addr, bool) {
+	a, ok := ctx.Value(callerKey{}).(wire.Addr)
+	return a, ok
+}

@@ -1,0 +1,772 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// world is a test fixture: n runtimes, each in its own context on its own
+// node, joined by a simulated network.
+type world struct {
+	net      *netsim.Network
+	runtimes []*Runtime
+}
+
+func newWorld(t *testing.T, n int, opts ...netsim.Option) *world {
+	t.Helper()
+	w := &world{net: netsim.New(opts...)}
+	for i := 0; i < n; i++ {
+		ep, err := w.net.Attach(wire.NodeID(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.runtimes = append(w.runtimes, NewRuntime(ktx))
+	}
+	t.Cleanup(w.net.Close)
+	return w
+}
+
+// counter is the canonical test service.
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch method {
+	case "get":
+		return []any{c.n}, nil
+	case "add":
+		if len(args) != 1 {
+			return nil, BadArgs(method, "want 1 arg")
+		}
+		d, ok := args[0].(int64)
+		if !ok {
+			return nil, BadArgs(method, fmt.Sprintf("want int64, got %T", args[0]))
+		}
+		c.n += d
+		return []any{c.n}, nil
+	case "fail":
+		return nil, errors.New("deliberate failure")
+	default:
+		return nil, NoSuchMethod(method)
+	}
+}
+
+func TestExportImportInvoke(t *testing.T) {
+	w := newWorld(t, 2)
+	server, client := w.runtimes[0], w.runtimes[1]
+
+	ref, err := server.Export(&counter{}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Type != "Counter" || ref.Target.Addr != server.Addr() {
+		t.Fatalf("ref = %+v", ref)
+	}
+
+	p, err := client.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := p.Invoke(ctx, "add", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Invoke(ctx, "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != int64(5) {
+		t.Errorf("get = %v", res)
+	}
+}
+
+func TestExportIdempotent(t *testing.T) {
+	w := newWorld(t, 1)
+	svc := &counter{}
+	r1, err := w.runtimes[0].Export(svc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.runtimes[0].Export(svc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Target != r2.Target {
+		t.Errorf("double export gave %v and %v", r1.Target, r2.Target)
+	}
+}
+
+func TestImportOwnRefIsBypass(t *testing.T) {
+	w := newWorld(t, 1)
+	rt := w.runtimes[0]
+	svc := &counter{}
+	ref, err := rt.Export(svc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*bypassProxy); !ok {
+		t.Fatalf("import of local ref gave %T, want bypass", p)
+	}
+	if _, err := p.Invoke(context.Background(), "add", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if svc.n != 3 {
+		t.Errorf("bypass did not reach the object: n = %d", svc.n)
+	}
+}
+
+func TestImportCached(t *testing.T) {
+	w := newWorld(t, 2)
+	ref, err := w.runtimes[0].Export(&counter{}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := w.runtimes[1].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w.runtimes[1].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("two imports of one ref produced distinct proxies")
+	}
+	if w.runtimes[1].ProxyCount() != 1 {
+		t.Errorf("ProxyCount = %d", w.runtimes[1].ProxyCount())
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.runtimes[1].ProxyCount() != 0 {
+		t.Errorf("ProxyCount after Close = %d", w.runtimes[1].ProxyCount())
+	}
+}
+
+func TestInvokeErrorPropagation(t *testing.T) {
+	w := newWorld(t, 2)
+	ref, _ := w.runtimes[0].Export(&counter{}, "Counter")
+	p, _ := w.runtimes[1].Import(ref)
+	ctx := context.Background()
+
+	_, err := p.Invoke(ctx, "nope")
+	var ie *InvokeError
+	if !errors.As(err, &ie) || ie.Code != CodeNoSuchMethod {
+		t.Errorf("unknown method err = %v", err)
+	}
+	_, err = p.Invoke(ctx, "add", "not-a-number")
+	if !errors.As(err, &ie) || ie.Code != CodeBadArgs {
+		t.Errorf("bad args err = %v", err)
+	}
+	_, err = p.Invoke(ctx, "fail")
+	if !errors.As(err, &ie) || ie.Code != CodeApp || ie.Msg != "deliberate failure" {
+		t.Errorf("app err = %v", err)
+	}
+}
+
+func TestUnexport(t *testing.T) {
+	w := newWorld(t, 2)
+	svc := &counter{}
+	ref, _ := w.runtimes[0].Export(svc, "Counter")
+	p, _ := w.runtimes[1].Import(ref)
+	if err := w.runtimes[0].Unexport(svc); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Invoke(context.Background(), "get")
+	var ie *InvokeError
+	if !errors.As(err, &ie) {
+		t.Fatalf("invoke after unexport = %v", err)
+	}
+	if err := w.runtimes[0].Unexport(svc); !errors.Is(err, ErrNotExported) {
+		t.Errorf("second Unexport = %v", err)
+	}
+}
+
+func TestUnexportRefForFuncService(t *testing.T) {
+	w := newWorld(t, 1)
+	rt := w.runtimes[0]
+	svc := ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return []any{"ok"}, nil
+	})
+	ref, err := rt.Export(svc, "Fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Func services are non-comparable: Unexport refuses, UnexportRef works.
+	if err := rt.Unexport(svc); !errors.Is(err, ErrNotExported) {
+		t.Errorf("Unexport(func) = %v", err)
+	}
+	if err := rt.UnexportRef(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.UnexportRef(ref); !errors.Is(err, ErrNotExported) {
+		t.Errorf("second UnexportRef = %v", err)
+	}
+}
+
+// echoRefService hands back whatever proxy it was given, and can invoke it
+// (the paper's Figure 2: references travel in arguments, proxies appear).
+type echoRefService struct {
+	got atomic.Value // Proxy
+}
+
+func (s *echoRefService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	switch method {
+	case "take":
+		p, ok := args[0].(Proxy)
+		if !ok {
+			return nil, BadArgs(method, fmt.Sprintf("want Proxy, got %T", args[0]))
+		}
+		s.got.Store(p)
+		return nil, nil
+	case "callback":
+		p := s.got.Load().(Proxy)
+		return p.Invoke(ctx, "add", int64(10))
+	case "give":
+		p := s.got.Load().(Proxy)
+		return []any{p}, nil
+	default:
+		return nil, NoSuchMethod(method)
+	}
+}
+
+func TestRefInArgsInstallsProxy(t *testing.T) {
+	w := newWorld(t, 3)
+	rtA, rtB, rtC := w.runtimes[0], w.runtimes[1], w.runtimes[2]
+
+	// A exports the ref-echo service; C exports a counter; B hands C's
+	// counter to A, then asks A to invoke it.
+	echo := &echoRefService{}
+	echoRef, err := rtA.Export(echo, "Echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := &counter{}
+	cntRef, err := rtC.Export(cnt, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	echoProxy, err := rtB.Import(echoRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cntProxy, err := rtB.Import(cntRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := echoProxy.Invoke(ctx, "take", cntProxy); err != nil {
+		t.Fatal(err)
+	}
+	// A now holds a proxy for C's counter; invoking through it must hit C.
+	if _, err := echoProxy.Invoke(ctx, "callback"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cnt.n; got != 10 {
+		t.Errorf("counter on C = %d, want 10 (callback through installed proxy)", got)
+	}
+	// And the reference can travel back out in results.
+	res, err := echoProxy.Invoke(ctx, "give")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := res[0].(Proxy)
+	if !ok {
+		t.Fatalf("result = %T, want Proxy", res[0])
+	}
+	if back.Ref().Target != cntRef.Target {
+		t.Errorf("returned ref = %v, want %v", back.Ref().Target, cntRef.Target)
+	}
+}
+
+// room is an Exportable service used to test auto-export in results.
+type room struct {
+	name string
+}
+
+func (r *room) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if method == "name" {
+		return []any{r.name}, nil
+	}
+	return nil, NoSuchMethod(method)
+}
+
+func (r *room) ProxyType() string { return "Room" }
+
+// hotel returns rooms by reference: the rooms are auto-exported.
+type hotel struct {
+	mu    sync.Mutex
+	rooms map[string]*room
+}
+
+func (h *hotel) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch method {
+	case "book":
+		name, _ := args[0].(string)
+		rm, ok := h.rooms[name]
+		if !ok {
+			rm = &room{name: name}
+			h.rooms[name] = rm
+		}
+		return []any{rm}, nil
+	default:
+		return nil, NoSuchMethod(method)
+	}
+}
+
+func TestAutoExportInResults(t *testing.T) {
+	w := newWorld(t, 2)
+	rtA, rtB := w.runtimes[0], w.runtimes[1]
+	h := &hotel{rooms: make(map[string]*room)}
+	href, err := rtA.Export(h, "Hotel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := rtB.Import(href)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := hp.Invoke(ctx, "book", "101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, ok := res[0].(Proxy)
+	if !ok {
+		t.Fatalf("book returned %T, want Proxy", res[0])
+	}
+	if rm.Ref().Type != "Room" {
+		t.Errorf("auto-export type = %q", rm.Ref().Type)
+	}
+	nameRes, err := rm.Invoke(ctx, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nameRes[0] != "101" {
+		t.Errorf("name = %v", nameRes[0])
+	}
+	// Booking the same room again must reference the same export.
+	res2, err := hp.Invoke(ctx, "book", "101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm2 := res2[0].(Proxy)
+	if rm2.Ref().Target != rm.Ref().Target {
+		t.Error("same room exported twice under different targets")
+	}
+}
+
+func TestBareServiceInResultsRejected(t *testing.T) {
+	w := newWorld(t, 2)
+	rtA, rtB := w.runtimes[0], w.runtimes[1]
+	// This service returns a non-Exportable, never-exported service value.
+	bad := ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return []any{&counter{}}, nil
+	})
+	ref, err := rtA.Export(bad, "Bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rtB.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Invoke(context.Background(), "anything")
+	var ie *InvokeError
+	if !errors.As(err, &ie) || ie.Code != CodeInternal {
+		t.Errorf("err = %v, want internal error about unexported service", err)
+	}
+}
+
+func TestNoFactoryWhenDefaultDisabled(t *testing.T) {
+	w := newWorld(t, 2)
+	ref, _ := w.runtimes[0].Export(&counter{}, "Unregistered")
+	rtStrict := NewRuntime(w.runtimes[1].Kernel(), WithDefaultFactory(nil))
+	if _, err := rtStrict.Import(ref); !errors.Is(err, ErrNoFactory) {
+		t.Errorf("Import = %v, want ErrNoFactory", err)
+	}
+}
+
+func TestRegisteredFactoryWins(t *testing.T) {
+	w := newWorld(t, 2)
+	ref, _ := w.runtimes[0].Export(&counter{}, "Counter")
+	var used atomic.Bool
+	w.runtimes[1].RegisterProxyType("Counter", factoryFunc(func(rt *Runtime, r codec.Ref) (Proxy, error) {
+		used.Store(true)
+		return NewStub(rt, r), nil
+	}))
+	if _, err := w.runtimes[1].Import(ref); err != nil {
+		t.Fatal(err)
+	}
+	if !used.Load() {
+		t.Error("registered factory was not used")
+	}
+}
+
+type factoryFunc func(rt *Runtime, ref codec.Ref) (Proxy, error)
+
+func (f factoryFunc) New(rt *Runtime, ref codec.Ref) (Proxy, error) { return f(rt, ref) }
+
+func TestStubFollowsForward(t *testing.T) {
+	w := newWorld(t, 3)
+	rtHome, rtNew, rtClient := w.runtimes[0], w.runtimes[1], w.runtimes[2]
+
+	// The real object lives at rtNew.
+	realRef, err := rtNew.Export(&counter{n: 7}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rtHome hosts a forwarding tombstone at a known object id.
+	fwd := kernel.HandlerFunc(func(ktx *kernel.Context, f *wire.Frame) {
+		_ = ktx.Respond(f, wire.KindForward, ForwardPayload(realRef))
+	})
+	fwdID := rtHome.Kernel().Register(fwd)
+	staleRef := codec.Ref{
+		Target: wire.ObjAddr{Addr: rtHome.Addr(), Object: fwdID},
+		Type:   "Counter",
+	}
+
+	p, err := rtClient.Import(staleRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Invoke(context.Background(), "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(7) {
+		t.Errorf("get through forward = %v", res[0])
+	}
+	if p.Ref().Target != realRef.Target {
+		t.Errorf("stub did not rebind: ref = %v", p.Ref())
+	}
+	stub := p.(*Stub)
+	if _, forwards := stub.Stats(); forwards != 1 {
+		t.Errorf("forwards = %d, want 1", forwards)
+	}
+}
+
+func TestBypassFallsBackAfterUnexport(t *testing.T) {
+	// A bypass proxy must not keep talking to a detached object. Here the
+	// service is unexported and re-exported at a new id; the bypass falls
+	// back to a stub, which (without a tombstone) reports unavailability
+	// rather than silently using the stale copy.
+	w := newWorld(t, 1)
+	rt := w.runtimes[0]
+	svc := &counter{}
+	ref, err := rt.Export(svc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(context.Background(), "add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Unexport(svc); err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Invoke(context.Background(), "add", int64(1))
+	var ie *InvokeError
+	if !errors.As(err, &ie) {
+		t.Fatalf("invoke after unexport = %v, want InvokeError", err)
+	}
+	if svc.n != 1 {
+		t.Errorf("stale object mutated after unexport: n = %d", svc.n)
+	}
+}
+
+func TestClosedProxyRejects(t *testing.T) {
+	w := newWorld(t, 2)
+	ref, _ := w.runtimes[0].Export(&counter{}, "Counter")
+	p, _ := w.runtimes[1].Import(ref)
+	_ = p.Close()
+	if _, err := p.Invoke(context.Background(), "get"); !errors.Is(err, ErrProxyClosed) {
+		t.Errorf("invoke on closed proxy = %v", err)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	w := newWorld(t, 2)
+	ref, _ := w.runtimes[0].Export(&counter{}, "Counter")
+	p, _ := w.runtimes[1].Import(ref)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 25
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				if _, err := p.Invoke(ctx, "add", int64(1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := p.Invoke(ctx, "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(workers*perWorker) {
+		t.Errorf("final count = %v, want %d", res[0], workers*perWorker)
+	}
+}
+
+func TestCallerFrom(t *testing.T) {
+	w := newWorld(t, 2)
+	var seen atomic.Value
+	svc := ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		if from, ok := CallerFrom(ctx); ok {
+			seen.Store(from)
+		}
+		return nil, nil
+	})
+	ref, _ := w.runtimes[0].Export(svc, "Who")
+	p, _ := w.runtimes[1].Import(ref)
+	if _, err := p.Invoke(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	from, ok := seen.Load().(wire.Addr)
+	if !ok || from != w.runtimes[1].Addr() {
+		t.Errorf("caller = %v, want %v", seen.Load(), w.runtimes[1].Addr())
+	}
+}
+
+func TestInvokeErrorEncodingRoundTrip(t *testing.T) {
+	in := &InvokeError{Code: CodeBadArgs, Method: "m", Msg: "details"}
+	out := DecodeInvokeError(EncodeInvokeError("m", in))
+	if out.Code != in.Code || out.Method != in.Method || out.Msg != in.Msg {
+		t.Errorf("round-trip = %+v, want %+v", out, in)
+	}
+	// Foreign payloads degrade to CodeInternal with raw text.
+	out = DecodeInvokeError([]byte("no such context"))
+	if out.Code != CodeInternal || out.Msg != "no such context" {
+		t.Errorf("foreign payload = %+v", out)
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	for c, want := range map[Code]string{
+		CodeApp: "app", CodeNoSuchMethod: "no-such-method", CodeBadArgs: "bad-args",
+		CodeInternal: "internal", CodeUnavailable: "unavailable", Code(42): "code(42)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Code(%d) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestRefsNestedInCollections(t *testing.T) {
+	// Proxies buried inside lists and maps in arguments must lower to
+	// references on the way out and come back as installed proxies.
+	w := newWorld(t, 3)
+	rtA, rtB, rtC := w.runtimes[0], w.runtimes[1], w.runtimes[2]
+	ctx := context.Background()
+
+	cnt := &counter{}
+	cntRef, err := rtC.Export(cnt, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		// Dig the proxy out of the nested structure and invoke it.
+		m, ok := args[0].(map[string]any)
+		if !ok {
+			return nil, BadArgs(method, fmt.Sprintf("want map, got %T", args[0]))
+		}
+		list, ok := m["targets"].([]any)
+		if !ok || len(list) != 1 {
+			return nil, BadArgs(method, "want targets list")
+		}
+		p, ok := list[0].(Proxy)
+		if !ok {
+			return nil, BadArgs(method, fmt.Sprintf("want Proxy, got %T", list[0]))
+		}
+		return p.Invoke(ctx, "add", int64(5))
+	})
+	sinkRef, err := rtA.Export(sink, "Sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkProxy, err := rtB.Import(sinkRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cntProxy, err := rtB.Import(cntRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sinkProxy.Invoke(ctx, "go", map[string]any{"targets": []any{cntProxy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(5) || cnt.n != 5 {
+		t.Errorf("res = %v, counter = %d", res, cnt.n)
+	}
+}
+
+func TestBypassRefReportsReboundLocation(t *testing.T) {
+	w := newWorld(t, 1)
+	rt := w.runtimes[0]
+	svc := &counter{}
+	ref, err := rt.Export(svc, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ref().Target != ref.Target {
+		t.Errorf("bypass ref = %v", p.Ref())
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(context.Background(), "get"); !errors.Is(err, ErrProxyClosed) {
+		t.Errorf("closed bypass invoke = %v", err)
+	}
+}
+
+func TestProtectedExportDeniesForgedRefs(t *testing.T) {
+	w := newWorld(t, 2)
+	server, client := w.runtimes[0], w.runtimes[1]
+	svc := &counter{}
+	ref, err := server.Export(svc, "Counter", Protected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Cap == 0 {
+		t.Fatal("protected export minted no capability")
+	}
+	ctx := context.Background()
+
+	// The legitimate reference works.
+	p, err := client.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(ctx, "add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A forged reference — right address, missing or wrong token — is
+	// denied, and the object is untouched.
+	for _, forged := range []codec.Ref{
+		{Target: ref.Target, Type: ref.Type},                   // no token
+		{Target: ref.Target, Type: ref.Type, Cap: ref.Cap + 1}, // wrong token
+	} {
+		fp := NewStub(client, forged)
+		_, err := fp.Invoke(ctx, "add", int64(100))
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Code != CodeDenied {
+			t.Errorf("forged invoke = %v, want CodeDenied", err)
+		}
+	}
+	if svc.n != 1 {
+		t.Errorf("counter = %d after forged attempts, want 1", svc.n)
+	}
+}
+
+func TestProtectedRefTravelsWithCapability(t *testing.T) {
+	// Passing a protected reference through a third party must carry the
+	// capability: the receiver's installed proxy can invoke.
+	w := newWorld(t, 3)
+	rtA, rtB, rtC := w.runtimes[0], w.runtimes[1], w.runtimes[2]
+	ctx := context.Background()
+
+	echo := &echoRefService{}
+	echoRef, err := rtA.Export(echo, "Echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := &counter{}
+	cntRef, err := rtC.Export(cnt, "Counter", Protected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoProxy, err := rtB.Import(echoRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cntProxy, err := rtB.Import(cntRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := echoProxy.Invoke(ctx, "take", cntProxy); err != nil {
+		t.Fatal(err)
+	}
+	// A's installed proxy holds the travelled capability and can invoke.
+	if _, err := echoProxy.Invoke(ctx, "callback"); err != nil {
+		t.Fatalf("callback through travelled capability: %v", err)
+	}
+	if cnt.n != 10 {
+		t.Errorf("counter = %d", cnt.n)
+	}
+}
+
+func TestProtectedBatchDenied(t *testing.T) {
+	w := newWorld(t, 2)
+	factory := NewBatchFactory([]string{"append"}, WithBatchSize(10), WithBatchInterval(0))
+	w.runtimes[1].RegisterProxyType("Log", factory)
+	svc := &logService{}
+	ref, err := w.runtimes[0].Export(svc, "Log", Protected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch built on a forged ref is rejected wholesale.
+	forged := ref
+	forged.Cap = 0
+	p, err := factory.New(w.runtimes[1], forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := p.(*BatchProxy)
+	if _, err := bp.Invoke(context.Background(), "append", "x"); err != nil {
+		t.Fatal(err)
+	}
+	err = bp.Flush(context.Background())
+	var ie *InvokeError
+	if !errors.As(err, &ie) || ie.Code != CodeDenied {
+		t.Errorf("forged batch flush = %v, want CodeDenied", err)
+	}
+	if len(svc.snapshot()) != 0 {
+		t.Error("forged batch executed")
+	}
+}

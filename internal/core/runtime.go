@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/kernel"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// RuntimeOption configures a Runtime.
+type RuntimeOption func(*Runtime)
+
+// WithClient substitutes a pre-configured rpc client (retry intervals,
+// attempt bounds). By default the runtime builds one with rpc defaults.
+func WithClient(c *rpc.Client) RuntimeOption {
+	return func(rt *Runtime) { rt.client = c }
+}
+
+// WithDefaultFactory sets the factory used for imported types that have no
+// registered factory. The default default is the stub factory; pass nil to
+// make unregistered imports fail with ErrNoFactory instead.
+func WithDefaultFactory(f ProxyFactory) RuntimeOption {
+	return func(rt *Runtime) {
+		rt.defaultFactory = f
+		rt.defaultFactorySet = true
+	}
+}
+
+// Runtime is the proxy machinery for one context: the export table (local
+// services reachable from elsewhere), the import table (proxies installed
+// here), and the proxy-factory registry that lets each service type choose
+// its own proxy implementation.
+type Runtime struct {
+	ktx    *kernel.Context
+	client *rpc.Client
+
+	defaultFactory    ProxyFactory
+	defaultFactorySet bool
+
+	mu        sync.Mutex
+	factories map[string]ProxyFactory
+	exports   map[wire.ObjectID]*exportRecord
+	bySvc     map[any]*exportRecord
+	proxies   map[wire.ObjAddr]Proxy
+}
+
+type exportRecord struct {
+	ref    codec.Ref
+	svc    Service // the original (unwrapped) service
+	server *serverObject
+}
+
+// NewRuntime builds the proxy runtime for a kernel context.
+func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
+	rt := &Runtime{
+		ktx:       ktx,
+		factories: make(map[string]ProxyFactory),
+		exports:   make(map[wire.ObjectID]*exportRecord),
+		bySvc:     make(map[any]*exportRecord),
+		proxies:   make(map[wire.ObjAddr]Proxy),
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.client == nil {
+		rt.client = rpc.NewClient(ktx)
+	}
+	if !rt.defaultFactorySet {
+		rt.defaultFactory = StubFactory{}
+	}
+	return rt
+}
+
+// Addr reports the context address this runtime lives in.
+func (rt *Runtime) Addr() wire.Addr { return rt.ktx.Addr() }
+
+// Kernel exposes the underlying kernel context for proxy implementations.
+func (rt *Runtime) Kernel() *kernel.Context { return rt.ktx }
+
+// Client exposes the runtime's reliable-call client for proxy
+// implementations.
+func (rt *Runtime) Client() *rpc.Client { return rt.client }
+
+// RegisterProxyType installs the factory for a service type name. In the
+// paper, the service *ships* its proxy code to the importing context; Go
+// cannot load remote code safely, so deployments register the factory in
+// every runtime (the service side still controls which factory that is —
+// see DESIGN.md, substitutions).
+func (rt *Runtime) RegisterProxyType(name string, f ProxyFactory) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.factories[name] = f
+}
+
+// factoryFor resolves the factory for a type name.
+func (rt *Runtime) factoryFor(name string) (ProxyFactory, error) {
+	rt.mu.Lock()
+	f, ok := rt.factories[name]
+	def := rt.defaultFactory
+	rt.mu.Unlock()
+	if ok {
+		return f, nil
+	}
+	if def != nil {
+		return def, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoFactory, name)
+}
+
+// ExportOption configures one export.
+type ExportOption func(*exportConfig)
+
+type exportConfig struct {
+	protected bool
+}
+
+// Protected mints an unforgeable capability token for this export and
+// embeds it in the returned reference: invocations that do not present it
+// are denied. Only contexts that were *given* the reference (directly or
+// through reference-passing) can reach the object — the proxy layer as a
+// protection boundary, per the paper. Note that anyone holding the
+// reference can pass it on; revocation requires unexporting.
+func Protected() ExportOption {
+	return func(c *exportConfig) { c.protected = true }
+}
+
+// Export makes svc reachable from other contexts under the given type
+// name, returning the reference to hand out. Exporting the same service
+// twice returns the original reference. The type's factory (if it
+// implements Exporter) may wrap the service with server-side coordination
+// logic and attach a private hint to the reference.
+func (rt *Runtime) Export(svc Service, typeName string, opts ...ExportOption) (codec.Ref, error) {
+	var cfg exportConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	key, comparable := svcKey(svc)
+	if comparable {
+		rt.mu.Lock()
+		if rec, ok := rt.bySvc[key]; ok {
+			rt.mu.Unlock()
+			return rec.ref, nil
+		}
+		rt.mu.Unlock()
+	}
+
+	srv := newServerObject(rt, svc)
+	if cfg.protected {
+		cap, err := mintCap()
+		if err != nil {
+			return codec.Ref{}, fmt.Errorf("core: mint capability: %w", err)
+		}
+		srv.cap = cap
+	}
+	id := rt.ktx.Register(srv.rpcServer())
+	target := wire.ObjAddr{Addr: rt.Addr(), Object: id}
+
+	ref := codec.Ref{Target: target, Type: typeName, Cap: srv.cap}
+	if f, err := rt.factoryFor(typeName); err == nil {
+		if exp, ok := f.(Exporter); ok {
+			wrapped, hint, err := exp.Export(rt, svc, ref)
+			if err != nil {
+				rt.ktx.Unregister(id)
+				return codec.Ref{}, fmt.Errorf("core: export %q: %w", typeName, err)
+			}
+			if wrapped != nil {
+				srv.setService(wrapped)
+			}
+			ref.Hint = hint
+		}
+	}
+
+	rec := &exportRecord{ref: ref, svc: svc, server: srv}
+	rt.mu.Lock()
+	if comparable {
+		// Export race: keep the first registration.
+		if prior, ok := rt.bySvc[key]; ok {
+			rt.mu.Unlock()
+			rt.ktx.Unregister(id)
+			return prior.ref, nil
+		}
+		rt.bySvc[key] = rec
+	}
+	rt.exports[id] = rec
+	rt.mu.Unlock()
+	return ref, nil
+}
+
+// Unexport withdraws a service. In-flight invocations complete; new ones
+// get "no such object" errors.
+func (rt *Runtime) Unexport(svc Service) error {
+	key, comparable := svcKey(svc)
+	if !comparable {
+		return fmt.Errorf("%w: non-comparable service, use UnexportRef", ErrNotExported)
+	}
+	rt.mu.Lock()
+	rec, ok := rt.bySvc[key]
+	if ok {
+		delete(rt.bySvc, key)
+		delete(rt.exports, rec.ref.Target.Object)
+	}
+	rt.mu.Unlock()
+	if !ok {
+		return ErrNotExported
+	}
+	rt.ktx.Unregister(rec.ref.Target.Object)
+	return nil
+}
+
+// DetachExport removes svc from the export tables but leaves its kernel
+// object registered: the migration machinery calls this and then installs
+// a forwarding tombstone at the old object id (via kernel Replace), so
+// stale references keep resolving.
+func (rt *Runtime) DetachExport(svc Service) (codec.Ref, bool) {
+	key, comparable := svcKey(svc)
+	if !comparable {
+		return codec.Ref{}, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rec, ok := rt.bySvc[key]
+	if !ok {
+		return codec.Ref{}, false
+	}
+	delete(rt.bySvc, key)
+	delete(rt.exports, rec.ref.Target.Object)
+	return rec.ref, true
+}
+
+// UnexportRef withdraws an export by its reference (the only way to
+// withdraw func-shaped services, which have no usable identity).
+func (rt *Runtime) UnexportRef(ref codec.Ref) error {
+	if ref.Target.Addr != rt.Addr() {
+		return ErrNotExported
+	}
+	rt.mu.Lock()
+	rec, ok := rt.exports[ref.Target.Object]
+	if ok {
+		delete(rt.exports, ref.Target.Object)
+		if key, comparable := svcKey(rec.svc); comparable {
+			delete(rt.bySvc, key)
+		}
+	}
+	rt.mu.Unlock()
+	if !ok {
+		return ErrNotExported
+	}
+	rt.ktx.Unregister(ref.Target.Object)
+	return nil
+}
+
+// RefFor returns the exported reference for a local service, if any.
+func (rt *Runtime) RefFor(svc Service) (codec.Ref, bool) {
+	key, comparable := svcKey(svc)
+	if !comparable {
+		return codec.Ref{}, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rec, ok := rt.bySvc[key]
+	if !ok {
+		return codec.Ref{}, false
+	}
+	return rec.ref, true
+}
+
+// LocalService resolves a reference that targets this runtime's own
+// context back to the exported service instance.
+func (rt *Runtime) LocalService(ref codec.Ref) (Service, bool) {
+	if ref.Target.Addr != rt.Addr() {
+		return nil, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rec, ok := rt.exports[ref.Target.Object]
+	if !ok {
+		return nil, false
+	}
+	return rec.svc, true
+}
+
+// dispatchService resolves a local reference to the service *as served* —
+// including any coordination wrapper its factory installed at export time
+// (cache coordinator, replica primary). Bypass proxies dispatch through
+// this, so a co-located client's writes still trigger invalidations and
+// replication exactly like a remote client's would. LocalService, by
+// contrast, returns the unwrapped object (migration and tests need its
+// identity).
+func (rt *Runtime) dispatchService(ref codec.Ref) (Service, bool) {
+	if ref.Target.Addr != rt.Addr() {
+		return nil, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rec, ok := rt.exports[ref.Target.Object]
+	if !ok {
+		return nil, false
+	}
+	return rec.server.service(), true
+}
+
+// Import installs (or reuses) a proxy for ref in this context. References
+// to objects in this very context short-circuit to a bypass proxy — no
+// marshalling, no network. Everything else goes through the type's
+// factory, so the service's chosen strategy governs how the client reaches
+// it. Imported proxies are cached per target object.
+func (rt *Runtime) Import(ref codec.Ref) (Proxy, error) {
+	if _, ok := rt.LocalService(ref); ok {
+		return newBypassProxy(rt, ref), nil
+	}
+	rt.mu.Lock()
+	if p, ok := rt.proxies[ref.Target]; ok {
+		rt.mu.Unlock()
+		return p, nil
+	}
+	rt.mu.Unlock()
+
+	f, err := rt.factoryFor(ref.Type)
+	if err != nil {
+		return nil, err
+	}
+	p, err := f.New(rt, ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: import %s: %w", ref, err)
+	}
+	rt.mu.Lock()
+	if prior, ok := rt.proxies[ref.Target]; ok {
+		rt.mu.Unlock()
+		_ = p.Close() // lost an import race; keep the first proxy
+		return prior, nil
+	}
+	rt.proxies[ref.Target] = p
+	rt.mu.Unlock()
+	return p, nil
+}
+
+// ForgetProxy removes a proxy from the import cache (proxies call this
+// from Close, and the migration machinery calls it when rebinding).
+func (rt *Runtime) ForgetProxy(target wire.ObjAddr) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.proxies, target)
+}
+
+// ProxyCount reports how many proxies are installed (tests/metrics).
+func (rt *Runtime) ProxyCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.proxies)
+}
+
+// Decoder builds a codec decoder that installs proxies for every Ref
+// crossing into this context — the executable form of the paper's
+// reference-export figure. Proxy implementations outside this package use
+// it to decode their private protocols' payloads.
+func (rt *Runtime) Decoder() *codec.Decoder { return rt.decoder() }
+
+// LowerArgs converts proxies and exportable services in an outbound value
+// vector to wire references, for proxy implementations that marshal their
+// own private payloads.
+func (rt *Runtime) LowerArgs(vals []any) ([]any, error) { return rt.encodeOutbound(vals) }
+
+// decoder builds the codec decoder that installs proxies for every Ref
+// crossing into this context — the executable form of the paper's
+// reference-export figure.
+func (rt *Runtime) decoder() *codec.Decoder {
+	return &codec.Decoder{RefHook: func(r codec.Ref) (any, error) {
+		p, err := rt.Import(r)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}}
+}
+
+// encodeOutbound lowers proxies and exportable services in an argument or
+// result vector to wire Refs. It does not mutate the input.
+func (rt *Runtime) encodeOutbound(vals []any) ([]any, error) {
+	if len(vals) == 0 {
+		return vals, nil
+	}
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		lv, err := rt.lowerValue(v, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: outbound value %d: %w", i, err)
+		}
+		out[i] = lv
+	}
+	return out, nil
+}
+
+func (rt *Runtime) lowerValue(v any, depth int) (any, error) {
+	if depth > codec.MaxDepth {
+		return nil, codec.ErrTooDeep
+	}
+	switch x := v.(type) {
+	case Proxy:
+		return x.Ref(), nil
+	case Exportable:
+		ref, err := rt.Export(x, x.ProxyType())
+		if err != nil {
+			return nil, err
+		}
+		return ref, nil
+	case Service:
+		// A bare service without a declared proxy type: if previously
+		// exported we can still reference it, otherwise refuse.
+		if ref, ok := rt.RefFor(x); ok {
+			return ref, nil
+		}
+		return nil, fmt.Errorf("%w (pass a Proxy, a Ref, or implement Exportable)", ErrNotExported)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			le, err := rt.lowerValue(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = le
+		}
+		return out, nil
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			le, err := rt.lowerValue(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = le
+		}
+		return out, nil
+	default:
+		return v, nil
+	}
+}
+
+// svcKey gives a map key identifying a service instance. Services are
+// usually pointer-shaped and comparable; func-shaped services
+// (ServiceFunc) are not, so they opt out of identity dedup — each Export
+// creates a fresh registration and Unexport must go through UnexportRef.
+func svcKey(svc Service) (any, bool) {
+	t := reflect.TypeOf(svc)
+	if t != nil && t.Comparable() {
+		return svc, true
+	}
+	return nil, false
+}

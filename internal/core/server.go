@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// mintCap draws an unforgeable, nonzero capability token.
+func mintCap() (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			return 0, err
+		}
+		if v := binary.BigEndian.Uint64(b[:]); v != 0 {
+			return v, nil
+		}
+	}
+}
+
+// serverObject is the server-side half of an export: it receives request
+// frames for one service, decodes the invocation (installing proxies for
+// any references in the arguments), runs the service, and encodes the
+// results (lowering any proxies/services in them to references). It sits
+// behind an rpc.Server so retransmitted requests are suppressed
+// (at-most-once execution).
+type serverObject struct {
+	rt *Runtime
+	// cap is the capability token invocations must present; zero means the
+	// export is unprotected.
+	cap uint64
+
+	mu  sync.RWMutex
+	svc Service
+
+	srv *rpc.Server
+}
+
+func newServerObject(rt *Runtime, svc Service) *serverObject {
+	so := &serverObject{rt: rt, svc: svc}
+	so.srv = rpc.NewServer(rpc.HandlerFunc(so.handle))
+	return so
+}
+
+// rpcServer exposes the kernel handler to register.
+func (so *serverObject) rpcServer() *rpc.Server { return so.srv }
+
+// setService swaps the served implementation (used by Exporter factories
+// that wrap the service with coordination logic).
+func (so *serverObject) setService(svc Service) {
+	so.mu.Lock()
+	defer so.mu.Unlock()
+	so.svc = svc
+}
+
+func (so *serverObject) service() Service {
+	so.mu.RLock()
+	defer so.mu.RUnlock()
+	return so.svc
+}
+
+func (so *serverObject) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	if req.Kind == KindBatch {
+		reply, err := so.handleBatch(req.Frame.Payload)
+		if err != nil {
+			return 0, nil, EncodeInvokeError("batch", err)
+		}
+		return KindBatch, reply, nil
+	}
+	cap, method, args, err := DecodeRequest(so.rt.decoder(), req.Frame.Payload)
+	if err != nil {
+		return 0, nil, EncodeInvokeError("", &InvokeError{Code: CodeInternal, Msg: err.Error()})
+	}
+	if so.cap != 0 && cap != so.cap {
+		return 0, nil, EncodeInvokeError(method, &InvokeError{Code: CodeDenied, Method: method, Msg: "capability required"})
+	}
+	ctx := WithCaller(context.Background(), req.From)
+	results, err := so.service().Invoke(ctx, method, args)
+	if err != nil {
+		return 0, nil, EncodeInvokeError(method, err)
+	}
+	lowered, err := so.rt.encodeOutbound(results)
+	if err != nil {
+		return 0, nil, EncodeInvokeError(method, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()})
+	}
+	reply, err := EncodeResults(lowered)
+	if err != nil {
+		return 0, nil, EncodeInvokeError(method, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()})
+	}
+	return wire.KindReply, reply, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/wire"
+)
+
+// StubFactory builds stub proxies: the minimal proxy, equivalent to
+// classic RPC stub code. Every invocation marshals its arguments, crosses
+// to the server under reliable request/reply, and unmarshals the results.
+// It is the runtime's default factory and the baseline every smart proxy
+// is measured against.
+type StubFactory struct{}
+
+// New implements ProxyFactory.
+func (StubFactory) New(rt *Runtime, ref codec.Ref) (Proxy, error) {
+	return NewStub(rt, ref), nil
+}
+
+// Stub is the forwarding proxy. It tracks migration forwards: if a call
+// answers with KindForward, the stub rebinds to the object's new location
+// and retries transparently (location transparency across migration).
+type Stub struct {
+	rt     *Runtime
+	closed atomic.Bool
+
+	mu  sync.Mutex
+	ref codec.Ref
+
+	calls    atomic.Uint64
+	forwards atomic.Uint64
+}
+
+// NewStub builds a stub proxy without going through the factory registry
+// (proxy implementations embed stubs for their write paths).
+func NewStub(rt *Runtime, ref codec.Ref) *Stub {
+	return &Stub{rt: rt, ref: ref}
+}
+
+// Invoke implements Proxy.
+func (s *Stub) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	if s.closed.Load() {
+		return nil, ErrProxyClosed
+	}
+	s.calls.Add(1)
+	lowered, err := s.rt.encodeOutbound(args)
+	if err != nil {
+		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
+	}
+	payload, err := EncodeRequest(s.Ref().Cap, method, lowered)
+	if err != nil {
+		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
+	}
+
+	// Follow forwarding responses a bounded number of times: an object in
+	// the middle of a migration storm must not loop us forever. The bound
+	// comfortably exceeds any realistic tombstone chain (E9 sweeps to 32).
+	const maxForwards = 64
+	for hop := 0; ; hop++ {
+		resp, err := s.rt.Client().CallFrame(ctx, s.target(), wire.KindRequest, payload)
+		if err != nil {
+			return nil, RemoteToInvokeError(method, err)
+		}
+		switch resp.Kind {
+		case wire.KindForward:
+			if hop >= maxForwards {
+				return nil, &InvokeError{Code: CodeUnavailable, Method: method, Msg: "forwarding chain too long"}
+			}
+			newRef, err := DecodeForward(resp.Payload)
+			if err != nil {
+				return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
+			}
+			s.Rebind(newRef)
+			s.forwards.Add(1)
+			continue
+		default:
+			return DecodeResults(s.rt.decoder(), resp.Payload)
+		}
+	}
+}
+
+// Ref implements Proxy.
+func (s *Stub) Ref() codec.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ref
+}
+
+func (s *Stub) target() wire.ObjAddr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ref.Target
+}
+
+// Rebind points the stub at a new location (migration support).
+func (s *Stub) Rebind(newRef codec.Ref) {
+	s.mu.Lock()
+	old := s.ref.Target
+	s.ref = newRef
+	s.mu.Unlock()
+	if old != newRef.Target {
+		s.rt.ForgetProxy(old)
+	}
+}
+
+// Stats reports how many invocations and forward-rebinds this stub served.
+func (s *Stub) Stats() (calls, forwards uint64) {
+	return s.calls.Load(), s.forwards.Load()
+}
+
+// Close implements Proxy.
+func (s *Stub) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		s.rt.ForgetProxy(s.target())
+	}
+	return nil
+}

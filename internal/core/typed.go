@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Typed invocation helpers. Invocation is dynamic ([]any in, []any out);
+// these generics put a typed face on it for application code, converting
+// results with the codec's lenient assignment rules (any decoded integer
+// fits any integer type it doesn't overflow, lists fit slices, structs fit
+// structs by field name).
+
+// Call0 invokes a method expecting no results.
+func Call0(ctx context.Context, p Proxy, method string, args ...any) error {
+	_, err := p.Invoke(ctx, method, args...)
+	return err
+}
+
+// Call1 invokes a method expecting exactly one result of type T.
+func Call1[T any](ctx context.Context, p Proxy, method string, args ...any) (T, error) {
+	var zero T
+	res, err := p.Invoke(ctx, method, args...)
+	if err != nil {
+		return zero, err
+	}
+	if len(res) != 1 {
+		return zero, &InvokeError{Code: CodeInternal, Method: method,
+			Msg: fmt.Sprintf("want 1 result, got %d", len(res))}
+	}
+	out, err := convertResult[T](method, res[0])
+	if err != nil {
+		return zero, err
+	}
+	return out, nil
+}
+
+// Call2 invokes a method expecting exactly two results.
+func Call2[T1, T2 any](ctx context.Context, p Proxy, method string, args ...any) (T1, T2, error) {
+	var z1 T1
+	var z2 T2
+	res, err := p.Invoke(ctx, method, args...)
+	if err != nil {
+		return z1, z2, err
+	}
+	if len(res) != 2 {
+		return z1, z2, &InvokeError{Code: CodeInternal, Method: method,
+			Msg: fmt.Sprintf("want 2 results, got %d", len(res))}
+	}
+	o1, err := convertResult[T1](method, res[0])
+	if err != nil {
+		return z1, z2, err
+	}
+	o2, err := convertResult[T2](method, res[1])
+	if err != nil {
+		return z1, z2, err
+	}
+	return o1, o2, nil
+}
+
+// convertResult coerces one dynamic result into T: exact type matches
+// (including interfaces like Proxy) pass through; everything else goes
+// through the codec's assignment rules.
+func convertResult[T any](method string, v any) (T, error) {
+	var zero T
+	if t, ok := v.(T); ok {
+		return t, nil
+	}
+	var out T
+	if err := codec.Assign(v, &out); err != nil {
+		return zero, &InvokeError{Code: CodeInternal, Method: method,
+			Msg: fmt.Sprintf("result conversion: %v", err)}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// pairService returns typed pairs for the Call helpers.
+type pairService struct{}
+
+func (pairService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	switch method {
+	case "one":
+		return []any{int64(42)}, nil
+	case "two":
+		return []any{"name", int64(7)}, nil
+	case "none":
+		return nil, nil
+	case "list":
+		return []any{[]any{int64(1), int64(2), int64(3)}}, nil
+	case "boom":
+		return nil, Errorf(CodeApp, method, "kaboom")
+	default:
+		return nil, NoSuchMethod(method)
+	}
+}
+
+func typedProxy(t *testing.T) Proxy {
+	t.Helper()
+	w := newWorld(t, 2)
+	ref, err := w.runtimes[0].Export(pairService{}, "Pairs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.runtimes[1].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCall1Typed(t *testing.T) {
+	p := typedProxy(t)
+	ctx := context.Background()
+
+	// Exact type.
+	got, err := Call1[int64](ctx, p, "one")
+	if err != nil || got != 42 {
+		t.Errorf("Call1[int64] = %d, %v", got, err)
+	}
+	// Converted width.
+	small, err := Call1[int](ctx, p, "one")
+	if err != nil || small != 42 {
+		t.Errorf("Call1[int] = %d, %v", small, err)
+	}
+	// Typed slice from a dynamic list.
+	list, err := Call1[[]int64](ctx, p, "list")
+	if err != nil || len(list) != 3 || list[2] != 3 {
+		t.Errorf("Call1[[]int64] = %v, %v", list, err)
+	}
+	// Wrong arity.
+	if _, err := Call1[int64](ctx, p, "two"); err == nil {
+		t.Error("Call1 on two-result method succeeded")
+	}
+	// Unconvertible type.
+	if _, err := Call1[string](ctx, p, "one"); err == nil {
+		t.Error("Call1[string] of int succeeded")
+	}
+}
+
+func TestCall2Typed(t *testing.T) {
+	p := typedProxy(t)
+	name, n, err := Call2[string, int](context.Background(), p, "two")
+	if err != nil || name != "name" || n != 7 {
+		t.Errorf("Call2 = %q, %d, %v", name, n, err)
+	}
+}
+
+func TestCall0Typed(t *testing.T) {
+	p := typedProxy(t)
+	if err := Call0(context.Background(), p, "none"); err != nil {
+		t.Fatal(err)
+	}
+	err := Call0(context.Background(), p, "boom")
+	var ie *InvokeError
+	if !errors.As(err, &ie) || ie.Code != CodeApp {
+		t.Errorf("Call0 error = %v", err)
+	}
+}

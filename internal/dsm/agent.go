@@ -1,0 +1,220 @@
+package dsm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Agent is one node's attachment to the shared address space: a page
+// table of local copies plus the coherence object the manager calls back
+// into. Read/Write on warm pages touch no wires.
+type Agent struct {
+	rt      *core.Runtime
+	manager wire.ObjAddr
+	id      wire.ObjectID
+
+	mu    sync.Mutex
+	pages map[PageID]*pageCopy
+
+	stats statsCell
+}
+
+type pageCopy struct {
+	mu    sync.Mutex
+	state state
+	data  []byte
+	// gen counts losses of the copy (recall/invalidate). A fault that was
+	// in flight while gen moved must not install its now-stale result.
+	gen uint64
+}
+
+// NewAgent attaches an agent to the manager at managerAddr.
+func NewAgent(rt *core.Runtime, managerAddr wire.ObjAddr) *Agent {
+	a := &Agent{
+		rt:      rt,
+		manager: managerAddr,
+		pages:   make(map[PageID]*pageCopy),
+	}
+	srv := rpc.NewServer(rpc.HandlerFunc(a.handle))
+	a.id = rt.Kernel().Register(srv)
+	return a
+}
+
+// Self is the agent's coherence address (sent with every fault so the
+// manager can call back).
+func (a *Agent) Self() wire.ObjAddr {
+	return wire.ObjAddr{Addr: a.rt.Addr(), Object: a.id}
+}
+
+// Stats returns a snapshot of the agent's counters.
+func (a *Agent) Stats() Stats { return a.stats.snapshot() }
+
+func (a *Agent) page(id PageID) *pageCopy {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pages[id]
+	if !ok {
+		p = &pageCopy{}
+		a.pages[id] = p
+	}
+	return p
+}
+
+// Read returns a copy of the page, faulting it in if necessary. The page
+// lock is NOT held across the fault round trip: a concurrent recall or
+// invalidation proceeds immediately and bumps the page generation, which
+// makes the in-flight fault skip installing its (now stale) result — the
+// returned bytes are still valid at the read's linearization point.
+func (a *Agent) Read(ctx context.Context, id PageID) ([]byte, error) {
+	p := a.page(id)
+	p.mu.Lock()
+	if p.state != stateInvalid {
+		data := append([]byte(nil), p.data...)
+		p.mu.Unlock()
+		a.stats.add(func(s *Stats) { s.LocalReads++ })
+		return data, nil
+	}
+	gen := p.gen
+	p.mu.Unlock()
+
+	a.stats.add(func(s *Stats) { s.ReadFaults++ })
+	reply, err := a.rt.Client().Call(ctx, a.manager, kindRead, pageMsg(id, wire.AppendObjAddr(nil, a.Self())))
+	if err != nil {
+		return nil, core.RemoteToInvokeError("dsm.read", err)
+	}
+	_, data, err := decodePageMsg(reply)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), data...)
+	p.mu.Lock()
+	if p.gen == gen && p.state == stateInvalid {
+		p.state = stateShared
+		p.data = append(p.data[:0], data...)
+	}
+	p.mu.Unlock()
+	return out, nil
+}
+
+// Write mutates the page under exclusive ownership: fn receives the page
+// bytes in place. If the agent already holds the page exclusively, no
+// messages are exchanged at all. Like Read, the fault round trip runs
+// without the page lock; if ownership was lost again while the grant was
+// in flight (generation moved), the write re-faults rather than mutating
+// a stale copy.
+func (a *Agent) Write(ctx context.Context, id PageID, fn func(page []byte)) error {
+	p := a.page(id)
+	for {
+		p.mu.Lock()
+		if p.state == stateExclusive {
+			fn(p.data)
+			p.mu.Unlock()
+			a.stats.add(func(s *Stats) { s.LocalWrites++ })
+			return nil
+		}
+		gen := p.gen
+		p.mu.Unlock()
+
+		a.stats.add(func(s *Stats) { s.WriteFaults++ })
+		reply, err := a.rt.Client().Call(ctx, a.manager, kindWrite, pageMsg(id, wire.AppendObjAddr(nil, a.Self())))
+		if err != nil {
+			return core.RemoteToInvokeError("dsm.write", err)
+		}
+		_, data, err := decodePageMsg(reply)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		if p.gen != gen {
+			// Ownership moved while the grant travelled; try again.
+			p.mu.Unlock()
+			continue
+		}
+		p.state = stateExclusive
+		p.data = append(p.data[:0], data...)
+		fn(p.data)
+		p.mu.Unlock()
+		return nil
+	}
+}
+
+// ReadAt copies out a sub-range of a page.
+func (a *Agent) ReadAt(ctx context.Context, id PageID, off, n int) ([]byte, error) {
+	page, err := a.Read(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > len(page) {
+		return nil, fmt.Errorf("%w: [%d:%d] of %d", ErrBadPage, off, off+n, len(page))
+	}
+	return page[off : off+n], nil
+}
+
+// WriteAt overwrites a sub-range of a page.
+func (a *Agent) WriteAt(ctx context.Context, id PageID, off int, b []byte) error {
+	var rangeErr error
+	err := a.Write(ctx, id, func(page []byte) {
+		if off < 0 || off+len(b) > len(page) {
+			rangeErr = fmt.Errorf("%w: [%d:%d] of %d", ErrBadPage, off, off+len(b), len(page))
+			return
+		}
+		copy(page[off:], b)
+	})
+	if err != nil {
+		return err
+	}
+	return rangeErr
+}
+
+// handle processes manager callbacks: recalls, downgrades, invalidations.
+func (a *Agent) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	id, _, err := decodePageMsg(req.Frame.Payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("dsm", err)
+	}
+	p := a.page(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch req.Kind {
+	case kindRecall:
+		// An empty reply tells the manager we did not actually hold the
+		// page (a reordered recall); it keeps its own copy then.
+		var data []byte
+		if p.state == stateExclusive {
+			data = append([]byte(nil), p.data...)
+		}
+		p.state = stateInvalid
+		p.data = nil
+		p.gen++
+		a.stats.add(func(s *Stats) { s.Recalls++ })
+		return kindRecall, pageMsg(id, data), nil
+	case kindDowngrade:
+		var data []byte
+		if p.state == stateExclusive {
+			data = append([]byte(nil), p.data...)
+			p.state = stateShared
+		}
+		a.stats.add(func(s *Stats) { s.Downgrades++ })
+		return kindDowngrade, pageMsg(id, data), nil
+	case kindInval:
+		p.state = stateInvalid
+		p.data = nil
+		p.gen++
+		a.stats.add(func(s *Stats) { s.Invalidations++ })
+		return kindInval, nil, nil
+	default:
+		return 0, nil, core.EncodeInvokeError("dsm", core.Errorf(core.CodeInternal, "dsm", "unexpected kind %v", req.Kind))
+	}
+}
+
+// Close detaches the agent's coherence object. Pages it owned exclusively
+// are recovered by the manager's fail-stop path on the next fault.
+func (a *Agent) Close() error {
+	a.rt.Kernel().Unregister(a.id)
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package dsm implements the distributed-shared-memory comparator: a
+// page-based single-writer/multiple-reader invalidation protocol with a
+// central manager (a simplified Li–Hudak design). It is the third column
+// of the paper's invocation design-space table — access by ordinary local
+// reads/writes after mapping the page in, with relocation *as a necessity*
+// rather than an optimisation — and experiment E5 measures it against
+// stub-RPC and smart proxies on a common workload.
+//
+// Protocol summary. The manager tracks, per page: the current owner (the
+// one node allowed to write) and the copyset (nodes holding read copies).
+//
+//   - Read fault: agent asks the manager; the manager downgrades the
+//     owner (Exclusive → Shared, collecting its latest bytes), adds the
+//     reader to the copyset, and replies with the page.
+//   - Write fault: agent asks the manager; the manager recalls the page
+//     from the owner and invalidates every copyset member, then grants
+//     exclusive ownership to the writer.
+//   - A node re-reading a Shared page or re-writing an Exclusive page
+//     touches no wires at all — DSM's defining locality property.
+package dsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// PageID names one page of the shared address space.
+type PageID uint64
+
+// DefaultPageSize is used when no page size option is given.
+const DefaultPageSize = 4096
+
+// Private protocol kinds.
+const (
+	kindRead      = wire.KindCustom + 50 // agent → manager: read fault
+	kindWrite     = wire.KindCustom + 51 // agent → manager: write fault
+	kindRecall    = wire.KindCustom + 52 // manager → agent: surrender exclusive copy
+	kindDowngrade = wire.KindCustom + 53 // manager → agent: demote to shared, return bytes
+	kindInval     = wire.KindCustom + 54 // manager → agent: drop shared copy
+)
+
+// Errors returned by the DSM layer.
+var (
+	// ErrBadPage reports an out-of-range or malformed page reference.
+	ErrBadPage = errors.New("dsm: bad page")
+	// ErrPageSize reports a data buffer that does not match the page size.
+	ErrPageSize = errors.New("dsm: wrong page size")
+)
+
+// state is an agent's view of one page.
+type state uint8
+
+const (
+	stateInvalid state = iota
+	stateShared
+	stateExclusive
+)
+
+// String names the state.
+func (s state) String() string {
+	switch s {
+	case stateInvalid:
+		return "invalid"
+	case stateShared:
+		return "shared"
+	case stateExclusive:
+		return "exclusive"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// pageMsg encodes [page, data]; data may be empty for requests.
+func pageMsg(page PageID, data []byte) []byte {
+	buf := wire.AppendUvarint(nil, uint64(page))
+	return wire.AppendBytes(buf, data)
+}
+
+func decodePageMsg(src []byte) (PageID, []byte, error) {
+	p, n, err := wire.Uvarint(src)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %s", ErrBadPage, err)
+	}
+	data, _, err := wire.Bytes(src[n:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %s", ErrBadPage, err)
+	}
+	return PageID(p), data, nil
+}
+
+// Stats counts protocol activity on one side (agent or manager).
+type Stats struct {
+	ReadFaults    uint64
+	WriteFaults   uint64
+	LocalReads    uint64 // reads served with no messages
+	LocalWrites   uint64 // writes served with no messages
+	Recalls       uint64
+	Downgrades    uint64
+	Invalidations uint64
+}
+
+// statsCell is the lock-free accumulator behind Stats.
+type statsCell struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCell) add(f func(*Stats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.s)
+}
+
+func (c *statsCell) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

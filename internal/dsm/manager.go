@@ -1,0 +1,203 @@
+package dsm
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// defaultCoherenceTimeout bounds one recall/downgrade/invalidate round
+// unless WithCoherenceTimeout overrides it.
+const defaultCoherenceTimeout = 5 * time.Second
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithCoherenceTimeout overrides how long the manager waits for an agent
+// to answer a recall/downgrade/invalidate before presuming it dead
+// (default 5s; tests shrink it to exercise the fail-stop path quickly).
+func WithCoherenceTimeout(d time.Duration) ManagerOption {
+	return func(m *Manager) {
+		if d > 0 {
+			m.coherenceTimeout = d
+		}
+	}
+}
+
+// WithPageSize sets the page size in bytes (default DefaultPageSize).
+func WithPageSize(n int) ManagerOption {
+	return func(m *Manager) {
+		if n > 0 {
+			m.pageSize = n
+		}
+	}
+}
+
+// Manager is the central page manager: the authority on ownership and
+// copysets, and the keeper of the page bytes whenever no node owns them
+// exclusively.
+type Manager struct {
+	rt               *core.Runtime
+	pageSize         int
+	coherenceTimeout time.Duration
+	id               wire.ObjectID
+
+	mu    sync.Mutex
+	pages map[PageID]*pageEntry
+
+	stats statsCell
+}
+
+type pageEntry struct {
+	mu      sync.Mutex
+	owner   wire.ObjAddr // zero when nobody holds Exclusive
+	copyset map[wire.ObjAddr]bool
+	data    []byte // authoritative when owner is zero
+}
+
+// NewManager installs a page manager in rt's context.
+func NewManager(rt *core.Runtime, opts ...ManagerOption) *Manager {
+	m := &Manager{
+		rt:               rt,
+		pageSize:         DefaultPageSize,
+		coherenceTimeout: defaultCoherenceTimeout,
+		pages:            make(map[PageID]*pageEntry),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	srv := rpc.NewServer(rpc.HandlerFunc(m.handle))
+	m.id = rt.Kernel().Register(srv)
+	return m
+}
+
+// Addr is the manager's control address; agents attach to it.
+func (m *Manager) Addr() wire.ObjAddr {
+	return wire.ObjAddr{Addr: m.rt.Addr(), Object: m.id}
+}
+
+// PageSize reports the configured page size.
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats.snapshot() }
+
+func (m *Manager) entry(page PageID) *pageEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.pages[page]
+	if !ok {
+		e = &pageEntry{
+			copyset: make(map[wire.ObjAddr]bool),
+			data:    make([]byte, m.pageSize),
+		}
+		m.pages[page] = e
+	}
+	return e
+}
+
+func (m *Manager) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	// A fault request's data field carries the faulting agent's coherence
+	// object address (where recalls/invalidations will be sent).
+	page, agentData, err := decodePageMsg(req.Frame.Payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("dsm", err)
+	}
+	agentAddr, _, err := wire.DecodeObjAddr(agentData)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("dsm", err)
+	}
+
+	switch req.Kind {
+	case kindRead:
+		data, err := m.readFault(page, agentAddr)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("dsm", err)
+		}
+		return kindRead, pageMsg(page, data), nil
+	case kindWrite:
+		data, err := m.writeFault(page, agentAddr)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("dsm", err)
+		}
+		return kindWrite, pageMsg(page, data), nil
+	default:
+		return 0, nil, core.EncodeInvokeError("dsm", core.Errorf(core.CodeInternal, "dsm", "unexpected kind %v", req.Kind))
+	}
+}
+
+// readFault serves a read miss: downgrade the owner if there is one, add
+// the reader to the copyset, return the latest bytes.
+func (m *Manager) readFault(page PageID, reader wire.ObjAddr) ([]byte, error) {
+	e := m.entry(page)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m.stats.add(func(s *Stats) { s.ReadFaults++ })
+
+	if !e.owner.IsZero() && e.owner != reader {
+		data, err := m.call(e.owner, kindDowngrade, pageMsg(page, nil))
+		if err == nil {
+			_, fresh, derr := decodePageMsg(data)
+			// An empty body means the owner no longer held the page
+			// (reordered coherence traffic); our copy stands.
+			if derr == nil && len(fresh) == len(e.data) {
+				e.data = append(e.data[:0], fresh...)
+			}
+			e.copyset[e.owner] = true
+		}
+		// On error the owner is presumed dead; its writes are lost and the
+		// manager's last copy stands (fail-stop semantics).
+		e.owner = wire.ObjAddr{}
+		m.stats.add(func(s *Stats) { s.Downgrades++ })
+	}
+	e.copyset[reader] = true
+	return append([]byte(nil), e.data...), nil
+}
+
+// writeFault serves a write miss: recall the owner, invalidate the
+// copyset, grant exclusive ownership.
+func (m *Manager) writeFault(page PageID, writer wire.ObjAddr) ([]byte, error) {
+	e := m.entry(page)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m.stats.add(func(s *Stats) { s.WriteFaults++ })
+
+	if !e.owner.IsZero() && e.owner != writer {
+		data, err := m.call(e.owner, kindRecall, pageMsg(page, nil))
+		if err == nil {
+			_, fresh, derr := decodePageMsg(data)
+			if derr == nil && len(fresh) == len(e.data) {
+				e.data = append(e.data[:0], fresh...)
+			}
+		}
+		e.owner = wire.ObjAddr{}
+		m.stats.add(func(s *Stats) { s.Recalls++ })
+	}
+	// Invalidate every reader except the writer itself.
+	var wg sync.WaitGroup
+	for member := range e.copyset {
+		if member == writer {
+			continue
+		}
+		wg.Add(1)
+		go func(member wire.ObjAddr) {
+			defer wg.Done()
+			_, _ = m.call(member, kindInval, pageMsg(page, nil))
+		}(member)
+		m.stats.add(func(s *Stats) { s.Invalidations++ })
+	}
+	wg.Wait()
+	e.copyset = make(map[wire.ObjAddr]bool)
+	e.owner = writer
+	return append([]byte(nil), e.data...), nil
+}
+
+func (m *Manager) call(dst wire.ObjAddr, kind wire.Kind, payload []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.coherenceTimeout)
+	defer cancel()
+	return m.rt.Client().Call(ctx, dst, kind, payload)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// E10InvalidationStorm grows the sharer set of a cached object and
+// measures the cost of one write. Expected shape: with synchronous
+// invalidation the write latency grows with the sharer count (every copy
+// must acknowledge before the write returns); with asynchronous
+// invalidation it stays near-flat, trading a staleness window for write
+// speed — the design choice DESIGN.md calls out for ablation.
+func E10InvalidationStorm(w io.Writer, cfg Config) error {
+	header(w, "E10", "invalidation storm")
+	sharerCounts := []int{1, 2, 4, 8, 16, 32}
+	tab := bench.Table{Headers: []string{"sharers", "sync write", "async write", "invalidations sent"}}
+
+	for _, n := range sharerCounts {
+		syncLat, invs, err := e10Run(cfg, n, true)
+		if err != nil {
+			return fmt.Errorf("sync n=%d: %w", n, err)
+		}
+		asyncLat, _, err := e10Run(cfg, n, false)
+		if err != nil {
+			return fmt.Errorf("async n=%d: %w", n, err)
+		}
+		tab.Add(n, syncLat, asyncLat, invs)
+	}
+	tab.Print(w)
+	fmt.Fprintln(w, "(one writer, n warm read-caching sharers; mean of repeated writes)")
+	return nil
+}
+
+func e10Run(cfg Config, sharers int, sync bool) (time.Duration, uint64, error) {
+	opts := []cache.Option{}
+	if !sync {
+		opts = append(opts, cache.WithAsyncInvalidation())
+	}
+	factory := cache.NewFactory(bench.KVReads(), opts...)
+
+	c, err := bench.NewCluster(sharers+2, cfg.netOpts()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	for _, rt := range c.Runtimes {
+		rt.RegisterProxyType("KV", factory)
+	}
+	ref, err := c.RT(0).Export(bench.NewKV(), "KV")
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+
+	// Writer on node 1; sharers on nodes 2..n+1, each warmed with a read.
+	writer, err := c.RT(1).Import(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	readers := make([]core.Proxy, sharers)
+	for i := range readers {
+		p, err := c.RT(i + 2).Import(ref)
+		if err != nil {
+			return 0, 0, err
+		}
+		readers[i] = p
+	}
+
+	warm := func() error {
+		for _, p := range readers {
+			if _, err := p.Invoke(ctx, "get", "hot"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	const writes = 20
+	var timer bench.Timer
+	for i := 0; i < writes; i++ {
+		if err := warm(); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if _, err := writer.Invoke(ctx, "put", "hot", int64(i)); err != nil {
+			return 0, 0, err
+		}
+		timer.Record(time.Since(start))
+	}
+	st, _ := factory.CoordinatorStatsFor(ref.Target)
+	return timer.Summary().Mean, st.InvalidationsSent, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// E11BatchingAmortization (extension): the batching proxy queues one-way
+// invocations and ships them in single frames. Sweeping the batch size on
+// a fixed stream of appends shows the wire cost amortizing: frames per
+// operation fall as 2/batch (request + reply per flush) and so does the
+// mean per-op time, approaching the pure marshalling floor. Batch size 1
+// is the stub-equivalent baseline.
+func E11BatchingAmortization(w io.Writer, cfg Config) error {
+	header(w, "E11", "batching-proxy amortization (extension)")
+	sizes := []int{1, 2, 4, 8, 16, 32, 64}
+	tab := bench.Table{Headers: []string{"batch size", "total", "per op", "frames", "frames/op"}}
+
+	const ops = 256
+	for _, size := range sizes {
+		total, frames, err := e11Run(cfg, size, ops)
+		if err != nil {
+			return fmt.Errorf("batch=%d: %w", size, err)
+		}
+		tab.Add(size, total, total/time.Duration(ops), frames, fmt.Sprintf("%.2f", float64(frames)/ops))
+	}
+	tab.Print(w)
+	fmt.Fprintf(w, "(%d one-way appends per run; flush on size only)\n", ops)
+	return nil
+}
+
+// e11LogService is an append sink.
+type e11LogService struct {
+	count int
+}
+
+func (s *e11LogService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	switch method {
+	case "append":
+		s.count++
+		return nil, nil
+	case "count":
+		return []any{int64(s.count)}, nil
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+func e11Run(cfg Config, batchSize, ops int) (time.Duration, uint64, error) {
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	factory := core.NewBatchFactory([]string{"append"},
+		core.WithBatchSize(batchSize), core.WithBatchInterval(0))
+	c.RT(1).RegisterProxyType("Log", factory)
+
+	svc := &e11LogService{}
+	ref, err := c.RT(0).Export(svc, "Log")
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	bp, ok := p.(*core.BatchProxy)
+	if !ok {
+		return 0, 0, fmt.Errorf("import produced %T", p)
+	}
+
+	before := c.Net.Snapshot().Sent
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := p.Invoke(ctx, "append", "entry"); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := bp.Flush(ctx); err != nil {
+		return 0, 0, err
+	}
+	total := time.Since(start)
+	frames := c.Net.Snapshot().Sent - before
+
+	// Integrity: every append must have executed exactly once.
+	res, err := core.Call1[int64](ctx, core.NewStub(c.RT(1), ref), "count")
+	if err != nil {
+		return 0, 0, err
+	}
+	if res != int64(ops) {
+		return 0, 0, fmt.Errorf("server saw %d appends, want %d", res, ops)
+	}
+	return total, frames, nil
+}

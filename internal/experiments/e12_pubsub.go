@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pubsub"
+)
+
+// E12PubSubFanout (extension): publishing through the observer layer is
+// enqueue-and-return; delivery fans out through per-subscriber proxies in
+// parallel. The sweep grows the subscriber count and reports (a) the
+// publisher-visible latency, which should stay near-flat, and (b) the
+// time until every subscriber has observed the event, which grows gently
+// with fan-out (parallel one-hop notifies, not a serial chain).
+func E12PubSubFanout(w io.Writer, cfg Config) error {
+	header(w, "E12", "pub/sub fan-out (extension)")
+	counts := []int{1, 2, 4, 8, 16, 32}
+	tab := bench.Table{Headers: []string{"subscribers", "publish() latency", "all-delivered", "delivered"}}
+
+	for _, n := range counts {
+		pubLat, deliverLat, delivered, err := e12Run(cfg, n)
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", n, err)
+		}
+		tab.Add(n, pubLat, deliverLat, delivered)
+	}
+	tab.Print(w)
+	fmt.Fprintln(w, "(publish returns after enqueuing; delivery is parallel per subscriber)")
+	return nil
+}
+
+func e12Run(cfg Config, subscribers int) (pubLat, deliverLat time.Duration, delivered uint64, err error) {
+	c, err := bench.NewCluster(subscribers+2, cfg.netOpts()...)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer c.Close()
+
+	topic := pubsub.NewTopic("bench")
+	defer topic.Close()
+	topicRef, err := c.RT(0).Export(topic, pubsub.TypeName)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pubProxy, err := c.RT(1).Import(topicRef)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	client := pubsub.NewClient(pubProxy)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		rt := c.RT(i + 2)
+		cb := pubsub.NewCallback(func(string, any) { wg.Done() })
+		cbRef, err := rt.Export(cb, pubsub.SubscriberType)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		cbProxy, err := rt.Import(cbRef)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := client.Subscribe(ctx, cbProxy); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	const rounds = 20
+	var pubTimer, deliverTimer bench.Timer
+	for r := 0; r < rounds; r++ {
+		wg.Add(subscribers)
+		start := time.Now()
+		if err := client.Publish(ctx, int64(r)); err != nil {
+			return 0, 0, 0, err
+		}
+		pubTimer.Record(time.Since(start))
+		wg.Wait()
+		deliverTimer.Record(time.Since(start))
+	}
+	st := topic.Stats()
+	return pubTimer.Summary().Mean, deliverTimer.Summary().Mean, st.Delivered, nil
+}

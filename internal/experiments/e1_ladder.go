@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// E1InvocationLadder measures the null-invocation ("noop") latency at the
+// four placements the paper's structure implies. Expected shape: each rung
+// is orders of magnitude above the last, and the bypass proxy's rung is
+// within a small constant of a plain function call — the proxy abstraction
+// costs nothing when the object is co-located.
+func E1InvocationLadder(w io.Writer, cfg Config) error {
+	header(w, "E1", "invocation-cost ladder")
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	kv := bench.NewKV()
+	ref, err := c.RT(0).Export(kv, "KV")
+	if err != nil {
+		return err
+	}
+
+	// Rung 0: plain function call on the object.
+	var direct bench.Timer
+	for i := 0; i < cfg.Ops; i++ {
+		direct.Time(func() { _, _ = kv.Invoke(ctx, "noop", nil) })
+	}
+
+	// Rung 1: bypass proxy (same context).
+	bypass, err := c.RT(0).Import(ref)
+	if err != nil {
+		return err
+	}
+	var bypassT bench.Timer
+	if err := timeInvokes(&bypassT, ctx, bypass, cfg.Ops); err != nil {
+		return err
+	}
+
+	// Rung 2: stub proxy across contexts on the same node.
+	sameNode, err := c.NewContextRuntime(0)
+	if err != nil {
+		return err
+	}
+	crossCtx, err := sameNode.Import(ref)
+	if err != nil {
+		return err
+	}
+	var crossT bench.Timer
+	if err := timeInvokes(&crossT, ctx, crossCtx, cfg.Ops); err != nil {
+		return err
+	}
+
+	// Rung 3: stub proxy across the network.
+	remote, err := c.RT(1).Import(ref)
+	if err != nil {
+		return err
+	}
+	var remoteT bench.Timer
+	if err := timeInvokes(&remoteT, ctx, remote, cfg.Ops); err != nil {
+		return err
+	}
+
+	base := direct.Summary().Mean
+	tab := bench.Table{Headers: []string{"placement", "mean", "p95", "vs direct"}}
+	for _, row := range []struct {
+		name string
+		t    *bench.Timer
+	}{
+		{"direct call", &direct},
+		{"bypass proxy (same context)", &bypassT},
+		{"stub proxy (same node, cross-context)", &crossT},
+		{"stub proxy (remote node)", &remoteT},
+	} {
+		s := row.t.Summary()
+		ratio := "1.0x"
+		if base > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(s.Mean)/float64(base))
+		}
+		tab.Add(row.name, s.Mean, s.P95, ratio)
+	}
+	tab.Print(w)
+	fmt.Fprintf(w, "(one-way link latency: %v)\n", cfg.Latency)
+	return nil
+}
+
+func timeInvokes(t *bench.Timer, ctx context.Context, p core.Proxy, ops int) error {
+	var err error
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		_, err = p.Invoke(ctx, "noop")
+		t.Record(time.Since(start))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// E2CacheCrossover runs the same seeded read/write mix through a stub
+// proxy, a callback-invalidation caching proxy, and a lease caching proxy,
+// sweeping the read fraction. Expected shape: the stub is flat (every op
+// pays the wire); caching tracks it at write-heavy mixes (plus coherence
+// overhead) and pulls away as reads dominate, with the crossover in the
+// middle of the sweep; at 100% reads the caching designs approach local
+// speed. The "wrong proxy" claim — why the *service* should choose — is
+// visible at readFraction 0, where caching is strictly worse than the
+// stub.
+func E2CacheCrossover(w io.Writer, cfg Config) error {
+	header(w, "E2", "caching-proxy crossover")
+	fractions := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}
+	tab := bench.Table{Headers: []string{"read%", "stub", "cache(callback)", "cache(lease)", "best"}}
+
+	for _, rf := range fractions {
+		stub, err := e2RunDesign(cfg, rf, nil)
+		if err != nil {
+			return fmt.Errorf("stub rf=%v: %w", rf, err)
+		}
+		cb, err := e2RunDesign(cfg, rf, cache.NewFactory(bench.KVReads()))
+		if err != nil {
+			return fmt.Errorf("callback rf=%v: %w", rf, err)
+		}
+		lease, err := e2RunDesign(cfg, rf, cache.NewFactory(bench.KVReads(),
+			cache.WithMode(cache.ModeLease), cache.WithLeaseTTL(50*time.Millisecond)))
+		if err != nil {
+			return fmt.Errorf("lease rf=%v: %w", rf, err)
+		}
+		best := "stub"
+		switch {
+		case cb <= stub && cb <= lease:
+			best = "callback"
+		case lease <= stub && lease <= cb:
+			best = "lease"
+		}
+		tab.Add(fmt.Sprintf("%.0f", rf*100), perOp(stub, cfg.Ops), perOp(cb, cfg.Ops), perOp(lease, cfg.Ops), best)
+	}
+	tab.Print(w)
+	fmt.Fprintln(w, "(per-operation mean; single client, 16-key store)")
+	return nil
+}
+
+// e2RunDesign measures one (read-fraction, proxy design) cell. A nil
+// factory means the plain stub.
+func e2RunDesign(cfg Config, readFraction float64, factory *cache.Factory) (time.Duration, error) {
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if factory != nil {
+		c.RT(0).RegisterProxyType("KV", factory)
+		c.RT(1).RegisterProxyType("KV", factory)
+	}
+	ref, err := c.RT(0).Export(bench.NewKV(), "KV")
+	if err != nil {
+		return 0, err
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		return 0, err
+	}
+	wl := bench.Mixed{ReadFraction: readFraction, Ops: cfg.Ops, Keys: 16, Seed: cfg.Seed}
+	return wl.Run(context.Background(), p)
+}
+
+func perOp(total time.Duration, ops int) time.Duration {
+	if ops == 0 {
+		return 0
+	}
+	return total / time.Duration(ops)
+}
+
+var _ core.Proxy = (*cache.Proxy)(nil)

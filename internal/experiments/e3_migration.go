@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/migrate"
+)
+
+// E3MigrationCrossover compares a stub proxy against a migratory proxy for
+// access runs of increasing length: one client performing R consecutive
+// operations on one object. Expected shape: for short runs the stub wins —
+// migration is pure overhead (and below the pull threshold never happens);
+// past the threshold the migratory proxy amortizes one state transfer and
+// every further operation is a local call, so its curve flattens while the
+// stub's grows linearly with R. The crossover sits shortly after the
+// threshold.
+func E3MigrationCrossover(w io.Writer, cfg Config) error {
+	header(w, "E3", "migratory-proxy crossover")
+	const threshold = 4
+	runs := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	tab := bench.Table{Headers: []string{"run length", "stub total", "migratory total", "migrated", "winner"}}
+
+	for _, r := range runs {
+		stub, err := e3RunStub(cfg, r)
+		if err != nil {
+			return fmt.Errorf("stub R=%d: %w", r, err)
+		}
+		mig, migrated, err := e3RunMigratory(cfg, r, threshold)
+		if err != nil {
+			return fmt.Errorf("migratory R=%d: %w", r, err)
+		}
+		winner := "stub"
+		if mig < stub {
+			winner = "migratory"
+		}
+		tab.Add(r, stub.Round(time.Microsecond), mig.Round(time.Microsecond), migrated, winner)
+	}
+	tab.Print(w)
+	fmt.Fprintf(w, "(pull threshold %d; object state ~16 keys)\n", threshold)
+	return nil
+}
+
+func e3RunStub(cfg Config, runLen int) (time.Duration, error) {
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	ref, err := c.RT(0).Export(e3Seed(), "KV")
+	if err != nil {
+		return 0, err
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		return 0, err
+	}
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < runLen; i++ {
+		if _, err := p.Invoke(ctx, "incr", "hot"); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+func e3RunMigratory(cfg Config, runLen, threshold int) (time.Duration, bool, error) {
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return 0, false, err
+	}
+	defer c.Close()
+	factory := migrate.NewFactory("KV", migrate.WithThreshold(threshold))
+	for i, rt := range c.Runtimes {
+		rt.RegisterProxyType("KV", factory)
+		host := migrate.NewHost(rt)
+		host.RegisterType("KV", func() migrate.Migratable { return bench.NewKV() })
+		factory.AttachHost(rt, host)
+		_ = i
+	}
+	ref, err := c.RT(0).Export(e3Seed(), "KV")
+	if err != nil {
+		return 0, false, err
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		return 0, false, err
+	}
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < runLen; i++ {
+		if _, err := p.Invoke(ctx, "incr", "hot"); err != nil {
+			return 0, false, err
+		}
+	}
+	elapsed := time.Since(start)
+	migrated := false
+	if mp, ok := p.(*migrate.Proxy); ok {
+		migrated = mp.IsLocal()
+	}
+	return elapsed, migrated, nil
+}
+
+// e3Seed builds the object with a little state so migration actually
+// transfers something.
+func e3Seed() *bench.KV {
+	kv := bench.NewKV()
+	for i := 0; i < 16; i++ {
+		_, _ = kv.Invoke(context.Background(), "put", []any{fmt.Sprintf("k%d", i), int64(i)})
+	}
+	return kv
+}

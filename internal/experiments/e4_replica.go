@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+// E4ReplicaScaling measures aggregate read throughput as the client count
+// grows, for stub proxies (every read crosses to the one server) versus
+// replicated proxies (every read is local). Expected shape: the stub
+// curve saturates — the server and its links are shared — while the
+// replica curve grows near-linearly with the client count.
+func E4ReplicaScaling(w io.Writer, cfg Config) error {
+	header(w, "E4", "replica read scaling")
+	counts := []int{1, 2, 4, 8, 16}
+	tab := bench.Table{Headers: []string{"clients", "stub ops/s", "replica ops/s", "speedup"}}
+
+	for _, n := range counts {
+		stubTput, err := e4Run(cfg, n, false)
+		if err != nil {
+			return fmt.Errorf("stub n=%d: %w", n, err)
+		}
+		repTput, err := e4Run(cfg, n, true)
+		if err != nil {
+			return fmt.Errorf("replica n=%d: %w", n, err)
+		}
+		tab.Add(n, fmt.Sprintf("%.0f", stubTput), fmt.Sprintf("%.0f", repTput),
+			fmt.Sprintf("%.0fx", repTput/stubTput))
+	}
+	tab.Print(w)
+	fmt.Fprintf(w, "(read-only workload, %d ops per client)\n", cfg.Ops)
+	return nil
+}
+
+func e4Run(cfg Config, clients int, replicated bool) (float64, error) {
+	// Replica reads are local (nanoseconds); run enough of them that the
+	// measurement dwarfs timer noise.
+	ops := cfg.Ops
+	if replicated {
+		ops *= 500
+	}
+	c, err := bench.NewCluster(clients+1, cfg.netOpts()...)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if replicated {
+		factory := replica.NewFactory(bench.KVReads(), func() replica.StateMachine { return bench.NewKV() })
+		for _, rt := range c.Runtimes {
+			rt.RegisterProxyType("KV", factory)
+		}
+	}
+	kv := bench.NewKV()
+	if _, err := kv.Invoke(context.Background(), "put", []any{"k", int64(1)}); err != nil {
+		return 0, err
+	}
+	ref, err := c.RT(0).Export(kv, "KV")
+	if err != nil {
+		return 0, err
+	}
+	proxies := make([]core.Proxy, clients)
+	for i := range proxies {
+		p, err := c.RT(i + 1).Import(ref)
+		if err != nil {
+			return 0, err
+		}
+		proxies[i] = p
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for _, p := range proxies {
+		wg.Add(1)
+		go func(p core.Proxy) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if _, err := p.Invoke(ctx, "get", "k"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return float64(clients*ops) / elapsed.Seconds(), nil
+}

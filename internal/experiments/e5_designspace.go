@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dsm"
+	"repro/internal/netsim"
+	"repro/internal/replica"
+)
+
+// E5DesignSpace is the measured version of the design-space comparison:
+// classic RPC stubs, caching proxies, replicated proxies, and page-based
+// DSM all run the *same* seeded 90%-read workload from three concurrent
+// clients. The table reports per-client mean op latency and the number of
+// network frames each design consumed. Expected shape: the stub pays the
+// wire on every operation (most frames, flat latency); the caching proxy
+// and the replica serve reads locally and beat it handily on this
+// read-dominated mix; DSM sits near the smart proxies while writes are
+// scattered, but its page granularity makes it the most sensitive to
+// write sharing.
+func E5DesignSpace(w io.Writer, cfg Config) error {
+	header(w, "E5", "design-space comparison")
+	const clients = 3
+	const readFraction = 0.9
+	wl := bench.Mixed{ReadFraction: readFraction, Ops: cfg.Ops, Keys: 12, Seed: cfg.Seed}
+
+	tab := bench.Table{Headers: []string{"design", "mean/op", "frames", "access method", "location strategy"}}
+
+	stub, frames, err := e5RunProxies(cfg, clients, wl, nil, nil)
+	if err != nil {
+		return fmt.Errorf("stub: %w", err)
+	}
+	tab.Add("RPC stub", stub, frames, "request/reply", "leave at origin")
+
+	cf := cache.NewFactory(bench.KVReads())
+	cached, frames, err := e5RunProxies(cfg, clients, wl, func(rt *core.Runtime) {
+		rt.RegisterProxyType("KV", cf)
+	}, nil)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tab.Add("caching proxy", cached, frames, "local cache + RPC", "cache at client")
+
+	rf := replica.NewFactory(bench.KVReads(), func() replica.StateMachine { return bench.NewKV() })
+	repl, frames, err := e5RunProxies(cfg, clients, wl, func(rt *core.Runtime) {
+		rt.RegisterProxyType("KV", rf)
+	}, nil)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	tab.Add("replicated proxy", repl, frames, "local replica", "replicate everywhere")
+
+	dsmLat, frames, err := e5RunDSM(cfg, clients, wl)
+	if err != nil {
+		return fmt.Errorf("dsm: %w", err)
+	}
+	tab.Add("DSM (page)", dsmLat, frames, "local memory", "map into client")
+
+	tab.Print(w)
+	fmt.Fprintf(w, "(%d clients, %.0f%% reads, %d ops each, 12 keys)\n", clients, readFraction*100, cfg.Ops)
+	return nil
+}
+
+// e5RunProxies measures one proxy-based design; register configures each
+// runtime's factories (nil for stubs).
+func e5RunProxies(cfg Config, clients int, wl bench.Mixed, register func(*core.Runtime), _ any) (time.Duration, uint64, error) {
+	c, err := bench.NewCluster(clients+1, cfg.netOpts()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	if register != nil {
+		for _, rt := range c.Runtimes {
+			register(rt)
+		}
+	}
+	ref, err := c.RT(0).Export(bench.NewKV(), "KV")
+	if err != nil {
+		return 0, 0, err
+	}
+	proxies := make([]core.Proxy, clients)
+	for i := range proxies {
+		p, err := c.RT(i + 1).Import(ref)
+		if err != nil {
+			return 0, 0, err
+		}
+		proxies[i] = p
+	}
+	before := c.Net.Snapshot()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	totals := make([]time.Duration, clients)
+	for i, p := range proxies {
+		wg.Add(1)
+		go func(i int, p core.Proxy) {
+			defer wg.Done()
+			w := wl
+			w.Seed += int64(i) // distinct but reproducible per client
+			d, err := w.Run(ctx, p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			totals[i] = d
+		}(i, p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, 0, err
+	}
+	after := c.Net.Snapshot()
+	return meanPerOp(totals, wl.Ops), after.Sent - before.Sent, nil
+}
+
+// e5RunDSM drives the identical op sequence against the DSM comparator:
+// each key maps to its own page, a read is a page read, a write stores the
+// value in the page's first eight bytes.
+func e5RunDSM(cfg Config, clients int, wl bench.Mixed) (time.Duration, uint64, error) {
+	c, err := bench.NewCluster(clients+1, cfg.netOpts()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	manager := dsm.NewManager(c.RT(0), dsm.WithPageSize(64))
+	agents := make([]*dsm.Agent, clients)
+	for i := range agents {
+		agents[i] = dsm.NewAgent(c.RT(i+1), manager.Addr())
+	}
+	before := c.Net.Snapshot()
+
+	pageFor := func(key string) dsm.PageID {
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint64(key[i])) * 1099511628211
+		}
+		return dsm.PageID(h % 64)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	totals := make([]time.Duration, clients)
+	for i, ag := range agents {
+		wg.Add(1)
+		go func(i int, ag *dsm.Agent) {
+			defer wg.Done()
+			w := wl
+			w.Seed += int64(i)
+			d, err := w.RunFunc(ctx,
+				func(ctx context.Context, key string) error {
+					_, err := ag.Read(ctx, pageFor(key))
+					return err
+				},
+				func(ctx context.Context, key string, v int64) error {
+					return ag.Write(ctx, pageFor(key), func(p []byte) {
+						p[0], p[1], p[2], p[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+					})
+				})
+			if err != nil {
+				errs <- err
+				return
+			}
+			totals[i] = d
+		}(i, ag)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, 0, err
+	}
+	after := c.Net.Snapshot()
+	return meanPerOp(totals, wl.Ops), after.Sent - before.Sent, nil
+}
+
+func meanPerOp(totals []time.Duration, ops int) time.Duration {
+	var sum time.Duration
+	for _, d := range totals {
+		sum += d
+	}
+	if len(totals) == 0 || ops == 0 {
+		return 0
+	}
+	return sum / time.Duration(len(totals)*ops)
+}
+
+var _ = netsim.LinkConfig{}

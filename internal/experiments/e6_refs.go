@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// roomService is the Exportable object handed out by reference.
+type e6Room struct {
+	id int64
+}
+
+func (r *e6Room) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if method == "id" {
+		return []any{r.id}, nil
+	}
+	return nil, core.NoSuchMethod(method)
+}
+
+func (r *e6Room) ProxyType() string { return "E6Room" }
+
+// e6Spawner returns n fresh rooms by reference in a single reply.
+type e6Spawner struct {
+	next int64
+}
+
+func (s *e6Spawner) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if method != "spawn" {
+		return nil, core.NoSuchMethod(method)
+	}
+	n, _ := args[0].(int64)
+	out := make([]any, n)
+	for i := range out {
+		s.next++
+		out[i] = &e6Room{id: s.next}
+	}
+	return []any{out}, nil
+}
+
+// E6RefExport measures the paper's Figure-2 mechanism quantitatively: a
+// single invocation whose reply carries N object references, each of which
+// the importing context turns into a live proxy. Expected shape: the cost
+// is one round trip plus a small per-reference install cost that grows
+// linearly in N; invoking any returned proxy immediately works.
+func E6RefExport(w io.Writer, cfg Config) error {
+	header(w, "E6", "reference passing installs proxies")
+	fanouts := []int{1, 2, 4, 8, 16, 32, 64}
+	tab := bench.Table{Headers: []string{"refs/reply", "total", "per ref over base", "first invoke"}}
+
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ref, err := c.RT(0).Export(&e6Spawner{}, "Spawner")
+	if err != nil {
+		return err
+	}
+	sp, err := c.RT(1).Import(ref)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	// Base: the fan-out-1 round trip, to isolate the per-ref increment.
+	var base time.Duration
+	for _, n := range fanouts {
+		start := time.Now()
+		res, err := sp.Invoke(ctx, "spawn", int64(n))
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		rooms := res[0].([]any)
+		if len(rooms) != n {
+			return fmt.Errorf("spawn(%d) returned %d rooms", n, len(rooms))
+		}
+		last, ok := rooms[n-1].(core.Proxy)
+		if !ok {
+			return fmt.Errorf("room is %T, want Proxy", rooms[n-1])
+		}
+		invStart := time.Now()
+		if _, err := last.Invoke(ctx, "id"); err != nil {
+			return err
+		}
+		firstInvoke := time.Since(invStart)
+		if n == 1 {
+			base = elapsed
+		}
+		perRef := "-"
+		if n > 1 && elapsed > base {
+			perRef = ((elapsed - base) / time.Duration(n-1)).Round(100 * time.Nanosecond).String()
+		}
+		tab.Add(n, elapsed.Round(time.Microsecond), perRef, firstInvoke.Round(time.Microsecond))
+	}
+	tab.Print(w)
+	fmt.Fprintf(w, "(importer proxies installed: %d)\n", c.RT(1).ProxyCount())
+	return nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// E8Marshalling separates the cost of the proxy machinery from the cost of
+// the bytes: encode/decode throughput of the codec alone, and end-to-end
+// invocation latency as the payload grows. Expected shape: codec
+// throughput is roughly constant in MB/s (linear cost in payload size),
+// and end-to-end latency is the fixed protocol cost plus the linear byte
+// cost — i.e. the marshalling layer, not the proxy indirection, is what
+// scales with payload.
+func E8Marshalling(w io.Writer, cfg Config) error {
+	header(w, "E8", "marshalling cost vs payload")
+	sizes := []int{16, 256, 4 << 10, 64 << 10}
+
+	tab := bench.Table{Headers: []string{"payload", "encode+decode", "codec MB/s", "end-to-end call"}}
+	c, err := bench.NewCluster(2, cfg.netOpts()...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	echo := core.ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return args, nil
+	})
+	ref, err := c.RT(0).Export(echo, "Echo")
+	if err != nil {
+		return err
+	}
+	p, err := c.RT(1).Import(ref)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	for _, size := range sizes {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+
+		// Codec alone.
+		iters := cfg.Ops
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			buf, err := codec.EncodeArgs("echo", payload)
+			if err != nil {
+				return err
+			}
+			if _, err := codec.DecodeArgs(buf); err != nil {
+				return err
+			}
+		}
+		codecTotal := time.Since(start)
+		perIter := codecTotal / time.Duration(iters)
+		mbps := float64(size*iters) / codecTotal.Seconds() / (1 << 20)
+
+		// End to end through the stub proxy.
+		var timer bench.Timer
+		calls := 50
+		for i := 0; i < calls; i++ {
+			s := time.Now()
+			if _, err := p.Invoke(ctx, "echo", payload); err != nil {
+				return err
+			}
+			timer.Record(time.Since(s))
+		}
+		tab.Add(fmtBytes(size), perIter, fmt.Sprintf("%.0f", mbps), timer.Summary().Mean)
+	}
+	tab.Print(w)
+	return nil
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

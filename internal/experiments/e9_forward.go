@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/migrate"
+)
+
+// E9ForwardingChains migrates one object through k homes and then invokes
+// it through a proxy still holding the *original* reference. Expected
+// shape: the first invocation's latency grows linearly with k (it chases
+// every tombstone), and because the stub rebinds as it goes, the second
+// invocation is one hop regardless of k — chain compression. The
+// no-compression ablation re-imports a fresh proxy for every call and
+// pays the whole chain every time.
+func E9ForwardingChains(w io.Writer, cfg Config) error {
+	header(w, "E9", "forwarding chains and compression")
+	hops := []int{0, 1, 2, 4, 8, 16, 32}
+	tab := bench.Table{Headers: []string{"migrations", "1st call (chases chain)", "2nd call (rebound)", "no-compression call"}}
+
+	for _, k := range hops {
+		first, second, uncompressed, err := e9Run(cfg, k)
+		if err != nil {
+			return fmt.Errorf("k=%d: %w", k, err)
+		}
+		tab.Add(k, first, second, uncompressed)
+	}
+	tab.Print(w)
+	fmt.Fprintln(w, "(stubs rebind on KindForward; re-imports pay the chain again)")
+	return nil
+}
+
+func e9Run(cfg Config, k int) (first, second, uncompressed time.Duration, err error) {
+	// k+2 nodes: the chain of homes plus a client.
+	c, err := bench.NewCluster(k+2, cfg.netOpts()...)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer c.Close()
+
+	hosts := make([]*migrate.Host, k+1)
+	for i := 0; i <= k; i++ {
+		hosts[i] = migrate.NewHost(c.RT(i))
+		hosts[i].RegisterType("KV", func() migrate.Migratable { return bench.NewKV() })
+	}
+
+	svc := bench.NewKV()
+	origRef, err := c.RT(0).Export(svc, "KV")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ctx := context.Background()
+
+	// Walk the object through k homes.
+	var cur migrate.Migratable = svc
+	curRT := c.RT(0)
+	for hop := 1; hop <= k; hop++ {
+		newRef, err := migrate.Move(ctx, curRT, cur, "KV", "KV", hosts[hop].Addr())
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("hop %d: %w", hop, err)
+		}
+		next, ok := c.RT(hop).LocalService(newRef)
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("hop %d: instance not found", hop)
+		}
+		cur = next.(*bench.KV)
+		curRT = c.RT(hop)
+	}
+
+	client := c.RT(k + 1)
+	p, err := client.Import(origRef)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	if _, err := p.Invoke(ctx, "noop"); err != nil {
+		return 0, 0, 0, err
+	}
+	first = time.Since(start)
+	start = time.Now()
+	if _, err := p.Invoke(ctx, "noop"); err != nil {
+		return 0, 0, 0, err
+	}
+	second = time.Since(start)
+
+	// Ablation: a fresh stub per call never benefits from rebinding.
+	fresh := core.NewStub(client, codec.Ref{Target: origRef.Target, Type: origRef.Type})
+	start = time.Now()
+	if _, err := fresh.Invoke(ctx, "noop"); err != nil {
+		return 0, 0, 0, err
+	}
+	uncompressed = time.Since(start)
+	return first, second, uncompressed, nil
+}

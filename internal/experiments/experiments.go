@@ -1,0 +1,70 @@
+// Package experiments implements the reproduction suite E1–E10 described
+// in EXPERIMENTS.md: each experiment builds its world on the simulated
+// network, runs the sweep, and renders the table or series the paper's
+// claims predict. cmd/proxybench runs them all; the root bench_test.go
+// exposes a testing.B benchmark per experiment.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Config tunes the whole suite.
+type Config struct {
+	// Latency is the one-way link latency of the simulated LAN.
+	Latency time.Duration
+	// Ops is the per-measurement operation count.
+	Ops int
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// DefaultConfig is what cmd/proxybench uses.
+func DefaultConfig() Config {
+	return Config{
+		Latency: 500 * time.Microsecond,
+		Ops:     400,
+		Seed:    1,
+	}
+}
+
+func (c Config) netOpts() []netsim.Option {
+	return []netsim.Option{
+		netsim.WithDefaultLink(netsim.LinkConfig{Latency: c.Latency}),
+		netsim.WithSeed(c.Seed),
+	}
+}
+
+// Experiment is one runnable entry in the suite.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, cfg Config) error
+}
+
+// All returns the suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Invocation-cost ladder (local / bypass / cross-context / remote)", E1InvocationLadder},
+		{"E2", "Caching proxy vs stub across read/write mix (crossover)", E2CacheCrossover},
+		{"E3", "Migratory proxy vs stub across access-run length (crossover)", E3MigrationCrossover},
+		{"E4", "Replicated proxy read scaling with client count", E4ReplicaScaling},
+		{"E5", "Design-space: RPC vs smart proxies vs DSM on one workload", E5DesignSpace},
+		{"E6", "Reference passing installs proxies (fan-out cost)", E6RefExport},
+		{"E7", "At-most-once under message loss", E7AtMostOnce},
+		{"E8", "Marshalling cost scales with payload", E8Marshalling},
+		{"E9", "Forwarding chains after k migrations, with rebind compression", E9ForwardingChains},
+		{"E10", "Invalidation cost vs sharer-set size (sync vs async)", E10InvalidationStorm},
+		{"E11", "Batching-proxy amortization (extension)", E11BatchingAmortization},
+		{"E12", "Pub/sub fan-out (extension)", E12PubSubFanout},
+	}
+}
+
+// header prints a uniform experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps the suite fast enough for CI while still exercising
+// every code path.
+func tinyConfig() Config {
+	return Config{
+		Latency: 50 * time.Microsecond,
+		Ops:     24,
+		Seed:    1,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			if err := e.Run(io.Discard, tinyConfig()); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+		})
+	}
+}
+
+func TestSuiteIsComplete(t *testing.T) {
+	ids := make(map[string]bool)
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for i := 1; i <= 12; i++ {
+		id := fmt.Sprintf("E%d", i)
+		if !ids[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestExperimentOutputHasTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := E1InvocationLadder(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== E1", "placement", "direct call", "remote node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q:\n%s", want, out)
+		}
+	}
+}

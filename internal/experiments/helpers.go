@@ -1,0 +1,12 @@
+package experiments
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+)
+
+// kernelNode wraps kernel.NewNode for experiment fixtures built outside
+// bench.Cluster (those needing per-runtime client options).
+func kernelNode(ep netsim.Endpoint) *kernel.Node {
+	return kernel.NewNode(ep)
+}

@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func generate(t *testing.T, src string) (string, error) {
+	t.Helper()
+	out, err := Generate("test.go", []byte(src))
+	return string(out), err
+}
+
+const header = "package x\n\nimport \"context\"\n\n"
+
+func TestGenerateBasic(t *testing.T) {
+	out, err := generate(t, header+`
+//proxygen:service
+type Greeter interface {
+	Greet(ctx context.Context, name string) (string, error)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"type GreeterClient struct{ P core.Proxy }",
+		"func (c GreeterClient) Greet(ctx context.Context, name string) (string, error)",
+		"func NewGreeterDispatcher(impl Greeter) core.Service",
+		`case "Greet":`,
+		"core.NoSuchMethod(method)",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestGenerateGroupedParamsAndMultiReturn(t *testing.T) {
+	out, err := generate(t, header+`
+//proxygen:service
+type M interface {
+	F(ctx context.Context, a, b int64) (int64, string, error)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "F(ctx context.Context, a int64, b int64) (int64, string, error)") {
+		t.Errorf("grouped params not flattened:\n%s", out)
+	}
+}
+
+func TestGenerateUnnamedParams(t *testing.T) {
+	out, err := generate(t, header+`
+//proxygen:service
+type M interface {
+	F(context.Context, int64) (int64, error)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "arg0 int64") {
+		t.Errorf("unnamed param not synthesized:\n%s", out)
+	}
+}
+
+func TestGenerateImportPropagation(t *testing.T) {
+	out, err := generate(t, `package x
+
+import (
+	"context"
+	"time"
+)
+
+//proxygen:service
+type M interface {
+	At(ctx context.Context, when time.Time) (time.Time, error)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\"time\"") {
+		t.Errorf("time import not propagated:\n%s", out)
+	}
+}
+
+func TestGenerateSkipsUnmarkedInterfaces(t *testing.T) {
+	_, err := generate(t, header+`
+type NotAService interface {
+	F(ctx context.Context) error
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "no interfaces marked") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name, body, wantErr string
+	}{
+		{"missing context", `F(a int64) error`, "context.Context as its first parameter"},
+		{"missing error", `F(ctx context.Context) int64`, "error as its last result"},
+		{"no results", `F(ctx context.Context)`, "error as its last result"},
+		{"error not last", `F(ctx context.Context) (error, int64)`, "error as its last result"},
+		{"mid error", `F(ctx context.Context) (int64, error, error)`, "only return error in the final position"},
+		{"too many results", `F(ctx context.Context) (int64, int64, int64, int64, int64, error)`, "at most 4"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := generate(t, header+"//proxygen:service\ntype M interface {\n\t"+tt.body+"\n}\n")
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want contains %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsEmbedded(t *testing.T) {
+	_, err := generate(t, header+`
+type Base interface {
+	F(ctx context.Context) error
+}
+
+//proxygen:service
+type M interface {
+	Base
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "embeds other interfaces") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGenerateRejectsEmptyInterface(t *testing.T) {
+	_, err := generate(t, header+`
+//proxygen:service
+type M interface{}
+`)
+	if err == nil || !strings.Contains(err.Error(), "no methods") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGenerateParseError(t *testing.T) {
+	if _, err := generate(t, "not go"); err == nil {
+		t.Error("parse garbage succeeded")
+	}
+}
+
+func TestQualifiersIn(t *testing.T) {
+	tests := map[string][]string{
+		"time.Time":        {"time"},
+		"[]time.Time":      {"time"},
+		"map[string]pkg.T": {"pkg"},
+		"int64":            nil,
+		"map[foo.K]bar.V":  {"foo", "bar"},
+		"*big.Int":         {"big"},
+	}
+	for typ, want := range tests {
+		got := qualifiersIn(typ)
+		if len(got) != len(want) {
+			t.Errorf("qualifiersIn(%q) = %v, want %v", typ, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("qualifiersIn(%q) = %v, want %v", typ, got, want)
+			}
+		}
+	}
+}

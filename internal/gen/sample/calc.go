@@ -1,0 +1,30 @@
+// Package sample is the proxygen stub compiler's reference input: the
+// Calculator interface below is annotated for generation, and calc_gen.go
+// is the committed output (TestGeneratedCodeIsCurrent regenerates it and
+// fails on drift).
+package sample
+
+import "context"
+
+// Point exercises struct parameters and results through the generated
+// stubs.
+type Point struct {
+	X int64
+	Y int64
+}
+
+// Calculator is the sample service definition.
+//
+//proxygen:service
+type Calculator interface {
+	// Add sums two integers.
+	Add(ctx context.Context, a, b int64) (int64, error)
+	// Concat joins strings with a separator.
+	Concat(ctx context.Context, parts []string, sep string) (string, error)
+	// Translate shifts a point and also reports its manhattan norm.
+	Translate(ctx context.Context, p Point, dx, dy int64) (Point, int64, error)
+	// Reset clears the accumulator.
+	Reset(ctx context.Context) error
+	// Total reports the accumulator.
+	Total(ctx context.Context) (int64, error)
+}

@@ -1,0 +1,158 @@
+package sample
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+)
+
+// calcImpl is a real implementation of Calculator.
+type calcImpl struct {
+	mu    sync.Mutex
+	total int64
+}
+
+func (c *calcImpl) Add(ctx context.Context, a, b int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total += a + b
+	return a + b, nil
+}
+
+func (c *calcImpl) Concat(ctx context.Context, parts []string, sep string) (string, error) {
+	if len(parts) == 0 {
+		return "", errors.New("nothing to concat")
+	}
+	return strings.Join(parts, sep), nil
+}
+
+func (c *calcImpl) Translate(ctx context.Context, p Point, dx, dy int64) (Point, int64, error) {
+	out := Point{X: p.X + dx, Y: p.Y + dy}
+	norm := out.X + out.Y
+	if norm < 0 {
+		norm = -norm
+	}
+	return out, norm, nil
+}
+
+func (c *calcImpl) Reset(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total = 0
+	return nil
+}
+
+func (c *calcImpl) Total(ctx context.Context) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total, nil
+}
+
+// client builds a generated client talking to a generated dispatcher over
+// the simulated network.
+func client(t *testing.T) CalculatorClient {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	mk := func(id uint32) *core.Runtime {
+		ep, err := net.Attach(wireNode(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewRuntime(ktx)
+	}
+	server, cli := mk(1), mk(2)
+	ref, err := server.Export(NewCalculatorDispatcher(&calcImpl{}), "Calculator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cli.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CalculatorClient{P: p}
+}
+
+func TestGeneratedRoundTrip(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+
+	sum, err := c.Add(ctx, 2, 40)
+	if err != nil || sum != 42 {
+		t.Fatalf("Add = %d, %v", sum, err)
+	}
+	s, err := c.Concat(ctx, []string{"a", "b", "c"}, "-")
+	if err != nil || s != "a-b-c" {
+		t.Fatalf("Concat = %q, %v", s, err)
+	}
+	pt, norm, err := c.Translate(ctx, Point{X: 1, Y: 2}, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt != (Point{X: 11, Y: 22}) || norm != 33 {
+		t.Errorf("Translate = %+v, %d", pt, norm)
+	}
+	total, err := c.Total(ctx)
+	if err != nil || total != 42 {
+		t.Fatalf("Total = %d, %v", total, err)
+	}
+	if err := c.Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+	total, err = c.Total(ctx)
+	if err != nil || total != 0 {
+		t.Fatalf("Total after Reset = %d, %v", total, err)
+	}
+}
+
+func TestGeneratedErrorsPropagate(t *testing.T) {
+	c := client(t)
+	_, err := c.Concat(context.Background(), nil, "-")
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeApp {
+		t.Errorf("Concat error = %v", err)
+	}
+	// Unknown methods through the raw proxy hit the dispatcher's default.
+	_, err = c.P.Invoke(context.Background(), "Quux")
+	if !errors.As(err, &ie) || ie.Code != core.CodeNoSuchMethod {
+		t.Errorf("Quux error = %v", err)
+	}
+	// Wrong arity is a BadArgs at the dispatcher.
+	_, err = c.P.Invoke(context.Background(), "Add", int64(1))
+	if !errors.As(err, &ie) || ie.Code != core.CodeBadArgs {
+		t.Errorf("short Add error = %v", err)
+	}
+}
+
+func TestGeneratedCodeIsCurrent(t *testing.T) {
+	src, err := os.ReadFile("calc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.Generate("calc.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("calc_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("calc_gen.go is stale; rerun: go run ./cmd/proxygen -in internal/gen/sample/calc.go")
+	}
+}

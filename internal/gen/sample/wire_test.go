@@ -1,0 +1,6 @@
+package sample
+
+import "repro/internal/wire"
+
+// wireNode converts a test-local uint32 into the wire node id type.
+func wireNode(id uint32) wire.NodeID { return wire.NodeID(id) }

@@ -1,0 +1,399 @@
+// Package group implements process-group communication: membership plus
+// sequencer-based totally-ordered broadcast. One context runs the
+// Sequencer; any number of Members join it. Every broadcast is assigned a
+// sequence number by the sequencer and delivered to all members in
+// sequence order, regardless of network reordering — the delivery
+// machinery buffers gaps. The replication layer (internal/replica) builds
+// state-machine replication directly on this.
+package group
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Protocol kinds. They are exported so a service may implement the
+// sequencer's join side itself (internal/replica's primary does: its
+// replicated proxies join it as ordinary group members).
+const (
+	// KindJoin asks to join the group; the reply is EncodeJoinReply data.
+	KindJoin = wire.KindCustom + 30
+	// KindLeave departs the group.
+	KindLeave = wire.KindCustom + 31
+	// KindBcast asks the sequencer to order and deliver a payload.
+	KindBcast = wire.KindCustom + 32
+	// KindDeliver carries one ordered payload to a member.
+	KindDeliver = wire.KindCustom + 33
+)
+
+// Errors returned by the group layer.
+var (
+	// ErrNotMember reports an operation before Join or after Leave.
+	ErrNotMember = errors.New("group: not a member")
+)
+
+// defaultDeliverTimeout bounds one member's acknowledgement of a delivery
+// unless WithDeliverTimeout overrides it.
+const defaultDeliverTimeout = 5 * time.Second
+
+// SequencerOption configures a Sequencer.
+type SequencerOption func(*Sequencer)
+
+// WithDeliverTimeout overrides how long the sequencer waits for one
+// member to acknowledge a delivery before suspecting it dead (default 5s;
+// tests shrink it to exercise eviction quickly).
+func WithDeliverTimeout(d time.Duration) SequencerOption {
+	return func(s *Sequencer) {
+		if d > 0 {
+			s.deliverTimeout = d
+		}
+	}
+}
+
+// WithOnJoin installs a callback invoked (under no locks) whenever a member
+// joins; its return value is handed to the joiner as bootstrap state (the
+// replica layer ships a state snapshot this way). The uint64 is the
+// sequence number the snapshot corresponds to.
+func WithOnJoin(fn func(member wire.ObjAddr) (uint64, []byte, error)) SequencerOption {
+	return func(s *Sequencer) { s.onJoin = fn }
+}
+
+// Sequencer orders broadcasts for one group. Register its Handler in a
+// kernel context and hand out its address.
+type Sequencer struct {
+	rt             *core.Runtime
+	onJoin         func(wire.ObjAddr) (uint64, []byte, error)
+	deliverTimeout time.Duration
+
+	mu      sync.Mutex
+	seq     uint64
+	members map[wire.ObjAddr]bool
+
+	srv *rpc.Server
+	id  wire.ObjectID
+}
+
+// NewSequencer creates a sequencer and registers its control object in
+// rt's context.
+func NewSequencer(rt *core.Runtime, opts ...SequencerOption) *Sequencer {
+	s := &Sequencer{
+		rt:             rt,
+		members:        make(map[wire.ObjAddr]bool),
+		deliverTimeout: defaultDeliverTimeout,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.srv = rpc.NewServer(rpc.HandlerFunc(s.handle))
+	s.id = rt.Kernel().Register(s.srv)
+	return s
+}
+
+// Addr is the sequencer's control address, which members join.
+func (s *Sequencer) Addr() wire.ObjAddr {
+	return wire.ObjAddr{Addr: s.rt.Addr(), Object: s.id}
+}
+
+// Members reports the current membership size.
+func (s *Sequencer) Members() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.members)
+}
+
+// Seq reports the last assigned sequence number.
+func (s *Sequencer) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+func (s *Sequencer) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	switch req.Kind {
+	case KindJoin:
+		member, _, err := wire.DecodeObjAddr(req.Frame.Payload)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("join", err)
+		}
+		var bootSeq uint64
+		var boot []byte
+		s.mu.Lock()
+		if s.onJoin == nil {
+			bootSeq = s.seq
+			s.members[member] = true
+			s.mu.Unlock()
+		} else {
+			// Hold the lock across the snapshot so no broadcast can slip
+			// between the snapshot's sequence point and membership.
+			var err error
+			bootSeq, boot, err = s.onJoin(member)
+			if err != nil {
+				s.mu.Unlock()
+				return 0, nil, core.EncodeInvokeError("join", err)
+			}
+			s.members[member] = true
+			s.mu.Unlock()
+		}
+		reply, err := codec.Append(nil, []any{bootSeq, boot})
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("join", err)
+		}
+		return KindJoin, reply, nil
+	case KindLeave:
+		member, _, err := wire.DecodeObjAddr(req.Frame.Payload)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("leave", err)
+		}
+		s.mu.Lock()
+		delete(s.members, member)
+		s.mu.Unlock()
+		return KindLeave, nil, nil
+	case KindBcast:
+		seq, err := s.Broadcast(context.Background(), req.Frame.Payload)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("bcast", err)
+		}
+		return KindBcast, wire.AppendUvarint(nil, seq), nil
+	default:
+		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "group: unexpected kind %v", req.Kind))
+	}
+}
+
+// Broadcast assigns the next sequence number to payload and delivers it to
+// every member, blocking until all reachable members acknowledge. Members
+// that fail to acknowledge within the delivery timeout are dropped from
+// the group (fail-stop suspicion).
+func (s *Sequencer) Broadcast(ctx context.Context, payload []byte) (uint64, error) {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	targets := make([]wire.ObjAddr, 0, len(s.members))
+	for m := range s.members {
+		targets = append(targets, m)
+	}
+	s.mu.Unlock()
+
+	msg, err := deliverMessage(seq, payload)
+	if err != nil {
+		return 0, fmt.Errorf("group: encode deliver: %w", err)
+	}
+	var wg sync.WaitGroup
+	var failedMu sync.Mutex
+	var failed []wire.ObjAddr
+	for _, m := range targets {
+		wg.Add(1)
+		go func(m wire.ObjAddr) {
+			defer wg.Done()
+			dctx, cancel := context.WithTimeout(ctx, s.deliverTimeout)
+			defer cancel()
+			if _, err := s.rt.Client().Call(dctx, m, KindDeliver, msg); err != nil {
+				failedMu.Lock()
+				failed = append(failed, m)
+				failedMu.Unlock()
+			}
+		}(m)
+	}
+	wg.Wait()
+	if len(failed) > 0 {
+		s.mu.Lock()
+		for _, m := range failed {
+			delete(s.members, m)
+		}
+		s.mu.Unlock()
+	}
+	return seq, nil
+}
+
+// MemberOption configures a Member.
+type MemberOption func(*Member)
+
+// Member is one group participant: it registers a delivery object, joins
+// the sequencer, and hands ordered payloads to the deliver callback.
+// The callback runs on the delivery path, one payload at a time, in
+// sequence order.
+type Member struct {
+	rt      *core.Runtime
+	seqAddr wire.ObjAddr
+	deliver func(seq uint64, payload []byte)
+
+	// deliverMu serializes the drain-and-callback path so payloads reach
+	// the callback strictly in sequence order even when deliveries race.
+	deliverMu sync.Mutex
+
+	mu      sync.Mutex
+	next    uint64 // next sequence number to deliver
+	pending map[uint64][]byte
+	joined  bool
+	id      wire.ObjectID
+
+	delivered uint64
+	buffered  uint64
+}
+
+// Join creates a member, registers its delivery object, and joins the
+// group at seqAddr. The returned bootstrap blob is whatever the
+// sequencer's WithOnJoin callback produced (nil without one). deliver
+// receives every broadcast ordered by sequence number, starting after the
+// bootstrap point.
+func Join(ctx context.Context, rt *core.Runtime, seqAddr wire.ObjAddr, deliver func(seq uint64, payload []byte), opts ...MemberOption) (*Member, []byte, error) {
+	m := &Member{
+		rt:      rt,
+		seqAddr: seqAddr,
+		deliver: deliver,
+		pending: make(map[uint64][]byte),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	srv := rpc.NewServer(rpc.HandlerFunc(m.handleDeliver))
+	m.id = rt.Kernel().Register(srv)
+	self := wire.ObjAddr{Addr: rt.Addr(), Object: m.id}
+
+	reply, err := rt.Client().Call(ctx, seqAddr, KindJoin, wire.AppendObjAddr(nil, self))
+	if err != nil {
+		rt.Kernel().Unregister(m.id)
+		return nil, nil, fmt.Errorf("group: join: %w", err)
+	}
+	vals, err := codec.DecodeArgs(reply)
+	if err != nil || len(vals) != 2 {
+		rt.Kernel().Unregister(m.id)
+		return nil, nil, fmt.Errorf("group: malformed join reply")
+	}
+	bootSeq, _ := vals[0].(uint64)
+	boot, _ := vals[1].([]byte)
+	m.mu.Lock()
+	m.next = bootSeq + 1
+	m.joined = true
+	m.mu.Unlock()
+	return m, boot, nil
+}
+
+// Self is the member's delivery address (its group identity).
+func (m *Member) Self() wire.ObjAddr {
+	return wire.ObjAddr{Addr: m.rt.Addr(), Object: m.id}
+}
+
+// handleDeliver processes one delivery, reordering as needed.
+func (m *Member) handleDeliver(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	vals, err := codec.DecodeArgs(req.Frame.Payload)
+	if err != nil || len(vals) != 2 {
+		return 0, nil, core.EncodeInvokeError("deliver", core.Errorf(core.CodeBadArgs, "deliver", "malformed delivery"))
+	}
+	seq, _ := vals[0].(uint64)
+	payload, _ := vals[1].([]byte)
+
+	m.deliverMu.Lock()
+	defer m.deliverMu.Unlock()
+
+	m.mu.Lock()
+	if seq < m.next {
+		// Duplicate of something already delivered: ack and drop.
+		m.mu.Unlock()
+		return KindDeliver, nil, nil
+	}
+	m.pending[seq] = payload
+	if seq != m.next {
+		m.buffered++
+	}
+	// Drain everything now in order.
+	var ready [][2]any
+	for {
+		p, ok := m.pending[m.next]
+		if !ok {
+			break
+		}
+		delete(m.pending, m.next)
+		ready = append(ready, [2]any{m.next, p})
+		m.next++
+		m.delivered++
+	}
+	m.mu.Unlock()
+
+	for _, r := range ready {
+		m.deliver(r[0].(uint64), r[1].([]byte))
+	}
+	return KindDeliver, nil, nil
+}
+
+// Broadcast sends payload through the sequencer, returning its sequence
+// number once every member (including this one) has acknowledged delivery.
+func (m *Member) Broadcast(ctx context.Context, payload []byte) (uint64, error) {
+	m.mu.Lock()
+	joined := m.joined
+	m.mu.Unlock()
+	if !joined {
+		return 0, ErrNotMember
+	}
+	reply, err := m.rt.Client().Call(ctx, m.seqAddr, KindBcast, payload)
+	if err != nil {
+		return 0, err
+	}
+	seq, _, err := wire.Uvarint(reply)
+	if err != nil {
+		return 0, fmt.Errorf("group: malformed bcast reply: %w", err)
+	}
+	return seq, nil
+}
+
+// Stats reports (delivered in order, arrived out of order and buffered).
+func (m *Member) Stats() (delivered, buffered uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered, m.buffered
+}
+
+// Leave departs the group and releases the delivery object.
+func (m *Member) Leave(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.joined {
+		m.mu.Unlock()
+		return ErrNotMember
+	}
+	m.joined = false
+	m.mu.Unlock()
+	_, err := m.rt.Client().Call(ctx, m.seqAddr, KindLeave, wire.AppendObjAddr(nil, m.Self()))
+	m.rt.Kernel().Unregister(m.id)
+	return err
+}
+
+// deliverMessage encodes one ordered delivery: [seq, payload].
+func deliverMessage(seq uint64, payload []byte) ([]byte, error) {
+	return codec.Append(nil, []any{seq, payload})
+}
+
+// EncodeJoinReply builds the reply a join handler sends to a joining
+// Member: the sequence number its bootstrap state corresponds to, plus the
+// bootstrap blob itself. Services that front a sequencer (replica's
+// primary) answer KindJoin frames with this.
+func EncodeJoinReply(bootSeq uint64, boot []byte) ([]byte, error) {
+	return codec.Append(nil, []any{bootSeq, boot})
+}
+
+// AddMember inserts a member directly (used by services that handle the
+// join protocol themselves and coordinate their own snapshot/sequence
+// atomicity before calling this).
+func (s *Sequencer) AddMember(m wire.ObjAddr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[m] = true
+}
+
+// RemoveMember deletes a member directly.
+func (s *Sequencer) RemoveMember(m wire.ObjAddr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.members, m)
+}
+
+// The sequencer and member objects plug straight into the kernel as
+// handlers via rpc.Server.
+var _ kernel.Handler = (*rpc.Server)(nil)

@@ -1,0 +1,461 @@
+// Package kernel implements the node/context runtime the proxy principle
+// assumes: nodes host contexts (address spaces), contexts host objects, and
+// the kernel's only job is to move frames between objects. It provides
+// request/reply correlation but deliberately does not interpret payloads —
+// invocation semantics live in the layers above (rpc, core), and
+// service-private protocols pass through unexamined.
+package kernel
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Handler receives the frames addressed to one object. Implementations are
+// invoked concurrently and must do their own locking. The frame is owned by
+// the handler (it will not be reused by the kernel).
+type Handler interface {
+	HandleFrame(ktx *Context, f *wire.Frame)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ktx *Context, f *wire.Frame)
+
+// HandleFrame implements Handler.
+func (fn HandlerFunc) HandleFrame(ktx *Context, f *wire.Frame) { fn(ktx, f) }
+
+// Errors returned by kernel operations.
+var (
+	ErrClosed       = errors.New("kernel: closed")
+	ErrNoContext    = errors.New("kernel: no such context")
+	ErrNoObject     = errors.New("kernel: no such object")
+	ErrObjectExists = errors.New("kernel: object id already registered")
+)
+
+// RemoteError is the error a Call returns when the far side answered with a
+// KindError frame. Payload carries the codec-encoded error description.
+type RemoteError struct {
+	From    wire.Addr
+	Payload []byte
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("kernel: remote error from %s (%d bytes)", e.From, len(e.Payload))
+}
+
+// NodeOption configures a Node.
+type NodeOption func(*Node)
+
+// WithDispatchLimit bounds concurrently-running handlers (default 512).
+func WithDispatchLimit(n int) NodeOption {
+	return func(nd *Node) {
+		if n > 0 {
+			nd.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// TraceDirection labels a traced frame's direction relative to this node.
+type TraceDirection uint8
+
+// Trace directions.
+const (
+	// TraceSend is an outbound frame leaving any of the node's contexts.
+	TraceSend TraceDirection = iota + 1
+	// TraceRecv is an inbound frame about to be routed.
+	TraceRecv
+)
+
+// String names the direction.
+func (d TraceDirection) String() string {
+	switch d {
+	case TraceSend:
+		return "send"
+	case TraceRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// WithTrace installs an observability hook called for every frame the node
+// sends or receives. The hook runs on the hot path and must be fast; the
+// frame must not be retained or mutated. Payloads are visible to the hook,
+// so deployments that trace must trust the tracer with service-private
+// protocol contents.
+func WithTrace(fn func(dir TraceDirection, f *wire.Frame)) NodeOption {
+	return func(nd *Node) { nd.trace = fn }
+}
+
+// Node hosts contexts on one endpoint and pumps inbound frames to them.
+type Node struct {
+	ep    netsim.Endpoint
+	sem   chan struct{}
+	trace func(TraceDirection, *wire.Frame)
+
+	mu       sync.Mutex
+	contexts map[wire.ContextID]*Context
+	nextCtx  wire.ContextID
+	closed   bool
+	done     chan struct{}
+}
+
+// NewNode wraps an endpoint. The node starts its receive pump immediately;
+// call Close to stop it (closing the endpoint as well).
+func NewNode(ep netsim.Endpoint, opts ...NodeOption) *Node {
+	n := &Node{
+		ep:       ep,
+		sem:      make(chan struct{}, 512),
+		contexts: make(map[wire.ContextID]*Context),
+		nextCtx:  1,
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	go n.pump()
+	return n
+}
+
+// ID reports the node's identity.
+func (n *Node) ID() wire.NodeID { return n.ep.LocalNode() }
+
+// NewContext creates a fresh context (address space) on this node.
+func (n *Node) NewContext() (*Context, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	id := n.nextCtx
+	n.nextCtx++
+	c := &Context{
+		node:    n,
+		addr:    wire.Addr{Node: n.ID(), Context: id},
+		objects: make(map[wire.ObjectID]Handler),
+		nextObj: 1,
+		pending: make(map[uint64]chan *wire.Frame),
+	}
+	// Request ids must be unique across restarts of a context at the same
+	// address: remote reply caches key on (source address, request id), so
+	// a process that restarts and counts from 1 again would be answered
+	// with a previous incarnation's cached replies. A random origin makes
+	// collisions vanishingly unlikely (the Birrell–Nelson conversation-id
+	// fix).
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err == nil {
+		c.reqID.Store(binary.BigEndian.Uint64(seed[:]) >> 1)
+	}
+	n.contexts[id] = c
+	return c, nil
+}
+
+// Context returns the context with the given id, if it exists.
+func (n *Node) Context(id wire.ContextID) (*Context, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.contexts[id]
+	return c, ok
+}
+
+// Close stops the node: the endpoint closes, the pump drains, and every
+// pending call fails.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ctxs := make([]*Context, 0, len(n.contexts))
+	for _, c := range n.contexts {
+		ctxs = append(ctxs, c)
+	}
+	n.mu.Unlock()
+	err := n.ep.Close()
+	<-n.done
+	for _, c := range ctxs {
+		c.failPending(ErrClosed)
+	}
+	return err
+}
+
+func (n *Node) pump() {
+	defer close(n.done)
+	for f := range n.ep.Recv() {
+		if n.trace != nil {
+			n.trace(TraceRecv, f)
+		}
+		n.route(f)
+	}
+}
+
+func (n *Node) route(f *wire.Frame) {
+	n.mu.Lock()
+	c, ok := n.contexts[f.Dst.Context]
+	n.mu.Unlock()
+	if !ok {
+		// Frame for a context that does not exist (it may have been
+		// destroyed). Answer requests with an error so callers fail fast
+		// instead of timing out; drop everything else.
+		if f.Flags&wire.FlagResponse == 0 && f.Flags&wire.FlagOneWay == 0 && !f.Src.IsZero() {
+			n.replyNoRoute(f)
+		}
+		return
+	}
+	c.dispatch(f)
+}
+
+func (n *Node) replyNoRoute(f *wire.Frame) {
+	resp := &wire.Frame{
+		Kind:    wire.KindError,
+		Flags:   wire.FlagResponse,
+		ReqID:   f.ReqID,
+		Src:     f.Dst,
+		Dst:     f.Src,
+		Object:  wire.KernelObject,
+		Payload: []byte("no such context"),
+	}
+	_ = n.ep.Send(resp)
+}
+
+// Context is one address space: a registry of objects plus the machinery
+// for correlated calls out of this context.
+type Context struct {
+	node *Node
+	addr wire.Addr
+
+	mu      sync.Mutex
+	objects map[wire.ObjectID]Handler
+	nextObj wire.ObjectID
+	pending map[uint64]chan *wire.Frame
+	closed  bool
+
+	reqID atomic.Uint64
+}
+
+// Addr reports the context's address.
+func (c *Context) Addr() wire.Addr { return c.addr }
+
+// Node returns the hosting node.
+func (c *Context) Node() *Node { return c.node }
+
+// Register adds an object and returns its fresh id.
+func (c *Context) Register(h Handler) wire.ObjectID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextObj
+	c.nextObj++
+	c.objects[id] = h
+	return id
+}
+
+// RegisterAt adds an object at a fixed id (well-known services).
+func (c *Context) RegisterAt(id wire.ObjectID, h Handler) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.objects[id]; ok {
+		return fmt.Errorf("%w: %d", ErrObjectExists, id)
+	}
+	if id >= c.nextObj {
+		c.nextObj = id + 1
+	}
+	c.objects[id] = h
+	return nil
+}
+
+// Replace atomically swaps the handler registered at id, returning the
+// previous handler. Migration uses this to install a forwarding tombstone
+// at an object's old id without a window where callers see "no such
+// object".
+func (c *Context) Replace(id wire.ObjectID, h Handler) (Handler, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoObject, id)
+	}
+	c.objects[id] = h
+	return old, nil
+}
+
+// Unregister removes an object. Frames already in flight to it will get
+// "no such object" errors.
+func (c *Context) Unregister(id wire.ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.objects, id)
+}
+
+// Lookup finds a registered object.
+func (c *Context) Lookup(id wire.ObjectID) (Handler, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.objects[id]
+	return h, ok
+}
+
+// ObjectCount reports how many objects are registered (for tests/metrics).
+func (c *Context) ObjectCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.objects)
+}
+
+func (c *Context) dispatch(f *wire.Frame) {
+	if f.Flags&wire.FlagResponse != 0 {
+		c.mu.Lock()
+		ch, ok := c.pending[f.ReqID]
+		if ok {
+			delete(c.pending, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f // buffered, never blocks
+		}
+		// Unmatched responses (late replies after timeout) are dropped.
+		return
+	}
+	c.mu.Lock()
+	h, ok := c.objects[f.Object]
+	c.mu.Unlock()
+	if !ok {
+		if f.Flags&wire.FlagOneWay == 0 && !f.Src.IsZero() {
+			c.RespondError(f, []byte(fmt.Sprintf("no such object %d", f.Object)))
+		}
+		return
+	}
+	select {
+	case c.node.sem <- struct{}{}:
+	case <-c.node.done:
+		return
+	}
+	go func() {
+		defer func() { <-c.node.sem }()
+		h.HandleFrame(c, f)
+	}()
+}
+
+// NextReqID allocates a request id unique within this context.
+func (c *Context) NextReqID() uint64 { return c.reqID.Add(1) }
+
+// NewPending allocates a request id and registers a response channel for
+// it. The caller owns retransmission and must call CancelPending when done
+// (a delivered response cancels implicitly). A nil frame on the channel
+// means the context shut down. This is the hook the rpc layer uses to
+// retransmit one logical request under a single id.
+func (c *Context) NewPending() (uint64, <-chan *wire.Frame, error) {
+	id := c.NextReqID()
+	ch := make(chan *wire.Frame, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// CancelPending abandons a pending request registered with NewPending.
+// Safe to call after the response arrived.
+func (c *Context) CancelPending(id uint64) { c.dropPending(id) }
+
+// Send transmits a frame from this context. The frame's Src is stamped
+// with the context's address.
+func (c *Context) Send(f *wire.Frame) error {
+	f.Src = c.addr
+	if c.node.trace != nil {
+		c.node.trace(TraceSend, f)
+	}
+	return c.node.ep.Send(f)
+}
+
+// Call sends a correlated request and waits for its response frame. The
+// response is matched purely by ReqID + FlagResponse, so this works for
+// system kinds and for service-private protocols alike. Cancellation and
+// deadlines come from ctx. A KindError response is surfaced as *RemoteError.
+func (c *Context) Call(ctx context.Context, dst wire.Addr, obj wire.ObjectID, kind wire.Kind, flags uint16, payload []byte) (*wire.Frame, error) {
+	id := c.NextReqID()
+	ch := make(chan *wire.Frame, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	f := &wire.Frame{
+		Kind:    kind,
+		Flags:   flags &^ wire.FlagResponse,
+		ReqID:   id,
+		Dst:     dst,
+		Object:  obj,
+		Payload: payload,
+	}
+	if err := c.Send(f); err != nil {
+		c.dropPending(id)
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, ErrClosed
+		}
+		if resp.Kind == wire.KindError {
+			return nil, &RemoteError{From: resp.Src, Payload: resp.Payload}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.dropPending(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Context) dropPending(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Context) failPending(err error) {
+	c.mu.Lock()
+	c.closed = true
+	chans := make([]chan *wire.Frame, 0, len(c.pending))
+	for id, ch := range c.pending {
+		chans = append(chans, ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	for _, ch := range chans {
+		ch <- nil // nil frame signals closure to waiting Call
+	}
+}
+
+// Respond answers a request frame with the given kind and payload.
+func (c *Context) Respond(req *wire.Frame, kind wire.Kind, payload []byte) error {
+	resp := &wire.Frame{
+		Kind:    kind,
+		Flags:   wire.FlagResponse,
+		ReqID:   req.ReqID,
+		Dst:     req.Src,
+		Object:  wire.KernelObject,
+		Payload: payload,
+	}
+	return c.Send(resp)
+}
+
+// RespondError answers a request with a KindError response.
+func (c *Context) RespondError(req *wire.Frame, payload []byte) error {
+	return c.Respond(req, wire.KindError, payload)
+}

@@ -1,0 +1,283 @@
+package migrate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// kindPull is the private protocol kind a migratory proxy uses to ask the
+// object's home to migrate it to the caller's host.
+const kindPull = wire.KindCustom + 20
+
+// FactoryOption configures a Factory.
+type FactoryOption func(*Factory)
+
+// WithThreshold sets how many consecutive remote invocations a proxy
+// forwards before it pulls the object to its own context (default 4).
+func WithThreshold(n int) FactoryOption {
+	return func(f *Factory) {
+		if n > 0 {
+			f.threshold = n
+		}
+	}
+}
+
+// Factory is the migratory proxy factory: exported objects can be pulled
+// by their callers. The service side constructs it with the constructor
+// type name; every runtime that may send, receive, or call the object
+// registers the same factory. Implements core.ProxyFactory and
+// core.Exporter.
+type Factory struct {
+	typeName  string
+	threshold int
+
+	mu    sync.Mutex
+	hosts map[*core.Runtime]*Host
+}
+
+// NewFactory builds a migratory factory for objects constructed (at
+// receiving hosts) under typeName.
+func NewFactory(typeName string, opts ...FactoryOption) *Factory {
+	f := &Factory{
+		typeName:  typeName,
+		threshold: 4,
+		hosts:     make(map[*core.Runtime]*Host),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// AttachHost tells the factory which migration host serves a runtime:
+// proxies created in that runtime will pull objects into it. Runtimes
+// without an attached host never pull (their proxies stay pure stubs).
+func (f *Factory) AttachHost(rt *core.Runtime, h *Host) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[rt] = h
+}
+
+func (f *Factory) hostFor(rt *core.Runtime) (*Host, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hosts[rt]
+	return h, ok
+}
+
+// migHint is the private bootstrap blob: where the mover lives and the
+// pull threshold.
+type migHint struct {
+	Mover     wire.ObjectID
+	Threshold int
+}
+
+func (h migHint) encode() []byte {
+	buf := wire.AppendUvarint(nil, uint64(h.Mover))
+	return wire.AppendUvarint(buf, uint64(h.Threshold))
+}
+
+func decodeMigHint(src []byte) (migHint, error) {
+	mover, n, err := wire.Uvarint(src)
+	if err != nil {
+		return migHint{}, err
+	}
+	thr, _, err := wire.Uvarint(src[n:])
+	if err != nil {
+		return migHint{}, err
+	}
+	return migHint{Mover: wire.ObjectID(mover), Threshold: int(thr)}, nil
+}
+
+// Export implements core.Exporter: it registers the mover control object
+// serving pull requests for this export.
+func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (core.Service, []byte, error) {
+	mig, ok := svc.(Migratable)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %T does not implement Migratable", ErrNotMigratable, svc)
+	}
+	m := &mover{rt: rt, svc: mig, factory: f, proxyType: f.typeName}
+	srv := rpc.NewServer(rpc.HandlerFunc(m.handlePull))
+	m.id = rt.Kernel().Register(srv)
+	h := migHint{Mover: m.id, Threshold: f.threshold}
+	return nil, h.encode(), nil
+}
+
+// New implements core.ProxyFactory.
+func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
+	h, err := decodeMigHint(ref.Hint)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: bad hint in %s: %w", ref, err)
+	}
+	return &proxy{
+		rt:      rt,
+		factory: f,
+		stub:    core.NewStub(rt, ref),
+		hint:    h,
+	}, nil
+}
+
+// mover serves pull requests for one exported object.
+type mover struct {
+	rt        *core.Runtime
+	svc       Migratable
+	factory   *Factory
+	proxyType string
+	id        wire.ObjectID
+
+	mu    sync.Mutex
+	moved bool
+}
+
+func (m *mover) handlePull(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	dest, _, err := wire.DecodeObjAddr(req.Frame.Payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("pull", core.Errorf(core.CodeBadArgs, "pull", "malformed pull payload"))
+	}
+	m.mu.Lock()
+	if m.moved {
+		m.mu.Unlock()
+		return 0, nil, core.EncodeInvokeError("pull", core.Errorf(core.CodeUnavailable, "pull", "object already migrated"))
+	}
+	m.moved = true
+	m.mu.Unlock()
+
+	// The ref.Type the object was exported under equals the type the
+	// factory is registered for at the destination; the destination's
+	// Export will mint a fresh mover there.
+	ctx, cancel := context.WithTimeout(context.Background(), moveTimeout)
+	defer cancel()
+	newRef, err := Move(ctx, m.rt, m.svc, m.factory.typeName, m.proxyType, dest)
+	if err != nil {
+		m.mu.Lock()
+		m.moved = false
+		m.mu.Unlock()
+		return 0, nil, core.EncodeInvokeError("pull", err)
+	}
+	// This mover is done; its object id stays registered to answer any
+	// straggler pulls with "already migrated".
+	return kindPull, codec.AppendRef(nil, newRef), nil
+}
+
+// proxy is the migratory smart proxy: a stub that counts the invocations
+// it forwards and pulls the object home past the threshold.
+type proxy struct {
+	rt      *core.Runtime
+	factory *Factory
+	stub    *core.Stub
+	hint    migHint
+
+	mu      sync.Mutex
+	count   int
+	local   core.Service // non-nil once the object lives in our context
+	pulled  bool
+	pulls   uint64
+	directs uint64
+}
+
+// Invoke implements core.Proxy.
+func (p *proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	p.mu.Lock()
+	if p.local != nil {
+		svc := p.local
+		p.directs++
+		p.mu.Unlock()
+		return svc.Invoke(ctx, method, args)
+	}
+	p.count++
+	shouldPull := !p.pulled && p.count >= p.hint.Threshold
+	if shouldPull {
+		p.pulled = true // one attempt; reset on failure below
+	}
+	p.mu.Unlock()
+
+	if shouldPull {
+		if err := p.pull(ctx); err != nil {
+			// Pull failed (no local host, contention, policy): degrade to
+			// plain forwarding and try again after another threshold run.
+			p.mu.Lock()
+			p.pulled = false
+			p.count = 0
+			p.mu.Unlock()
+		} else {
+			p.mu.Lock()
+			if p.local != nil {
+				svc := p.local
+				p.directs++
+				p.mu.Unlock()
+				return svc.Invoke(ctx, method, args)
+			}
+			p.mu.Unlock()
+		}
+	}
+	return p.stub.Invoke(ctx, method, args...)
+}
+
+// pull asks the mover to migrate the object into our context's host.
+func (p *proxy) pull(ctx context.Context) error {
+	host, ok := p.factory.hostFor(p.rt)
+	if !ok {
+		return fmt.Errorf("migrate: no host attached to this runtime")
+	}
+	ref := p.stub.Ref()
+	moverAddr := wire.ObjAddr{Addr: ref.Target.Addr, Object: p.hint.Mover}
+	pctx, cancel := context.WithTimeout(ctx, moveTimeout)
+	defer cancel()
+	reply, err := p.rt.Client().Call(pctx, moverAddr, kindPull, wire.AppendObjAddr(nil, host.Addr()))
+	if err != nil {
+		return err
+	}
+	newRef, _, err := codec.DecodeRef(reply)
+	if err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pulls++
+	if svc, ok := p.rt.LocalService(newRef); ok {
+		p.local = svc
+		p.stub.Rebind(newRef)
+		return nil
+	}
+	// Landed elsewhere (another host raced us); adopt the new location.
+	if h, err := decodeMigHint(newRef.Hint); err == nil {
+		p.hint = h
+		p.pulled = false
+		p.count = 0
+	}
+	p.stub.Rebind(newRef)
+	return nil
+}
+
+// Ref implements core.Proxy.
+func (p *proxy) Ref() codec.Ref { return p.stub.Ref() }
+
+// Stats reports (pulls performed, direct local invocations served).
+func (p *proxy) Stats() (pulls, directs uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pulls, p.directs
+}
+
+// IsLocal reports whether the object now lives in this proxy's context.
+func (p *proxy) IsLocal() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.local != nil
+}
+
+// Close implements core.Proxy.
+func (p *proxy) Close() error {
+	return p.stub.Close()
+}
+
+// Proxy is the exported view of the migratory proxy for tests and
+// benches that need its stats.
+type Proxy = proxy

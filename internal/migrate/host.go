@@ -1,0 +1,92 @@
+package migrate
+
+import (
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Host receives migrating objects into a runtime's context. It registers
+// one control object handling KindMove frames; its address is what senders
+// pass to Move as the destination. Constructors must be registered for
+// every type the host is willing to accept — an unknown type is refused,
+// which doubles as the host's admission policy.
+type Host struct {
+	rt *core.Runtime
+
+	mu    sync.Mutex
+	ctors map[string]func() Migratable
+
+	addr     wire.ObjAddr
+	received uint64
+}
+
+// NewHost installs a migration host in rt's context.
+func NewHost(rt *core.Runtime) *Host {
+	h := &Host{
+		rt:    rt,
+		ctors: make(map[string]func() Migratable),
+	}
+	srv := rpc.NewServer(rpc.HandlerFunc(h.handleMove))
+	id := rt.Kernel().Register(srv)
+	h.addr = wire.ObjAddr{Addr: rt.Addr(), Object: id}
+	return h
+}
+
+// Addr is the control address senders target with Move.
+func (h *Host) Addr() wire.ObjAddr { return h.addr }
+
+// Runtime exposes the hosting runtime.
+func (h *Host) Runtime() *core.Runtime { return h.rt }
+
+// RegisterType declares that this host accepts objects of the given type,
+// constructed by ctor before Restore is applied.
+func (h *Host) RegisterType(typeName string, ctor func() Migratable) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ctors[typeName] = ctor
+}
+
+// Received reports how many objects have arrived (tests/metrics).
+func (h *Host) Received() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.received
+}
+
+// handleMove processes one arriving object: construct, restore, export,
+// reply with the new reference.
+func (h *Host) handleMove(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	vals, err := codec.DecodeArgs(req.Frame.Payload)
+	if err != nil || len(vals) != 3 {
+		return 0, nil, core.EncodeInvokeError("move", core.Errorf(core.CodeBadArgs, "move", "malformed move payload"))
+	}
+	typeName, ok1 := vals[0].(string)
+	proxyType, ok2 := vals[1].(string)
+	state, ok3 := vals[2].([]byte)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, nil, core.EncodeInvokeError("move", core.Errorf(core.CodeBadArgs, "move", "malformed move payload"))
+	}
+
+	h.mu.Lock()
+	ctor, ok := h.ctors[typeName]
+	h.mu.Unlock()
+	if !ok {
+		return 0, nil, core.EncodeInvokeError("move", core.Errorf(core.CodeApp, "move", "%s: %q", ErrUnknownType, typeName))
+	}
+	obj := ctor()
+	if err := obj.Restore(state); err != nil {
+		return 0, nil, core.EncodeInvokeError("move", core.Errorf(core.CodeApp, "move", "restore %q: %s", typeName, err))
+	}
+	ref, err := h.rt.Export(obj, proxyType)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("move", core.Errorf(core.CodeInternal, "move", "export: %s", err))
+	}
+	h.mu.Lock()
+	h.received++
+	h.mu.Unlock()
+	return wire.KindMove, codec.AppendRef(nil, ref), nil
+}

@@ -1,0 +1,195 @@
+// Package migrate implements object migration and the migratory smart
+// proxy. A migratable object can be moved between contexts at run time:
+// its state is captured, shipped to a receiving Host, and re-exported
+// there; a forwarding tombstone is installed at the old location so every
+// outstanding reference keeps working (stubs follow KindForward responses
+// and rebind — location transparency across migration, experiment E9).
+//
+// The migratory proxy (Factory) is the smart-proxy form: it counts the
+// invocations it forwards and, past a threshold, asks the object's home to
+// migrate the object *to the caller's own context* — after which
+// invocations are direct calls. This reproduces the paper's claim that a
+// proxy may re-locate the object it represents as an optimisation
+// (experiment E3).
+package migrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// Migratable is a service whose state can be captured and restored. The
+// Snapshot/Restore pair defines the object's own serialization (most
+// implementations use codec.Marshal/Unmarshal on a state struct).
+// Snapshot must synchronize with in-flight invocations: by the time it
+// returns, the state it captured must not change again (the usual
+// implementation simply takes the service's own mutex).
+type Migratable interface {
+	core.Service
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// Errors returned by the migration layer.
+var (
+	// ErrNotMigratable reports a move of a service that does not implement
+	// Migratable or is not exported.
+	ErrNotMigratable = errors.New("migrate: service not migratable here")
+	// ErrUnknownType reports arrival of an object whose type has no
+	// registered constructor at the receiving host.
+	ErrUnknownType = errors.New("migrate: no constructor for type")
+)
+
+// moveTimeout bounds one migration round trip.
+const moveTimeout = 10 * time.Second
+
+// Move migrates svc (currently exported from rt) to the Host at destHost.
+// typeName keys the constructor at the destination; proxyType is the
+// proxy type name the destination re-exports under (normally the same
+// name the object was exported with). It returns the object's new
+// reference. The old reference remains valid: a forwarding tombstone
+// answers it with the new location.
+func Move(ctx context.Context, rt *core.Runtime, svc Migratable, typeName, proxyType string, destHost wire.ObjAddr) (codec.Ref, error) {
+	oldRef, ok := rt.RefFor(svc)
+	if !ok {
+		return codec.Ref{}, fmt.Errorf("%w: not exported", ErrNotMigratable)
+	}
+
+	// 1. Stop new invocations from reaching the object: park a pending
+	// tombstone at its id. Callers block (briefly) rather than erroring.
+	tomb := newTombstone()
+	if _, err := rt.Kernel().Replace(oldRef.Target.Object, tomb); err != nil {
+		return codec.Ref{}, fmt.Errorf("migrate: install tombstone: %w", err)
+	}
+	rt.DetachExport(svc)
+
+	fail := func(err error) (codec.Ref, error) {
+		// Migration failed: put the object back in service. The export
+		// machinery assigns it a fresh id, so the tombstone at the old id
+		// forwards to the re-export and stale references stay valid.
+		reExported, reErr := rt.Export(svc, oldRef.Type)
+		if reErr != nil {
+			tomb.abort()
+			return codec.Ref{}, errors.Join(err, reErr)
+		}
+		tomb.resolve(reExported)
+		return codec.Ref{}, err
+	}
+
+	// 2. Capture state. Snapshot synchronizes with in-flight invocations.
+	state, err := svc.Snapshot()
+	if err != nil {
+		return fail(fmt.Errorf("migrate: snapshot: %w", err))
+	}
+
+	// 3. Ship it. The destination constructs, restores, exports, and
+	// answers with the new reference.
+	payload, err := codec.Append(nil, []any{typeName, proxyType, state})
+	if err != nil {
+		return fail(fmt.Errorf("migrate: encode move: %w", err))
+	}
+	mctx, cancel := context.WithTimeout(ctx, moveTimeout)
+	defer cancel()
+	reply, err := rt.Client().Call(mctx, destHost, wire.KindMove, payload)
+	if err != nil {
+		return fail(fmt.Errorf("migrate: move call: %w", err))
+	}
+	newRef, _, err := codec.DecodeRef(reply)
+	if err != nil {
+		return fail(fmt.Errorf("migrate: decode new ref: %w", err))
+	}
+
+	// 4. Light up the tombstone: parked and future callers get forwarded.
+	tomb.resolve(newRef)
+	return newRef, nil
+}
+
+// tombstone is the handler left at a migrated object's old id. While the
+// move is in progress it parks arriving frames; once resolved it answers
+// everything with KindForward to the new location. Tombstones are
+// permanent: reference chains through k homes keep working (and compress,
+// because stubs rebind on first contact — E9 measures both).
+type tombstone struct {
+	resolved chan struct{} // closed on resolve/abort
+	parked   chan parkedFrame
+
+	ref     codec.Ref
+	aborted bool
+}
+
+type parkedFrame struct {
+	ktx *kernel.Context
+	f   *wire.Frame
+}
+
+func newTombstone() *tombstone {
+	return &tombstone{
+		resolved: make(chan struct{}),
+		parked:   make(chan parkedFrame, 128),
+	}
+}
+
+// HandleFrame implements kernel.Handler.
+func (t *tombstone) HandleFrame(ktx *kernel.Context, f *wire.Frame) {
+	select {
+	case <-t.resolved:
+		t.answer(ktx, f)
+	default:
+		select {
+		case t.parked <- parkedFrame{ktx: ktx, f: f}:
+			// If resolution raced the park, the resolver's drain may have
+			// already run; drain again ourselves (drain is concurrent-safe,
+			// each parked frame is answered exactly once).
+			select {
+			case <-t.resolved:
+				t.drain()
+			default:
+			}
+		case <-t.resolved:
+			t.answer(ktx, f)
+		}
+	}
+}
+
+func (t *tombstone) answer(ktx *kernel.Context, f *wire.Frame) {
+	if t.aborted {
+		// The object never left; it was re-registered at this id and this
+		// handler instance is obsolete. Requests that raced the abort are
+		// answered with a retryable error.
+		_ = ktx.RespondError(f, core.EncodeInvokeError("", core.Errorf(core.CodeUnavailable, "", "object was busy migrating; retry")))
+		return
+	}
+	_ = ktx.Respond(f, wire.KindForward, core.ForwardPayload(t.ref))
+}
+
+// resolve publishes the new location and drains parked frames.
+func (t *tombstone) resolve(ref codec.Ref) {
+	t.ref = ref
+	close(t.resolved)
+	t.drain()
+}
+
+// abort marks the migration as failed (object restored at origin).
+func (t *tombstone) abort() {
+	t.aborted = true
+	close(t.resolved)
+	t.drain()
+}
+
+func (t *tombstone) drain() {
+	for {
+		select {
+		case p := <-t.parked:
+			t.answer(p.ktx, p.f)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package naming
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// CacheOption configures a Cache.
+type CacheOption func(*Cache)
+
+// WithCacheTTL bounds how long a cached resolution is trusted (default 1s).
+func WithCacheTTL(ttl time.Duration) CacheOption {
+	return func(c *Cache) {
+		if ttl > 0 {
+			c.ttl = ttl
+		}
+	}
+}
+
+// WithCacheClock substitutes the time source (tests).
+func WithCacheClock(now func() time.Time) CacheOption {
+	return func(c *Cache) { c.now = now }
+}
+
+// CacheStats counts cache behaviour.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Cache is a client-side name-resolution cache: the piece of smartness a
+// naming proxy carries. Hits avoid a round trip to the directory entirely;
+// entries expire on a TTL and are dropped eagerly on Invalidate (callers
+// invalidate when a cached reference turns out to be dead).
+type Cache struct {
+	client *Client
+	ttl    time.Duration
+	now    func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]cachedRef
+	stats   CacheStats
+}
+
+type cachedRef struct {
+	ref     codec.Ref
+	expires time.Time
+}
+
+// NewCache wraps a directory client with resolution caching.
+func NewCache(client *Client, opts ...CacheOption) *Cache {
+	c := &Cache{
+		client:  client,
+		ttl:     time.Second,
+		now:     time.Now,
+		entries: make(map[string]cachedRef),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Lookup resolves a name, serving from cache when fresh.
+func (c *Cache) Lookup(ctx context.Context, name string) (codec.Ref, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[name]; ok && c.now().Before(e.expires) {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.ref, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	ref, err := c.client.Lookup(ctx, name)
+	if err != nil {
+		return codec.Ref{}, err
+	}
+	c.mu.Lock()
+	c.entries[name] = cachedRef{ref: ref, expires: c.now().Add(c.ttl)}
+	c.mu.Unlock()
+	return ref, nil
+}
+
+// Invalidate drops one cached resolution (or all, with name "").
+func (c *Cache) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "" {
+		c.entries = make(map[string]cachedRef)
+		return
+	}
+	delete(c.entries, name)
+}
+
+// Stats returns hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,96 @@
+package naming
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Client is the typed wrapper around a directory proxy — the equivalent of
+// generated stub code in a classical RPC system, written once by hand here
+// because invocation is dynamic.
+type Client struct {
+	p core.Proxy
+}
+
+// NewClient wraps a proxy for a Directory.
+func NewClient(p core.Proxy) *Client { return &Client{p: p} }
+
+// Proxy exposes the wrapped proxy.
+func (c *Client) Proxy() core.Proxy { return c.p }
+
+// Bind binds name to ref with an optional TTL (0 = forever).
+func (c *Client) Bind(ctx context.Context, name string, ref codec.Ref, ttl time.Duration) error {
+	_, err := c.p.Invoke(ctx, "bind", name, ref, int64(ttl))
+	return err
+}
+
+// Rebind replaces an existing binding.
+func (c *Client) Rebind(ctx context.Context, name string, ref codec.Ref, ttl time.Duration) error {
+	_, err := c.p.Invoke(ctx, "rebind", name, ref, int64(ttl))
+	return err
+}
+
+// Lookup resolves name to a reference.
+func (c *Client) Lookup(ctx context.Context, name string) (codec.Ref, error) {
+	res, err := c.p.Invoke(ctx, "lookup", name)
+	if err != nil {
+		return codec.Ref{}, err
+	}
+	if len(res) != 1 {
+		return codec.Ref{}, fmt.Errorf("naming: lookup returned %d values", len(res))
+	}
+	switch r := res[0].(type) {
+	case codec.Ref:
+		return r, nil
+	case core.Proxy:
+		// The runtime installed a proxy for the resolved reference; its
+		// underlying ref is what the caller asked for.
+		return r.Ref(), nil
+	default:
+		return codec.Ref{}, fmt.Errorf("naming: lookup returned %T", res[0])
+	}
+}
+
+// Resolve is Lookup followed by Import on the caller's runtime: the one
+// call that takes a client from a name to a live proxy.
+func (c *Client) Resolve(ctx context.Context, rt *core.Runtime, name string) (core.Proxy, error) {
+	ref, err := c.Lookup(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Import(ref)
+}
+
+// Unbind removes a binding.
+func (c *Client) Unbind(ctx context.Context, name string) error {
+	_, err := c.p.Invoke(ctx, "unbind", name)
+	return err
+}
+
+// List returns the names bound under prefix.
+func (c *Client) List(ctx context.Context, prefix string) ([]string, error) {
+	res, err := c.p.Invoke(ctx, "list", prefix)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) != 1 {
+		return nil, fmt.Errorf("naming: list returned %d values", len(res))
+	}
+	raw, ok := res[0].([]any)
+	if !ok {
+		return nil, fmt.Errorf("naming: list returned %T", res[0])
+	}
+	names := make([]string, 0, len(raw))
+	for _, v := range raw {
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("naming: list element is %T", v)
+		}
+		names = append(names, s)
+	}
+	return names, nil
+}

@@ -1,0 +1,308 @@
+// Package naming implements the name service: a hierarchical directory
+// mapping path-shaped names to object references. The directory is itself
+// an ordinary core.Service — clients reach it through a proxy like any
+// other object, which is the proxy principle's own bootstrap story: the
+// only well-known thing in the system is the name service's reference.
+//
+// The package also provides a typed client wrapper (Client) and a
+// client-side resolution cache (Cache) with TTL-based expiry, the pattern
+// a smart naming proxy would embed.
+package naming
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// TypeName is the proxy type the directory exports under.
+const TypeName = "naming.Directory"
+
+// WellKnownObject is the conventional object id at which deployments
+// register their root directory (see cmd/proxyd).
+const WellKnownObject = 1
+
+// Entry is one binding in the directory.
+type Entry struct {
+	Name    string
+	Ref     codec.Ref
+	Expires time.Time // zero = never
+}
+
+// DirectoryOption configures a Directory.
+type DirectoryOption func(*Directory)
+
+// WithClock substitutes the time source (tests).
+func WithClock(now func() time.Time) DirectoryOption {
+	return func(d *Directory) { d.now = now }
+}
+
+// Directory is the name service implementation. It is safe for concurrent
+// use and implements core.Service with the methods:
+//
+//	bind(name string, ref Ref, ttlNanos int64) -> ()
+//	lookup(name string) -> (ref Ref)
+//	unbind(name string) -> ()
+//	list(prefix string) -> (names []string)
+//	rebind(name string, ref Ref) -> ()        // like bind but must exist
+type Directory struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]Entry
+	mounts  []mountEntry // longest prefix first; see mount.go
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory(opts ...DirectoryOption) *Directory {
+	d := &Directory{
+		now:     time.Now,
+		entries: make(map[string]Entry),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Invoke implements core.Service. Names below a mount point are delegated
+// through the mounted directory's proxy (see mount.go); the "mount" and
+// "unmount" methods manage graft points.
+func (d *Directory) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if res, handled, err := d.invokeMounted(ctx, method, args); handled {
+		return res, err
+	}
+	switch method {
+	case "bind":
+		name, ref, ttl, err := bindArgs(method, args)
+		if err != nil {
+			return nil, err
+		}
+		d.Bind(name, ref, ttl)
+		return nil, nil
+	case "rebind":
+		name, ref, ttl, err := bindArgs(method, args)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Rebind(name, ref, ttl); err != nil {
+			return nil, core.Errorf(core.CodeApp, method, "%s", err)
+		}
+		return nil, nil
+	case "lookup":
+		name, err := oneString(method, args)
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := d.Lookup(name)
+		if !ok {
+			return nil, core.Errorf(core.CodeApp, method, "name not bound: %s", name)
+		}
+		return []any{ref}, nil
+	case "unbind":
+		name, err := oneString(method, args)
+		if err != nil {
+			return nil, err
+		}
+		d.Unbind(name)
+		return nil, nil
+	case "list":
+		prefix, err := oneString(method, args)
+		if err != nil {
+			return nil, err
+		}
+		names := d.List(prefix)
+		out := make([]any, len(names))
+		for i, n := range names {
+			out[i] = n
+		}
+		return []any{out}, nil
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+func bindArgs(method string, args []any) (string, codec.Ref, time.Duration, error) {
+	if len(args) != 3 {
+		return "", codec.Ref{}, 0, core.BadArgs(method, "want (name, ref, ttlNanos)")
+	}
+	name, ok := args[0].(string)
+	if !ok || name == "" {
+		return "", codec.Ref{}, 0, core.BadArgs(method, "name must be a non-empty string")
+	}
+	var ref codec.Ref
+	switch r := args[1].(type) {
+	case codec.Ref:
+		ref = r
+	case core.Proxy:
+		// The argument arrived as an installed proxy (normal when a client
+		// passes a proxy value); store its underlying reference.
+		ref = r.Ref()
+	default:
+		return "", codec.Ref{}, 0, core.BadArgs(method, fmt.Sprintf("ref must be a reference, got %T", args[1]))
+	}
+	ttl, ok := args[2].(int64)
+	if !ok || ttl < 0 {
+		return "", codec.Ref{}, 0, core.BadArgs(method, "ttlNanos must be a non-negative int64")
+	}
+	return name, ref, time.Duration(ttl), nil
+}
+
+func oneString(method string, args []any) (string, error) {
+	if len(args) != 1 {
+		return "", core.BadArgs(method, "want 1 string arg")
+	}
+	s, ok := args[0].(string)
+	if !ok {
+		return "", core.BadArgs(method, fmt.Sprintf("want string, got %T", args[0]))
+	}
+	return s, nil
+}
+
+// Bind creates or replaces a binding. ttl of zero means no expiry.
+func (d *Directory) Bind(name string, ref codec.Ref, ttl time.Duration) {
+	e := Entry{Name: name, Ref: ref}
+	if ttl > 0 {
+		e.Expires = d.now().Add(ttl)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[name] = e
+}
+
+// Rebind replaces an existing binding; it fails if the name is not bound
+// (migration uses this so a typo cannot silently create a new name).
+func (d *Directory) Rebind(name string, ref codec.Ref, ttl time.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old, ok := d.entries[name]
+	if !ok || d.expired(old) {
+		return fmt.Errorf("naming: rebind of unbound name %q", name)
+	}
+	e := Entry{Name: name, Ref: ref}
+	if ttl > 0 {
+		e.Expires = d.now().Add(ttl)
+	}
+	d.entries[name] = e
+	return nil
+}
+
+// Lookup resolves a name, honouring expiry.
+func (d *Directory) Lookup(name string) (codec.Ref, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[name]
+	if !ok || d.expired(e) {
+		if ok {
+			delete(d.entries, name)
+		}
+		return codec.Ref{}, false
+	}
+	return e.Ref, true
+}
+
+// Unbind removes a binding (idempotent).
+func (d *Directory) Unbind(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, name)
+}
+
+// List returns the bound names under a prefix, sorted. A prefix of ""
+// lists everything; otherwise matching is by path segment ("a/b" matches
+// "a/b" and "a/b/c" but not "a/bc").
+func (d *Directory) List(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for name, e := range d.entries {
+		if d.expired(e) {
+			continue
+		}
+		if matchesPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of live bindings.
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, e := range d.entries {
+		if !d.expired(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot serializes the directory's live bindings, making the directory
+// itself migratable and replicable (it satisfies migrate.Migratable and
+// replica.StateMachine). Expiry times are carried as absolute instants.
+func (d *Directory) Snapshot() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]any, 0, len(d.entries))
+	for _, e := range d.entries {
+		if d.expired(e) {
+			continue
+		}
+		var exp int64
+		if !e.Expires.IsZero() {
+			exp = e.Expires.UnixNano()
+		}
+		out = append(out, []any{e.Name, e.Ref, exp})
+	}
+	return codec.Append(nil, out)
+}
+
+// Restore replaces the directory's contents with a Snapshot's.
+func (d *Directory) Restore(data []byte) error {
+	vals, err := codec.DecodeArgs(data)
+	if err != nil {
+		return fmt.Errorf("naming: restore: %w", err)
+	}
+	entries := make(map[string]Entry, len(vals))
+	for _, v := range vals {
+		tuple, ok := v.([]any)
+		if !ok || len(tuple) != 3 {
+			return fmt.Errorf("naming: restore: malformed entry %T", v)
+		}
+		name, _ := tuple[0].(string)
+		ref, _ := tuple[1].(codec.Ref)
+		exp, _ := tuple[2].(int64)
+		e := Entry{Name: name, Ref: ref}
+		if exp != 0 {
+			e.Expires = time.Unix(0, exp)
+		}
+		entries[name] = e
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries = entries
+	return nil
+}
+
+func (d *Directory) expired(e Entry) bool {
+	return !e.Expires.IsZero() && d.now().After(e.Expires)
+}
+
+func matchesPrefix(name, prefix string) bool {
+	if prefix == "" {
+		return true
+	}
+	if !strings.HasPrefix(name, prefix) {
+		return false
+	}
+	return len(name) == len(prefix) || name[len(prefix)] == '/'
+}

@@ -1,0 +1,219 @@
+package naming
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Mount support: a directory can graft another directory (held as a
+// proxy!) under a path prefix, building a federated namespace. Every
+// operation on a name below a mount point is delegated through the
+// mounted directory's proxy — which may itself be a stub, a replica, or
+// anything else its service chose. This is the proxy principle composing
+// with itself: the name service's own state contains references.
+//
+// Mount-aware resolution happens on the Invoke path (which carries a
+// context for the delegated calls). The plain Go methods (Lookup, Bind,
+// …) remain local-only primitives, and mounts are runtime grafts: they do
+// not travel in Snapshot/Restore (a restored directory starts with no
+// mounts, like a rebooted Unix host before its fstab runs).
+
+// mountEntry is one graft point.
+type mountEntry struct {
+	prefix string // no trailing slash
+	proxy  core.Proxy
+	ref    codec.Ref
+}
+
+// delegateTimeout bounds one hop of mount delegation.
+const delegateTimeout = 10 * time.Second
+
+// Mount grafts the directory behind proxy under prefix. Existing local
+// bindings beneath the prefix become unreachable through Invoke until the
+// mount is removed (standard union-mount shadowing).
+func (d *Directory) Mount(prefix string, proxy core.Proxy) error {
+	prefix = strings.TrimSuffix(prefix, "/")
+	if prefix == "" {
+		return fmt.Errorf("naming: cannot mount at the root")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.mounts {
+		if m.prefix == prefix {
+			return fmt.Errorf("naming: %q is already a mount point", prefix)
+		}
+	}
+	d.mounts = append(d.mounts, mountEntry{prefix: prefix, proxy: proxy, ref: proxy.Ref()})
+	// Longest prefix first, so nested mounts resolve to the deepest graft.
+	sort.Slice(d.mounts, func(i, j int) bool {
+		return len(d.mounts[i].prefix) > len(d.mounts[j].prefix)
+	})
+	return nil
+}
+
+// Unmount removes a graft point.
+func (d *Directory) Unmount(prefix string) error {
+	prefix = strings.TrimSuffix(prefix, "/")
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, m := range d.mounts {
+		if m.prefix == prefix {
+			d.mounts = append(d.mounts[:i], d.mounts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("naming: %q is not a mount point", prefix)
+}
+
+// Mounts lists the current mount prefixes, longest first.
+func (d *Directory) Mounts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.mounts))
+	for i, m := range d.mounts {
+		out[i] = m.prefix
+	}
+	return out
+}
+
+// mountFor finds the graft covering name, returning the mount and the
+// remainder of the name below it ("" if name names the mount point).
+func (d *Directory) mountFor(name string) (mountEntry, string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.mounts {
+		if name == m.prefix {
+			return m, "", true
+		}
+		if strings.HasPrefix(name, m.prefix+"/") {
+			return m, name[len(m.prefix)+1:], true
+		}
+	}
+	return mountEntry{}, "", false
+}
+
+// delegate forwards one directory operation below a mount point.
+func delegate(ctx context.Context, m mountEntry, method string, args ...any) ([]any, error) {
+	dctx, cancel := context.WithTimeout(ctx, delegateTimeout)
+	defer cancel()
+	res, err := m.proxy.Invoke(dctx, method, args...)
+	if err != nil {
+		return nil, fmt.Errorf("naming: mount %q: %w", m.prefix, err)
+	}
+	return res, nil
+}
+
+// invokeMounted routes one Invoke-path operation, delegating when the name
+// lies below a mount. Returns handled=false when the operation is local.
+func (d *Directory) invokeMounted(ctx context.Context, method string, args []any) (results []any, handled bool, err error) {
+	switch method {
+	case "bind", "rebind", "lookup", "unbind":
+		if len(args) == 0 {
+			return nil, false, nil
+		}
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, false, nil
+		}
+		m, rest, mounted := d.mountFor(name)
+		if !mounted {
+			return nil, false, nil
+		}
+		if rest == "" {
+			return nil, true, core.Errorf(core.CodeBadArgs, method, "%q is a mount point", name)
+		}
+		rewritten := append([]any{rest}, args[1:]...)
+		res, err := delegate(ctx, m, method, rewritten...)
+		return res, true, err
+	case "list":
+		// Lists merge: local names plus every mount's contribution, with
+		// the mount prefix re-applied. Malformed arguments fall through to
+		// the local path's validation.
+		if len(args) != 1 {
+			return nil, false, nil
+		}
+		prefix, ok := args[0].(string)
+		if !ok {
+			return nil, false, nil
+		}
+		names, err := d.listMounted(ctx, prefix)
+		if err != nil {
+			return nil, true, err
+		}
+		out := make([]any, len(names))
+		for i, n := range names {
+			out[i] = n
+		}
+		return []any{out}, true, nil
+	case "mount":
+		if len(args) != 2 {
+			return nil, true, core.BadArgs(method, "want (prefix, ref)")
+		}
+		prefix, _ := args[0].(string)
+		p, ok := args[1].(core.Proxy)
+		if !ok {
+			return nil, true, core.BadArgs(method, fmt.Sprintf("ref must be a reference, got %T", args[1]))
+		}
+		if err := d.Mount(prefix, p); err != nil {
+			return nil, true, core.Errorf(core.CodeApp, method, "%s", err)
+		}
+		return nil, true, nil
+	case "unmount":
+		if len(args) != 1 {
+			return nil, true, core.BadArgs(method, "want (prefix)")
+		}
+		prefix, _ := args[0].(string)
+		if err := d.Unmount(prefix); err != nil {
+			return nil, true, core.Errorf(core.CodeApp, method, "%s", err)
+		}
+		return nil, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// listMounted merges the local listing with delegated listings from every
+// mount whose subtree intersects the requested prefix.
+func (d *Directory) listMounted(ctx context.Context, prefix string) ([]string, error) {
+	names := d.List(prefix)
+
+	d.mu.Lock()
+	mounts := append([]mountEntry(nil), d.mounts...)
+	d.mu.Unlock()
+
+	for _, m := range mounts {
+		var sub string
+		switch {
+		case prefix == "" || m.prefix == prefix || strings.HasPrefix(m.prefix, prefix+"/"):
+			sub = "" // the whole mounted tree is within the asked prefix
+		case strings.HasPrefix(prefix, m.prefix+"/"):
+			sub = prefix[len(m.prefix)+1:] // asking inside the mount
+		default:
+			continue
+		}
+		res, err := delegate(ctx, m, "list", sub)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != 1 {
+			return nil, fmt.Errorf("naming: mount %q: list returned %d values", m.prefix, len(res))
+		}
+		raw, ok := res[0].([]any)
+		if !ok {
+			return nil, fmt.Errorf("naming: mount %q: list returned %T", m.prefix, res[0])
+		}
+		for _, v := range raw {
+			if s, ok := v.(string); ok {
+				names = append(names, m.prefix+"/"+s)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,248 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// mountWorld: a root directory on node 1, a department directory on node
+// 2, a client on node 3; the department is mounted at "dept" in the root.
+type mountWorld struct {
+	root, dept *Directory
+	client     *Client
+	clientRT   *core.Runtime
+}
+
+func newMountWorld(t *testing.T) *mountWorld {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	mk := func(id wire.NodeID) *core.Runtime {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewRuntime(ktx)
+	}
+	rtRoot, rtDept, rtClient := mk(1), mk(2), mk(3)
+
+	w := &mountWorld{root: NewDirectory(), dept: NewDirectory()}
+	rootRef, err := rtRoot.Export(w.root, TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deptRef, err := rtDept.Export(w.dept, TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root mounts the department directory through a proxy of its own.
+	deptProxy, err := rtRoot.Import(deptRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.root.Mount("dept", deptProxy); err != nil {
+		t.Fatal(err)
+	}
+	rootProxy, err := rtClient.Import(rootRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.client = NewClient(rootProxy)
+	w.clientRT = rtClient
+	return w
+}
+
+func TestMountDelegatesBindAndLookup(t *testing.T) {
+	w := newMountWorld(t)
+	ctx := context.Background()
+
+	want := refFor(9)
+	if err := w.client.Bind(ctx, "dept/printers/laser", want, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The binding landed in the department directory, not the root.
+	if _, ok := w.dept.Lookup("printers/laser"); !ok {
+		t.Error("binding did not reach the mounted directory")
+	}
+	if _, ok := w.root.Lookup("dept/printers/laser"); ok {
+		t.Error("binding leaked into the root's local entries")
+	}
+	got, err := w.client.Lookup(ctx, "dept/printers/laser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != want.Target {
+		t.Errorf("lookup = %v, want %v", got.Target, want.Target)
+	}
+	// Unbind through the mount.
+	if err := w.client.Unbind(ctx, "dept/printers/laser"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Lookup(ctx, "dept/printers/laser"); err == nil {
+		t.Error("lookup after unbind succeeded")
+	}
+}
+
+func TestMountListMerges(t *testing.T) {
+	w := newMountWorld(t)
+	ctx := context.Background()
+	w.root.Bind("local/svc", refFor(1), 0)
+	w.dept.Bind("room/a", refFor(2), 0)
+	w.dept.Bind("room/b", refFor(3), 0)
+
+	names, err := w.client.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dept/room/a", "dept/room/b", "local/svc"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("List = %v, want %v", names, want)
+	}
+	// Listing inside the mount.
+	names, err = w.client.List(ctx, "dept/room")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"dept/room/a", "dept/room/b"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("List(dept/room) = %v, want %v", names, want)
+	}
+	// Listing elsewhere excludes the mount.
+	names, err = w.client.List(ctx, "local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"local/svc"}) {
+		t.Errorf("List(local) = %v", names)
+	}
+}
+
+func TestMountPointItselfRejected(t *testing.T) {
+	w := newMountWorld(t)
+	err := w.client.Bind(context.Background(), "dept", refFor(1), 0)
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeBadArgs {
+		t.Errorf("bind at mount point = %v", err)
+	}
+}
+
+func TestMountManagementOverWire(t *testing.T) {
+	// mount/unmount are themselves invocable: a remote admin grafts a new
+	// directory by passing its reference.
+	w := newMountWorld(t)
+	ctx := context.Background()
+	extra := NewDirectory()
+	extra.Bind("x", refFor(5), 0)
+	// Export the extra directory from the client runtime itself.
+	extraRef, err := w.clientRT.Export(extra, TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Proxy().Invoke(ctx, "mount", "extra", extraRef); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.client.Lookup(ctx, "extra/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target.Object != 5 {
+		t.Errorf("lookup through remote-managed mount = %v", got)
+	}
+	if _, err := w.client.Proxy().Invoke(ctx, "unmount", "extra"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Lookup(ctx, "extra/x"); err == nil {
+		t.Error("lookup after unmount succeeded")
+	}
+	if _, err := w.client.Proxy().Invoke(ctx, "unmount", "extra"); err == nil {
+		t.Error("double unmount succeeded")
+	}
+}
+
+func TestNestedMountsLongestPrefixWins(t *testing.T) {
+	w := newMountWorld(t)
+	inner := NewDirectory()
+	inner.Bind("leaf", refFor(7), 0)
+	// Mount inner beneath the department's own prefix in the ROOT: the
+	// longer prefix must win over the "dept" mount.
+	innerProxy := localProxy(t, inner)
+	if err := w.root.Mount("dept/inner", innerProxy); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.client.Lookup(context.Background(), "dept/inner/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target.Object != 7 {
+		t.Errorf("nested mount lookup = %v", got)
+	}
+	// The shorter mount still serves its subtree.
+	w.dept.Bind("other", refFor(8), 0)
+	got, err = w.client.Lookup(context.Background(), "dept/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target.Object != 8 {
+		t.Errorf("outer mount lookup = %v", got)
+	}
+}
+
+func TestMountValidation(t *testing.T) {
+	d := NewDirectory()
+	p := localProxy(t, NewDirectory())
+	if err := d.Mount("", p); err == nil {
+		t.Error("root mount accepted")
+	}
+	if err := d.Mount("a", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mount("a", p); err == nil {
+		t.Error("duplicate mount accepted")
+	}
+	if got := d.Mounts(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Mounts = %v", got)
+	}
+	if err := d.Unmount("missing"); err == nil {
+		t.Error("unmount of non-mount accepted")
+	}
+}
+
+// localProxy wraps a service in a single-runtime bypass proxy.
+func localProxy(t *testing.T, svc core.Service) core.Proxy {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	ep, err := net.Attach(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := kernel.NewNode(ep)
+	t.Cleanup(func() { node.Close() })
+	ktx, err := node.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(ktx)
+	ref, err := rt.Export(svc, TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

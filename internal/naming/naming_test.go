@@ -1,0 +1,323 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+func refFor(obj uint64) codec.Ref {
+	return codec.Ref{
+		Target: wire.ObjAddr{Addr: wire.Addr{Node: 9, Context: 1}, Object: wire.ObjectID(obj)},
+		Type:   "T",
+	}
+}
+
+func TestDirectoryBindLookup(t *testing.T) {
+	d := NewDirectory()
+	d.Bind("services/a", refFor(1), 0)
+	got, ok := d.Lookup("services/a")
+	if !ok || got.Target.Object != 1 {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := d.Lookup("services/b"); ok {
+		t.Error("Lookup found unbound name")
+	}
+	d.Unbind("services/a")
+	if _, ok := d.Lookup("services/a"); ok {
+		t.Error("Lookup found unbound name after Unbind")
+	}
+}
+
+func TestDirectoryRebind(t *testing.T) {
+	d := NewDirectory()
+	if err := d.Rebind("x", refFor(1), 0); err == nil {
+		t.Error("Rebind of unbound name succeeded")
+	}
+	d.Bind("x", refFor(1), 0)
+	if err := d.Rebind("x", refFor(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Lookup("x")
+	if got.Target.Object != 2 {
+		t.Errorf("after rebind object = %d", got.Target.Object)
+	}
+}
+
+func TestDirectoryTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	d := NewDirectory(WithClock(func() time.Time { return now }))
+	d.Bind("ephemeral", refFor(1), time.Second)
+	d.Bind("forever", refFor(2), 0)
+	if _, ok := d.Lookup("ephemeral"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := d.Lookup("ephemeral"); ok {
+		t.Error("expired entry still resolvable")
+	}
+	if _, ok := d.Lookup("forever"); !ok {
+		t.Error("permanent entry expired")
+	}
+	if got := d.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+}
+
+func TestDirectoryList(t *testing.T) {
+	d := NewDirectory()
+	for _, name := range []string{"a/b", "a/b/c", "a/bc", "z"} {
+		d.Bind(name, refFor(1), 0)
+	}
+	tests := []struct {
+		prefix string
+		want   []string
+	}{
+		{"", []string{"a/b", "a/b/c", "a/bc", "z"}},
+		{"a/b", []string{"a/b", "a/b/c"}},
+		{"a/bc", []string{"a/bc"}},
+		{"nope", nil},
+	}
+	for _, tt := range tests {
+		if got := d.List(tt.prefix); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("List(%q) = %v, want %v", tt.prefix, got, tt.want)
+		}
+	}
+}
+
+func TestMatchesPrefixProperty(t *testing.T) {
+	// A name always matches itself and the empty prefix.
+	gen := func(name string) bool {
+		return matchesPrefix(name, "") && matchesPrefix(name, name)
+	}
+	if err := quick.Check(gen, nil); err != nil {
+		t.Error(err)
+	}
+	// Segment semantics: child matches, sibling with shared prefix doesn't.
+	gen2 := func(a, b string) bool {
+		if a == "" || b == "" {
+			return true
+		}
+		return matchesPrefix(a+"/"+b, a)
+	}
+	if err := quick.Check(gen2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryConcurrent(t *testing.T) {
+	d := NewDirectory()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 200; j++ {
+				d.Bind(name, refFor(uint64(j)), 0)
+				d.Lookup(name)
+				d.List("")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.Len() != 8 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+// remoteRig exports a directory from one runtime and returns a typed
+// client built on a second runtime's proxy for it.
+func remoteRig(t *testing.T) (*Directory, *Client, *core.Runtime) {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	var runtimes []*core.Runtime
+	for i := 1; i <= 2; i++ {
+		ep, err := net.Attach(wire.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimes = append(runtimes, core.NewRuntime(ktx))
+	}
+	dir := NewDirectory()
+	ref, err := runtimes[0].Export(dir, TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := runtimes[1].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, NewClient(p), runtimes[1]
+}
+
+func TestRemoteDirectory(t *testing.T) {
+	dir, client, _ := remoteRig(t)
+	ctx := context.Background()
+
+	want := refFor(7)
+	if err := client.Bind(ctx, "svc/x", want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Lookup(ctx, "svc/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != want.Target || got.Type != want.Type {
+		t.Errorf("Lookup = %+v, want %+v", got, want)
+	}
+	names, err := client.List(ctx, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"svc/x"}) {
+		t.Errorf("List = %v", names)
+	}
+	if err := client.Unbind(ctx, "svc/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Lookup(ctx, "svc/x"); err == nil {
+		t.Error("Lookup after Unbind succeeded")
+	}
+	if dir.Len() != 0 {
+		t.Errorf("server directory Len = %d", dir.Len())
+	}
+}
+
+func TestRemoteLookupError(t *testing.T) {
+	_, client, _ := remoteRig(t)
+	_, err := client.Lookup(context.Background(), "missing")
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeApp {
+		t.Errorf("err = %v, want app-level InvokeError", err)
+	}
+}
+
+func TestRemoteBadArgs(t *testing.T) {
+	_, client, _ := remoteRig(t)
+	// Drive the raw proxy with a malformed bind.
+	_, err := client.Proxy().Invoke(context.Background(), "bind", "only-name")
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeBadArgs {
+		t.Errorf("err = %v", err)
+	}
+	_, err = client.Proxy().Invoke(context.Background(), "zorp")
+	if !errors.As(err, &ie) || ie.Code != core.CodeNoSuchMethod {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestResolveReturnsLiveProxy(t *testing.T) {
+	// Bind a real service in the directory, resolve it by name, invoke it.
+	_, client, rtClient := remoteRig(t)
+	ctx := context.Background()
+
+	// Export an extra service from the client runtime itself and bind it.
+	echo := core.ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return []any{"echo:" + method}, nil
+	})
+	ref, err := rtClient.Export(echo, "Echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Bind(ctx, "svc/echo", ref, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Resolve(ctx, rtClient, "svc/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Invoke(ctx, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "echo:ping" {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestCacheHitsAvoidDirectory(t *testing.T) {
+	now := time.Unix(0, 0)
+	dir, client, _ := remoteRig(t)
+	cache := NewCache(client, WithCacheTTL(time.Minute), WithCacheClock(func() time.Time { return now }))
+	ctx := context.Background()
+	dir.Bind("n", refFor(3), 0)
+
+	for i := 0; i < 10; i++ {
+		if _, err := cache.Lookup(ctx, "n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 9 {
+		t.Errorf("stats = %+v, want 1 miss 9 hits", st)
+	}
+
+	// After expiry the next lookup misses again.
+	now = now.Add(2 * time.Minute)
+	if _, err := cache.Lookup(ctx, "n"); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Errorf("post-expiry stats = %+v", st)
+	}
+}
+
+func TestCacheServesStaleUntilInvalidated(t *testing.T) {
+	dir, client, _ := remoteRig(t)
+	cache := NewCache(client, WithCacheTTL(time.Hour))
+	ctx := context.Background()
+	dir.Bind("n", refFor(1), 0)
+	if _, err := cache.Lookup(ctx, "n"); err != nil {
+		t.Fatal(err)
+	}
+	// The binding moves; the cache still answers with the old target.
+	dir.Bind("n", refFor(2), 0)
+	got, err := cache.Lookup(ctx, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target.Object != 1 {
+		t.Errorf("cache returned %d, expected stale 1", got.Target.Object)
+	}
+	cache.Invalidate("n")
+	got, err = cache.Lookup(ctx, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target.Object != 2 {
+		t.Errorf("after invalidate got %d, want 2", got.Target.Object)
+	}
+	cache.Invalidate("") // full flush must not panic and must empty stats path
+	if _, err := cache.Lookup(ctx, "n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDirectoryLookupLocal(b *testing.B) {
+	d := NewDirectory()
+	d.Bind("a/b/c", refFor(1), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup("a/b/c"); !ok {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package naming
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d := NewDirectory()
+	d.Bind("a", refFor(1), 0)
+	d.Bind("b/c", refFor(2), 0)
+	d.Bind("b/d", refFor(3), time.Hour)
+
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDirectory()
+	if err := d2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 3 {
+		t.Fatalf("restored Len = %d", d2.Len())
+	}
+	got, ok := d2.Lookup("b/c")
+	if !ok || got.Target.Object != 2 {
+		t.Errorf("Lookup(b/c) = %v, %v", got, ok)
+	}
+	// The TTL'd entry carried its absolute expiry.
+	if _, ok := d2.Lookup("b/d"); !ok {
+		t.Error("TTL entry lost in restore")
+	}
+}
+
+func TestSnapshotSkipsExpired(t *testing.T) {
+	now := time.Unix(1000, 0)
+	d := NewDirectory(WithClock(func() time.Time { return now }))
+	d.Bind("live", refFor(1), 0)
+	d.Bind("dead", refFor(2), time.Second)
+	now = now.Add(time.Minute)
+
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDirectory()
+	if err := d2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 {
+		t.Errorf("restored Len = %d, want 1 (expired entry must not travel)", d2.Len())
+	}
+}
+
+func TestRestoreReplacesContents(t *testing.T) {
+	d := NewDirectory()
+	d.Bind("old", refFor(1), 0)
+	snap, err := NewDirectory().Snapshot() // empty snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len after restoring empty snapshot = %d", d.Len())
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	d := NewDirectory()
+	for _, bad := range [][]byte{nil, {0xff}, {0x01, 0x02, 0x03}} {
+		if err := d.Restore(bad); err == nil {
+			t.Errorf("Restore(%x) succeeded", bad)
+		}
+	}
+}
+
+func TestSnapshotRestoreProperty(t *testing.T) {
+	// Any set of bindings survives a snapshot/restore cycle intact.
+	gen := func(names []string, objs []uint64) bool {
+		d := NewDirectory()
+		n := len(names)
+		if len(objs) < n {
+			n = len(objs)
+		}
+		want := make(map[string]uint64, n)
+		for i := 0; i < n; i++ {
+			if names[i] == "" {
+				continue
+			}
+			d.Bind(names[i], refFor(objs[i]), 0)
+			want[names[i]] = objs[i]
+		}
+		snap, err := d.Snapshot()
+		if err != nil {
+			return false
+		}
+		d2 := NewDirectory()
+		if err := d2.Restore(snap); err != nil {
+			return false
+		}
+		if d2.Len() != len(want) {
+			return false
+		}
+		for name, obj := range want {
+			got, ok := d2.Lookup(name)
+			if !ok || uint64(got.Target.Object) != obj {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

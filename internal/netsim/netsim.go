@@ -1,0 +1,312 @@
+// Package netsim provides the message transports the system runs on: a
+// simulated network with configurable per-link latency, bandwidth, jitter,
+// loss and partitions (used by tests and benchmarks so every experiment's
+// shape is reproducible on one machine), and a real TCP transport
+// (tcp.go) for multi-process deployment.
+//
+// This substitutes for the 1986 paper's assumed LAN hardware: experiments
+// sweep the link parameters instead of being pinned to a 10 Mb/s Ethernet.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Endpoint is a node's attachment to a network. Implementations route
+// outbound frames by their destination node and surface inbound frames on
+// Recv. Endpoints are safe for concurrent use.
+type Endpoint interface {
+	// Send transmits the frame toward f.Dst.Node. Delivery is best-effort
+	// and asynchronous; an error means the frame was definitely not sent
+	// (closed endpoint, unknown destination), not that it arrived.
+	Send(f *wire.Frame) error
+	// Recv returns the channel of inbound frames. The channel closes when
+	// the endpoint is closed.
+	Recv() <-chan *wire.Frame
+	// LocalNode reports the node this endpoint belongs to.
+	LocalNode() wire.NodeID
+	// Close detaches the endpoint. Safe to call twice.
+	Close() error
+}
+
+// Errors returned by network operations.
+var (
+	ErrClosed      = errors.New("netsim: endpoint closed")
+	ErrUnknownNode = errors.New("netsim: unknown destination node")
+	ErrDuplicate   = errors.New("netsim: node already attached")
+)
+
+// LinkConfig describes one directed link's behaviour.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// BytesPerSecond throttles serialization; zero means infinite.
+	BytesPerSecond int64
+	// LossRate drops frames with this probability in [0, 1).
+	LossRate float64
+}
+
+func (lc LinkConfig) delay(size int, rng func(int64) int64, rfloat func() float64) (time.Duration, bool) {
+	if lc.LossRate > 0 && rfloat() < lc.LossRate {
+		return 0, false
+	}
+	d := lc.Latency
+	if lc.Jitter > 0 {
+		d += time.Duration(rng(int64(lc.Jitter)))
+	}
+	if lc.BytesPerSecond > 0 {
+		d += time.Duration(int64(size) * int64(time.Second) / lc.BytesPerSecond)
+	}
+	return d, true
+}
+
+// Stats counts network activity. All counters are cumulative.
+type Stats struct {
+	Sent       uint64 // frames accepted by Send
+	Delivered  uint64 // frames handed to a receiver
+	Lost       uint64 // frames dropped by the loss model
+	Partition  uint64 // frames dropped by a partition
+	Overrun    uint64 // frames dropped because the receiver queue was full
+	BytesMoved uint64 // payload+header bytes of delivered frames
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDefaultLink sets the link configuration used for every pair of nodes
+// that has no explicit override.
+func WithDefaultLink(lc LinkConfig) Option {
+	return func(n *Network) { n.defaultLink = lc }
+}
+
+// WithLocalLink sets the link configuration for same-node traffic
+// (context-to-context on one machine). Default: zero latency, no loss.
+func WithLocalLink(lc LinkConfig) Option {
+	return func(n *Network) { n.localLink = lc }
+}
+
+// WithSeed seeds the loss/jitter RNG, making drop decisions reproducible.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithQueueDepth sets each endpoint's inbound buffer (default 1024 frames).
+func WithQueueDepth(d int) Option {
+	return func(n *Network) {
+		if d > 0 {
+			n.queueDepth = d
+		}
+	}
+}
+
+// Network is an in-process simulated network. Create with New, attach one
+// endpoint per node, and exchange frames between them.
+type Network struct {
+	defaultLink LinkConfig
+	localLink   LinkConfig
+	queueDepth  int
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	endpoints   map[wire.NodeID]*simEndpoint
+	links       map[[2]wire.NodeID]LinkConfig
+	partitioned map[[2]wire.NodeID]bool
+	stats       Stats
+	closed      bool
+}
+
+// New creates a network with the given options. Without options the network
+// is perfect: zero latency, infinite bandwidth, no loss.
+func New(opts ...Option) *Network {
+	n := &Network{
+		queueDepth:  1024,
+		rng:         rand.New(rand.NewSource(1)),
+		endpoints:   make(map[wire.NodeID]*simEndpoint),
+		links:       make(map[[2]wire.NodeID]LinkConfig),
+		partitioned: make(map[[2]wire.NodeID]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Attach joins a node to the network and returns its endpoint.
+func (n *Network) Attach(node wire.NodeID) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[node]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicate, node)
+	}
+	ep := &simEndpoint{
+		net:  n,
+		node: node,
+		recv: make(chan *wire.Frame, n.queueDepth),
+	}
+	n.endpoints[node] = ep
+	return ep, nil
+}
+
+// SetLink overrides the directed link from a to b. Use twice for symmetry.
+func (n *Network) SetLink(from, to wire.NodeID, lc LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]wire.NodeID{from, to}] = lc
+}
+
+// Partition blocks all traffic between a and b (both directions) until
+// Heal is called.
+func (n *Network) Partition(a, b wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[[2]wire.NodeID{a, b}] = true
+	n.partitioned[[2]wire.NodeID{b, a}] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, [2]wire.NodeID{a, b})
+	delete(n.partitioned, [2]wire.NodeID{b, a})
+}
+
+// Snapshot returns the current counters.
+func (n *Network) Snapshot() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the whole network down, closing every endpoint.
+func (n *Network) Close() {
+	n.mu.Lock()
+	eps := make([]*simEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+}
+
+func (n *Network) linkFor(from, to wire.NodeID) LinkConfig {
+	if from == to {
+		return n.localLink
+	}
+	if lc, ok := n.links[[2]wire.NodeID{from, to}]; ok {
+		return lc
+	}
+	return n.defaultLink
+}
+
+// send routes one frame; called with a cloned frame the network owns.
+func (n *Network) send(from wire.NodeID, f *wire.Frame) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[f.Dst.Node]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownNode, f.Dst.Node)
+	}
+	n.stats.Sent++
+	if n.partitioned[[2]wire.NodeID{from, f.Dst.Node}] {
+		n.stats.Partition++
+		n.mu.Unlock()
+		return nil // silently dropped: partitions look like loss to senders
+	}
+	lc := n.linkFor(from, f.Dst.Node)
+	delay, delivered := lc.delay(f.EncodedLen(),
+		func(m int64) int64 { return n.rng.Int63n(m) },
+		n.rng.Float64)
+	if !delivered {
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	if delay == 0 {
+		n.deliver(dst, f)
+		return nil
+	}
+	time.AfterFunc(delay, func() { n.deliver(dst, f) })
+	return nil
+}
+
+func (n *Network) deliver(dst *simEndpoint, f *wire.Frame) {
+	dst.mu.Lock()
+	if dst.closed {
+		dst.mu.Unlock()
+		return
+	}
+	select {
+	case dst.recv <- f:
+		dst.mu.Unlock()
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.stats.BytesMoved += uint64(f.EncodedLen())
+		n.mu.Unlock()
+	default:
+		dst.mu.Unlock()
+		n.mu.Lock()
+		n.stats.Overrun++
+		n.mu.Unlock()
+	}
+}
+
+type simEndpoint struct {
+	net  *Network
+	node wire.NodeID
+
+	mu     sync.Mutex
+	closed bool
+	recv   chan *wire.Frame
+}
+
+func (e *simEndpoint) Send(f *wire.Frame) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	c := f.Clone() // the network owns its copy; callers may reuse buffers
+	return e.net.send(e.node, &c)
+}
+
+func (e *simEndpoint) Recv() <-chan *wire.Frame { return e.recv }
+
+func (e *simEndpoint) LocalNode() wire.NodeID { return e.node }
+
+func (e *simEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.recv)
+	e.mu.Unlock()
+
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.node)
+	e.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// TCPEndpoint is an Endpoint over real TCP connections, for multi-process
+// deployment (cmd/proxyd, cmd/proxyctl). Outbound routes come from a
+// static peer table (dialed lazily and reused) and from *learned* return
+// routes: when a frame arrives on an accepted connection, that connection
+// becomes the route back to the frame's source node — so a client behind
+// an unknown address (e.g. proxyctl listening on :0) can still receive
+// replies.
+type TCPEndpoint struct {
+	node wire.NodeID
+	ln   net.Listener
+	recv chan *wire.Frame
+
+	mu     sync.Mutex
+	peers  map[wire.NodeID]string
+	conns  map[wire.NodeID]*tcpConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// tcpConn serializes writes: concurrent frame sends must not interleave
+// partial writes on one socket.
+type tcpConn struct {
+	c  net.Conn
+	mu sync.Mutex
+	// learned marks routes discovered from accepted connections; they are
+	// evicted when their connection dies, while dialed routes redial.
+	learned bool
+}
+
+func (tc *tcpConn) writeFrame(f *wire.Frame) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return wire.WriteFrame(tc.c, f)
+}
+
+// ListenTCP starts an endpoint for node listening on listenAddr. peers
+// maps statically-known nodes to their addresses; other nodes become
+// reachable once they send us a frame. The caller should defer Close.
+func ListenTCP(node wire.NodeID, listenAddr string, peers map[wire.NodeID]string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen %s: %w", listenAddr, err)
+	}
+	p := make(map[wire.NodeID]string, len(peers))
+	for k, v := range peers {
+		p[k] = v
+	}
+	e := &TCPEndpoint{
+		node:  node,
+		ln:    ln,
+		peers: p,
+		recv:  make(chan *wire.Frame, 1024),
+		conns: make(map[wire.NodeID]*tcpConn),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// ListenAddr reports the bound listen address (useful with ":0").
+func (e *TCPEndpoint) ListenAddr() string { return e.ln.Addr().String() }
+
+// AddPeer inserts or replaces a static peer route.
+func (e *TCPEndpoint) AddPeer(node wire.NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[node] = addr
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn, true)
+	}
+}
+
+// readLoop pumps frames from one connection. accepted connections teach
+// us return routes.
+func (e *TCPEndpoint) readLoop(conn net.Conn, accepted bool) {
+	defer e.wg.Done()
+	defer conn.Close()
+	var tc *tcpConn
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			break
+		}
+		if accepted && tc == nil && f.Src.Node != 0 && f.Src.Node != e.node {
+			tc = e.learnRoute(f.Src.Node, conn)
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			break
+		}
+		select {
+		case e.recv <- &f:
+		default:
+			// Queue overrun: drop, as a congested switch would.
+		}
+	}
+	if tc != nil {
+		e.forgetConn(tc)
+	}
+}
+
+// learnRoute records conn as the way back to node, unless a route exists.
+func (e *TCPEndpoint) learnRoute(node wire.NodeID, conn net.Conn) *tcpConn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if _, ok := e.conns[node]; ok {
+		return nil
+	}
+	tc := &tcpConn{c: conn, learned: true}
+	e.conns[node] = tc
+	return tc
+}
+
+func (e *TCPEndpoint) forgetConn(tc *tcpConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for node, cur := range e.conns {
+		if cur == tc {
+			delete(e.conns, node)
+		}
+	}
+}
+
+// Send implements Endpoint. Frames to the local node loop back without
+// touching the network.
+func (e *TCPEndpoint) Send(f *wire.Frame) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if f.Dst.Node == e.node {
+		// Loopback under the lock, so Close cannot close recv mid-push.
+		c := f.Clone()
+		select {
+		case e.recv <- &c:
+		default:
+		}
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+	tc, err := e.connTo(f.Dst.Node)
+	if err != nil {
+		return err
+	}
+	if err := tc.writeFrame(f); err != nil {
+		// Connection is broken; forget it so the next send redials (or
+		// waits for the peer to reconnect, for learned routes).
+		e.mu.Lock()
+		if e.conns[f.Dst.Node] == tc {
+			delete(e.conns, f.Dst.Node)
+		}
+		e.mu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("netsim: send to node %d: %w", f.Dst.Node, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) connTo(node wire.NodeID) (*tcpConn, error) {
+	e.mu.Lock()
+	if tc, ok := e.conns[node]; ok {
+		e.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := e.peers[node]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial node %d at %s: %w", node, addr, err)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := e.conns[node]; ok {
+		// Lost a dial race; keep the first connection.
+		e.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	tc := &tcpConn{c: conn}
+	e.conns[node] = tc
+	e.mu.Unlock()
+	// Dialed connections also carry inbound traffic (the peer replies on
+	// the same socket).
+	e.wg.Add(1)
+	go e.readLoop(conn, false)
+	return tc, nil
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() <-chan *wire.Frame { return e.recv }
+
+// LocalNode implements Endpoint.
+func (e *TCPEndpoint) LocalNode() wire.NodeID { return e.node }
+
+// Close implements Endpoint, closing the listener and all connections.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]*tcpConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.conns = map[wire.NodeID]*tcpConn{}
+	e.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	e.wg.Wait()
+	close(e.recv)
+	return err
+}

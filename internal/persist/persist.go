@@ -1,0 +1,217 @@
+// Package persist implements checkpoint/restore of service state — the
+// paper's lineage treats persistence as migration to stable storage (the
+// idea Shapiro's later SOS system built out): the same Snapshot/Restore
+// contract that moves an object between contexts (migrate.Migratable)
+// also moves it across process lifetimes.
+//
+// A Checkpoint is a named set of object snapshots with a format header
+// and per-entry integrity hashes. cmd/proxyd can save one at shutdown and
+// reload it at boot, so a node restart preserves its services' state.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Snapshotter is the state-capture half of migrate.Migratable /
+// replica.StateMachine, which is all persistence needs at save time.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+}
+
+// Restorer is the restore half, needed at load time.
+type Restorer interface {
+	Restore(data []byte) error
+}
+
+// Errors returned by the persistence layer.
+var (
+	// ErrBadCheckpoint reports a malformed or corrupted checkpoint stream.
+	ErrBadCheckpoint = errors.New("persist: bad checkpoint")
+	// ErrDuplicateName reports two entries saved under one name.
+	ErrDuplicateName = errors.New("persist: duplicate entry name")
+	// ErrUnknownEntry reports a restore of a name the checkpoint lacks.
+	ErrUnknownEntry = errors.New("persist: no such entry")
+)
+
+const (
+	checkpointMagic   = 0x434b5054 // "CKPT"
+	checkpointVersion = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checkpoint is an in-memory set of named snapshots. The zero value is
+// empty and ready to use. Safe for concurrent use.
+type Checkpoint struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+}
+
+// NewCheckpoint returns an empty checkpoint.
+func NewCheckpoint() *Checkpoint {
+	return &Checkpoint{entries: make(map[string][]byte)}
+}
+
+// Add captures svc's state under name.
+func (c *Checkpoint) Add(name string, svc Snapshotter) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadCheckpoint)
+	}
+	data, err := svc.Snapshot()
+	if err != nil {
+		return fmt.Errorf("persist: snapshot %q: %w", name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string][]byte)
+	}
+	if _, ok := c.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	c.entries[name] = data
+	return nil
+}
+
+// AddRaw stores pre-serialized state (used when the object is already a
+// byte blob, e.g. relayed from another node).
+func (c *Checkpoint) AddRaw(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadCheckpoint)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string][]byte)
+	}
+	if _, ok := c.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	c.entries[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Names lists the entries, sorted.
+func (c *Checkpoint) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RestoreInto loads the named entry into svc.
+func (c *Checkpoint) RestoreInto(name string, svc Restorer) error {
+	c.mu.Lock()
+	data, ok := c.entries[name]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEntry, name)
+	}
+	if err := svc.Restore(data); err != nil {
+		return fmt.Errorf("persist: restore %q: %w", name, err)
+	}
+	return nil
+}
+
+// WriteTo serializes the checkpoint:
+//
+//	magic(4) version(1) count(varint)
+//	per entry: name(string) len(varint) data crc32(4 over name+data)
+//
+// Entries are written in sorted order, so equal checkpoints serialize
+// identically. Implements io.WriterTo.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 256)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], checkpointMagic)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, checkpointVersion)
+	buf = wire.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		entryStart := len(buf)
+		buf = wire.AppendString(buf, name)
+		buf = wire.AppendBytes(buf, c.entries[name])
+		crc := crc32.Checksum(buf[entryStart:], crcTable)
+		var crcBuf [4]byte
+		binary.BigEndian.PutUint32(crcBuf[:], crc)
+		buf = append(buf, crcBuf[:]...)
+	}
+	c.mu.Unlock()
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadCheckpoint parses a checkpoint stream written by WriteTo, verifying
+// every entry's integrity hash.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: read: %w", err)
+	}
+	if len(raw) < 5 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadCheckpoint)
+	}
+	if binary.BigEndian.Uint32(raw) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if raw[4] != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, raw[4])
+	}
+	raw = raw[5:]
+	count, n, err := wire.Uvarint(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %s", ErrBadCheckpoint, err)
+	}
+	raw = raw[n:]
+	if count > uint64(len(raw)) {
+		return nil, fmt.Errorf("%w: impossible entry count %d", ErrBadCheckpoint, count)
+	}
+	c := NewCheckpoint()
+	for i := uint64(0); i < count; i++ {
+		entry := raw
+		name, n1, err := wire.String(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d name: %s", ErrBadCheckpoint, i, err)
+		}
+		raw = raw[n1:]
+		data, n2, err := wire.Bytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %q data: %s", ErrBadCheckpoint, name, err)
+		}
+		raw = raw[n2:]
+		if len(raw) < 4 {
+			return nil, fmt.Errorf("%w: entry %q missing crc", ErrBadCheckpoint, name)
+		}
+		want := binary.BigEndian.Uint32(raw)
+		if crc32.Checksum(entry[:n1+n2], crcTable) != want {
+			return nil, fmt.Errorf("%w: entry %q corrupted", ErrBadCheckpoint, name)
+		}
+		raw = raw[4:]
+		if err := c.AddRaw(name, data); err != nil {
+			return nil, err
+		}
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(raw))
+	}
+	return c, nil
+}

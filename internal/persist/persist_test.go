@@ -1,0 +1,193 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+)
+
+func seededKV(t *testing.T, pairs map[string]int64) *bench.KV {
+	t.Helper()
+	kv := bench.NewKV()
+	for k, v := range pairs {
+		if _, err := kv.Invoke(context.Background(), "put", []any{k, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return kv
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := NewCheckpoint()
+	kv1 := seededKV(t, map[string]int64{"a": 1, "b": 2})
+	kv2 := seededKV(t, map[string]int64{"x": 9})
+	if err := c.Add("services/kv1", kv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("services/kv2", kv2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Names(), []string{"services/kv1", "services/kv2"}) {
+		t.Fatalf("names = %v", loaded.Names())
+	}
+	fresh1, fresh2 := bench.NewKV(), bench.NewKV()
+	if err := loaded.RestoreInto("services/kv1", fresh1); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.RestoreInto("services/kv2", fresh2); err != nil {
+		t.Fatal(err)
+	}
+	if fresh1.Get("a") != 1 || fresh1.Get("b") != 2 {
+		t.Errorf("kv1 restored wrong: a=%d b=%d", fresh1.Get("a"), fresh1.Get("b"))
+	}
+	if fresh2.Get("x") != 9 {
+		t.Errorf("kv2 restored wrong: x=%d", fresh2.Get("x"))
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	build := func() []byte {
+		c := NewCheckpoint()
+		_ = c.AddRaw("zeta", []byte{1, 2})
+		_ = c.AddRaw("alpha", []byte{3})
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical checkpoints serialized differently")
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	c := NewCheckpoint()
+	if err := c.AddRaw("", nil); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("empty name = %v", err)
+	}
+	if err := c.AddRaw("dup", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRaw("dup", []byte{2}); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate = %v", err)
+	}
+	if err := c.RestoreInto("missing", bench.NewKV()); !errors.Is(err, ErrUnknownEntry) {
+		t.Errorf("missing = %v", err)
+	}
+}
+
+func TestReadCheckpointCorruption(t *testing.T) {
+	c := NewCheckpoint()
+	kv := seededKV(t, map[string]int64{"k": 5})
+	if err := c.Add("svc", kv); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Any single-byte corruption must be detected.
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		if _, err := ReadCheckpoint(bytes.NewReader(mut)); err == nil {
+			t.Errorf("accepted checkpoint with byte %d corrupted", i)
+		}
+	}
+	// And truncation at every point.
+	for i := 0; i < len(good); i++ {
+		if _, err := ReadCheckpoint(bytes.NewReader(good[:i])); err == nil {
+			t.Errorf("accepted %d-byte prefix", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := ReadCheckpoint(bytes.NewReader(append(append([]byte(nil), good...), 0x00))); err == nil {
+		t.Error("accepted trailing garbage")
+	}
+}
+
+func TestCheckpointEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewCheckpoint().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Names()) != 0 {
+		t.Errorf("names = %v", loaded.Names())
+	}
+}
+
+func TestCheckpointProperty(t *testing.T) {
+	gen := func(names []string, blobs [][]byte) bool {
+		c := NewCheckpoint()
+		want := map[string][]byte{}
+		n := len(names)
+		if len(blobs) < n {
+			n = len(blobs)
+		}
+		for i := 0; i < n; i++ {
+			if names[i] == "" {
+				continue
+			}
+			if _, dup := want[names[i]]; dup {
+				continue
+			}
+			if err := c.AddRaw(names[i], blobs[i]); err != nil {
+				return false
+			}
+			want[names[i]] = blobs[i]
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			return false
+		}
+		loaded, err := ReadCheckpoint(&buf)
+		if err != nil {
+			return false
+		}
+		if len(loaded.Names()) != len(want) {
+			return false
+		}
+		for name, blob := range want {
+			var sink rawSink
+			if err := loaded.RestoreInto(name, &sink); err != nil {
+				return false
+			}
+			if !bytes.Equal(sink.data, blob) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rawSink captures restore bytes verbatim.
+type rawSink struct{ data []byte }
+
+func (r *rawSink) Restore(data []byte) error {
+	r.data = append([]byte(nil), data...)
+	return nil
+}

@@ -1,0 +1,323 @@
+// Package pubsub implements the observer pattern on top of the proxy
+// runtime, with no machinery of its own below core: a subscriber passes a
+// *reference* to its callback object when subscribing, the topic's
+// argument decoding turns that reference into a proxy, and publishing is
+// the topic invoking "notify" through each subscriber proxy. Events are
+// ordinary invocation values — including references, so an event can
+// carry live capabilities to its consumers.
+//
+// Delivery is per-subscriber ordered (one goroutine drains each
+// subscriber's queue in sequence) and at-most-once per event; a subscriber
+// whose notify fails repeatedly is dropped (fail-stop suspicion), which
+// keeps dead subscribers from wedging the topic.
+package pubsub
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TypeName is the conventional proxy type for topics.
+const TypeName = "pubsub.Topic"
+
+// SubscriberType is the conventional proxy type for callback objects.
+const SubscriberType = "pubsub.Subscriber"
+
+// TopicOption configures a Topic.
+type TopicOption func(*Topic)
+
+// WithQueueDepth bounds each subscriber's pending-event queue (default
+// 128); when a slow subscriber's queue fills, its oldest events are
+// dropped and counted.
+func WithQueueDepth(n int) TopicOption {
+	return func(t *Topic) {
+		if n > 0 {
+			t.queueDepth = n
+		}
+	}
+}
+
+// WithMaxFailures sets how many consecutive notify failures evict a
+// subscriber (default 3).
+func WithMaxFailures(n int) TopicOption {
+	return func(t *Topic) {
+		if n > 0 {
+			t.maxFailures = n
+		}
+	}
+}
+
+// WithNotifyTimeout bounds one notify invocation (default 5s).
+func WithNotifyTimeout(d time.Duration) TopicOption {
+	return func(t *Topic) {
+		if d > 0 {
+			t.notifyTimeout = d
+		}
+	}
+}
+
+// Stats counts topic activity.
+type Stats struct {
+	Published   uint64
+	Delivered   uint64
+	Dropped     uint64 // queue overflows
+	Evicted     uint64 // subscribers removed for failing
+	Subscribers int
+}
+
+// Topic is the publish/subscribe hub. It implements core.Service with:
+//
+//	subscribe(cb Ref) -> (id int64)
+//	unsubscribe(id int64) -> ()
+//	publish(event any) -> ()       // returns after enqueuing, not delivery
+//	count() -> (int64)
+type Topic struct {
+	queueDepth    int
+	maxFailures   int
+	notifyTimeout time.Duration
+	name          string
+
+	mu     sync.Mutex
+	nextID int64
+	subs   map[int64]*subscription
+	stats  Stats
+	closed bool
+}
+
+type subscription struct {
+	id    int64
+	proxy core.Proxy
+	queue chan any
+	stop  chan struct{}
+}
+
+// NewTopic creates a topic named name (the name travels with every
+// notify, so one callback object can serve several topics).
+func NewTopic(name string, opts ...TopicOption) *Topic {
+	t := &Topic{
+		queueDepth:    128,
+		maxFailures:   3,
+		notifyTimeout: 5 * time.Second,
+		name:          name,
+		subs:          make(map[int64]*subscription),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Invoke implements core.Service.
+func (t *Topic) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	switch method {
+	case "subscribe":
+		if len(args) != 1 {
+			return nil, core.BadArgs(method, "want (callbackRef)")
+		}
+		cb, ok := args[0].(core.Proxy)
+		if !ok {
+			return nil, core.BadArgs(method, fmt.Sprintf("callback must be a reference, got %T", args[0]))
+		}
+		id, err := t.Subscribe(cb)
+		if err != nil {
+			return nil, core.Errorf(core.CodeApp, method, "%s", err)
+		}
+		return []any{id}, nil
+	case "unsubscribe":
+		if len(args) != 1 {
+			return nil, core.BadArgs(method, "want (id)")
+		}
+		id, ok := args[0].(int64)
+		if !ok {
+			return nil, core.BadArgs(method, fmt.Sprintf("id must be int64, got %T", args[0]))
+		}
+		t.Unsubscribe(id)
+		return nil, nil
+	case "publish":
+		if len(args) != 1 {
+			return nil, core.BadArgs(method, "want (event)")
+		}
+		t.Publish(args[0])
+		return nil, nil
+	case "count":
+		return []any{int64(t.Stats().Subscribers)}, nil
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+// Subscribe adds a callback proxy and starts its delivery drain.
+func (t *Topic) Subscribe(cb core.Proxy) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, fmt.Errorf("pubsub: topic closed")
+	}
+	t.nextID++
+	sub := &subscription{
+		id:    t.nextID,
+		proxy: cb,
+		queue: make(chan any, t.queueDepth),
+		stop:  make(chan struct{}),
+	}
+	t.subs[sub.id] = sub
+	go t.drain(sub)
+	return sub.id, nil
+}
+
+// Unsubscribe removes a subscription (idempotent).
+func (t *Topic) Unsubscribe(id int64) {
+	t.mu.Lock()
+	sub, ok := t.subs[id]
+	if ok {
+		delete(t.subs, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		close(sub.stop)
+	}
+}
+
+// Publish enqueues the event for every subscriber and returns. A full
+// subscriber queue drops the event for that subscriber only.
+func (t *Topic) Publish(event any) {
+	t.mu.Lock()
+	t.stats.Published++
+	subs := make([]*subscription, 0, len(t.subs))
+	for _, s := range t.subs {
+		subs = append(subs, s)
+	}
+	t.mu.Unlock()
+	for _, s := range subs {
+		select {
+		case s.queue <- event:
+		default:
+			t.mu.Lock()
+			t.stats.Dropped++
+			t.mu.Unlock()
+		}
+	}
+}
+
+// drain delivers one subscriber's events in order.
+func (t *Topic) drain(sub *subscription) {
+	failures := 0
+	for {
+		select {
+		case <-sub.stop:
+			return
+		case event := <-sub.queue:
+			ctx, cancel := context.WithTimeout(context.Background(), t.notifyTimeout)
+			_, err := sub.proxy.Invoke(ctx, "notify", t.name, event)
+			cancel()
+			if err != nil {
+				failures++
+				if failures >= t.maxFailures {
+					t.mu.Lock()
+					if _, ok := t.subs[sub.id]; ok {
+						delete(t.subs, sub.id)
+						t.stats.Evicted++
+					}
+					t.mu.Unlock()
+					return
+				}
+				continue
+			}
+			failures = 0
+			t.mu.Lock()
+			t.stats.Delivered++
+			t.mu.Unlock()
+		}
+	}
+}
+
+// Stats snapshots the counters.
+func (t *Topic) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Subscribers = len(t.subs)
+	return s
+}
+
+// Close stops every drain; pending events are discarded.
+func (t *Topic) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	subs := t.subs
+	t.subs = make(map[int64]*subscription)
+	t.mu.Unlock()
+	for _, s := range subs {
+		close(s.stop)
+	}
+}
+
+// Callback wraps a function as an Exportable service answering "notify":
+// the subscriber side of the protocol. Export it (or pass it directly in
+// arguments — it auto-exports) and hand its reference to subscribe.
+type Callback struct {
+	fn func(topic string, event any)
+}
+
+// NewCallback builds a callback service around fn. fn runs on the
+// delivery path and must not block for long.
+func NewCallback(fn func(topic string, event any)) *Callback {
+	return &Callback{fn: fn}
+}
+
+// Invoke implements core.Service.
+func (c *Callback) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if method != "notify" {
+		return nil, core.NoSuchMethod(method)
+	}
+	if len(args) != 2 {
+		return nil, core.BadArgs(method, "want (topic, event)")
+	}
+	topic, _ := args[0].(string)
+	c.fn(topic, args[1])
+	return nil, nil
+}
+
+// ProxyType implements core.Exportable, so a Callback passed in arguments
+// auto-exports.
+func (c *Callback) ProxyType() string { return SubscriberType }
+
+// Client is the typed wrapper for a topic proxy.
+type Client struct {
+	p core.Proxy
+}
+
+// NewClient wraps a topic proxy.
+func NewClient(p core.Proxy) *Client { return &Client{p: p} }
+
+// Proxy exposes the wrapped proxy.
+func (c *Client) Proxy() core.Proxy { return c.p }
+
+// Subscribe registers cb (any proxy/exportable whose "notify" is the
+// delivery method) and returns the subscription id.
+func (c *Client) Subscribe(ctx context.Context, cb any) (int64, error) {
+	return core.Call1[int64](ctx, c.p, "subscribe", cb)
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(ctx context.Context, id int64) error {
+	return core.Call0(ctx, c.p, "unsubscribe", id)
+}
+
+// Publish sends an event to every subscriber.
+func (c *Client) Publish(ctx context.Context, event any) error {
+	return core.Call0(ctx, c.p, "publish", event)
+}
+
+// Count reports the current subscriber count.
+func (c *Client) Count(ctx context.Context) (int64, error) {
+	return core.Call1[int64](ctx, c.p, "count")
+}

@@ -1,0 +1,329 @@
+package pubsub
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// psWorld: a topic on node 1, n subscriber runtimes on nodes 2..n+1.
+type psWorld struct {
+	topic    *Topic
+	client   *Client
+	runtimes []*core.Runtime
+}
+
+func newPSWorld(t *testing.T, nClients int, opts ...TopicOption) *psWorld {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	mk := func(id wire.NodeID) *core.Runtime {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewRuntime(ktx)
+	}
+	w := &psWorld{topic: NewTopic("events", opts...)}
+	t.Cleanup(w.topic.Close)
+	server := mk(1)
+	ref, err := server.Export(w.topic, TypeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nClients; i++ {
+		w.runtimes = append(w.runtimes, mk(wire.NodeID(i+2)))
+	}
+	p, err := w.runtimes[0].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.client = NewClient(p)
+	return w
+}
+
+// recorder collects notified events.
+type recorder struct {
+	mu     sync.Mutex
+	topics []string
+	events []any
+}
+
+func (r *recorder) cb(topic string, event any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.topics = append(r.topics, topic)
+	r.events = append(r.events, event)
+}
+
+func (r *recorder) snapshot() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]any(nil), r.events...)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPublishReachesSubscribers(t *testing.T) {
+	w := newPSWorld(t, 1)
+	ctx := context.Background()
+	rec := &recorder{}
+	id, err := w.client.Subscribe(ctx, NewCallback(rec.cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Error("zero subscription id")
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.client.Publish(ctx, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(rec.snapshot()) == 5 })
+	events := rec.snapshot()
+	for i, e := range events {
+		if e != int64(i) {
+			t.Errorf("event %d = %v (order violated?)", i, e)
+		}
+	}
+	rec.mu.Lock()
+	topic := rec.topics[0]
+	rec.mu.Unlock()
+	if topic != "events" {
+		t.Errorf("topic = %q", topic)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	w := newPSWorld(t, 1)
+	ctx := context.Background()
+	rec := &recorder{}
+	id, err := w.client.Subscribe(ctx, NewCallback(rec.cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.Publish(ctx, "before"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.snapshot()) == 1 })
+	if err := w.client.Unsubscribe(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.Publish(ctx, "after"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := rec.snapshot(); len(got) != 1 {
+		t.Errorf("events after unsubscribe = %v", got)
+	}
+	if n, _ := w.client.Count(ctx); n != 0 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestMultipleSubscribersAcrossNodes(t *testing.T) {
+	const subs = 3
+	w := newPSWorld(t, subs)
+	ctx := context.Background()
+	recs := make([]*recorder, subs)
+	for i := 0; i < subs; i++ {
+		recs[i] = &recorder{}
+		// Each subscriber registers from its own runtime: export the
+		// callback there and pass its proxy to subscribe.
+		cbRef, err := w.runtimes[i].Export(NewCallback(recs[i].cb), SubscriberType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbProxy, err := w.runtimes[i].Import(cbRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Subscribe through runtime 0's topic client; the callback proxy
+		// lowers to its ref and the topic installs its own proxy for it.
+		if _, err := w.client.Subscribe(ctx, cbProxy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.client.Publish(ctx, "fanout"); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		rec := rec
+		waitFor(t, func() bool { return len(rec.snapshot()) == 1 })
+		if got := rec.snapshot()[0]; got != "fanout" {
+			t.Errorf("subscriber %d got %v", i, got)
+		}
+	}
+	// Delivered increments after the notify round trip completes, which
+	// can lag the subscriber-side callback; poll for it.
+	waitFor(t, func() bool { return w.topic.Stats().Delivered == uint64(subs) })
+	if st := w.topic.Stats(); st.Published != 1 || st.Subscribers != subs {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEventsCanCarryReferences(t *testing.T) {
+	// Publish an event containing a service reference; subscribers get a
+	// live proxy they can invoke — capabilities travel through events.
+	w := newPSWorld(t, 1)
+	ctx := context.Background()
+
+	got := make(chan any, 1)
+	if _, err := w.client.Subscribe(ctx, NewCallback(func(topic string, event any) {
+		got <- event
+	})); err != nil {
+		t.Fatal(err)
+	}
+	kvLike := core.ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return []any{"pong"}, nil
+	})
+	ref, err := w.runtimes[0].Export(kvLike, "Pinger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinger, err := w.runtimes[0].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.Publish(ctx, pinger); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		p, ok := ev.(core.Proxy)
+		if !ok {
+			t.Fatalf("event is %T, want Proxy", ev)
+		}
+		res, err := p.Invoke(ctx, "ping")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != "pong" {
+			t.Errorf("res = %v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("event never arrived")
+	}
+}
+
+func TestDeadSubscriberEvicted(t *testing.T) {
+	w := newPSWorld(t, 1, WithMaxFailures(2), WithNotifyTimeout(100*time.Millisecond))
+	ctx := context.Background()
+	rec := &recorder{}
+	if _, err := w.client.Subscribe(ctx, NewCallback(rec.cb)); err != nil {
+		t.Fatal(err)
+	}
+	// A subscriber whose callback object vanishes (unregistered) starts
+	// failing; after maxFailures events it is evicted.
+	dead := NewCallback(func(string, any) {})
+	deadRef, err := w.runtimes[0].Export(dead, SubscriberType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadProxy, err := w.runtimes[0].Import(deadRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Subscribe(ctx, deadProxy); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.runtimes[0].Unexport(dead); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := w.client.Publish(ctx, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return w.topic.Stats().Evicted == 1 })
+	if n, _ := w.client.Count(ctx); n != 1 {
+		t.Errorf("Count after eviction = %d", n)
+	}
+	// The healthy subscriber saw everything.
+	waitFor(t, func() bool { return len(rec.snapshot()) == 3 })
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	w := newPSWorld(t, 1, WithQueueDepth(2))
+	ctx := context.Background()
+	block := make(chan struct{})
+	var mu sync.Mutex
+	var got []any
+	if _, err := w.client.Subscribe(ctx, NewCallback(func(_ string, e any) {
+		<-block
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// Publish far more than the queue holds while the subscriber is stuck.
+	for i := 0; i < 10; i++ {
+		if err := w.client.Publish(ctx, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return w.topic.Stats().Dropped > 0 })
+	close(block)
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	})
+	st := w.topic.Stats()
+	if st.Dropped+st.Delivered > 10+1 { // one event may be mid-delivery
+		t.Errorf("dropped %d + delivered %d exceeds published", st.Dropped, st.Delivered)
+	}
+}
+
+func TestTopicCloseAndErrors(t *testing.T) {
+	w := newPSWorld(t, 1)
+	ctx := context.Background()
+	var ie *core.InvokeError
+	if _, err := w.client.Proxy().Invoke(ctx, "subscribe", "not-a-ref"); !asInvoke(err, &ie) || ie.Code != core.CodeBadArgs {
+		t.Errorf("bad subscribe = %v", err)
+	}
+	if _, err := w.client.Proxy().Invoke(ctx, "zorp"); !asInvoke(err, &ie) || ie.Code != core.CodeNoSuchMethod {
+		t.Errorf("unknown method = %v", err)
+	}
+	w.topic.Close()
+	w.topic.Close() // idempotent
+	if _, err := w.topic.Subscribe(nil); err == nil {
+		t.Error("subscribe after close succeeded")
+	}
+}
+
+func asInvoke(err error, out **core.InvokeError) bool {
+	if err == nil {
+		return false
+	}
+	ie, ok := err.(*core.InvokeError)
+	if !ok {
+		return false
+	}
+	*out = ie
+	return true
+}

@@ -1,0 +1,115 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/wire"
+)
+
+// joinTimeout bounds the bootstrap round when a proxy is created.
+const joinTimeout = 10 * time.Second
+
+func contextWithJoinTimeout() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), joinTimeout)
+}
+
+// Proxy is the replicated proxy: a full local copy of the object plus
+// group membership. Implements core.Proxy.
+type Proxy struct {
+	rt     *core.Runtime
+	ref    codec.Ref
+	ctrl   wire.ObjAddr
+	isRead func(string) bool
+	local  StateMachine
+
+	mu     sync.Mutex
+	member *group.Member
+	closed bool
+
+	localReads atomic.Uint64
+	writesSent atomic.Uint64
+	applied    atomic.Uint64
+}
+
+// apply is the group delivery callback: one ordered write at a time. The
+// leading capability token was verified by the primary before broadcast,
+// so it is ignored here.
+func (p *Proxy) apply(seq uint64, payload []byte) {
+	_, method, args, err := core.DecodeRequest(p.rt.Decoder(), payload)
+	if err != nil {
+		// A malformed broadcast would desynchronize this replica; there is
+		// no caller to report to, so count it and keep the copy read-only
+		// stale rather than crash.
+		return
+	}
+	// Result and error are discarded: the primary already returned them to
+	// the writer; replicas apply purely for state.
+	_, _ = p.local.Invoke(context.Background(), method, args)
+	p.applied.Add(1)
+}
+
+// Invoke implements core.Proxy.
+func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, core.ErrProxyClosed
+	}
+	if p.isRead(method) {
+		p.localReads.Add(1)
+		return p.local.Invoke(ctx, method, args)
+	}
+	p.writesSent.Add(1)
+	lowered, err := p.rt.LowerArgs(args)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	payload, err := core.EncodeRequest(p.ref.Cap, method, lowered)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindWrite, payload)
+	if err != nil {
+		return nil, core.RemoteToInvokeError(method, err)
+	}
+	return core.DecodeResults(p.rt.Decoder(), reply)
+}
+
+// Ref implements core.Proxy.
+func (p *Proxy) Ref() codec.Ref { return p.ref }
+
+// Stats reports (reads served locally, writes sent to the primary, writes
+// applied by delivery).
+func (p *Proxy) Stats() (localReads, writesSent, applied uint64) {
+	return p.localReads.Load(), p.writesSent.Load(), p.applied.Load()
+}
+
+// Local exposes the local replica (tests verify convergence through it).
+func (p *Proxy) Local() StateMachine { return p.local }
+
+// Close implements core.Proxy: leave the group and drop the copy.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	member := p.member
+	p.mu.Unlock()
+
+	p.rt.ForgetProxy(p.ref.Target)
+	if member != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = member.Leave(ctx)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package replica implements the replicated smart proxy: every proxy
+// holds a full copy of the object and serves reads locally, while writes
+// funnel through the primary, which applies them and pushes them to every
+// copy in a single total order (state-machine replication over
+// internal/group's sequenced broadcast).
+//
+// The client cannot tell a replicated proxy from a stub — identical
+// Invoke interface, very different cost profile: reads are local calls
+// (experiment E4 measures the scaling), writes pay a broadcast round.
+//
+// Consistency: writes are linearizable (the primary orders them and a
+// write returns only after every replica has applied it); reads are
+// served from the local replica, so a read concurrent with a write may
+// see either side of it, and read-your-writes holds because the writer's
+// own replica is updated before its write returns.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// kindWrite is the private kind a replica proxy uses to submit a write to
+// the primary.
+const kindWrite = wire.KindCustom + 40
+
+// StateMachine is a deterministic service whose full state can be
+// snapshotted and restored: applying the same writes in the same order to
+// the same starting snapshot must yield the same state everywhere.
+// (Structurally identical to migrate.Migratable; the semantic contract —
+// determinism — is what this name adds.)
+type StateMachine interface {
+	core.Service
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// ErrNotStateMachine reports an export of a service that cannot be
+// replicated.
+var ErrNotStateMachine = errors.New("replica: service does not implement StateMachine")
+
+// FactoryOption configures a Factory.
+type FactoryOption func(*Factory)
+
+// WithDeliverTimeout bounds how long a write waits for one replica to
+// acknowledge before the primary suspects it dead and evicts it (default
+// 5s; shrink it to trade write-latency tail for faster failover).
+func WithDeliverTimeout(d time.Duration) FactoryOption {
+	return func(f *Factory) { f.deliverTimeout = d }
+}
+
+// Factory is the replicated proxy factory. The service side constructs it
+// with the read-method set and a constructor for fresh replicas; every
+// runtime that imports the service registers the same factory.
+// Implements core.ProxyFactory and core.Exporter.
+type Factory struct {
+	reads          []string
+	ctor           func() StateMachine
+	deliverTimeout time.Duration
+}
+
+// NewFactory builds a replicating factory: readMethods are served from the
+// local copy; everything else is a write ordered by the primary. ctor
+// constructs the empty replica into which the bootstrap snapshot is
+// restored.
+func NewFactory(readMethods []string, ctor func() StateMachine, opts ...FactoryOption) *Factory {
+	f := &Factory{
+		reads: append([]string(nil), readMethods...),
+		ctor:  ctor,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// repHint is the private bootstrap blob: the primary control object plus
+// the read-method set.
+type repHint struct {
+	Ctrl  wire.ObjectID
+	Reads []string
+}
+
+func (h repHint) encode() []byte {
+	buf := wire.AppendUvarint(nil, uint64(h.Ctrl))
+	buf = wire.AppendUvarint(buf, uint64(len(h.Reads)))
+	for _, r := range h.Reads {
+		buf = wire.AppendString(buf, r)
+	}
+	return buf
+}
+
+func decodeRepHint(src []byte) (repHint, error) {
+	var h repHint
+	ctrl, n, err := wire.Uvarint(src)
+	if err != nil {
+		return h, err
+	}
+	src = src[n:]
+	h.Ctrl = wire.ObjectID(ctrl)
+	count, n, err := wire.Uvarint(src)
+	if err != nil {
+		return h, err
+	}
+	src = src[n:]
+	if count > uint64(len(src)) {
+		return h, codec.ErrElementCount
+	}
+	for i := uint64(0); i < count; i++ {
+		s, n, err := wire.String(src)
+		if err != nil {
+			return h, err
+		}
+		src = src[n:]
+		h.Reads = append(h.Reads, s)
+	}
+	return h, nil
+}
+
+// Export implements core.Exporter: it stands up the primary (sequencer +
+// control object) for this service.
+func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (core.Service, []byte, error) {
+	sm, ok := svc.(StateMachine)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %T", ErrNotStateMachine, svc)
+	}
+	p := &primary{rt: rt, svc: sm, isRead: readSet(f.reads), cap: ref.Cap}
+	var seqOpts []group.SequencerOption
+	if f.deliverTimeout > 0 {
+		seqOpts = append(seqOpts, group.WithDeliverTimeout(f.deliverTimeout))
+	}
+	p.seq = group.NewSequencer(rt, seqOpts...)
+	srv := rpc.NewServer(rpc.HandlerFunc(p.handle))
+	p.id = rt.Kernel().Register(srv)
+	h := repHint{Ctrl: p.id, Reads: f.reads}
+	return &wrapped{p: p}, h.encode(), nil
+}
+
+// New implements core.ProxyFactory: build the local replica, join the
+// group, restore the snapshot, serve.
+func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
+	h, err := decodeRepHint(ref.Hint)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bad hint in %s: %w", ref, err)
+	}
+	if f.ctor == nil {
+		return nil, fmt.Errorf("replica: factory has no constructor (importing runtime must register the service's factory)")
+	}
+	p := &Proxy{
+		rt:     rt,
+		ref:    ref,
+		ctrl:   wire.ObjAddr{Addr: ref.Target.Addr, Object: h.Ctrl},
+		isRead: readSet(h.Reads),
+		local:  f.ctor(),
+	}
+	ctx, cancel := contextWithJoinTimeout()
+	defer cancel()
+	member, boot, err := group.Join(ctx, rt, p.ctrl, p.apply)
+	if err != nil {
+		return nil, fmt.Errorf("replica: join: %w", err)
+	}
+	if err := p.local.Restore(boot); err != nil {
+		_ = member.Leave(ctx)
+		return nil, fmt.Errorf("replica: restore bootstrap: %w", err)
+	}
+	p.member = member
+	return p, nil
+}
+
+func readSet(reads []string) func(string) bool {
+	m := make(map[string]bool, len(reads))
+	for _, r := range reads {
+		m[r] = true
+	}
+	return func(s string) bool { return m[s] }
+}
+
+// primary owns the authoritative copy and the write order.
+type primary struct {
+	rt     *core.Runtime
+	svc    StateMachine
+	isRead func(string) bool
+	seq    *group.Sequencer
+	id     wire.ObjectID
+	// cap mirrors the export's capability token for the private write path.
+	cap uint64
+
+	// mu serializes apply+broadcast for writes and snapshot+join for
+	// joins, which is what makes the bootstrap sequence point exact.
+	mu     sync.Mutex
+	writes uint64
+}
+
+func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	switch req.Kind {
+	case group.KindJoin:
+		member, _, err := wire.DecodeObjAddr(req.Frame.Payload)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("join", err)
+		}
+		p.mu.Lock()
+		boot, err := p.svc.Snapshot()
+		if err != nil {
+			p.mu.Unlock()
+			return 0, nil, core.EncodeInvokeError("join", err)
+		}
+		bootSeq := p.seq.Seq()
+		p.seq.AddMember(member)
+		p.mu.Unlock()
+		reply, err := group.EncodeJoinReply(bootSeq, boot)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("join", err)
+		}
+		return group.KindJoin, reply, nil
+	case group.KindLeave:
+		member, _, err := wire.DecodeObjAddr(req.Frame.Payload)
+		if err != nil {
+			return 0, nil, core.EncodeInvokeError("leave", err)
+		}
+		p.seq.RemoveMember(member)
+		return group.KindLeave, nil, nil
+	case kindWrite:
+		return p.handleWrite(req)
+	default:
+		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "replica: unexpected kind %v", req.Kind))
+	}
+}
+
+func (p *primary) handleWrite(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	cap, method, args, err := core.DecodeRequest(p.rt.Decoder(), req.Frame.Payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "%s", err))
+	}
+	if p.cap != 0 && cap != p.cap {
+		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeDenied, method, "capability required"))
+	}
+	results, errPayload := p.applyWrite(context.Background(), req.From, method, args, req.Frame.Payload)
+	if errPayload != nil {
+		return 0, nil, errPayload
+	}
+	lowered, err := p.rt.LowerArgs(results)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "%s", err))
+	}
+	reply, err := core.EncodeResults(lowered)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "%s", err))
+	}
+	return kindWrite, reply, nil
+}
+
+// applyWrite runs one write at the primary and pushes it to every replica
+// before returning. rawPayload is the already-encoded request, forwarded
+// verbatim to replicas.
+func (p *primary) applyWrite(ctx context.Context, from wire.Addr, method string, args []any, rawPayload []byte) ([]any, []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	results, err := p.svc.Invoke(core.WithCaller(ctx, from), method, args)
+	if err != nil {
+		return nil, core.EncodeInvokeError(method, err)
+	}
+	p.writes++
+	if _, err := p.seq.Broadcast(ctx, rawPayload); err != nil {
+		// The write is applied at the primary; a broadcast failure means
+		// some replica may be behind. Fail loudly so the caller knows.
+		return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeUnavailable, method, "replica broadcast: %s", err))
+	}
+	return results, nil
+}
+
+// Replicas reports the current replica count (tests/benches).
+func (p *primary) replicas() int { return p.seq.Members() }
+
+// wrapped serves the standard invocation path (plain stub clients): reads
+// hit the primary copy; writes enter the ordered write path, so stub
+// writers and replicated readers stay coherent.
+type wrapped struct {
+	p *primary
+}
+
+// Invoke implements core.Service.
+func (w *wrapped) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if w.p.isRead(method) {
+		return w.p.svc.Invoke(ctx, method, args)
+	}
+	from, _ := core.CallerFrom(ctx)
+	lowered, err := w.p.rt.LowerArgs(args)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	raw, err := core.EncodeRequest(w.p.cap, method, lowered)
+	if err != nil {
+		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	results, errPayload := w.p.applyWrite(ctx, from, method, args, raw)
+	if errPayload != nil {
+		return nil, core.DecodeInvokeError(errPayload)
+	}
+	return results, nil
+}

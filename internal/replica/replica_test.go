@@ -1,0 +1,430 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// regService is a deterministic register map (a state machine).
+type regService struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newReg() *regService { return &regService{m: make(map[string]int64)} }
+
+func (s *regService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "read":
+		k, _ := args[0].(string)
+		return []any{s.m[k]}, nil
+	case "sum":
+		var total int64
+		for _, v := range s.m {
+			total += v
+		}
+		return []any{total}, nil
+	case "set":
+		k, _ := args[0].(string)
+		v, _ := args[1].(int64)
+		s.m[k] = v
+		return []any{v}, nil
+	case "incr":
+		k, _ := args[0].(string)
+		s.m[k]++
+		return []any{s.m[k]}, nil
+	case "fail":
+		return nil, core.Errorf(core.CodeApp, method, "nope")
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+func (s *regService) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return codec.Marshal(s.m)
+}
+
+func (s *regService) Restore(data []byte) error {
+	var m map[string]int64
+	if err := codec.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	return nil
+}
+
+func (s *regService) get(k string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+var readMethods = []string{"read", "sum", "fail"}
+
+type repWorld struct {
+	factory *Factory
+	svc     *regService
+	ref     codec.Ref
+	server  *core.Runtime
+	clients []*core.Runtime
+}
+
+func newRepWorld(t *testing.T, nClients int) *repWorld {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	w := &repWorld{
+		factory: NewFactory(readMethods, func() StateMachine { return newReg() }),
+		svc:     newReg(),
+	}
+	mk := func(id wire.NodeID) *core.Runtime {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := core.NewRuntime(ktx)
+		rt.RegisterProxyType("Registers", w.factory)
+		return rt
+	}
+	w.server = mk(1)
+	for i := 0; i < nClients; i++ {
+		w.clients = append(w.clients, mk(wire.NodeID(i+2)))
+	}
+	ref, err := w.server.Export(w.svc, "Registers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ref = ref
+	return w
+}
+
+func (w *repWorld) proxy(t *testing.T, i int) *Proxy {
+	t.Helper()
+	p, err := w.clients[i].Import(w.ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, ok := p.(*Proxy)
+	if !ok {
+		t.Fatalf("import produced %T", p)
+	}
+	return rp
+}
+
+func TestBootstrapCarriesState(t *testing.T) {
+	w := newRepWorld(t, 1)
+	w.svc.Invoke(context.Background(), "set", []any{"pre", int64(42)})
+	p := w.proxy(t, 0)
+	res, err := p.Invoke(context.Background(), "read", "pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(42) {
+		t.Errorf("bootstrap read = %v", res[0])
+	}
+	// And it really was served locally.
+	if reads, _, _ := p.Stats(); reads != 1 {
+		t.Errorf("localReads = %d", reads)
+	}
+}
+
+func TestWritePropagatesToAllReplicas(t *testing.T) {
+	w := newRepWorld(t, 3)
+	ctx := context.Background()
+	proxies := make([]*Proxy, 3)
+	for i := range proxies {
+		proxies[i] = w.proxy(t, i)
+	}
+	if _, err := proxies[0].Invoke(ctx, "set", "k", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous replication: by the time the write returned, every
+	// replica (and the primary) has the value.
+	if got := w.svc.get("k"); got != 7 {
+		t.Errorf("primary = %d", got)
+	}
+	for i, p := range proxies {
+		res, err := p.Invoke(ctx, "read", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != int64(7) {
+			t.Errorf("replica %d read %v", i, res[0])
+		}
+		if reads, _, applied := p.Stats(); reads != 1 || applied != 1 {
+			t.Errorf("replica %d stats: reads=%d applied=%d", i, reads, applied)
+		}
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	w := newRepWorld(t, 1)
+	p := w.proxy(t, 0)
+	ctx := context.Background()
+	for i := int64(1); i <= 5; i++ {
+		if _, err := p.Invoke(ctx, "set", "x", i); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Invoke(ctx, "read", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != i {
+			t.Fatalf("after set %d read %v", i, res[0])
+		}
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	w := newRepWorld(t, 3)
+	ctx := context.Background()
+	proxies := make([]*Proxy, 3)
+	for i := range proxies {
+		proxies[i] = w.proxy(t, i)
+	}
+	var wg sync.WaitGroup
+	const perWriter = 20
+	for i, p := range proxies {
+		wg.Add(1)
+		go func(i int, p *Proxy) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				if _, err := p.Invoke(ctx, "incr", "ctr"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	want := int64(3 * perWriter)
+	if got := w.svc.get("ctr"); got != want {
+		t.Fatalf("primary ctr = %d, want %d", got, want)
+	}
+	for i, p := range proxies {
+		if got := p.Local().(*regService).get("ctr"); got != want {
+			t.Errorf("replica %d ctr = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStubInterop(t *testing.T) {
+	w := newRepWorld(t, 2)
+	ctx := context.Background()
+	rp := w.proxy(t, 0)
+	stub := core.NewStub(w.clients[1], w.ref)
+
+	// Stub write is ordered through the primary and reaches replicas.
+	if _, err := stub.Invoke(ctx, "set", "s", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rp.Invoke(ctx, "read", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(3) {
+		t.Errorf("replica read after stub write = %v", res[0])
+	}
+	// Stub read sees replica writes.
+	if _, err := rp.Invoke(ctx, "set", "s2", int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = stub.Invoke(ctx, "read", "s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(4) {
+		t.Errorf("stub read = %v", res[0])
+	}
+}
+
+func TestWriteErrorsDoNotReplicate(t *testing.T) {
+	w := newRepWorld(t, 1)
+	p := w.proxy(t, 0)
+	ctx := context.Background()
+	_, err := p.Invoke(ctx, "nope")
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeNoSuchMethod {
+		t.Fatalf("err = %v", err)
+	}
+	// The failing write was not broadcast.
+	if _, _, applied := p.Stats(); applied != 0 {
+		t.Errorf("applied = %d after failed write", applied)
+	}
+}
+
+func TestReadErrorsServedLocally(t *testing.T) {
+	w := newRepWorld(t, 1)
+	p := w.proxy(t, 0)
+	_, err := p.Invoke(context.Background(), "fail")
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeApp {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCloseLeavesGroup(t *testing.T) {
+	w := newRepWorld(t, 2)
+	ctx := context.Background()
+	p0, p1 := w.proxy(t, 0), w.proxy(t, 1)
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes still work with the remaining replica.
+	if _, err := p0.Invoke(ctx, "set", "k", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Invoke(ctx, "read", "k"); !errors.Is(err, core.ErrProxyClosed) {
+		t.Errorf("invoke on closed = %v", err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestNonStateMachineExportFails(t *testing.T) {
+	w := newRepWorld(t, 0)
+	plain := core.ServiceFunc(func(ctx context.Context, method string, args []any) ([]any, error) {
+		return nil, nil
+	})
+	_, err := w.server.Export(plain, "Registers")
+	if !errors.Is(err, ErrNotStateMachine) {
+		t.Errorf("export of plain service = %v", err)
+	}
+}
+
+func TestLateJoinerSeesAllWrites(t *testing.T) {
+	w := newRepWorld(t, 2)
+	ctx := context.Background()
+	p0 := w.proxy(t, 0)
+	for i := int64(0); i < 10; i++ {
+		if _, err := p0.Invoke(ctx, "set", fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := w.proxy(t, 1)
+	res, err := late.Invoke(ctx, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(45) {
+		t.Errorf("late joiner sum = %v, want 45", res[0])
+	}
+}
+
+func TestRepHintRoundTrip(t *testing.T) {
+	in := repHint{Ctrl: 9, Reads: []string{"a", "b"}}
+	out, err := decodeRepHint(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ctrl != in.Ctrl || len(out.Reads) != 2 || out.Reads[1] != "b" {
+		t.Errorf("round-trip = %+v", out)
+	}
+	buf := in.encode()
+	for i := 0; i < len(buf); i++ {
+		if _, err := decodeRepHint(buf[:i]); err == nil {
+			t.Errorf("decodeRepHint accepted %d-byte prefix", i)
+		}
+	}
+}
+
+func TestDeadReplicaEvicted(t *testing.T) {
+	// A replica whose node vanishes must not wedge writes forever: the
+	// primary's delivery timeout evicts it and later writes are fast.
+	net := netsim.New()
+	defer net.Close()
+	factory := NewFactory(readMethods,
+		func() StateMachine { return newReg() },
+		WithDeliverTimeout(150*time.Millisecond))
+
+	mk := func(id wire.NodeID) (*core.Runtime, *kernel.Node) {
+		ep, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := core.NewRuntime(ktx)
+		rt.RegisterProxyType("Registers", factory)
+		return rt, node
+	}
+	server, serverNode := mk(1)
+	defer serverNode.Close()
+	healthy, healthyNode := mk(2)
+	defer healthyNode.Close()
+	doomed, doomedNode := mk(3)
+
+	svc := newReg()
+	ref, err := server.Export(svc, "Registers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHealthy, err := healthy.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doomed.Import(ref); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := pHealthy.Invoke(ctx, "set", "k", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the doomed replica's whole node.
+	doomedNode.Close()
+
+	// The next write pays at most one delivery timeout, then the dead
+	// replica is evicted and the write completes.
+	start := time.Now()
+	if _, err := pHealthy.Invoke(ctx, "set", "k", int64(2)); err != nil {
+		t.Fatalf("write with dead replica: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("write took %v with a dead replica", elapsed)
+	}
+	// Subsequent writes are back to full speed (no dead member left).
+	start = time.Now()
+	if _, err := pHealthy.Invoke(ctx, "set", "k", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("post-eviction write took %v", elapsed)
+	}
+	res, err := pHealthy.Invoke(ctx, "read", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != int64(3) {
+		t.Errorf("read = %v", res[0])
+	}
+}

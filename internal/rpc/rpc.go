@@ -1,0 +1,178 @@
+// Package rpc implements the classic remote-procedure-call baseline the
+// proxy principle is positioned against, and the reliability machinery
+// smart proxies reuse: client-side retransmission under a stable request
+// id, and server-side duplicate suppression with a bounded reply cache
+// (at-most-once execution semantics in the style of Birrell & Nelson).
+//
+// The layer is payload-agnostic: it moves opaque bytes. Invocation
+// marshalling lives above it (internal/core), and service-private proxy
+// protocols can ride the same Client/Server machinery with custom kinds.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// Errors returned by the rpc layer.
+var (
+	// ErrTooManyRetries reports that every transmission attempt went
+	// unanswered within the caller's deadline budget.
+	ErrTooManyRetries = errors.New("rpc: retries exhausted")
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetryInterval sets the retransmission interval (default 50 ms).
+func WithRetryInterval(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.retryEvery = d
+		}
+	}
+}
+
+// WithMaxAttempts bounds total transmissions of one request (default 8;
+// minimum 1).
+func WithMaxAttempts(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxAttempts = n
+		}
+	}
+}
+
+// WithBackoff grows the retransmission interval by factor after every
+// attempt, capped at max. The default is no backoff (a fixed interval),
+// which suits simulated LANs; deployments over real, congested networks
+// should back off.
+func WithBackoff(factor float64, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if factor > 1 {
+			c.backoffFactor = factor
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// ClientStats counts client activity (read with Stats).
+type ClientStats struct {
+	Calls       uint64
+	Retransmits uint64
+	Failures    uint64
+}
+
+// Client issues reliable request/reply calls out of one context. The zero
+// value is unusable; construct with NewClient. Safe for concurrent use.
+type Client struct {
+	ktx           *kernel.Context
+	retryEvery    time.Duration
+	maxAttempts   int
+	backoffFactor float64
+	backoffMax    time.Duration
+
+	stats atomicStats
+}
+
+// NewClient builds a client over a kernel context.
+func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
+	c := &Client{
+		ktx:         ktx,
+		retryEvery:  50 * time.Millisecond,
+		maxAttempts: 8,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Context exposes the underlying kernel context (for layers that need to
+// send unreliable one-ways alongside reliable calls).
+func (c *Client) Context() *kernel.Context { return c.ktx }
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats { return c.stats.snapshot() }
+
+// Call sends payload to the object at dst and waits for the response,
+// retransmitting under the same request id until an answer arrives, the
+// ctx expires, or attempts run out. kind is usually wire.KindRequest but
+// may be any kind (service-private protocols included). A KindError
+// response surfaces as *kernel.RemoteError.
+func (c *Client) Call(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, payload []byte) ([]byte, error) {
+	f, err := c.CallFrame(ctx, dst, kind, payload)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// CallFrame is Call returning the whole response frame (needed when the
+// response kind itself is meaningful, as in private proxy protocols).
+func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, payload []byte) (*wire.Frame, error) {
+	c.stats.calls.Add(1)
+	id, ch, err := c.ktx.NewPending()
+	if err != nil {
+		return nil, err
+	}
+	defer c.ktx.CancelPending(id)
+
+	req := &wire.Frame{
+		Kind:    kind,
+		ReqID:   id,
+		Dst:     dst.Addr,
+		Object:  dst.Object,
+		Payload: payload,
+	}
+	if err := c.ktx.Send(req); err != nil {
+		c.stats.failures.Add(1)
+		return nil, err
+	}
+
+	interval := c.retryEvery
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	attempts := 1
+	for {
+		select {
+		case resp := <-ch:
+			if resp == nil {
+				c.stats.failures.Add(1)
+				return nil, kernel.ErrClosed
+			}
+			if resp.Kind == wire.KindError {
+				return nil, &kernel.RemoteError{From: resp.Src, Payload: resp.Payload}
+			}
+			return resp, nil
+		case <-ctx.Done():
+			c.stats.failures.Add(1)
+			return nil, ctx.Err()
+		case <-timer.C:
+			if attempts >= c.maxAttempts {
+				c.stats.failures.Add(1)
+				return nil, ErrTooManyRetries
+			}
+			attempts++
+			c.stats.retransmits.Add(1)
+			req.Flags |= wire.FlagRetransmit
+			if err := c.ktx.Send(req); err != nil {
+				c.stats.failures.Add(1)
+				return nil, err
+			}
+			if c.backoffFactor > 1 {
+				interval = time.Duration(float64(interval) * c.backoffFactor)
+				if c.backoffMax > 0 && interval > c.backoffMax {
+					interval = c.backoffMax
+				}
+			}
+			timer.Reset(interval)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package rpc
+
+import "sync/atomic"
+
+// atomicStats is the lock-free backing store for ClientStats.
+type atomicStats struct {
+	calls       atomic.Uint64
+	retransmits atomic.Uint64
+	failures    atomic.Uint64
+}
+
+func (a *atomicStats) snapshot() ClientStats {
+	return ClientStats{
+		Calls:       a.calls.Load(),
+		Retransmits: a.retransmits.Load(),
+		Failures:    a.failures.Load(),
+	}
+}

@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Kind discriminates the purpose of a frame. Kinds below KindCustom belong
+// to the system layers; KindCustom and above are reserved for the private
+// proxy↔server protocols of individual services, which the system carries
+// but never interprets.
+type Kind uint8
+
+// System frame kinds.
+const (
+	// KindInvalid is the zero Kind and never appears on the wire.
+	KindInvalid Kind = iota
+	// KindRequest carries an invocation request to an object.
+	KindRequest
+	// KindReply carries a successful invocation result.
+	KindReply
+	// KindError carries a failed invocation's error.
+	KindError
+	// KindAck acknowledges receipt without carrying data.
+	KindAck
+	// KindPing probes liveness.
+	KindPing
+	// KindInstall asks a context to install a proxy for an exported ref.
+	KindInstall
+	// KindMove carries migration traffic (state capture and transfer).
+	KindMove
+	// KindForward tells a sender the object it addressed has moved.
+	KindForward
+	// KindInvalidate carries cache-coherence invalidations.
+	KindInvalidate
+	// KindLease carries cache lease grants and renewals.
+	KindLease
+	// KindName carries name-service operations.
+	KindName
+	// KindGroup carries membership/broadcast traffic.
+	KindGroup
+	// KindPage carries DSM page traffic.
+	KindPage
+
+	// KindCustom is the first kind available to service-private protocols.
+	// A service may use KindCustom+i for its own message types; the system
+	// routes these by destination only and never inspects the payload.
+	KindCustom Kind = 64
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:    "invalid",
+	KindRequest:    "request",
+	KindReply:      "reply",
+	KindError:      "error",
+	KindAck:        "ack",
+	KindPing:       "ping",
+	KindInstall:    "install",
+	KindMove:       "move",
+	KindForward:    "forward",
+	KindInvalidate: "invalidate",
+	KindLease:      "lease",
+	KindName:       "name",
+	KindGroup:      "group",
+	KindPage:       "page",
+}
+
+// String names the kind; custom kinds render as "custom+N".
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	if k >= KindCustom {
+		return fmt.Sprintf("custom+%d", uint8(k-KindCustom))
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Flag bits carried in the frame header.
+const (
+	// FlagOneWay marks a request that expects no reply.
+	FlagOneWay uint16 = 1 << iota
+	// FlagRetransmit marks a retransmitted request (duplicate-suppression hint).
+	FlagRetransmit
+	// FlagUrgent asks transports to bypass queuing where possible.
+	FlagUrgent
+	// FlagResponse marks a frame that answers an earlier request: its
+	// ReqID correlates with a pending call in the destination context
+	// rather than naming a fresh request. Any Kind may carry it, which is
+	// what lets service-private protocols reuse the kernel's call
+	// machinery without the kernel understanding their messages.
+	FlagResponse
+)
+
+// Frame is the unit of transmission. Payload is opaque to every layer
+// except the final consumer addressed by (Dst, Object).
+type Frame struct {
+	Kind    Kind
+	Flags   uint16
+	ReqID   uint64 // request/reply correlation; unique per source context
+	Src     Addr
+	Dst     Addr
+	Object  ObjectID // destination object within Dst; KernelObject for kernel traffic
+	Payload []byte
+}
+
+// Frame wire layout (fixed header, big-endian):
+//
+//	magic(2) version(1) kind(1) flags(2) reqID(8)
+//	srcNode(4) srcCtx(4) dstNode(4) dstCtx(4) object(8)
+//	payloadLen(4) payload(…) crc32(4)
+//
+// The CRC covers header and payload.
+const (
+	frameMagic   uint16 = 0x5059 // "PY"
+	frameVersion byte   = 1
+	headerLen           = 2 + 1 + 1 + 2 + 8 + 4 + 4 + 4 + 4 + 8 + 4
+	trailerLen          = 4
+)
+
+// MaxPayload bounds a single frame's payload; larger application payloads
+// must be chunked by the layer that produces them.
+const MaxPayload = 16 << 20
+
+// Frame decode errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad frame magic")
+	ErrBadVersion = errors.New("wire: unsupported frame version")
+	ErrBadCRC     = errors.New("wire: frame checksum mismatch")
+	ErrTooLarge   = fmt.Errorf("wire: payload exceeds %d bytes", MaxPayload)
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodedLen reports the total encoded size of the frame.
+func (f *Frame) EncodedLen() int { return headerLen + len(f.Payload) + trailerLen }
+
+// Encode appends the encoded frame to dst and returns the extended slice.
+func (f *Frame) Encode(dst []byte) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return dst, ErrTooLarge
+	}
+	start := len(dst)
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = byte(f.Kind)
+	binary.BigEndian.PutUint16(hdr[4:], f.Flags)
+	binary.BigEndian.PutUint64(hdr[6:], f.ReqID)
+	binary.BigEndian.PutUint32(hdr[14:], uint32(f.Src.Node))
+	binary.BigEndian.PutUint32(hdr[18:], uint32(f.Src.Context))
+	binary.BigEndian.PutUint32(hdr[22:], uint32(f.Dst.Node))
+	binary.BigEndian.PutUint32(hdr[26:], uint32(f.Dst.Context))
+	binary.BigEndian.PutUint64(hdr[30:], uint64(f.Object))
+	binary.BigEndian.PutUint32(hdr[38:], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	var tr [trailerLen]byte
+	binary.BigEndian.PutUint32(tr[:], crc)
+	return append(dst, tr[:]...), nil
+}
+
+// Decode parses one frame from src, returning the frame and bytes consumed.
+// The returned frame's Payload aliases src.
+func Decode(src []byte) (Frame, int, error) {
+	if len(src) < headerLen+trailerLen {
+		return Frame{}, 0, ErrShortBuffer
+	}
+	if binary.BigEndian.Uint16(src[0:]) != frameMagic {
+		return Frame{}, 0, ErrBadMagic
+	}
+	if src[2] != frameVersion {
+		return Frame{}, 0, ErrBadVersion
+	}
+	plen := int(binary.BigEndian.Uint32(src[38:]))
+	if plen > MaxPayload {
+		return Frame{}, 0, ErrTooLarge
+	}
+	total := headerLen + plen + trailerLen
+	if len(src) < total {
+		return Frame{}, 0, ErrShortBuffer
+	}
+	want := binary.BigEndian.Uint32(src[headerLen+plen:])
+	if crc32.Checksum(src[:headerLen+plen], crcTable) != want {
+		return Frame{}, 0, ErrBadCRC
+	}
+	f := Frame{
+		Kind:  Kind(src[3]),
+		Flags: binary.BigEndian.Uint16(src[4:]),
+		ReqID: binary.BigEndian.Uint64(src[6:]),
+		Src: Addr{
+			Node:    NodeID(binary.BigEndian.Uint32(src[14:])),
+			Context: ContextID(binary.BigEndian.Uint32(src[18:])),
+		},
+		Dst: Addr{
+			Node:    NodeID(binary.BigEndian.Uint32(src[22:])),
+			Context: ContextID(binary.BigEndian.Uint32(src[26:])),
+		},
+		Object:  ObjectID(binary.BigEndian.Uint64(src[30:])),
+		Payload: src[headerLen : headerLen+plen],
+	}
+	return f, total, nil
+}
+
+// WriteFrame encodes f and writes it to w in one call.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := f.Encode(make([]byte, 0, f.EncodedLen()))
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. It allocates the payload, so
+// the result does not alias any shared buffer.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	plen := int(binary.BigEndian.Uint32(hdr[38:]))
+	if plen > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	rest := make([]byte, plen+trailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return Frame{}, err
+	}
+	full := make([]byte, 0, headerLen+plen+trailerLen)
+	full = append(full, hdr[:]...)
+	full = append(full, rest...)
+	f, _, err := Decode(full)
+	return f, err
+}
+
+// Clone returns a deep copy of the frame (payload included), safe to retain
+// after the source buffer is reused.
+func (f *Frame) Clone() Frame {
+	c := *f
+	if f.Payload != nil {
+		c.Payload = append([]byte(nil), f.Payload...)
+	}
+	return c
+}
+
+// String renders a concise human-readable summary for logs.
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s#%d %s→%s/%d (%dB)", f.Kind, f.ReqID, f.Src, f.Dst, f.Object, len(f.Payload))
+}

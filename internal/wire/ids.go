@@ -1,0 +1,60 @@
+// Package wire defines the on-the-wire vocabulary shared by every layer of
+// the system: node/context/object identity, the binary frame format carried
+// by transports, and low-level varint encoding primitives.
+//
+// The frame format is deliberately dumb: a fixed header plus an opaque
+// payload. Everything above it — including the private protocols spoken
+// between a smart proxy and its server — is encoded inside the payload, so
+// intermediate layers cannot (and need not) interpret it. This is the
+// transport-level half of the proxy principle's encapsulation guarantee.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// NodeID identifies a machine in the distributed system.
+type NodeID uint32
+
+// ContextID identifies an address space (protection domain) within a node.
+// A node may host several contexts; context 0 is the node's kernel context.
+type ContextID uint32
+
+// ObjectID identifies an object within a context. Object 0 is reserved for
+// the context's kernel dispatcher.
+type ObjectID uint64
+
+// KernelObject is the distinguished object ID addressed when a frame is
+// meant for the context's kernel itself rather than a hosted object.
+const KernelObject ObjectID = 0
+
+// Addr names a context: the pair (node, context). All frames carry a source
+// and destination Addr.
+type Addr struct {
+	Node    NodeID
+	Context ContextID
+}
+
+// String renders the address as "node.context", e.g. "3.1".
+func (a Addr) String() string {
+	return strconv.FormatUint(uint64(a.Node), 10) + "." + strconv.FormatUint(uint64(a.Context), 10)
+}
+
+// IsZero reports whether the address is the zero value, which is never a
+// valid routable address.
+func (a Addr) IsZero() bool { return a.Node == 0 && a.Context == 0 }
+
+// ObjAddr names one object globally: an address plus an object ID.
+type ObjAddr struct {
+	Addr   Addr
+	Object ObjectID
+}
+
+// String renders the object address as "node.context/object".
+func (o ObjAddr) String() string {
+	return fmt.Sprintf("%s/%d", o.Addr, o.Object)
+}
+
+// IsZero reports whether the object address is entirely unset.
+func (o ObjAddr) IsZero() bool { return o.Addr.IsZero() && o.Object == 0 }

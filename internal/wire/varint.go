@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Varint primitives used by the codec layer. These mirror the classic
+// LEB128 scheme (as in encoding/binary) but are written against byte
+// slices with explicit error reporting, because payload decoding must never
+// panic on hostile input.
+
+// ErrShortBuffer reports that a decode ran off the end of its input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrOverflow reports a varint wider than 64 bits.
+var ErrOverflow = errors.New("wire: varint overflows 64 bits")
+
+// MaxVarintLen is the maximum number of bytes a 64-bit varint occupies.
+const MaxVarintLen = 10
+
+// AppendUvarint appends v to dst in LEB128 form and returns the extended
+// slice.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uvarint decodes an unsigned varint from src, returning the value and the
+// number of bytes consumed.
+func Uvarint(src []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i, b := range src {
+		if i == MaxVarintLen {
+			return 0, 0, ErrOverflow
+		}
+		if b < 0x80 {
+			if i == MaxVarintLen-1 && b > 1 {
+				return 0, 0, ErrOverflow
+			}
+			return v | uint64(b)<<shift, i + 1, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, ErrShortBuffer
+}
+
+// AppendVarint appends v in zigzag form, so small negative numbers stay
+// small on the wire.
+func AppendVarint(dst []byte, v int64) []byte {
+	return AppendUvarint(dst, ZigZag(v))
+}
+
+// Varint decodes a zigzag-encoded signed varint.
+func Varint(src []byte) (int64, int, error) {
+	u, n, err := Uvarint(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	return UnZigZag(u), n, nil
+}
+
+// ZigZag maps signed to unsigned so the sign bit lands in bit 0.
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// UvarintLen reports how many bytes AppendUvarint would emit for v.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Bytes decodes a length-prefixed byte string. The returned slice aliases
+// src; callers that retain it across buffer reuse must copy.
+func Bytes(src []byte) ([]byte, int, error) {
+	l, n, err := Uvarint(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l > uint64(len(src)-n) {
+		return nil, 0, ErrShortBuffer
+	}
+	return src[n : n+int(l)], n + int(l), nil
+}
+
+// AppendString appends a length-prefixed UTF-8 string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// String decodes a length-prefixed string (copies out of src).
+func String(src []byte) (string, int, error) {
+	b, n, err := Bytes(src)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(b), n, nil
+}
+
+// AppendAddr appends an Addr as two uvarints.
+func AppendAddr(dst []byte, a Addr) []byte {
+	dst = AppendUvarint(dst, uint64(a.Node))
+	return AppendUvarint(dst, uint64(a.Context))
+}
+
+// DecodeAddr decodes an Addr encoded by AppendAddr.
+func DecodeAddr(src []byte) (Addr, int, error) {
+	node, n1, err := Uvarint(src)
+	if err != nil {
+		return Addr{}, 0, err
+	}
+	ctx, n2, err := Uvarint(src[n1:])
+	if err != nil {
+		return Addr{}, 0, err
+	}
+	return Addr{Node: NodeID(node), Context: ContextID(ctx)}, n1 + n2, nil
+}
+
+// AppendObjAddr appends an ObjAddr (addr + object id).
+func AppendObjAddr(dst []byte, o ObjAddr) []byte {
+	dst = AppendAddr(dst, o.Addr)
+	return AppendUvarint(dst, uint64(o.Object))
+}
+
+// DecodeObjAddr decodes an ObjAddr encoded by AppendObjAddr.
+func DecodeObjAddr(src []byte) (ObjAddr, int, error) {
+	a, n1, err := DecodeAddr(src)
+	if err != nil {
+		return ObjAddr{}, 0, err
+	}
+	obj, n2, err := Uvarint(src[n1:])
+	if err != nil {
+		return ObjAddr{}, 0, err
+	}
+	return ObjAddr{Addr: a, Object: ObjectID(obj)}, n1 + n2, nil
+}

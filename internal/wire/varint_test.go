@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 256, 16383, 16384, 1 << 32, math.MaxUint64}
+	for _, v := range cases {
+		buf := AppendUvarint(nil, v)
+		got, n, err := Uvarint(buf)
+		if err != nil {
+			t.Fatalf("Uvarint(%d): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Uvarint(%d) = %d", v, got)
+		}
+		if n != len(buf) {
+			t.Errorf("Uvarint(%d) consumed %d of %d bytes", v, n, len(buf))
+		}
+		if n != UvarintLen(v) {
+			t.Errorf("UvarintLen(%d) = %d, encoded %d", v, UvarintLen(v), n)
+		}
+	}
+}
+
+func TestUvarintProperty(t *testing.T) {
+	roundTrip := func(v uint64) bool {
+		buf := AppendUvarint(nil, v)
+		got, n, err := Uvarint(buf)
+		return err == nil && got == v && n == len(buf)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintProperty(t *testing.T) {
+	roundTrip := func(v int64) bool {
+		buf := AppendVarint(nil, v)
+		got, n, err := Varint(buf)
+		return err == nil && got == v && n == len(buf)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	inv := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(inv, nil); err != nil {
+		t.Error(err)
+	}
+	// Small magnitudes must stay small on the wire.
+	for _, v := range []int64{-64, -1, 0, 1, 63} {
+		if ZigZag(v) > 127 {
+			t.Errorf("ZigZag(%d) = %d, want single byte", v, ZigZag(v))
+		}
+	}
+}
+
+func TestUvarintShortBuffer(t *testing.T) {
+	buf := AppendUvarint(nil, math.MaxUint64)
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := Uvarint(buf[:i]); err == nil {
+			t.Errorf("Uvarint on %d-byte prefix: want error", i)
+		}
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// Eleven continuation bytes cannot encode a uint64.
+	buf := bytes.Repeat([]byte{0xff}, 11)
+	if _, _, err := Uvarint(buf); err != ErrOverflow {
+		t.Errorf("Uvarint(overlong) = %v, want ErrOverflow", err)
+	}
+	// A 10-byte encoding whose top byte sets bits beyond 64 is also invalid.
+	buf = append(bytes.Repeat([]byte{0x80}, 9), 0x02)
+	if _, _, err := Uvarint(buf); err != ErrOverflow {
+		t.Errorf("Uvarint(2^65) = %v, want ErrOverflow", err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	cases := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xab}, 1000)}
+	for _, b := range cases {
+		buf := AppendBytes(nil, b)
+		got, n, err := Bytes(buf)
+		if err != nil {
+			t.Fatalf("Bytes(%q): %v", b, err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Errorf("Bytes round-trip: got %q want %q", got, b)
+		}
+		if n != len(buf) {
+			t.Errorf("Bytes consumed %d of %d", n, len(buf))
+		}
+	}
+}
+
+func TestBytesTruncated(t *testing.T) {
+	buf := AppendBytes(nil, []byte("hello world"))
+	if _, _, err := Bytes(buf[:3]); err == nil {
+		t.Error("Bytes(truncated) succeeded, want error")
+	}
+	// Length claims more than available.
+	bad := AppendUvarint(nil, 1<<40)
+	if _, _, err := Bytes(bad); err != ErrShortBuffer {
+		t.Errorf("Bytes(huge length) = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	roundTrip := func(s string) bool {
+		buf := AppendString(nil, s)
+		got, n, err := String(buf)
+		return err == nil && got == s && n == len(buf)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	roundTrip := func(node uint32, ctx uint32) bool {
+		a := Addr{Node: NodeID(node), Context: ContextID(ctx)}
+		buf := AppendAddr(nil, a)
+		got, n, err := DecodeAddr(buf)
+		return err == nil && got == a && n == len(buf)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjAddrRoundTrip(t *testing.T) {
+	roundTrip := func(node, ctx uint32, obj uint64) bool {
+		o := ObjAddr{Addr: Addr{Node: NodeID(node), Context: ContextID(ctx)}, Object: ObjectID(obj)}
+		buf := AppendObjAddr(nil, o)
+		got, n, err := DecodeObjAddr(buf)
+		return err == nil && got == o && n == len(buf)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Node: 3, Context: 1}
+	if got := a.String(); got != "3.1" {
+		t.Errorf("Addr.String() = %q, want %q", got, "3.1")
+	}
+	o := ObjAddr{Addr: a, Object: 42}
+	if got := o.String(); got != "3.1/42" {
+		t.Errorf("ObjAddr.String() = %q, want %q", got, "3.1/42")
+	}
+	if !(Addr{}).IsZero() {
+		t.Error("zero Addr.IsZero() = false")
+	}
+	if a.IsZero() {
+		t.Error("nonzero Addr.IsZero() = true")
+	}
+}
+
+func BenchmarkAppendUvarint(b *testing.B) {
+	buf := make([]byte, 0, 16)
+	for i := 0; i < b.N; i++ {
+		buf = AppendUvarint(buf[:0], uint64(i)*2654435761)
+	}
+}
+
+func BenchmarkUvarint(b *testing.B) {
+	buf := AppendUvarint(nil, 1<<56)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Uvarint(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
