@@ -2,9 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench experiments examples clean
+# make cover fails if internal/obs coverage drops below this (percent).
+OBS_COVER_MIN ?= 80
 
-all: vet test build
+.PHONY: all build test race vet bench cover experiments examples clean
+
+all: vet test race build
+
+cover:
+	$(GO) test -coverprofile=cover.profile ./internal/obs
+	@total=$$($(GO) tool cover -func=cover.profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/obs coverage: $$total% (minimum $(OBS_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/obs coverage $$total% is below $(OBS_COVER_MIN)%"; exit 1; }
 
 build:
 	$(GO) build ./...

@@ -26,7 +26,7 @@ import (
 )
 
 // mustCluster builds a cluster or aborts the benchmark.
-func mustCluster(b *testing.B, n int, opts ...netsim.Option) *bench.Cluster {
+func mustCluster(b *testing.B, n int, opts ...netsim.NetworkOption) *bench.Cluster {
 	b.Helper()
 	c, err := bench.NewCluster(n, opts...)
 	if err != nil {
@@ -381,7 +381,7 @@ func BenchmarkE9ForwardingChains(b *testing.B) {
 // BenchmarkE10InvalidationStorm: one write with 8 warm sharers, sync vs
 // async invalidation.
 func BenchmarkE10InvalidationStorm(b *testing.B) {
-	run := func(b *testing.B, opts ...cache.Option) {
+	run := func(b *testing.B, opts ...cache.FactoryOption) {
 		const sharers = 8
 		factory := cache.NewFactory(bench.KVReads(), opts...)
 		c := mustCluster(b, sharers+2)

@@ -14,6 +14,13 @@
 //	unbind <name>                 remove a binding
 //	invoke <name> <method> [args] resolve and invoke; integer-looking args
 //	                              are passed as int64, the rest as strings
+//	stats                         dump the daemon's metrics registry
+//	traces                        list the daemon's recent traces
+//	trace <id>                    render one trace tree (hex id from traces)
+//
+// With -trace, invoke runs under a fresh trace and prints the resulting
+// tree, merging this client's spans with the spans the daemon recorded —
+// the causal chain of one cross-context invocation, reassembled.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -42,6 +50,7 @@ func main() {
 	peersFlag := flag.String("peers", "", "peer table: id=host:port,...")
 	dirNode := flag.Uint("dir", 1, "node id hosting the root directory")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	traceInvoke := flag.Bool("trace", false, "trace the invoke command and print the merged trace tree")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -63,7 +72,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := core.NewRuntime(ktx)
+	observer := obs.NewObserver()
+	rt := core.NewRuntime(ktx, core.WithObserver(observer))
 	// Deployments that export their KV through the caching factory (proxyd
 	// -cached-kv) hand out references of type "CachedKV"; registering the
 	// factory here lets this client cache reads locally. Unknown types
@@ -125,16 +135,90 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := p.Invoke(ctx, args[2], parseArgs(args[3:])...)
+		ictx := ctx
+		var root obs.SpanContext
+		if *traceInvoke {
+			// Mint the root span here so the whole invocation (including
+			// the stub's own span) parents under one known trace id.
+			var finishRoot func(error)
+			ictx, finishRoot = observer.Tracer.StartSpan(ctx, "proxyctl:"+args[2], "proxyctl")
+			root, _ = obs.SpanFromContext(ictx)
+			defer finishRoot(nil)
+		}
+		results, err := p.Invoke(ictx, args[2], parseArgs(args[3:])...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, r := range results {
 			fmt.Printf("%v\n", r)
 		}
+		if *traceInvoke {
+			printMergedTrace(ctx, rt, client, observer, root)
+		}
+	case "stats":
+		text, err := obsCall[string](ctx, rt, client, "metrics")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+	case "traces":
+		text, err := obsCall[string](ctx, rt, client, "traces")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+	case "trace":
+		requireArgs(args, 2, "trace <id>")
+		raw, err := obsCall[[]byte](ctx, rt, client, "trace", args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans, err := obs.DecodeSpans(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs.FormatTrace(os.Stdout, spans)
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// obsCall resolves the daemon's observability service from the directory
+// and invokes one method on it.
+func obsCall[T any](ctx context.Context, rt *core.Runtime, client *naming.Client, method string, args ...any) (T, error) {
+	var zero T
+	p, err := client.Resolve(ctx, rt, "services/obs")
+	if err != nil {
+		return zero, fmt.Errorf("resolve services/obs (daemon too old?): %w", err)
+	}
+	return core.Call1[T](ctx, p, method, args...)
+}
+
+// printMergedTrace pulls the daemon's spans for the given trace, merges
+// them with the spans this process recorded, and renders the tree. Spans
+// recorded by contexts other than the directory daemon (multi-node
+// chains) are merged in by whichever daemon their hops crossed — this
+// fetches from the bootstrap daemon only.
+func printMergedTrace(ctx context.Context, rt *core.Runtime, client *naming.Client, observer *obs.Observer, root obs.SpanContext) {
+	spans := observer.Tracer.Spans(root.Trace)
+	if raw, err := obsCall[[]byte](ctx, rt, client, "trace", root.Trace.String()); err == nil {
+		if remote, err := obs.DecodeSpans(raw); err == nil {
+			have := make(map[obs.SpanID]bool, len(spans))
+			for _, sp := range spans {
+				have[sp.ID] = true
+			}
+			for _, sp := range remote {
+				if !have[sp.ID] {
+					spans = append(spans, sp)
+				}
+			}
+		}
+	}
+	// The root span has not finished yet (it closes when main returns);
+	// synthesize it so the tree hangs together.
+	spans = append(spans, obs.Span{Trace: root.Trace, ID: root.Span, Name: "proxyctl", Where: "proxyctl"})
+	fmt.Fprintf(os.Stderr, "\n")
+	obs.FormatTrace(os.Stderr, spans)
 }
 
 func requireArgs(args []string, n int, usage string) {

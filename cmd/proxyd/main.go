@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/wire"
 )
@@ -43,6 +45,7 @@ func main() {
 	cachedKV := flag.Bool("cached-kv", false, "export the demo KV through the caching smart proxy (clients with the factory registered cache reads locally)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
 	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
+	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /traces text dumps")
 	flag.Parse()
 
 	peers, err := parsePeers(*peersFlag)
@@ -65,7 +68,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("context: %v", err)
 	}
-	rt := core.NewRuntime(ktx)
+	observer := obs.NewObserver()
+	rt := core.NewRuntime(ktx, core.WithObserver(observer))
 
 	// The directory must land at the well-known object id, so it is the
 	// first export in this context.
@@ -78,6 +82,44 @@ func main() {
 		log.Fatalf("directory landed at object %d, want %d", dirRef.Target.Object, naming.WellKnownObject)
 	}
 	log.Printf("node %d listening on %s; root directory at %s", *nodeID, ep.ListenAddr(), dirRef)
+
+	// Every daemon exposes its observer: metrics and trace trees are
+	// retrievable over the ordinary invocation path (proxyctl stats/trace)
+	// from any context that can reach the directory.
+	obsRef, err := rt.Export(obs.NewService(observer), obs.TypeName)
+	if err != nil {
+		log.Fatalf("export obs: %v", err)
+	}
+	dir.Bind("services/obs", obsRef, 0)
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			observer.Registry.Dump(w)
+		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if id := r.URL.Query().Get("id"); id != "" {
+				tid, err := obs.ParseTraceID(id)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				obs.FormatTrace(w, observer.Tracer.Spans(tid))
+				return
+			}
+			for _, ts := range observer.Tracer.Recent(50) {
+				fmt.Fprintf(w, "%s %3d spans  %s\n", ts.Trace, ts.Spans, ts.Root)
+			}
+		})
+		go func() {
+			log.Printf("observability HTTP on %s (/metrics, /traces, /traces?id=<trace>)", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Printf("http: %v", err)
+			}
+		}()
+	}
 
 	var kv *bench.KV
 	if *withKV || *cachedKV {

@@ -15,20 +15,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
 // Cluster is n runtimes, one per simulated node, plus the network that
-// joins them.
+// joins them. All runtimes share one Observer, so counters from every
+// context land in one registry and a cross-context invocation's spans
+// reconstruct as one tree out of Obs.Tracer.
 type Cluster struct {
 	Net      *netsim.Network
+	Obs      *obs.Observer
 	Runtimes []*core.Runtime
 	nodes    []*kernel.Node
 }
 
 // NewCluster builds a cluster of n runtimes.
-func NewCluster(n int, opts ...netsim.Option) (*Cluster, error) {
-	c := &Cluster{Net: netsim.New(opts...)}
+func NewCluster(n int, opts ...netsim.NetworkOption) (*Cluster, error) {
+	c := &Cluster{Net: netsim.New(opts...), Obs: obs.NewObserver()}
 	for i := 0; i < n; i++ {
 		ep, err := c.Net.Attach(wire.NodeID(i + 1))
 		if err != nil {
@@ -42,7 +46,7 @@ func NewCluster(n int, opts ...netsim.Option) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		c.Runtimes = append(c.Runtimes, core.NewRuntime(ktx))
+		c.Runtimes = append(c.Runtimes, core.NewRuntime(ktx, core.WithObserver(c.Obs)))
 	}
 	return c, nil
 }
@@ -57,7 +61,7 @@ func (c *Cluster) NewContextRuntime(i int) (*core.Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRuntime(ktx), nil
+	return core.NewRuntime(ktx, core.WithObserver(c.Obs)), nil
 }
 
 // Close shuts everything down.

@@ -6,15 +6,26 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Timer accumulates latency samples.
+// Timer accumulates latency samples. When Hist is set, every sample is
+// also teed into that registry histogram, so per-invocation latency
+// distributions surface through the obs export alongside the exact
+// in-memory summary.
 type Timer struct {
+	Hist    *obs.Histogram
 	samples []time.Duration
 }
 
 // Record adds one sample.
-func (t *Timer) Record(d time.Duration) { t.samples = append(t.samples, d) }
+func (t *Timer) Record(d time.Duration) {
+	t.samples = append(t.samples, d)
+	if t.Hist != nil {
+		t.Hist.Observe(d)
+	}
+}
 
 // Time runs fn and records its duration.
 func (t *Timer) Time(fn func()) {
@@ -29,6 +40,7 @@ type Summary struct {
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
+	P99   time.Duration
 	Min   time.Duration
 	Max   time.Duration
 }
@@ -49,6 +61,7 @@ func (t *Timer) Summary() Summary {
 		Mean:  total / time.Duration(len(s)),
 		P50:   s[len(s)/2],
 		P95:   s[(len(s)*95)/100],
+		P99:   s[(len(s)*99)/100],
 		Min:   s[0],
 		Max:   s[len(s)-1],
 	}

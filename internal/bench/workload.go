@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Mixed is a seeded read/write workload over a KV proxy: each operation is
@@ -19,6 +20,10 @@ type Mixed struct {
 	Ops          int
 	Keys         int
 	Seed         int64
+	// Hist, when set, receives one per-operation latency sample, so a
+	// workload run yields a p50/p95/p99 distribution in the obs registry
+	// (not just total wall time).
+	Hist *obs.Histogram
 }
 
 // Run drives the workload through a proxy and returns the total wall time.
@@ -27,6 +32,7 @@ func (w Mixed) Run(ctx context.Context, p core.Proxy) (time.Duration, error) {
 	start := time.Now()
 	for i := 0; i < w.Ops; i++ {
 		key := fmt.Sprintf("k%d", rng.Intn(max(w.Keys, 1)))
+		opStart := time.Now()
 		if rng.Float64() < w.ReadFraction {
 			if _, err := p.Invoke(ctx, "get", key); err != nil {
 				return 0, fmt.Errorf("op %d get %s: %w", i, key, err)
@@ -35,6 +41,9 @@ func (w Mixed) Run(ctx context.Context, p core.Proxy) (time.Duration, error) {
 			if _, err := p.Invoke(ctx, "put", key, int64(i)); err != nil {
 				return 0, fmt.Errorf("op %d put %s: %w", i, key, err)
 			}
+		}
+		if w.Hist != nil {
+			w.Hist.Observe(time.Since(opStart))
 		}
 	}
 	return time.Since(start), nil
@@ -48,6 +57,7 @@ func (w Mixed) RunFunc(ctx context.Context, read func(ctx context.Context, key s
 	start := time.Now()
 	for i := 0; i < w.Ops; i++ {
 		key := fmt.Sprintf("k%d", rng.Intn(max(w.Keys, 1)))
+		opStart := time.Now()
 		if rng.Float64() < w.ReadFraction {
 			if err := read(ctx, key); err != nil {
 				return 0, fmt.Errorf("op %d read %s: %w", i, key, err)
@@ -56,6 +66,9 @@ func (w Mixed) RunFunc(ctx context.Context, read func(ctx context.Context, key s
 			if err := write(ctx, key, int64(i)); err != nil {
 				return 0, fmt.Errorf("op %d write %s: %w", i, key, err)
 			}
+		}
+		if w.Hist != nil {
+			w.Hist.Observe(time.Since(opStart))
 		}
 	}
 	return time.Since(start), nil

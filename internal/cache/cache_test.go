@@ -64,7 +64,7 @@ type cacheWorld struct {
 	clients []*core.Runtime
 }
 
-func newCacheWorld(t *testing.T, nClients int, opts ...Option) *cacheWorld {
+func newCacheWorld(t *testing.T, nClients int, opts ...FactoryOption) *cacheWorld {
 	t.Helper()
 	net := netsim.New()
 	t.Cleanup(net.Close)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/vclock"
 	"repro/internal/wire"
@@ -33,15 +34,18 @@ type coordinator struct {
 	// if a coordinator is rebuilt for an object whose proxies outlived it.
 	clock vclock.Lamport
 
-	mu       sync.Mutex
-	sharers  map[wire.ObjAddr]bool // callback objects of registered proxies
-	writes   uint64
-	invsSent uint64
+	mu      sync.Mutex
+	sharers map[wire.ObjAddr]bool // callback objects of registered proxies
+
+	// Registry-backed counters, scoped by the exported target address.
+	writes      *obs.Counter
+	invsSent    *obs.Counter
+	sharerGauge *obs.Gauge
 
 	srv *rpc.Server
 }
 
-func newCoordinator(rt *core.Runtime, inner core.Service, isRead func(string) bool, mode Mode, syncInv bool) *coordinator {
+func newCoordinator(rt *core.Runtime, inner core.Service, isRead func(string) bool, mode Mode, syncInv bool, target wire.ObjAddr) *coordinator {
 	co := &coordinator{
 		rt:      rt,
 		inner:   inner,
@@ -50,6 +54,11 @@ func newCoordinator(rt *core.Runtime, inner core.Service, isRead func(string) bo
 		sync:    syncInv,
 		sharers: make(map[wire.ObjAddr]bool),
 	}
+	scope := "cache.coord[" + target.String() + "]."
+	reg := rt.Observer().Registry
+	co.writes = reg.Counter(scope + "writes")
+	co.invsSent = reg.Counter(scope + "invalidations_sent")
+	co.sharerGauge = reg.Gauge(scope + "sharers")
 	co.srv = rpc.NewServer(rpc.HandlerFunc(co.handle))
 	return co
 }
@@ -73,6 +82,7 @@ func (co *coordinator) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 		}
 		co.mu.Lock()
 		co.sharers[cb] = true
+		co.sharerGauge.Set(int64(len(co.sharers)))
 		co.mu.Unlock()
 		return kindRegister, wire.AppendUvarint(nil, co.clock.Now()), nil
 	case kindDeregister:
@@ -82,6 +92,7 @@ func (co *coordinator) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 		}
 		co.mu.Lock()
 		delete(co.sharers, cb)
+		co.sharerGauge.Set(int64(len(co.sharers)))
 		co.mu.Unlock()
 		return kindDeregister, nil, nil
 	case kindRead:
@@ -94,7 +105,7 @@ func (co *coordinator) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 }
 
 func (co *coordinator) invoke(req *rpc.Request, read bool) (wire.Kind, []byte, []byte) {
-	cap, method, args, err := core.DecodeRequest(co.rt.Decoder(), req.Frame.Payload)
+	sc, cap, method, args, err := core.DecodeRequestTraced(co.rt.Decoder(), req.Frame.Payload)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "%s", err))
 	}
@@ -107,20 +118,32 @@ func (co *coordinator) invoke(req *rpc.Request, read bool) (wire.Kind, []byte, [
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeBadArgs, method, "method is not a read"))
 	}
 	ctx := core.WithCaller(context.Background(), req.From)
+	finish := func(error) {}
+	if sc.Trace != 0 {
+		name := "cache.serve.write:" + method
+		if read {
+			name = "cache.serve.read:" + method
+		}
+		ctx = obs.ContextWithSpan(ctx, sc)
+		ctx, finish = co.rt.Tracer().StartSpan(ctx, name, co.rt.Where())
+	}
 	results, err := co.inner.Invoke(ctx, method, args)
 	if err != nil {
+		finish(err)
 		return 0, nil, core.EncodeInvokeError(method, err)
 	}
 	lowered, err := co.rt.LowerArgs(results)
 	if err != nil {
+		finish(err)
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "%s", err))
 	}
 	var version uint64
 	if read {
 		version = co.clock.Now()
 	} else {
-		version = co.afterWrite(req.From)
+		version = co.afterWrite(ctx, req.From)
 	}
+	finish(nil)
 	reply, err := encodeVersioned(version, lowered)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "%s", err))
@@ -133,11 +156,13 @@ func (co *coordinator) invoke(req *rpc.Request, read bool) (wire.Kind, []byte, [
 
 // afterWrite bumps the version and invalidates every cached copy except
 // the writer's own (the writer flushes locally). Returns the new version.
-// With sync invalidation the call blocks until all sharers acknowledge.
-func (co *coordinator) afterWrite(writer wire.Addr) uint64 {
+// With sync invalidation the call blocks until all sharers acknowledge;
+// those calls derive from ctx, so a traced write shows its invalidation
+// round-trips as child spans.
+func (co *coordinator) afterWrite(ctx context.Context, writer wire.Addr) uint64 {
 	v := co.clock.Tick()
+	co.writes.Inc()
 	co.mu.Lock()
-	co.writes++
 	var targets []wire.ObjAddr
 	if co.mode == ModeCallback {
 		for cb := range co.sharers {
@@ -146,7 +171,7 @@ func (co *coordinator) afterWrite(writer wire.Addr) uint64 {
 			}
 			targets = append(targets, cb)
 		}
-		co.invsSent += uint64(len(targets))
+		co.invsSent.Add(uint64(len(targets)))
 	}
 	co.mu.Unlock()
 
@@ -160,10 +185,10 @@ func (co *coordinator) afterWrite(writer wire.Addr) uint64 {
 			wg.Add(1)
 			go func(cb wire.ObjAddr) {
 				defer wg.Done()
-				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				ictx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 				defer cancel()
 				// Best effort: a dead sharer must not wedge writes forever.
-				_, _ = co.rt.Client().Call(ctx, cb, wire.KindInvalidate, payload)
+				_, _ = co.rt.Client().Call(ictx, cb, wire.KindInvalidate, payload)
 			}(cb)
 		}
 		wg.Wait()
@@ -201,7 +226,7 @@ func (w *wrapped) Invoke(ctx context.Context, method string, args []any) ([]any,
 		if from, ok := core.CallerFrom(ctx); ok {
 			writer = from
 		}
-		w.co.afterWrite(writer)
+		w.co.afterWrite(ctx, writer)
 	}
 	return results, nil
 }
@@ -216,12 +241,13 @@ type CoordinatorStats struct {
 
 func (co *coordinator) stats() CoordinatorStats {
 	co.mu.Lock()
-	defer co.mu.Unlock()
+	sharers := len(co.sharers)
+	co.mu.Unlock()
 	return CoordinatorStats{
 		Version:           co.clock.Now(),
-		Sharers:           len(co.sharers),
-		Writes:            co.writes,
-		InvalidationsSent: co.invsSent,
+		Sharers:           sharers,
+		Writes:            co.writes.Load(),
+		InvalidationsSent: co.invsSent.Load(),
 	}
 }
 

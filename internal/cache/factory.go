@@ -10,16 +10,17 @@ import (
 	"repro/internal/wire"
 )
 
-// Option configures a Factory.
-type Option func(*Factory)
+// FactoryOption configures a Factory (see doc.go for the repo-wide
+// functional-option convention).
+type FactoryOption func(*Factory)
 
 // WithMode selects the coherence protocol (default ModeCallback).
-func WithMode(m Mode) Option {
+func WithMode(m Mode) FactoryOption {
 	return func(f *Factory) { f.mode = m }
 }
 
 // WithLeaseTTL sets the lease length for ModeLease (default 100 ms).
-func WithLeaseTTL(ttl time.Duration) Option {
+func WithLeaseTTL(ttl time.Duration) FactoryOption {
 	return func(f *Factory) {
 		if ttl > 0 {
 			f.leaseTTL = ttl
@@ -30,7 +31,7 @@ func WithLeaseTTL(ttl time.Duration) Option {
 // WithAsyncInvalidation makes callback-mode writes return without waiting
 // for sharer acknowledgements (faster writes, a window of staleness) — an
 // ablation knob for experiment E10.
-func WithAsyncInvalidation() Option {
+func WithAsyncInvalidation() FactoryOption {
 	return func(f *Factory) { f.syncInv = false }
 }
 
@@ -50,7 +51,7 @@ type Factory struct {
 
 // NewFactory builds a caching factory; readMethods lists the methods whose
 // results may be cached (everything else is treated as a write).
-func NewFactory(readMethods []string, opts ...Option) *Factory {
+func NewFactory(readMethods []string, opts ...FactoryOption) *Factory {
 	f := &Factory{
 		reads:    append([]string(nil), readMethods...),
 		mode:     ModeCallback,
@@ -73,7 +74,7 @@ func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (cor
 		readSet[r] = true
 	}
 	isRead := func(m string) bool { return readSet[m] }
-	co := newCoordinator(rt, svc, isRead, f.mode, f.syncInv)
+	co := newCoordinator(rt, svc, isRead, f.mode, f.syncInv, ref.Target)
 	co.cap = ref.Cap
 	ctrlID := rt.Kernel().Register(co.kernelHandler())
 	h := hint{Ctrl: ctrlID, Mode: f.mode, LeaseTTL: f.leaseTTL, Reads: f.reads}

@@ -3,12 +3,12 @@ package cache
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -39,10 +39,12 @@ type Proxy struct {
 	cbObject wire.ObjectID
 	closed   bool
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	writes atomic.Uint64
-	invs   atomic.Uint64
+	// Registry-backed counters, scoped by importer->target so every proxy
+	// stays distinguishable even under a cluster-shared registry.
+	hits   *obs.Counter
+	misses *obs.Counter
+	writes *obs.Counter
+	invs   *obs.Counter
 }
 
 type cacheEntry struct {
@@ -64,6 +66,12 @@ func newProxy(rt *core.Runtime, ref codec.Ref, h hint) (*Proxy, error) {
 	for _, r := range h.Reads {
 		p.reads[r] = true
 	}
+	scope := "cache.proxy[" + rt.Where() + "->" + ref.Target.String() + "]."
+	reg := rt.Observer().Registry
+	p.hits = reg.Counter(scope + "hits")
+	p.misses = reg.Counter(scope + "misses")
+	p.writes = reg.Counter(scope + "writes")
+	p.invs = reg.Counter(scope + "invalidations")
 	if h.Mode == ModeCallback {
 		// Install the callback object and join the sharer set. The
 		// version in the reply seeds our view.
@@ -100,7 +108,7 @@ func (p *Proxy) handleInvalidate(ktx *kernel.Context, f *wire.Frame) {
 		}
 		p.entries = make(map[string]cacheEntry)
 		p.mu.Unlock()
-		p.invs.Add(1)
+		p.invs.Inc()
 	}
 	if f.Flags&wire.FlagOneWay == 0 {
 		_ = ktx.Respond(f, wire.KindAck, nil)
@@ -127,13 +135,27 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 	if !p.reads[method] {
 		return p.write(ctx, method, payload)
 	}
+	// The cache key is the headerless payload: trace headers vary per
+	// invocation and must never reach the keyed bytes, or every lookup
+	// would be a miss. Cache hits are served without a span — they are
+	// pure local work on the ns scale; misses cross the network and are
+	// traced like any other hop.
 	key := string(payload)
 	if results, ok := p.cachedResult(key); ok {
-		p.hits.Add(1)
+		p.hits.Inc()
 		return results, nil
 	}
-	p.misses.Add(1)
-	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindRead, payload)
+	p.misses.Inc()
+	ctx, finish := p.rt.Tracer().StartChild(ctx, "cache.miss:"+method, p.rt.Where())
+	results, err := p.readThrough(ctx, method, key, payload)
+	finish(err)
+	return results, err
+}
+
+// readThrough fetches a read from the coordinator and fills the cache.
+func (p *Proxy) readThrough(ctx context.Context, method, key string, payload []byte) ([]any, error) {
+	sc, _ := obs.SpanFromContext(ctx)
+	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindRead, append(obs.AppendSpanHeader(nil, sc), payload...))
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
 	}
@@ -191,8 +213,16 @@ func (p *Proxy) fill(key string, version uint64, results []any) {
 }
 
 func (p *Proxy) write(ctx context.Context, method string, payload []byte) ([]any, error) {
-	p.writes.Add(1)
-	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindWrite, payload)
+	p.writes.Inc()
+	ctx, finish := p.rt.Tracer().StartChild(ctx, "cache.write:"+method, p.rt.Where())
+	results, err := p.writeThrough(ctx, method, payload)
+	finish(err)
+	return results, err
+}
+
+func (p *Proxy) writeThrough(ctx context.Context, method string, payload []byte) ([]any, error) {
+	sc, _ := obs.SpanFromContext(ctx)
+	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindWrite, append(obs.AppendSpanHeader(nil, sc), payload...))
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
 	}

@@ -21,7 +21,7 @@ type world struct {
 	runtimes []*Runtime
 }
 
-func newWorld(t *testing.T, n int, opts ...netsim.Option) *world {
+func newWorld(t *testing.T, n int, opts ...netsim.NetworkOption) *world {
 	t.Helper()
 	w := &world{net: netsim.New(opts...)}
 	for i := 0; i < n; i++ {

@@ -6,17 +6,23 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // Invocation payload conventions. A request payload is the codec list
-// [cap uint64, method string, arg0, arg1, …]; a reply payload is the
+// [cap uint64, method string, arg0, arg1, …], optionally preceded by a
+// trace header (see internal/obs: a magic byte outside the codec tag
+// space, then the trace and parent span ids); a reply payload is the
 // codec list [result0, result1, …]; an error payload is the codec struct
 // {Name:"InvokeError", Fields: Code, Method, Msg}. The leading cap is the
 // capability token from the caller's reference (zero when the export is
 // unprotected); servers of protected exports reject mismatches. These
 // conventions are shared by every proxy kind in the repository, but
 // nothing forces a service-private protocol to use them — smart proxies
-// may exchange whatever payloads they like under custom kinds.
+// may exchange whatever payloads they like under custom kinds. The trace
+// header is optional in both directions: headerless payloads from
+// pre-trace peers decode unchanged, and decoders that predate the header
+// never see one (tracing only activates against header-aware servers).
 
 // EncodeRequest builds a request payload presenting the given capability
 // token. Arguments must already be in wire shape (Runtime.encodeOutbound
@@ -32,25 +38,45 @@ func EncodeRequest(cap uint64, method string, args []any) ([]byte, error) {
 	return buf, nil
 }
 
+// EncodeRequestTraced is EncodeRequest with a trace header prefixed when
+// sc carries a live trace. Pass a zero sc to get a plain request payload.
+func EncodeRequestTraced(cap uint64, method string, args []any, sc obs.SpanContext) ([]byte, error) {
+	body, err := EncodeRequest(cap, method, args)
+	if err != nil || sc.Trace == 0 {
+		return body, err
+	}
+	return append(obs.AppendSpanHeader(nil, sc), body...), nil
+}
+
 // DecodeRequest parses a request payload with the given decoder (whose
-// RefHook installs proxies for imported references).
+// RefHook installs proxies for imported references). A leading trace
+// header, if present, is stripped and ignored — callers that propagate
+// traces use DecodeRequestTraced.
 func DecodeRequest(d *codec.Decoder, payload []byte) (cap uint64, method string, args []any, err error) {
+	_, cap, method, args, err = DecodeRequestTraced(d, payload)
+	return cap, method, args, err
+}
+
+// DecodeRequestTraced parses a request payload, returning the span
+// context carried in its trace header (zero for headerless payloads).
+func DecodeRequestTraced(d *codec.Decoder, payload []byte) (sc obs.SpanContext, cap uint64, method string, args []any, err error) {
+	sc, payload = obs.SplitSpanHeader(payload)
 	vec, err := d.DecodeArgs(payload)
 	if err != nil {
-		return 0, "", nil, fmt.Errorf("core: decode request: %w", err)
+		return sc, 0, "", nil, fmt.Errorf("core: decode request: %w", err)
 	}
 	if len(vec) < 2 {
-		return 0, "", nil, errors.New("core: short request vector")
+		return sc, 0, "", nil, errors.New("core: short request vector")
 	}
 	c, ok := vec[0].(uint64)
 	if !ok {
-		return 0, "", nil, fmt.Errorf("core: request cap is %T, want uint64", vec[0])
+		return sc, 0, "", nil, fmt.Errorf("core: request cap is %T, want uint64", vec[0])
 	}
 	m, ok := vec[1].(string)
 	if !ok {
-		return 0, "", nil, fmt.Errorf("core: request method is %T, want string", vec[1])
+		return sc, 0, "", nil, fmt.Errorf("core: request method is %T, want string", vec[1])
 	}
-	return c, m, vec[2:], nil
+	return sc, c, m, vec[2:], nil
 }
 
 // EncodeResults builds a reply payload.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -30,6 +31,18 @@ func WithDefaultFactory(f ProxyFactory) RuntimeOption {
 	}
 }
 
+// WithObserver shares an observability sink (metrics registry + tracer)
+// with this runtime. By default each runtime gets a private observer;
+// tests and clusters pass one shared instance so spans from every context
+// land in a single ring and reconstruct as one tree.
+func WithObserver(o *obs.Observer) RuntimeOption {
+	return func(rt *Runtime) {
+		if o != nil {
+			rt.observer = o
+		}
+	}
+}
+
 // Runtime is the proxy machinery for one context: the export table (local
 // services reachable from elsewhere), the import table (proxies installed
 // here), and the proxy-factory registry that lets each service type choose
@@ -37,6 +50,13 @@ func WithDefaultFactory(f ProxyFactory) RuntimeOption {
 type Runtime struct {
 	ktx    *kernel.Context
 	client *rpc.Client
+
+	observer *obs.Observer
+	where    string // cached Addr().String(), used in span and metric names
+	// runtime-wide invocation counters (per-proxy stats stay on the proxies)
+	invokeCalls    *obs.Counter
+	invokeForwards *obs.Counter
+	serveCalls     *obs.Counter
 
 	defaultFactory    ProxyFactory
 	defaultFactorySet bool
@@ -66,8 +86,16 @@ func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
 	for _, o := range opts {
 		o(rt)
 	}
+	if rt.observer == nil {
+		rt.observer = obs.NewObserver()
+	}
+	rt.where = ktx.Addr().String()
+	scope := "core[" + rt.where + "]."
+	rt.invokeCalls = rt.observer.Registry.Counter(scope + "invoke.calls")
+	rt.invokeForwards = rt.observer.Registry.Counter(scope + "invoke.forwards")
+	rt.serveCalls = rt.observer.Registry.Counter(scope + "serve.calls")
 	if rt.client == nil {
-		rt.client = rpc.NewClient(ktx)
+		rt.client = rpc.NewClient(ktx, rpc.WithObserver(rt.observer))
 	}
 	if !rt.defaultFactorySet {
 		rt.defaultFactory = StubFactory{}
@@ -84,6 +112,16 @@ func (rt *Runtime) Kernel() *kernel.Context { return rt.ktx }
 // Client exposes the runtime's reliable-call client for proxy
 // implementations.
 func (rt *Runtime) Client() *rpc.Client { return rt.client }
+
+// Observer exposes the runtime's observability sink (never nil).
+func (rt *Runtime) Observer() *obs.Observer { return rt.observer }
+
+// Tracer is shorthand for Observer().Tracer.
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.observer.Tracer }
+
+// Where reports this runtime's context address in string form (the
+// location tag spans record).
+func (rt *Runtime) Where() string { return rt.where }
 
 // RegisterProxyType installs the factory for a service type name. In the
 // paper, the service *ships* its proxy code to the importing context; Go

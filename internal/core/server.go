@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -72,15 +73,25 @@ func (so *serverObject) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 		}
 		return KindBatch, reply, nil
 	}
-	cap, method, args, err := DecodeRequest(so.rt.decoder(), req.Frame.Payload)
+	sc, cap, method, args, err := DecodeRequestTraced(so.rt.decoder(), req.Frame.Payload)
 	if err != nil {
 		return 0, nil, EncodeInvokeError("", &InvokeError{Code: CodeInternal, Msg: err.Error()})
 	}
 	if so.cap != 0 && cap != so.cap {
 		return 0, nil, EncodeInvokeError(method, &InvokeError{Code: CodeDenied, Method: method, Msg: "capability required"})
 	}
+	so.rt.serveCalls.Inc()
 	ctx := WithCaller(context.Background(), req.From)
+	finish := func(error) {}
+	if sc.Trace != 0 {
+		// Parent the serve span under the caller's stub span and thread it
+		// through ctx, so any onward hops the service makes (smart-proxy
+		// fan-out included) chain into the same tree.
+		ctx = obs.ContextWithSpan(ctx, sc)
+		ctx, finish = so.rt.Tracer().StartSpan(ctx, "serve:"+method, so.rt.where)
+	}
 	results, err := so.service().Invoke(ctx, method, args)
+	finish(err)
 	if err != nil {
 		return 0, nil, EncodeInvokeError(method, err)
 	}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -41,17 +43,30 @@ func NewStub(rt *Runtime, ref codec.Ref) *Stub {
 	return &Stub{rt: rt, ref: ref}
 }
 
-// Invoke implements Proxy.
+// Invoke implements Proxy. When the caller's ctx carries a trace (opened
+// via obs.Tracer.StartSpan, e.g. by proxyctl -trace), the stub records an
+// invoke span and the request payload carries the span in its trace
+// header for the server side to parent under. Untraced invocations skip
+// tracing entirely — the hot path stays a single context lookup.
 func (s *Stub) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
 	if s.closed.Load() {
 		return nil, ErrProxyClosed
 	}
 	s.calls.Add(1)
+	s.rt.invokeCalls.Inc()
+	ctx, finish := s.rt.Tracer().StartChild(ctx, "invoke:"+method, s.rt.where)
+	res, err := s.invoke(ctx, method, args)
+	finish(err)
+	return res, err
+}
+
+func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	sc, _ := obs.SpanFromContext(ctx)
 	lowered, err := s.rt.encodeOutbound(args)
 	if err != nil {
 		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 	}
-	payload, err := EncodeRequest(s.Ref().Cap, method, lowered)
+	payload, err := EncodeRequestTraced(s.Ref().Cap, method, lowered, sc)
 	if err != nil {
 		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 	}
@@ -61,6 +76,7 @@ func (s *Stub) Invoke(ctx context.Context, method string, args ...any) ([]any, e
 	// comfortably exceeds any realistic tombstone chain (E9 sweeps to 32).
 	const maxForwards = 64
 	for hop := 0; ; hop++ {
+		hopStart := time.Now()
 		resp, err := s.rt.Client().CallFrame(ctx, s.target(), wire.KindRequest, payload)
 		if err != nil {
 			return nil, RemoteToInvokeError(method, err)
@@ -76,6 +92,14 @@ func (s *Stub) Invoke(ctx context.Context, method string, args ...any) ([]any, e
 			}
 			s.Rebind(newRef)
 			s.forwards.Add(1)
+			s.rt.invokeForwards.Inc()
+			if tr := s.rt.Tracer(); sc.Trace != 0 {
+				tr.Record(obs.Span{
+					Trace: sc.Trace, ID: tr.NewSpanID(), Parent: sc.Span,
+					Name: "forward:" + newRef.Target.String(), Where: s.rt.where,
+					Start: hopStart, Dur: time.Since(hopStart),
+				})
+			}
 			continue
 		default:
 			return DecodeResults(s.rt.decoder(), resp.Payload)

@@ -39,7 +39,7 @@ func E10InvalidationStorm(w io.Writer, cfg Config) error {
 }
 
 func e10Run(cfg Config, sharers int, sync bool) (time.Duration, uint64, error) {
-	opts := []cache.Option{}
+	opts := []cache.FactoryOption{}
 	if !sync {
 		opts = append(opts, cache.WithAsyncInvalidation())
 	}

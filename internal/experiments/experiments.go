@@ -32,8 +32,8 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) netOpts() []netsim.Option {
-	return []netsim.Option{
+func (c Config) netOpts() []netsim.NetworkOption {
+	return []netsim.NetworkOption{
 		netsim.WithDefaultLink(netsim.LinkConfig{Latency: c.Latency}),
 		netsim.WithSeed(c.Seed),
 	}

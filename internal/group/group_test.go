@@ -13,7 +13,7 @@ import (
 	"repro/internal/wire"
 )
 
-func runtimes(t *testing.T, n int, opts ...netsim.Option) []*core.Runtime {
+func runtimes(t *testing.T, n int, opts ...netsim.NetworkOption) []*core.Runtime {
 	t.Helper()
 	net := netsim.New(opts...)
 	t.Cleanup(net.Close)

@@ -13,7 +13,7 @@ import (
 )
 
 // twoNodes builds two nodes on a fresh simulated network.
-func twoNodes(t *testing.T, opts ...netsim.Option) (*Node, *Node) {
+func twoNodes(t *testing.T, opts ...netsim.NetworkOption) (*Node, *Node) {
 	t.Helper()
 	net := netsim.New(opts...)
 	t.Cleanup(net.Close)

@@ -78,28 +78,28 @@ type Stats struct {
 	BytesMoved uint64 // payload+header bytes of delivered frames
 }
 
-// Option configures a Network.
-type Option func(*Network)
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
 
 // WithDefaultLink sets the link configuration used for every pair of nodes
 // that has no explicit override.
-func WithDefaultLink(lc LinkConfig) Option {
+func WithDefaultLink(lc LinkConfig) NetworkOption {
 	return func(n *Network) { n.defaultLink = lc }
 }
 
 // WithLocalLink sets the link configuration for same-node traffic
 // (context-to-context on one machine). Default: zero latency, no loss.
-func WithLocalLink(lc LinkConfig) Option {
+func WithLocalLink(lc LinkConfig) NetworkOption {
 	return func(n *Network) { n.localLink = lc }
 }
 
 // WithSeed seeds the loss/jitter RNG, making drop decisions reproducible.
-func WithSeed(seed int64) Option {
+func WithSeed(seed int64) NetworkOption {
 	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
 }
 
 // WithQueueDepth sets each endpoint's inbound buffer (default 1024 frames).
-func WithQueueDepth(d int) Option {
+func WithQueueDepth(d int) NetworkOption {
 	return func(n *Network) {
 		if d > 0 {
 			n.queueDepth = d
@@ -125,7 +125,7 @@ type Network struct {
 
 // New creates a network with the given options. Without options the network
 // is perfect: zero latency, infinite bandwidth, no loss.
-func New(opts ...Option) *Network {
+func New(opts ...NetworkOption) *Network {
 	n := &Network{
 		queueDepth:  1024,
 		rng:         rand.New(rand.NewSource(1)),

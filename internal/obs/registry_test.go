@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.calls") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("a.depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Gauge("a.depth") != g {
+		t.Fatal("same name must return the same gauge")
+	}
+	if r.Histogram("a.lat") != r.Histogram("a.lat") {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	// 90 fast ops around 1ms, 10 slow around 100ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want <= 2ms (bucket upper bound of 1ms)", s.P50)
+	}
+	if s.P99 < 50*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 50ms", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotonic: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.Mean < 5*time.Millisecond || s.Mean > 20*time.Millisecond {
+		t.Fatalf("mean = %v, want ~10.9ms", s.Mean)
+	}
+	if s.Max < 100*time.Millisecond {
+		t.Fatalf("max = %v, want >= 100ms", s.Max)
+	}
+	// Zero and negative durations land in bucket 0 without panicking.
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if got := h.Snapshot().Count; got != 102 {
+		t.Fatalf("count = %d, want 102", got)
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("m.gauge").Set(-3)
+	r.Histogram("lat").Observe(time.Millisecond)
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	for _, want := range []string{"counter a.first 1", "counter z.second 2", "gauge   m.gauge -3", "hist    lat count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Counters are sorted by name.
+	if strings.Index(out, "a.first") > strings.Index(out, "z.second") {
+		t.Fatalf("dump not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// TypeName is the proxy type the observability service exports under.
+// It has no custom factory: importers reach it through plain stubs.
+const TypeName = "obs.Service"
+
+// Service exposes an Observer over the ordinary invocation conventions,
+// so proxyctl (or any remote client) can pull metrics and traces out of a
+// running daemon. It implements core.Service structurally (this package
+// sits below internal/core and cannot import it).
+//
+// Methods:
+//
+//	metrics()            -> text dump of the registry
+//	traces(limit int64)  -> text summary of recent traces, newest first
+//	trace(id string)     -> EncodeSpans form of one trace's spans
+//	tracetext(id string) -> rendered tree of one trace
+type Service struct {
+	obs *Observer
+}
+
+// NewService wraps an observer for export.
+func NewService(o *Observer) *Service { return &Service{obs: o} }
+
+// Invoke dispatches the observability methods.
+func (s *Service) Invoke(_ context.Context, method string, args []any) ([]any, error) {
+	switch method {
+	case "metrics":
+		var b strings.Builder
+		s.obs.Registry.Dump(&b)
+		return []any{b.String()}, nil
+
+	case "traces":
+		limit := int64(20)
+		if len(args) > 0 {
+			if l, ok := args[0].(int64); ok && l > 0 {
+				limit = l
+			}
+		}
+		var b strings.Builder
+		for _, ts := range s.obs.Tracer.Recent(int(limit)) {
+			root := ts.Root
+			if root == "" {
+				root = "(root not retained)"
+			}
+			fmt.Fprintf(&b, "%s %3d spans  %s\n", ts.Trace, ts.Spans, root)
+		}
+		if b.Len() == 0 {
+			b.WriteString("(no traces recorded)\n")
+		}
+		return []any{b.String()}, nil
+
+	case "trace":
+		id, err := traceArg(args)
+		if err != nil {
+			return nil, err
+		}
+		return []any{EncodeSpans(s.obs.Tracer.Spans(id))}, nil
+
+	case "tracetext":
+		id, err := traceArg(args)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		FormatTrace(&b, s.obs.Tracer.Spans(id))
+		return []any{b.String()}, nil
+
+	default:
+		return nil, fmt.Errorf("obs: unknown method %q", method)
+	}
+}
+
+func traceArg(args []any) (TraceID, error) {
+	if len(args) < 1 {
+		return 0, fmt.Errorf("obs: trace id argument required")
+	}
+	switch v := args[0].(type) {
+	case string:
+		return ParseTraceID(v)
+	case int64:
+		return TraceID(v), nil
+	case uint64:
+		return TraceID(v), nil
+	default:
+		return 0, fmt.Errorf("obs: trace id is %T, want string", args[0])
+	}
+}

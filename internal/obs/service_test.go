@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestServiceMetricsAndTraces(t *testing.T) {
+	o := NewObserver()
+	o.Registry.Counter("x.calls").Add(3)
+	ctx, finish := o.Tracer.StartSpan(context.Background(), "root", "1.1")
+	sc, _ := SpanFromContext(ctx)
+	finish(nil)
+
+	svc := NewService(o)
+	res, err := svc.Invoke(context.Background(), "metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := res[0].(string); !strings.Contains(text, "x.calls 3") {
+		t.Fatalf("metrics dump missing counter:\n%s", text)
+	}
+
+	res, err = svc.Invoke(context.Background(), "traces", []any{int64(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := res[0].(string); !strings.Contains(text, sc.Trace.String()) {
+		t.Fatalf("traces listing missing %s:\n%s", sc.Trace, text)
+	}
+
+	res, err = svc.Invoke(context.Background(), "trace", []any{sc.Trace.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := DecodeSpans(res[0].([]byte))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "root" {
+		t.Fatalf("trace returned %+v", spans)
+	}
+
+	res, err = svc.Invoke(context.Background(), "tracetext", []any{sc.Trace.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := res[0].(string); !strings.Contains(text, "root @1.1") {
+		t.Fatalf("tracetext = %q", text)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	svc := NewService(NewObserver())
+	if _, err := svc.Invoke(context.Background(), "nope", nil); err == nil {
+		t.Fatal("want error for unknown method")
+	}
+	if _, err := svc.Invoke(context.Background(), "trace", nil); err == nil {
+		t.Fatal("want error for missing trace id")
+	}
+	if _, err := svc.Invoke(context.Background(), "trace", []any{3.14}); err == nil {
+		t.Fatal("want error for bad trace id type")
+	}
+	if _, err := svc.Invoke(context.Background(), "trace", []any{int64(7)}); err != nil {
+		t.Fatalf("int64 trace id rejected: %v", err)
+	}
+	if res, err := svc.Invoke(context.Background(), "traces", nil); err != nil || !strings.Contains(res[0].(string), "no traces") {
+		t.Fatalf("empty traces = %v, %v", res, err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // TypeName is the conventional proxy type for topics.
@@ -60,7 +61,19 @@ func WithNotifyTimeout(d time.Duration) TopicOption {
 	}
 }
 
-// Stats counts topic activity.
+// WithObserver routes the topic's counters into a shared observability
+// sink (by default each topic gets a private one).
+func WithObserver(o *obs.Observer) TopicOption {
+	return func(t *Topic) {
+		if o != nil {
+			t.obs = o
+		}
+	}
+}
+
+// Stats counts topic activity. It is a snapshot of the topic's counters
+// in the obs registry, kept as a struct so existing callers read it
+// unchanged.
 type Stats struct {
 	Published   uint64
 	Delivered   uint64
@@ -81,10 +94,16 @@ type Topic struct {
 	notifyTimeout time.Duration
 	name          string
 
+	obs       *obs.Observer
+	published *obs.Counter
+	delivered *obs.Counter
+	dropped   *obs.Counter
+	evicted   *obs.Counter
+	subGauge  *obs.Gauge
+
 	mu     sync.Mutex
 	nextID int64
 	subs   map[int64]*subscription
-	stats  Stats
 	closed bool
 }
 
@@ -108,6 +127,16 @@ func NewTopic(name string, opts ...TopicOption) *Topic {
 	for _, o := range opts {
 		o(t)
 	}
+	if t.obs == nil {
+		t.obs = obs.NewObserver()
+	}
+	scope := "pubsub.topic[" + name + "]."
+	reg := t.obs.Registry
+	t.published = reg.Counter(scope + "published")
+	t.delivered = reg.Counter(scope + "delivered")
+	t.dropped = reg.Counter(scope + "dropped")
+	t.evicted = reg.Counter(scope + "evicted")
+	t.subGauge = reg.Gauge(scope + "subscribers")
 	return t
 }
 
@@ -165,6 +194,7 @@ func (t *Topic) Subscribe(cb core.Proxy) (int64, error) {
 		stop:  make(chan struct{}),
 	}
 	t.subs[sub.id] = sub
+	t.subGauge.Set(int64(len(t.subs)))
 	go t.drain(sub)
 	return sub.id, nil
 }
@@ -175,6 +205,7 @@ func (t *Topic) Unsubscribe(id int64) {
 	sub, ok := t.subs[id]
 	if ok {
 		delete(t.subs, id)
+		t.subGauge.Set(int64(len(t.subs)))
 	}
 	t.mu.Unlock()
 	if ok {
@@ -185,8 +216,8 @@ func (t *Topic) Unsubscribe(id int64) {
 // Publish enqueues the event for every subscriber and returns. A full
 // subscriber queue drops the event for that subscriber only.
 func (t *Topic) Publish(event any) {
+	t.published.Inc()
 	t.mu.Lock()
-	t.stats.Published++
 	subs := make([]*subscription, 0, len(t.subs))
 	for _, s := range t.subs {
 		subs = append(subs, s)
@@ -196,9 +227,7 @@ func (t *Topic) Publish(event any) {
 		select {
 		case s.queue <- event:
 		default:
-			t.mu.Lock()
-			t.stats.Dropped++
-			t.mu.Unlock()
+			t.dropped.Inc()
 		}
 	}
 }
@@ -220,7 +249,8 @@ func (t *Topic) drain(sub *subscription) {
 					t.mu.Lock()
 					if _, ok := t.subs[sub.id]; ok {
 						delete(t.subs, sub.id)
-						t.stats.Evicted++
+						t.subGauge.Set(int64(len(t.subs)))
+						t.evicted.Inc()
 					}
 					t.mu.Unlock()
 					return
@@ -228,9 +258,7 @@ func (t *Topic) drain(sub *subscription) {
 				continue
 			}
 			failures = 0
-			t.mu.Lock()
-			t.stats.Delivered++
-			t.mu.Unlock()
+			t.delivered.Inc()
 		}
 	}
 }
@@ -238,10 +266,15 @@ func (t *Topic) drain(sub *subscription) {
 // Stats snapshots the counters.
 func (t *Topic) Stats() Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := t.stats
-	s.Subscribers = len(t.subs)
-	return s
+	subs := len(t.subs)
+	t.mu.Unlock()
+	return Stats{
+		Published:   t.published.Load(),
+		Delivered:   t.delivered.Load(),
+		Dropped:     t.dropped.Load(),
+		Evicted:     t.evicted.Load(),
+		Subscribers: subs,
+	}
 }
 
 // Close stops every drain; pending events are discarded.
@@ -254,6 +287,7 @@ func (t *Topic) Close() {
 	t.closed = true
 	subs := t.subs
 	t.subs = make(map[int64]*subscription)
+	t.subGauge.Set(0)
 	t.mu.Unlock()
 	for _, s := range subs {
 		close(s.stop)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/group"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -63,15 +64,28 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 		return nil, core.ErrProxyClosed
 	}
 	if p.isRead(method) {
+		// Local reads stay uninstrumented beyond the counter: they are the
+		// ns-scale hot path the replicated proxy exists to provide.
 		p.localReads.Add(1)
 		return p.local.Invoke(ctx, method, args)
 	}
 	p.writesSent.Add(1)
+	ctx, finish := p.rt.Tracer().StartChild(ctx, "replica.write:"+method, p.rt.Where())
+	results, err := p.writeToPrimary(ctx, method, args)
+	finish(err)
+	return results, err
+}
+
+// writeToPrimary funnels one write through the primary's ordered path.
+// The request payload carries the span from ctx so the primary's apply
+// and broadcast hops land in the same trace.
+func (p *Proxy) writeToPrimary(ctx context.Context, method string, args []any) ([]any, error) {
+	sc, _ := obs.SpanFromContext(ctx)
 	lowered, err := p.rt.LowerArgs(args)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	payload, err := core.EncodeRequest(p.ref.Cap, method, lowered)
+	payload, err := core.EncodeRequestTraced(p.ref.Cap, method, lowered, sc)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}

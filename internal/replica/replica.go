@@ -25,6 +25,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/group"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -236,17 +237,27 @@ func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 }
 
 func (p *primary) handleWrite(req *rpc.Request) (wire.Kind, []byte, []byte) {
-	cap, method, args, err := core.DecodeRequest(p.rt.Decoder(), req.Frame.Payload)
+	sc, cap, method, args, err := core.DecodeRequestTraced(p.rt.Decoder(), req.Frame.Payload)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "%s", err))
 	}
 	if p.cap != 0 && cap != p.cap {
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeDenied, method, "capability required"))
 	}
-	results, errPayload := p.applyWrite(context.Background(), req.From, method, args, req.Frame.Payload)
+	ctx := context.Background()
+	finish := func(error) {}
+	if sc.Trace != 0 {
+		// The broadcast to members derives from this ctx, so each member's
+		// delivery round-trip shows up as a child rpc span.
+		ctx = obs.ContextWithSpan(ctx, sc)
+		ctx, finish = p.rt.Tracer().StartSpan(ctx, "replica.apply:"+method, p.rt.Where())
+	}
+	results, errPayload := p.applyWrite(ctx, req.From, method, args, req.Frame.Payload)
 	if errPayload != nil {
+		finish(core.DecodeInvokeError(errPayload))
 		return 0, nil, errPayload
 	}
+	finish(nil)
 	lowered, err := p.rt.LowerArgs(results)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "%s", err))

@@ -12,9 +12,11 @@ package rpc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -62,7 +64,20 @@ func WithBackoff(factor float64, max time.Duration) ClientOption {
 	}
 }
 
-// ClientStats counts client activity (read with Stats).
+// WithObserver routes the client's counters into a shared observability
+// sink and enables per-attempt trace spans. By default each client gets a
+// private observer (counters still work, spans go to a private ring).
+func WithObserver(o *obs.Observer) ClientOption {
+	return func(c *Client) {
+		if o != nil {
+			c.obs = o
+		}
+	}
+}
+
+// ClientStats counts client activity (read with Stats). It is a snapshot
+// of the client's counters in the obs registry, kept as a struct so
+// existing callers and tests read it unchanged.
 type ClientStats struct {
 	Calls       uint64
 	Retransmits uint64
@@ -78,7 +93,14 @@ type Client struct {
 	backoffFactor float64
 	backoffMax    time.Duration
 
-	stats atomicStats
+	obs   *obs.Observer
+	where string
+	// Registry-backed counters, resolved once at construction. Names are
+	// scoped by the client's context address so clients sharing a cluster
+	// registry stay distinguishable.
+	calls       *obs.Counter
+	retransmits *obs.Counter
+	failures    *obs.Counter
 }
 
 // NewClient builds a client over a kernel context.
@@ -91,6 +113,14 @@ func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.obs == nil {
+		c.obs = obs.NewObserver()
+	}
+	c.where = ktx.Addr().String()
+	scope := "rpc.client[" + c.where + "]."
+	c.calls = c.obs.Registry.Counter(scope + "calls")
+	c.retransmits = c.obs.Registry.Counter(scope + "retransmits")
+	c.failures = c.obs.Registry.Counter(scope + "failures")
 	return c
 }
 
@@ -98,8 +128,41 @@ func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
 // send unreliable one-ways alongside reliable calls).
 func (c *Client) Context() *kernel.Context { return c.ktx }
 
+// Observer exposes the client's observability sink (never nil).
+func (c *Client) Observer() *obs.Observer { return c.obs }
+
 // Stats returns a snapshot of the client counters.
-func (c *Client) Stats() ClientStats { return c.stats.snapshot() }
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:       c.calls.Load(),
+		Retransmits: c.retransmits.Load(),
+		Failures:    c.failures.Load(),
+	}
+}
+
+// attemptRecorder records one trace span per transmission attempt of a
+// call. It exists (instead of a closure) so untraced calls — rec == nil,
+// every method a no-op — pay no allocation; it is per-call state and not
+// safe for concurrent use.
+type attemptRecorder struct {
+	c     *Client
+	sc    obs.SpanContext
+	start time.Time
+}
+
+// end closes the current attempt's span; attempt is its 1-based ordinal.
+func (a *attemptRecorder) end(attempt int, errText string) {
+	if a == nil {
+		return
+	}
+	tr := a.c.obs.Tracer
+	tr.Record(obs.Span{
+		Trace: a.sc.Trace, ID: tr.NewSpanID(), Parent: a.sc.Span,
+		Name: fmt.Sprintf("rpc:attempt#%d", attempt), Where: a.c.where,
+		Start: a.start, Dur: time.Since(a.start), Err: errText,
+	})
+	a.start = time.Now()
+}
 
 // Call sends payload to the object at dst and waits for the response,
 // retransmitting under the same request id until an answer arrives, the
@@ -117,12 +180,24 @@ func (c *Client) Call(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, pay
 // CallFrame is Call returning the whole response frame (needed when the
 // response kind itself is meaningful, as in private proxy protocols).
 func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, payload []byte) (*wire.Frame, error) {
-	c.stats.calls.Add(1)
+	c.calls.Inc()
 	id, ch, err := c.ktx.NewPending()
 	if err != nil {
 		return nil, err
 	}
 	defer c.ktx.CancelPending(id)
+
+	// When the caller's ctx carries a span, every transmission attempt is
+	// recorded as its own span under it — a retransmission storm becomes
+	// visible as a fan of sibling attempts in the trace tree. The rpc
+	// layer stays payload-agnostic: the trace header (if any) is already
+	// inside payload, put there by the layer above. Untraced calls keep a
+	// nil recorder, so the hot path allocates nothing for tracing.
+	attempts := 1
+	var rec *attemptRecorder
+	if sc, traced := obs.SpanFromContext(ctx); traced {
+		rec = &attemptRecorder{c: c, sc: sc, start: time.Now()}
+	}
 
 	req := &wire.Frame{
 		Kind:    kind,
@@ -132,38 +207,45 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 		Payload: payload,
 	}
 	if err := c.ktx.Send(req); err != nil {
-		c.stats.failures.Add(1)
+		c.failures.Inc()
+		rec.end(attempts, err.Error())
 		return nil, err
 	}
 
 	interval := c.retryEvery
 	timer := time.NewTimer(interval)
 	defer timer.Stop()
-	attempts := 1
 	for {
 		select {
 		case resp := <-ch:
 			if resp == nil {
-				c.stats.failures.Add(1)
+				c.failures.Inc()
+				rec.end(attempts, kernel.ErrClosed.Error())
 				return nil, kernel.ErrClosed
 			}
 			if resp.Kind == wire.KindError {
+				rec.end(attempts, "remote error")
 				return nil, &kernel.RemoteError{From: resp.Src, Payload: resp.Payload}
 			}
+			rec.end(attempts, "")
 			return resp, nil
 		case <-ctx.Done():
-			c.stats.failures.Add(1)
+			c.failures.Inc()
+			rec.end(attempts, ctx.Err().Error())
 			return nil, ctx.Err()
 		case <-timer.C:
 			if attempts >= c.maxAttempts {
-				c.stats.failures.Add(1)
+				c.failures.Inc()
+				rec.end(attempts, ErrTooManyRetries.Error())
 				return nil, ErrTooManyRetries
 			}
+			rec.end(attempts, "no reply (retransmitting)")
 			attempts++
-			c.stats.retransmits.Add(1)
+			c.retransmits.Inc()
 			req.Flags |= wire.FlagRetransmit
 			if err := c.ktx.Send(req); err != nil {
-				c.stats.failures.Add(1)
+				c.failures.Inc()
+				rec.end(attempts, err.Error())
 				return nil, err
 			}
 			if c.backoffFactor > 1 {

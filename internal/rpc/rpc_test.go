@@ -21,7 +21,7 @@ type rig struct {
 	srvCtx *kernel.Context
 }
 
-func newRig(t *testing.T, netOpts []netsim.Option, cliOpts ...ClientOption) *rig {
+func newRig(t *testing.T, netOpts []netsim.NetworkOption, cliOpts ...ClientOption) *rig {
 	t.Helper()
 	net := netsim.New(netOpts...)
 	ep1, err := net.Attach(1)
@@ -89,7 +89,7 @@ func TestRetransmitOnLoss(t *testing.T) {
 	// 60% loss: with retransmission every 10 ms and up to 50 attempts, the
 	// call must eventually succeed.
 	r := newRig(t,
-		[]netsim.Option{netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.6}), netsim.WithSeed(3)},
+		[]netsim.NetworkOption{netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.6}), netsim.WithSeed(3)},
 		WithRetryInterval(10*time.Millisecond), WithMaxAttempts(50))
 	dst, _ := r.serve(HandlerFunc(echo))
 	got, err := r.client.Call(context.Background(), dst, wire.KindRequest, []byte("persist"))
@@ -106,7 +106,7 @@ func TestAtMostOnceUnderLoss(t *testing.T) {
 	// retransmits, but the server must execute each call exactly once.
 	var executions atomic.Int64
 	r := newRig(t,
-		[]netsim.Option{netsim.WithSeed(5)},
+		[]netsim.NetworkOption{netsim.WithSeed(5)},
 		WithRetryInterval(5*time.Millisecond), WithMaxAttempts(100))
 	// Lossy only on the reply path: server node 2 → client node 1.
 	r.net.SetLink(2, 1, netsim.LinkConfig{LossRate: 0.7})
@@ -137,7 +137,7 @@ func TestAtLeastOnceWithoutReplyCache(t *testing.T) {
 	// duplicate executions through — demonstrating why the cache exists.
 	var executions atomic.Int64
 	r := newRig(t,
-		[]netsim.Option{netsim.WithSeed(11)},
+		[]netsim.NetworkOption{netsim.WithSeed(11)},
 		WithRetryInterval(5*time.Millisecond), WithMaxAttempts(100))
 	r.net.SetLink(2, 1, netsim.LinkConfig{LossRate: 0.7})
 	dst, _ := r.serve(HandlerFunc(func(req *Request) (wire.Kind, []byte, []byte) {
@@ -185,7 +185,7 @@ func TestInFlightDuplicateDropped(t *testing.T) {
 
 func TestRetriesExhausted(t *testing.T) {
 	r := newRig(t,
-		[]netsim.Option{netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.9999999}), netsim.WithSeed(1)},
+		[]netsim.NetworkOption{netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.9999999}), netsim.WithSeed(1)},
 		WithRetryInterval(time.Millisecond), WithMaxAttempts(3))
 	dst, _ := r.serve(HandlerFunc(echo))
 	_, err := r.client.Call(context.Background(), dst, wire.KindRequest, nil)
@@ -329,7 +329,7 @@ func TestBackoffGrowsInterval(t *testing.T) {
 	// least 10+20+40+40 = 110ms before giving up — a deterministic lower
 	// bound that holds regardless of scheduler load (comparing two
 	// independent wall-time measurements would be flaky).
-	r := newRig(t, []netsim.Option{
+	r := newRig(t, []netsim.NetworkOption{
 		netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.9999999}),
 		netsim.WithSeed(1),
 	}, WithRetryInterval(10*time.Millisecond), WithMaxAttempts(5),
