@@ -2,19 +2,34 @@
 
 GO ?= go
 
-# make cover fails if internal/obs coverage drops below this (percent).
-OBS_COVER_MIN ?= 80
+# make cover fails if any of these packages drop below this (percent).
+COVER_MIN ?= 80
+COVER_PKGS ?= ./internal/obs ./internal/health
 
-.PHONY: all build test race vet bench cover experiments examples clean
+# Seeds make chaos replays; override to explore: make chaos CHAOS_SEEDS="7 8 9"
+CHAOS_SEEDS ?= 1 2 3
 
-all: vet test race build
+.PHONY: all build test race vet bench chaos cover experiments examples clean
+
+all: vet test race chaos build
 
 cover:
-	$(GO) test -coverprofile=cover.profile ./internal/obs
-	@total=$$($(GO) tool cover -func=cover.profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "internal/obs coverage: $$total% (minimum $(OBS_COVER_MIN)%)"; \
-	awk -v t="$$total" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
-		{ echo "FAIL: internal/obs coverage $$total% is below $(OBS_COVER_MIN)%"; exit 1; }
+	@for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=cover.profile $$pkg || exit 1; \
+		total=$$($(GO) tool cover -func=cover.profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "$$pkg coverage: $$total% (minimum $(COVER_MIN)%)"; \
+		awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+			{ echo "FAIL: $$pkg coverage $$total% is below $(COVER_MIN)%"; exit 1; }; \
+	done
+
+# Seeded fault-injection suite: crash/restart/partition schedules against
+# live deployments, under the race detector. A failing seed replays
+# exactly: CHAOS_SEED=<n> go test -race -run TestChaos .
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "chaos seed $$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' . || exit 1; \
+	done
 
 build:
 	$(GO) build ./...

@@ -17,6 +17,8 @@
 //	stats                         dump the daemon's metrics registry
 //	traces                        list the daemon's recent traces
 //	trace <id>                    render one trace tree (hex id from traces)
+//	health                        print the daemon's failure-detector view
+//	                              of its peers (alive/suspect/dead)
 //
 // With -trace, invoke runs under a fresh trace and prints the resulting
 // tree, merging this client's spans with the spans the daemon recorded —
@@ -155,6 +157,16 @@ func main() {
 		if *traceInvoke {
 			printMergedTrace(ctx, rt, client, observer, root)
 		}
+	case "health":
+		p, err := client.Resolve(ctx, rt, "services/health")
+		if err != nil {
+			log.Fatalf("resolve services/health (daemon too old?): %v", err)
+		}
+		text, err := core.Call1[string](ctx, p, "nodes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
 	case "stats":
 		text, err := obsCall[string](ctx, rt, client, "metrics")
 		if err != nil {

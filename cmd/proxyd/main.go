@@ -11,6 +11,13 @@
 // "N.1/1:naming.Directory" — which is exactly what cmd/proxyctl
 // constructs. With -with-kv the daemon also exports a demo KV service and
 // binds it at "services/kv".
+//
+// Every daemon runs a failure detector over its -peers table: kernel-level
+// pings every -health-interval grade each peer alive/suspect/dead, the
+// verdicts feed the runtime's circuit breakers, and the detector itself is
+// exported as a service bound at "services/health" (inspect it with
+// proxyctl health). -health-interval 0 disables active probing; the
+// detector then learns passively from invocation outcomes only.
 package main
 
 import (
@@ -25,9 +32,12 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/kernel"
 	"repro/internal/naming"
 	"repro/internal/netsim"
@@ -44,6 +54,7 @@ func main() {
 	withKV := flag.Bool("with-kv", false, "export a demo KV service bound at services/kv")
 	cachedKV := flag.Bool("cached-kv", false, "export the demo KV through the caching smart proxy (clients with the factory registered cache reads locally)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer liveness probe interval (0 = passive detection only)")
 	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
 	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /traces text dumps")
 	flag.Parse()
@@ -69,7 +80,19 @@ func main() {
 		log.Fatalf("context: %v", err)
 	}
 	observer := obs.NewObserver()
-	rt := core.NewRuntime(ktx, core.WithObserver(observer))
+
+	// The failure detector watches every configured peer and shares its
+	// evidence with the runtime: probe verdicts and invocation outcomes
+	// both drive the same per-node state machine.
+	monitor := health.NewMonitor(ktx,
+		health.WithInterval(*healthInterval),
+		health.WithObserver(observer))
+	defer monitor.Close()
+	for id := range peers {
+		monitor.Watch(id)
+	}
+
+	rt := core.NewRuntime(ktx, core.WithObserver(observer), core.WithHealth(monitor))
 
 	// The directory must land at the well-known object id, so it is the
 	// first export in this context.
@@ -91,6 +114,14 @@ func main() {
 		log.Fatalf("export obs: %v", err)
 	}
 	dir.Bind("services/obs", obsRef, 0)
+
+	// The failure detector too: any peer can ask this node who it thinks
+	// is alive (proxyctl health).
+	healthRef, err := rt.Export(health.NewService(monitor), health.TypeName)
+	if err != nil {
+		log.Fatalf("export health: %v", err)
+	}
+	dir.Bind("services/health", healthRef, 0)
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()

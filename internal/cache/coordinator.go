@@ -105,7 +105,7 @@ func (co *coordinator) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 }
 
 func (co *coordinator) invoke(req *rpc.Request, read bool) (wire.Kind, []byte, []byte) {
-	sc, cap, method, args, err := core.DecodeRequestTraced(co.rt.Decoder(), req.Frame.Payload)
+	sc, budget, cap, method, args, err := core.DecodeRequestFull(co.rt.Decoder(), req.Frame.Payload)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "%s", err))
 	}
@@ -118,6 +118,8 @@ func (co *coordinator) invoke(req *rpc.Request, read bool) (wire.Kind, []byte, [
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeBadArgs, method, "method is not a read"))
 	}
 	ctx := core.WithCaller(context.Background(), req.From)
+	ctx, cancel := core.ApplyBudget(ctx, budget)
+	defer cancel()
 	finish := func(error) {}
 	if sc.Trace != 0 {
 		name := "cache.serve.write:" + method

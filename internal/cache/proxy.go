@@ -154,8 +154,7 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 
 // readThrough fetches a read from the coordinator and fills the cache.
 func (p *Proxy) readThrough(ctx context.Context, method, key string, payload []byte) ([]any, error) {
-	sc, _ := obs.SpanFromContext(ctx)
-	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindRead, append(obs.AppendSpanHeader(nil, sc), payload...))
+	reply, err := p.coordCall(ctx, kindRead, payload)
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
 	}
@@ -165,6 +164,19 @@ func (p *Proxy) readThrough(ctx context.Context, method, key string, payload []b
 	}
 	p.fill(key, version, results)
 	return results, nil
+}
+
+// coordCall sends one control-protocol request to the coordinator through
+// the runtime's shared circuit breaker, with ctx headers (deadline budget
+// + trace span) prefixed. The cache proxy thus rides the same
+// fault-tolerance substrate as plain stubs: a coordinator node that stops
+// answering trips the breaker for every proxy pointed at it.
+func (p *Proxy) coordCall(ctx context.Context, kind wire.Kind, payload []byte) ([]byte, error) {
+	f, err := p.rt.GuardedCall(ctx, p.ctrl, kind, append(core.AppendCtxHeaders(nil, ctx), payload...))
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
 }
 
 func (p *Proxy) cachedResult(key string) ([]any, bool) {
@@ -221,8 +233,7 @@ func (p *Proxy) write(ctx context.Context, method string, payload []byte) ([]any
 }
 
 func (p *Proxy) writeThrough(ctx context.Context, method string, payload []byte) ([]any, error) {
-	sc, _ := obs.SpanFromContext(ctx)
-	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindWrite, append(obs.AppendSpanHeader(nil, sc), payload...))
+	reply, err := p.coordCall(ctx, kindWrite, payload)
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
 	}

@@ -93,6 +93,11 @@ var (
 	ErrNotExported = errors.New("core: service not exported")
 	// ErrProxyClosed reports an invocation through a closed proxy.
 	ErrProxyClosed = errors.New("core: proxy closed")
+	// ErrCircuitOpen reports a call rejected without transmission because
+	// the destination's circuit breaker is open (the node is believed
+	// down). The call was definitely not sent, so retrying elsewhere is
+	// always safe.
+	ErrCircuitOpen = errors.New("core: circuit open")
 )
 
 // InvokeError is an application-level invocation failure, propagated from

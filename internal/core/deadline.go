@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Deadline propagation. A client with a ctx deadline has a shrinking
+// budget; work a server performs after that budget expires is wasted —
+// nobody awaits the reply. So the remaining budget rides the request
+// payload as a small header next to the trace header, and servers derive
+// their handler ctx from it, cancelling abandoned work.
+//
+// The budget is relative (a duration, not an absolute time), so it is
+// immune to clock skew between nodes; the cost is that queueing delay
+// before the server applies it does not count against it, which errs on
+// the side of doing slightly too much work rather than cancelling live
+// calls.
+//
+// deadlineMagic follows the convention set by the obs trace header: codec
+// tags occupy 1..13, so any leading byte ≥ 0xF0 is unambiguously a header.
+// Headerless payloads from pre-deadline peers decode unchanged, and the
+// two headers compose in either order.
+const deadlineMagic = 0xF6
+
+// AppendDeadlineHeader prefixes dst with the wire form of a remaining
+// budget: [magic, uvarint nanoseconds]. Non-positive budgets append
+// nothing (an already-expired call fails client-side anyway).
+func AppendDeadlineHeader(dst []byte, budget time.Duration) []byte {
+	if budget <= 0 {
+		return dst
+	}
+	dst = append(dst, deadlineMagic)
+	return wire.AppendUvarint(dst, uint64(budget))
+}
+
+// SplitDeadlineHeader strips a leading deadline header, returning the
+// budget it carried (zero if absent) and the rest of the payload.
+func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
+	if len(payload) == 0 || payload[0] != deadlineMagic {
+		return 0, payload
+	}
+	ns, n, err := wire.Uvarint(payload[1:])
+	if err != nil {
+		return 0, payload
+	}
+	return time.Duration(ns), payload[1+n:]
+}
+
+// AppendCtxHeaders prefixes dst with every header the ctx implies: the
+// remaining deadline budget (if the ctx has a deadline) and the trace
+// span (if the ctx carries one). This is what proxies call when building
+// a request payload.
+func AppendCtxHeaders(dst []byte, ctx context.Context) []byte {
+	if dl, ok := ctx.Deadline(); ok {
+		dst = AppendDeadlineHeader(dst, time.Until(dl))
+	}
+	sc, _ := obs.SpanFromContext(ctx)
+	return obs.AppendSpanHeader(dst, sc)
+}
+
+// SplitHeaders strips any combination of deadline and trace headers from
+// the front of a request payload, in either order, returning what each
+// carried (zero values when absent) and the bare request body.
+func SplitHeaders(payload []byte) (sc obs.SpanContext, budget time.Duration, body []byte) {
+	body = payload
+	for {
+		if b, rest := SplitDeadlineHeader(body); len(rest) != len(body) {
+			budget, body = b, rest
+			continue
+		}
+		if s, rest := obs.SplitSpanHeader(body); len(rest) != len(body) {
+			sc, body = s, rest
+			continue
+		}
+		return sc, budget, body
+	}
+}
+
+// ApplyBudget derives a server-side ctx from a propagated budget: with a
+// positive budget the ctx expires when the client's will; with none the
+// ctx is returned unchanged. The CancelFunc is never nil.
+func ApplyBudget(ctx context.Context, budget time.Duration) (context.Context, context.CancelFunc) {
+	if budget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
+// idemCtxKey marks a ctx whose invocations the caller declares idempotent,
+// licensing failover replay even when an attempt may have executed.
+type idemCtxKey struct{}
+
+// WithIdempotent marks every invocation under ctx as safe to replay
+// against an alternate binding: re-executing it yields the same outcome.
+// This is the per-call complement of Runtime.RegisterIdempotent.
+func WithIdempotent(ctx context.Context) context.Context {
+	return context.WithValue(ctx, idemCtxKey{}, true)
+}
+
+// IdempotentFrom reports whether ctx was marked by WithIdempotent.
+func IdempotentFrom(ctx context.Context) bool {
+	v, _ := ctx.Value(idemCtxKey{}).(bool)
+	return v
+}

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
 
 	"repro/internal/codec"
+	"repro/internal/health"
 	"repro/internal/kernel"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/wire"
@@ -43,6 +47,20 @@ func WithObserver(o *obs.Observer) RuntimeOption {
 	}
 }
 
+// WithBreakerConfig tunes the per-destination circuit breakers guarding
+// every call issued through GuardedCall. Defaults: 3 consecutive
+// transport failures open a breaker for 1 s.
+func WithBreakerConfig(cfg health.BreakerConfig) RuntimeOption {
+	return func(rt *Runtime) { rt.breakerCfg = cfg }
+}
+
+// WithHealth connects a failure-detection monitor: every GuardedCall
+// outcome feeds it as passive evidence, sharpening its verdicts beyond
+// what periodic probing alone sees.
+func WithHealth(m *health.Monitor) RuntimeOption {
+	return func(rt *Runtime) { rt.monitor = m }
+}
+
 // Runtime is the proxy machinery for one context: the export table (local
 // services reachable from elsewhere), the import table (proxies installed
 // here), and the proxy-factory registry that lets each service type choose
@@ -54,9 +72,15 @@ type Runtime struct {
 	observer *obs.Observer
 	where    string // cached Addr().String(), used in span and metric names
 	// runtime-wide invocation counters (per-proxy stats stay on the proxies)
-	invokeCalls    *obs.Counter
-	invokeForwards *obs.Counter
-	serveCalls     *obs.Counter
+	invokeCalls     *obs.Counter
+	invokeForwards  *obs.Counter
+	invokeFailovers *obs.Counter
+	serveCalls      *obs.Counter
+	circuitRejects  *obs.Counter
+
+	breakerCfg health.BreakerConfig
+	breakers   *health.BreakerSet
+	monitor    *health.Monitor // optional (WithHealth)
 
 	defaultFactory    ProxyFactory
 	defaultFactorySet bool
@@ -66,6 +90,7 @@ type Runtime struct {
 	exports   map[wire.ObjectID]*exportRecord
 	bySvc     map[any]*exportRecord
 	proxies   map[wire.ObjAddr]Proxy
+	idem      map[string]map[string]bool // type name → replay-safe methods
 }
 
 type exportRecord struct {
@@ -82,6 +107,7 @@ func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
 		exports:   make(map[wire.ObjectID]*exportRecord),
 		bySvc:     make(map[any]*exportRecord),
 		proxies:   make(map[wire.ObjAddr]Proxy),
+		idem:      make(map[string]map[string]bool),
 	}
 	for _, o := range opts {
 		o(rt)
@@ -93,7 +119,10 @@ func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
 	scope := "core[" + rt.where + "]."
 	rt.invokeCalls = rt.observer.Registry.Counter(scope + "invoke.calls")
 	rt.invokeForwards = rt.observer.Registry.Counter(scope + "invoke.forwards")
+	rt.invokeFailovers = rt.observer.Registry.Counter(scope + "invoke.failovers")
 	rt.serveCalls = rt.observer.Registry.Counter(scope + "serve.calls")
+	rt.circuitRejects = rt.observer.Registry.Counter(scope + "circuit.rejects")
+	rt.breakers = health.NewBreakerSet(rt.breakerCfg, rt.observer.Registry, scope)
 	if rt.client == nil {
 		rt.client = rpc.NewClient(ktx, rpc.WithObserver(rt.observer))
 	}
@@ -122,6 +151,87 @@ func (rt *Runtime) Tracer() *obs.Tracer { return rt.observer.Tracer }
 // Where reports this runtime's context address in string form (the
 // location tag spans record).
 func (rt *Runtime) Where() string { return rt.where }
+
+// Breakers exposes the runtime's per-destination circuit breakers.
+func (rt *Runtime) Breakers() *health.BreakerSet { return rt.breakers }
+
+// Health exposes the attached failure monitor; nil without WithHealth.
+func (rt *Runtime) Health() *health.Monitor { return rt.monitor }
+
+// RegisterIdempotent declares that the named methods of a service type
+// are safe to replay: re-executing one against an alternate binding
+// yields the same outcome. Failover-aware stubs only rebind-and-replay an
+// invocation that may already have executed when its method is declared
+// here (or the call's ctx is marked with WithIdempotent).
+func (rt *Runtime) RegisterIdempotent(typeName string, methods ...string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	set, ok := rt.idem[typeName]
+	if !ok {
+		set = make(map[string]bool)
+		rt.idem[typeName] = set
+	}
+	for _, m := range methods {
+		set[m] = true
+	}
+}
+
+// IsIdempotent reports whether the method was declared replay-safe for
+// the type.
+func (rt *Runtime) IsIdempotent(typeName, method string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.idem[typeName][method]
+}
+
+// GuardedCall is Client().CallFrame behind this destination's circuit
+// breaker, with the outcome fed back to the breaker and (when attached)
+// the health monitor. Every proxy kind issues its remote calls through
+// it, so one failing node trips one shared breaker however many proxies
+// point at it. An open breaker rejects immediately with ErrCircuitOpen —
+// failing fast instead of burning a retransmit budget against a node
+// already known to be down.
+func (rt *Runtime) GuardedCall(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, payload []byte) (*wire.Frame, error) {
+	br := rt.breakers.For(dst.Addr)
+	if !br.Allow() {
+		rt.circuitRejects.Inc()
+		return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, dst.Addr)
+	}
+	f, err := rt.client.CallFrame(ctx, dst, kind, payload)
+	switch {
+	case err == nil || isRemoteAnswer(err):
+		// Any answer — even an error frame — proves the node serves.
+		br.Success()
+		if rt.monitor != nil {
+			rt.monitor.ReportSuccess(dst.Addr.Node)
+		}
+	case isNodeFailure(err):
+		br.Failure()
+		if rt.monitor != nil {
+			rt.monitor.ReportFailure(dst.Addr.Node)
+		}
+	default:
+		// ctx cancellation or local errors: no evidence either way.
+	}
+	return f, err
+}
+
+// isRemoteAnswer reports whether err carries a response frame from the
+// destination (the node is reachable, the call just failed).
+func isRemoteAnswer(err error) bool {
+	var re *kernel.RemoteError
+	return errors.As(err, &re)
+}
+
+// isNodeFailure reports whether err means the destination never answered:
+// the evidence a breaker and a failure detector count.
+func isNodeFailure(err error) bool {
+	return errors.Is(err, rpc.ErrTooManyRetries) ||
+		errors.Is(err, kernel.ErrClosed) ||
+		errors.Is(err, netsim.ErrNodeCrashed) ||
+		errors.Is(err, netsim.ErrUnknownNode) ||
+		errors.Is(err, netsim.ErrClosed)
+}
 
 // RegisterProxyType installs the factory for a service type name. In the
 // paper, the service *ships* its proxy code to the importing context; Go

@@ -73,7 +73,7 @@ func (so *serverObject) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 		}
 		return KindBatch, reply, nil
 	}
-	sc, cap, method, args, err := DecodeRequestTraced(so.rt.decoder(), req.Frame.Payload)
+	sc, budget, cap, method, args, err := DecodeRequestFull(so.rt.decoder(), req.Frame.Payload)
 	if err != nil {
 		return 0, nil, EncodeInvokeError("", &InvokeError{Code: CodeInternal, Msg: err.Error()})
 	}
@@ -82,6 +82,11 @@ func (so *serverObject) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 	}
 	so.rt.serveCalls.Inc()
 	ctx := WithCaller(context.Background(), req.From)
+	// The request carried the client's remaining budget: expire our ctx
+	// when theirs does, so abandoned work cancels instead of completing
+	// into the void.
+	ctx, cancel := ApplyBudget(ctx, budget)
+	defer cancel()
 	finish := func(error) {}
 	if sc.Trace != 0 {
 		// Parent the serve span under the caller's stub span and thread it

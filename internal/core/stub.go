@@ -1,13 +1,18 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
@@ -23,24 +28,81 @@ func (StubFactory) New(rt *Runtime, ref codec.Ref) (Proxy, error) {
 	return NewStub(rt, ref), nil
 }
 
-// Stub is the forwarding proxy. It tracks migration forwards: if a call
-// answers with KindForward, the stub rebinds to the object's new location
-// and retries transparently (location transparency across migration).
+// Stub is the forwarding proxy. It tracks migration forwards (a call
+// answered with KindForward rebinds to the object's new location and
+// retries transparently), and it masks node failure: when a binding stops
+// answering, the stub fails over to an alternate binding (SetAlternates)
+// or asks its rebinder (SetRebinder, installed by naming.Resolve) for a
+// fresh one — all behind the unchanged Invoke interface, which is the
+// paper's point: how a service survives failures is the proxy's private
+// business.
+//
+// Failover discipline: a call that provably never reached the service
+// (open breaker, send error, "no such object/context" from a restarted
+// node) may always be redirected; a call that *might* have executed (the
+// retransmit budget ran out with no answer) is only replayed when the
+// method was declared idempotent (Runtime.RegisterIdempotent, stub-level
+// SetIdempotent, or a ctx marked WithIdempotent). Anything else surfaces
+// the error: masking it could execute a non-idempotent operation twice.
 type Stub struct {
 	rt     *Runtime
 	closed atomic.Bool
 
-	mu  sync.Mutex
-	ref codec.Ref
+	mu       sync.Mutex
+	ref      codec.Ref
+	alts     []codec.Ref
+	rebinder func(context.Context) (codec.Ref, bool)
+	idem     map[string]bool
 
-	calls    atomic.Uint64
-	forwards atomic.Uint64
+	calls     atomic.Uint64
+	forwards  atomic.Uint64
+	failovers atomic.Uint64
 }
 
 // NewStub builds a stub proxy without going through the factory registry
 // (proxy implementations embed stubs for their write paths).
 func NewStub(rt *Runtime, ref codec.Ref) *Stub {
 	return &Stub{rt: rt, ref: ref}
+}
+
+// SetAlternates installs the bindings the stub may fail over to. Pass the
+// full replica set (the current binding included): the stub skips
+// whichever it already tried, so listing the primary costs nothing and
+// lets a stub that failed over come back later.
+func (s *Stub) SetAlternates(refs []codec.Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alts = append([]codec.Ref(nil), refs...)
+}
+
+// AddAlternate appends one failover binding.
+func (s *Stub) AddAlternate(ref codec.Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alts = append(s.alts, ref)
+}
+
+// SetRebinder installs a callback that produces a fresh binding when
+// every known one has failed — typically a naming re-lookup
+// (naming.Resolve installs one automatically). It is consulted at most
+// once per invocation.
+func (s *Stub) SetRebinder(fn func(context.Context) (codec.Ref, bool)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebinder = fn
+}
+
+// SetIdempotent declares methods replay-safe for this stub alone (the
+// runtime-wide registry is Runtime.RegisterIdempotent).
+func (s *Stub) SetIdempotent(methods ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idem == nil {
+		s.idem = make(map[string]bool)
+	}
+	for _, m := range methods {
+		s.idem[m] = true
+	}
 }
 
 // Invoke implements Proxy. When the caller's ctx carries a trace (opened
@@ -61,15 +123,60 @@ func (s *Stub) Invoke(ctx context.Context, method string, args ...any) ([]any, e
 }
 
 func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, error) {
-	sc, _ := obs.SpanFromContext(ctx)
 	lowered, err := s.rt.encodeOutbound(args)
 	if err != nil {
 		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 	}
-	payload, err := EncodeRequestTraced(s.Ref().Cap, method, lowered, sc)
+
+	// The failover loop: try the current binding; on a redirectable
+	// failure, move to the next untried alternate (or one rebinder
+	// lookup) and go again. Tried targets are remembered so a stale
+	// rebinder or a duplicate alternate cannot loop us.
+	tried := map[wire.ObjAddr]bool{}
+	usedRebinder := false
+	ref := s.Ref()
+	for {
+		tried[ref.Target] = true
+		res, err := s.callBinding(ctx, ref, method, lowered)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// Out of budget: whatever happened, there is no time to mask it.
+			return nil, stubError(method, err)
+		}
+		class := classifyFailure(err)
+		if class == foNone || (class == foMaybeSent && !s.isIdempotent(ctx, method)) {
+			return nil, stubError(method, err)
+		}
+		next, ok := s.nextBinding(ctx, tried, &usedRebinder)
+		if !ok {
+			return nil, stubError(method, err)
+		}
+		s.failovers.Add(1)
+		s.rt.invokeFailovers.Inc()
+		if sc, traced := obs.SpanFromContext(ctx); traced {
+			tr := s.rt.Tracer()
+			tr.Record(obs.Span{
+				Trace: sc.Trace, ID: tr.NewSpanID(), Parent: sc.Span,
+				Name: "failover:" + next.Target.String(), Where: s.rt.where,
+				Start: time.Now(), Err: err.Error(),
+			})
+		}
+		s.Rebind(next)
+		ref = next
+	}
+}
+
+// callBinding runs the invocation against one binding, following
+// migration forwards. Transport-level failures return unconverted, so
+// invoke can classify whether failing over is safe.
+func (s *Stub) callBinding(ctx context.Context, ref codec.Ref, method string, lowered []any) ([]any, error) {
+	payload, err := EncodeRequestCtx(ctx, ref.Cap, method, lowered)
 	if err != nil {
 		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 	}
+	sc, _ := obs.SpanFromContext(ctx)
 
 	// Follow forwarding responses a bounded number of times: an object in
 	// the middle of a migration storm must not loop us forever. The bound
@@ -77,9 +184,9 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 	const maxForwards = 64
 	for hop := 0; ; hop++ {
 		hopStart := time.Now()
-		resp, err := s.rt.Client().CallFrame(ctx, s.target(), wire.KindRequest, payload)
+		resp, err := s.rt.GuardedCall(ctx, ref.Target, wire.KindRequest, payload)
 		if err != nil {
-			return nil, RemoteToInvokeError(method, err)
+			return nil, err
 		}
 		switch resp.Kind {
 		case wire.KindForward:
@@ -90,7 +197,13 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 			if err != nil {
 				return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 			}
+			if newRef.Cap != ref.Cap {
+				if payload, err = EncodeRequestCtx(ctx, newRef.Cap, method, lowered); err != nil {
+					return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
+				}
+			}
 			s.Rebind(newRef)
+			ref = newRef
 			s.forwards.Add(1)
 			s.rt.invokeForwards.Inc()
 			if tr := s.rt.Tracer(); sc.Trace != 0 {
@@ -107,6 +220,89 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 	}
 }
 
+// failoverClass grades a failed attempt by what it proves.
+type failoverClass int
+
+const (
+	// foNone: a real answer (an application error, a denial). Not a node
+	// failure; failing over would be wrong.
+	foNone failoverClass = iota
+	// foNotSent: the request provably never reached the service, so
+	// redirecting it cannot double-execute anything.
+	foNotSent
+	// foMaybeSent: no answer arrived, but the request may have executed.
+	// Replay only under an idempotency declaration.
+	foMaybeSent
+)
+
+func classifyFailure(err error) failoverClass {
+	var re *kernel.RemoteError
+	if errors.As(err, &re) {
+		// "no such context/object" is what a restarted (or wrong) node
+		// says when the export is not there: the invocation did not run.
+		if bytes.HasPrefix(re.Payload, []byte("no such")) {
+			return foNotSent
+		}
+		return foNone
+	}
+	var ie *InvokeError
+	if errors.As(err, &ie) {
+		return foNone
+	}
+	switch {
+	case errors.Is(err, ErrCircuitOpen),
+		errors.Is(err, netsim.ErrNodeCrashed),
+		errors.Is(err, netsim.ErrUnknownNode):
+		return foNotSent
+	case errors.Is(err, rpc.ErrTooManyRetries),
+		errors.Is(err, kernel.ErrClosed),
+		errors.Is(err, netsim.ErrClosed):
+		return foMaybeSent
+	}
+	return foNone
+}
+
+func (s *Stub) isIdempotent(ctx context.Context, method string) bool {
+	if IdempotentFrom(ctx) {
+		return true
+	}
+	s.mu.Lock()
+	local := s.idem[method]
+	typeName := s.ref.Type
+	s.mu.Unlock()
+	return local || s.rt.IsIdempotent(typeName, method)
+}
+
+// nextBinding picks the first untried alternate, falling back to one
+// rebinder lookup per invocation.
+func (s *Stub) nextBinding(ctx context.Context, tried map[wire.ObjAddr]bool, usedRebinder *bool) (codec.Ref, bool) {
+	s.mu.Lock()
+	alts := append([]codec.Ref(nil), s.alts...)
+	rb := s.rebinder
+	s.mu.Unlock()
+	for _, a := range alts {
+		if !tried[a.Target] {
+			return a, true
+		}
+	}
+	if rb != nil && !*usedRebinder {
+		*usedRebinder = true
+		if ref, ok := rb(ctx); ok && !tried[ref.Target] {
+			return ref, true
+		}
+	}
+	return codec.Ref{}, false
+}
+
+// stubError converts a raw attempt error into what Invoke surfaces.
+func stubError(method string, err error) error {
+	var ie *InvokeError
+	if errors.As(err, &ie) {
+		return ie
+	}
+	return RemoteToInvokeError(method, err)
+}
+
 // Ref implements Proxy.
 func (s *Stub) Ref() codec.Ref {
 	s.mu.Lock()
@@ -120,7 +316,7 @@ func (s *Stub) target() wire.ObjAddr {
 	return s.ref.Target
 }
 
-// Rebind points the stub at a new location (migration support).
+// Rebind points the stub at a new location (migration and failover).
 func (s *Stub) Rebind(newRef codec.Ref) {
 	s.mu.Lock()
 	old := s.ref.Target
@@ -135,6 +331,10 @@ func (s *Stub) Rebind(newRef codec.Ref) {
 func (s *Stub) Stats() (calls, forwards uint64) {
 	return s.calls.Load(), s.forwards.Load()
 }
+
+// Failovers reports how many times this stub redirected a call to an
+// alternate binding.
+func (s *Stub) Failovers() uint64 { return s.failovers.Load() }
 
 // Close implements Proxy.
 func (s *Stub) Close() error {

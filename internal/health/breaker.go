@@ -1,0 +1,198 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// The classic three-state breaker.
+const (
+	BreakerClosed   BreakerState = iota // traffic flows
+	BreakerOpen                         // traffic rejected until cooldown ends
+	BreakerHalfOpen                     // one probe call in flight
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. Zero fields take defaults.
+type BreakerConfig struct {
+	// Threshold is how many consecutive transport-level failures open the
+	// breaker (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before letting one
+	// probe through (default 1 s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// Breaker is a per-destination circuit breaker. Closed: calls flow, and
+// consecutive failures are counted. Open: calls are rejected outright
+// (failing fast instead of burning a retransmit budget against a dead
+// node) until the cooldown expires. Then exactly one caller is let through
+// as a probe (half-open); its outcome snaps the breaker closed or open
+// again. Safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	now   func() time.Time // injectable for tests
+	gauge *obs.Gauge       // may be nil
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	until       time.Time // while open: when the next probe is allowed
+}
+
+// NewBreaker builds a breaker with the given config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a call may proceed now. When it returns true from
+// the open state, the caller is the half-open probe: it must report the
+// outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.set(BreakerHalfOpen)
+		return true
+	default: // BreakerHalfOpen: a probe is already out
+		return false
+	}
+}
+
+// Success records a completed call (any answer, including an application
+// error, counts: the destination is reachable).
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state != BreakerClosed {
+		b.set(BreakerClosed)
+	}
+}
+
+// Failure records a transport-level failure (no answer at all).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.set(BreakerOpen)
+		b.until = b.now().Add(b.cfg.Cooldown)
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.cfg.Threshold {
+			b.set(BreakerOpen)
+			b.until = b.now().Add(b.cfg.Cooldown)
+		}
+	case BreakerOpen:
+		// Stragglers from calls admitted before the trip; keep cooling.
+	}
+}
+
+// State reports the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// set transitions state and mirrors it to the gauge; b.mu must be held.
+func (b *Breaker) set(s BreakerState) {
+	b.state = s
+	if s == BreakerClosed {
+		b.consecutive = 0
+	}
+	if b.gauge != nil {
+		b.gauge.Set(int64(s))
+	}
+}
+
+// BreakerSet is a lazily populated map of breakers keyed by destination
+// address, so every layer consulting "the breaker for that node/context"
+// shares one instance and one failure history.
+type BreakerSet struct {
+	cfg   BreakerConfig
+	reg   *obs.Registry // may be nil
+	scope string
+
+	mu sync.Mutex
+	m  map[wire.Addr]*Breaker
+}
+
+// NewBreakerSet builds a set; reg (optional) receives one state gauge per
+// destination, named scope + "breaker.<addr>.state".
+func NewBreakerSet(cfg BreakerConfig, reg *obs.Registry, scope string) *BreakerSet {
+	return &BreakerSet{
+		cfg:   cfg.withDefaults(),
+		reg:   reg,
+		scope: scope,
+		m:     make(map[wire.Addr]*Breaker),
+	}
+}
+
+// For returns the breaker guarding addr, creating it on first use.
+func (s *BreakerSet) For(addr wire.Addr) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[addr]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		if s.reg != nil {
+			b.gauge = s.reg.Gauge(fmt.Sprintf("%sbreaker.%s.state", s.scope, addr))
+		}
+		s.m[addr] = b
+	}
+	return b
+}
+
+// Each visits every breaker created so far.
+func (s *BreakerSet) Each(fn func(addr wire.Addr, state BreakerState)) {
+	s.mu.Lock()
+	type entry struct {
+		addr wire.Addr
+		b    *Breaker
+	}
+	entries := make([]entry, 0, len(s.m))
+	for a, b := range s.m {
+		entries = append(entries, entry{a, b})
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		fn(e.addr, e.b.State())
+	}
+}

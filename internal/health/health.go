@@ -1,0 +1,345 @@
+// Package health is the failure-detection substrate every proxy kind
+// shares. It has two pieces: a Monitor that tracks per-node liveness
+// (alive → suspect → dead) from active pings and passive call outcomes,
+// and per-destination circuit breakers (breaker.go) that stop traffic to
+// destinations that keep timing out.
+//
+// The paper's argument is that fault tolerance is part of a service's
+// private distribution strategy: clients hold a proxy and never see the
+// machinery. This package is that machinery's shared half — stubs and
+// smart proxies consult it, the invocation interface above never changes.
+// It sits below internal/core (core imports health, not vice versa), so
+// its exported Service implements core.Service structurally.
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// State is a node's liveness verdict.
+type State int32
+
+// Liveness states, ordered by increasing suspicion.
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// NodeStatus is one node's current standing.
+type NodeStatus struct {
+	Node     wire.NodeID
+	State    State
+	Missed   int       // consecutive failed probes/calls
+	LastSeen time.Time // zero until the first success
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithInterval sets the active probe period (default 500 ms). Zero
+// disables active probing entirely: the monitor then learns only from
+// ReportSuccess/ReportFailure calls made by the invocation path.
+func WithInterval(d time.Duration) MonitorOption {
+	return func(m *Monitor) {
+		m.interval = d
+		m.intervalSet = true
+	}
+}
+
+// WithProbeTimeout bounds one ping round-trip (default half the interval,
+// or 100 ms for passive monitors).
+func WithProbeTimeout(d time.Duration) MonitorOption {
+	return func(m *Monitor) {
+		if d > 0 {
+			m.timeout = d
+		}
+	}
+}
+
+// WithSuspectAfter sets how many consecutive misses mark a node suspect
+// (default 2).
+func WithSuspectAfter(n int) MonitorOption {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.suspectAfter = n
+		}
+	}
+}
+
+// WithDeadAfter sets how many consecutive misses mark a node dead
+// (default 5).
+func WithDeadAfter(n int) MonitorOption {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.deadAfter = n
+		}
+	}
+}
+
+// WithObserver routes the monitor's gauges and counters into a shared
+// registry. Default: a private observer.
+func WithObserver(o *obs.Observer) MonitorOption {
+	return func(m *Monitor) {
+		if o != nil {
+			m.obs = o
+		}
+	}
+}
+
+// Monitor watches a set of nodes. Watched nodes are pinged every interval;
+// any answer at all — including an error frame — proves the node is up.
+// Misses accumulate; successes reset. The invocation path feeds passive
+// evidence in through ReportSuccess/ReportFailure, so a busy system
+// detects failures faster than its probe period.
+type Monitor struct {
+	ktx          *kernel.Context
+	interval     time.Duration
+	intervalSet  bool
+	timeout      time.Duration
+	suspectAfter int
+	deadAfter    int
+
+	obs         *obs.Observer
+	scope       string
+	probes      *obs.Counter
+	probeFails  *obs.Counter
+	transitions *obs.Counter
+
+	mu     sync.Mutex
+	nodes  map[wire.NodeID]*nodeHealth
+	subs   []func(node wire.NodeID, from, to State)
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type nodeHealth struct {
+	watched  bool // actively probed (vs. passively discovered)
+	state    State
+	missed   int
+	lastSeen time.Time
+	gauge    *obs.Gauge
+}
+
+// NewMonitor builds a monitor probing out of ktx. Close it when done.
+func NewMonitor(ktx *kernel.Context, opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		ktx:          ktx,
+		interval:     500 * time.Millisecond,
+		suspectAfter: 2,
+		deadAfter:    5,
+		nodes:        make(map[wire.NodeID]*nodeHealth),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.obs == nil {
+		m.obs = obs.NewObserver()
+	}
+	if m.timeout == 0 {
+		if m.interval > 0 {
+			m.timeout = m.interval / 2
+		} else {
+			m.timeout = 100 * time.Millisecond
+		}
+	}
+	m.scope = "health[" + ktx.Addr().String() + "]."
+	m.probes = m.obs.Registry.Counter(m.scope + "probes")
+	m.probeFails = m.obs.Registry.Counter(m.scope + "probe_failures")
+	m.transitions = m.obs.Registry.Counter(m.scope + "transitions")
+	if m.interval > 0 {
+		go m.loop()
+	} else {
+		close(m.done)
+	}
+	return m
+}
+
+// Watch adds a node to the active probe set.
+func (m *Monitor) Watch(node wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entry(node).watched = true
+}
+
+// Unwatch stops probing a node and forgets its state.
+func (m *Monitor) Unwatch(node wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.nodes[node]; h != nil && h.gauge != nil {
+		h.gauge.Set(int64(StateAlive))
+	}
+	delete(m.nodes, node)
+}
+
+// entry returns the node's record, creating it; m.mu must be held.
+func (m *Monitor) entry(node wire.NodeID) *nodeHealth {
+	h, ok := m.nodes[node]
+	if !ok {
+		h = &nodeHealth{
+			gauge: m.obs.Registry.Gauge(fmt.Sprintf("%snode.%d.state", m.scope, node)),
+		}
+		m.nodes[node] = h
+	}
+	return h
+}
+
+// State reports the node's current verdict. Unknown nodes are presumed
+// alive: suspicion requires evidence.
+func (m *Monitor) State(node wire.NodeID) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.nodes[node]; ok {
+		return h.state
+	}
+	return StateAlive
+}
+
+// Snapshot returns the status of every known node.
+func (m *Monitor) Snapshot() []NodeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeStatus, 0, len(m.nodes))
+	for id, h := range m.nodes {
+		out = append(out, NodeStatus{Node: id, State: h.state, Missed: h.missed, LastSeen: h.lastSeen})
+	}
+	return out
+}
+
+// Subscribe registers a callback fired on every state transition. The
+// callback runs outside the monitor's lock; it must not block for long.
+func (m *Monitor) Subscribe(fn func(node wire.NodeID, from, to State)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, fn)
+}
+
+// ReportSuccess feeds passive evidence that the node answered a call.
+func (m *Monitor) ReportSuccess(node wire.NodeID) { m.observe(node, true) }
+
+// ReportFailure feeds passive evidence that a call to the node timed out.
+func (m *Monitor) ReportFailure(node wire.NodeID) { m.observe(node, false) }
+
+func (m *Monitor) observe(node wire.NodeID, ok bool) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	h := m.entry(node)
+	from := h.state
+	if ok {
+		h.missed = 0
+		h.state = StateAlive
+		h.lastSeen = time.Now()
+	} else {
+		h.missed++
+		switch {
+		case h.missed >= m.deadAfter:
+			h.state = StateDead
+		case h.missed >= m.suspectAfter:
+			h.state = StateSuspect
+		}
+	}
+	to := h.state
+	var subs []func(wire.NodeID, State, State)
+	if to != from {
+		h.gauge.Set(int64(to))
+		m.transitions.Inc()
+		subs = append(subs, m.subs...)
+	}
+	m.mu.Unlock()
+	for _, fn := range subs {
+		fn(node, from, to)
+	}
+}
+
+// Close stops the probe loop. Idempotent.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+	return nil
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.probeAll()
+		}
+	}
+}
+
+// probeAll pings every watched node concurrently and waits for the round
+// to finish, so rounds never pile up on a slow network.
+func (m *Monitor) probeAll() {
+	m.mu.Lock()
+	targets := make([]wire.NodeID, 0, len(m.nodes))
+	for id, h := range m.nodes {
+		if h.watched {
+			targets = append(targets, id)
+		}
+	}
+	m.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, id := range targets {
+		wg.Add(1)
+		go func(id wire.NodeID) {
+			defer wg.Done()
+			m.probe(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (m *Monitor) probe(node wire.NodeID) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	m.probes.Inc()
+	_, err := m.ktx.Call(ctx, wire.Addr{Node: node}, wire.KernelObject, wire.KindPing, 0, nil)
+	// A RemoteError is still an answer: the node is up enough to complain.
+	var re *kernel.RemoteError
+	if err == nil || errors.As(err, &re) {
+		m.observe(node, true)
+		return
+	}
+	m.probeFails.Inc()
+	m.observe(node, false)
+}

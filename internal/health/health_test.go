@@ -1,0 +1,231 @@
+package health
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// rig joins n kernel nodes (ids 1..n) on one simulated network and hands
+// back their contexts.
+type rig struct {
+	net  *netsim.Network
+	ktxs []*kernel.Context
+}
+
+func newRig(t *testing.T, n int, opts ...netsim.NetworkOption) *rig {
+	t.Helper()
+	r := &rig{net: netsim.New(opts...)}
+	t.Cleanup(r.net.Close)
+	for i := 1; i <= n; i++ {
+		ep, err := r.net.Attach(wire.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ktxs = append(r.ktxs, ktx)
+	}
+	return r
+}
+
+func TestStateString(t *testing.T) {
+	for want, s := range map[string]State{
+		"alive": StateAlive, "suspect": StateSuspect, "dead": StateDead, "unknown": State(99),
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestMonitorDetectsCrashAndRecovery(t *testing.T) {
+	r := newRig(t, 2)
+	m := NewMonitor(r.ktxs[0],
+		WithInterval(10*time.Millisecond),
+		WithProbeTimeout(5*time.Millisecond),
+		WithSuspectAfter(2), WithDeadAfter(4))
+	defer m.Close()
+	m.Watch(2)
+
+	waitState := func(want State, during string) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for m.State(2) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("node 2 never became %v %s (state %v)", want, during, m.State(2))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	waitState(StateAlive, "while up")
+	r.net.Crash(2)
+	waitState(StateDead, "after crash")
+	r.net.Restart(2)
+	waitState(StateAlive, "after restart")
+
+	if m.probes.Load() == 0 {
+		t.Error("probe counter never incremented")
+	}
+	if m.transitions.Load() == 0 {
+		t.Error("transition counter never incremented")
+	}
+}
+
+func TestPassiveReportsDriveStates(t *testing.T) {
+	r := newRig(t, 1)
+	// Interval 0: passive only — no probe loop at all.
+	m := NewMonitor(r.ktxs[0], WithSuspectAfter(2), WithDeadAfter(3), WithInterval(0))
+	defer m.Close()
+
+	var mu sync.Mutex
+	var seen []State
+	m.Subscribe(func(_ wire.NodeID, _, to State) {
+		mu.Lock()
+		seen = append(seen, to)
+		mu.Unlock()
+	})
+
+	if st := m.State(9); st != StateAlive {
+		t.Errorf("unknown node state = %v, want alive (suspicion needs evidence)", st)
+	}
+	m.ReportFailure(9)
+	if st := m.State(9); st != StateAlive {
+		t.Errorf("after 1 miss: %v, want alive", st)
+	}
+	m.ReportFailure(9)
+	if st := m.State(9); st != StateSuspect {
+		t.Errorf("after 2 misses: %v, want suspect", st)
+	}
+	m.ReportFailure(9)
+	if st := m.State(9); st != StateDead {
+		t.Errorf("after 3 misses: %v, want dead", st)
+	}
+	m.ReportSuccess(9)
+	if st := m.State(9); st != StateAlive {
+		t.Errorf("after success: %v, want alive", st)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []State{StateSuspect, StateDead, StateAlive}
+	if len(seen) != len(want) {
+		t.Fatalf("subscriber saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("subscriber saw %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestSnapshotAndUnwatch(t *testing.T) {
+	r := newRig(t, 1)
+	m := NewMonitor(r.ktxs[0], WithInterval(0))
+	defer m.Close()
+	m.Watch(5)
+	m.ReportSuccess(5)
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].Node != 5 || snap[0].State != StateAlive {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].LastSeen.IsZero() {
+		t.Error("LastSeen zero after a success")
+	}
+	m.Unwatch(5)
+	if len(m.Snapshot()) != 0 {
+		t.Error("snapshot non-empty after Unwatch")
+	}
+}
+
+func TestMonitorCloseIdempotentAndInert(t *testing.T) {
+	r := newRig(t, 1)
+	m := NewMonitor(r.ktxs[0], WithInterval(5*time.Millisecond))
+	m.Watch(1)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reports after Close are dropped, not recorded.
+	m.ReportFailure(1)
+	for _, st := range m.Snapshot() {
+		if st.Missed != 0 {
+			t.Errorf("report after Close recorded: %+v", st)
+		}
+	}
+}
+
+func TestMonitorSharedObserver(t *testing.T) {
+	r := newRig(t, 1)
+	o := obs.NewObserver()
+	m := NewMonitor(r.ktxs[0], WithInterval(0), WithObserver(o))
+	defer m.Close()
+	m.ReportFailure(3)
+	m.ReportFailure(3)
+	found := false
+	o.Registry.Each(func(_, name, _ string) {
+		if strings.Contains(name, "node.3.state") {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("node state gauge not registered in shared observer")
+	}
+}
+
+func TestServiceNodesAndState(t *testing.T) {
+	r := newRig(t, 1)
+	m := NewMonitor(r.ktxs[0], WithInterval(0), WithSuspectAfter(1))
+	defer m.Close()
+	svc := NewService(m)
+
+	res, err := svc.Invoke(nil, "nodes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res[0].(string), "no nodes tracked") {
+		t.Errorf("empty monitor: %q", res[0])
+	}
+
+	m.Watch(4)
+	m.ReportFailure(4)
+	res, err = svc.Invoke(nil, "nodes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res[0].(string)
+	if !strings.Contains(table, "suspect") {
+		t.Errorf("table missing suspect row:\n%s", table)
+	}
+
+	res, err = svc.Invoke(nil, "state", []any{int64(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(string) != "suspect" {
+		t.Errorf("state(4) = %q, want suspect", res[0])
+	}
+
+	if _, err := svc.Invoke(nil, "state", nil); err == nil {
+		t.Error("state without args should error")
+	}
+	if _, err := svc.Invoke(nil, "state", []any{"four"}); err == nil {
+		t.Error("state with string arg should error")
+	}
+	if _, err := svc.Invoke(nil, "bogus", nil); err == nil {
+		t.Error("unknown method should error")
+	}
+}

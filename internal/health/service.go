@@ -1,0 +1,66 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TypeName is the proxy type the health service exports under. Like
+// obs.Service it has no custom factory: importers reach it through plain
+// stubs.
+const TypeName = "health.Service"
+
+// Service exposes a Monitor over the ordinary invocation conventions so
+// proxyctl (or any remote client) can ask a daemon who it thinks is alive.
+// It implements core.Service structurally (health sits below core).
+//
+// Methods:
+//
+//	nodes()            -> text table of every known node's status
+//	state(node int64)  -> the node's state as a string
+type Service struct {
+	m *Monitor
+}
+
+// NewService wraps a monitor for export.
+func NewService(m *Monitor) *Service { return &Service{m: m} }
+
+// Invoke dispatches the health methods.
+func (s *Service) Invoke(_ context.Context, method string, args []any) ([]any, error) {
+	switch method {
+	case "nodes":
+		statuses := s.m.Snapshot()
+		sort.Slice(statuses, func(i, j int) bool { return statuses[i].Node < statuses[j].Node })
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-6s %-8s %-7s %s\n", "NODE", "STATE", "MISSED", "LAST SEEN")
+		for _, st := range statuses {
+			last := "never"
+			if !st.LastSeen.IsZero() {
+				last = time.Since(st.LastSeen).Round(time.Millisecond).String() + " ago"
+			}
+			fmt.Fprintf(&b, "%-6d %-8s %-7d %s\n", st.Node, st.State, st.Missed, last)
+		}
+		if len(statuses) == 0 {
+			b.WriteString("(no nodes tracked)\n")
+		}
+		return []any{b.String()}, nil
+
+	case "state":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("health: node id argument required")
+		}
+		n, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("health: node id is %T, want int64", args[0])
+		}
+		return []any{s.m.State(wire.NodeID(n)).String()}, nil
+
+	default:
+		return nil, fmt.Errorf("health: unknown method %q", method)
+	}
+}

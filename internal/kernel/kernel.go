@@ -200,6 +200,22 @@ func (n *Node) pump() {
 }
 
 func (n *Node) route(f *wire.Frame) {
+	// Liveness probes are answered by the kernel itself, whatever context
+	// they name: a ping asks "is this node up", not "is this object up".
+	// The health monitor (internal/health) relies on this.
+	if f.Kind == wire.KindPing && f.Flags&wire.FlagResponse == 0 {
+		if f.Flags&wire.FlagOneWay == 0 && !f.Src.IsZero() {
+			_ = n.ep.Send(&wire.Frame{
+				Kind:   wire.KindAck,
+				Flags:  wire.FlagResponse,
+				ReqID:  f.ReqID,
+				Src:    f.Dst,
+				Dst:    f.Src,
+				Object: wire.KernelObject,
+			})
+		}
+		return
+	}
 	n.mu.Lock()
 	c, ok := n.contexts[f.Dst.Context]
 	n.mu.Unlock()

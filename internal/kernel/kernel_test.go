@@ -493,3 +493,37 @@ func TestDispatchLimitBoundsConcurrency(t *testing.T) {
 		t.Error("no handler ever ran")
 	}
 }
+
+func TestKernelAnswersPing(t *testing.T) {
+	// Liveness probes are answered by the kernel itself, even for a
+	// context that does not exist: a ping asks about the node, not an
+	// object. This is the primitive internal/health probes with.
+	n1, _ := twoNodes(t)
+	c1, err := n1.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c1.Call(context.Background(),
+		wire.Addr{Node: 2, Context: 999}, wire.KernelObject, wire.KindPing, 0, nil)
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if resp.Kind != wire.KindAck {
+		t.Errorf("response kind = %v, want KindAck", resp.Kind)
+	}
+}
+
+func TestOneWayPingUnanswered(t *testing.T) {
+	n1, _ := twoNodes(t)
+	c1, err := n1.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = c1.Call(ctx, wire.Addr{Node: 2, Context: 1}, wire.KernelObject,
+		wire.KindPing, wire.FlagOneWay, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("one-way ping: err = %v, want deadline exceeded (no answer)", err)
+	}
+}

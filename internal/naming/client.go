@@ -56,13 +56,29 @@ func (c *Client) Lookup(ctx context.Context, name string) (codec.Ref, error) {
 }
 
 // Resolve is Lookup followed by Import on the caller's runtime: the one
-// call that takes a client from a name to a live proxy.
+// call that takes a client from a name to a live proxy. A resolved stub
+// learns to re-resolve itself: when every binding it knows has failed, it
+// looks the name up again (the service may have re-registered elsewhere
+// after a crash) — failover through naming, invisible to the caller.
 func (c *Client) Resolve(ctx context.Context, rt *core.Runtime, name string) (core.Proxy, error) {
 	ref, err := c.Lookup(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	return rt.Import(ref)
+	p, err := rt.Import(ref)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := p.(*core.Stub); ok {
+		s.SetRebinder(func(rctx context.Context) (codec.Ref, bool) {
+			fresh, err := c.Lookup(rctx, name)
+			if err != nil {
+				return codec.Ref{}, false
+			}
+			return fresh, true
+		})
+	}
+	return p, nil
 }
 
 // Unbind removes a binding.

@@ -1,0 +1,229 @@
+// Fault injection for the simulated network: a FaultSchedule is a
+// deterministic script of crashes, restarts, partitions, heals, and link
+// flaps, applied at fixed offsets from the moment Run is called. Schedules
+// are either hand-written or generated from a seed (GenSchedule), so a
+// chaos run reproduces exactly: same seed, same script, byte-identical
+// String() rendering.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FaultKind identifies one kind of injected fault.
+type FaultKind uint8
+
+// The fault kinds a schedule can script.
+const (
+	FaultCrash     FaultKind = iota + 1 // take node A down
+	FaultRestart                        // bring node A back (new incarnation)
+	FaultPartition                      // cut A↔B both ways
+	FaultHeal                           // undo a partition of A↔B
+	FaultLink                           // replace the A↔B link config (both directions)
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
+	case FaultLink:
+		return "link"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// FaultEvent is one scripted fault. At is the virtual offset from the start
+// of the run. B is unused for crash/restart; Link is used only by
+// FaultLink.
+type FaultEvent struct {
+	At   time.Duration
+	Kind FaultKind
+	A, B wire.NodeID
+	Link LinkConfig
+}
+
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultCrash, FaultRestart:
+		return fmt.Sprintf("%8s %s node=%d", e.At, e.Kind, e.A)
+	case FaultLink:
+		return fmt.Sprintf("%8s %s %d<->%d lat=%s jit=%s loss=%.3f",
+			e.At, e.Kind, e.A, e.B, e.Link.Latency, e.Link.Jitter, e.Link.LossRate)
+	default:
+		return fmt.Sprintf("%8s %s %d<->%d", e.At, e.Kind, e.A, e.B)
+	}
+}
+
+// FaultSchedule is an ordered script of fault events.
+type FaultSchedule struct {
+	Events []FaultEvent
+}
+
+// sorted returns the events ordered by offset; ties keep insertion order so
+// a generated crash always precedes the restart paired with it.
+func (s *FaultSchedule) sorted() []FaultEvent {
+	evs := append([]FaultEvent(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// String renders the schedule one event per line, in firing order. The
+// rendering is deterministic: it is how tests assert a seed reproduces.
+func (s *FaultSchedule) String() string {
+	var b strings.Builder
+	for _, e := range s.sorted() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Apply executes a single fault against the network immediately.
+func (e FaultEvent) Apply(n *Network) {
+	switch e.Kind {
+	case FaultCrash:
+		n.Crash(e.A)
+	case FaultRestart:
+		n.Restart(e.A)
+	case FaultPartition:
+		n.Partition(e.A, e.B)
+	case FaultHeal:
+		n.Heal(e.A, e.B)
+	case FaultLink:
+		n.SetLink(e.A, e.B, e.Link)
+		n.SetLink(e.B, e.A, e.Link)
+	}
+}
+
+// Run starts applying the schedule against n in a background goroutine,
+// each event at its offset from now. Stop cancels the remainder; Wait
+// blocks until the script has finished or been stopped.
+func (s *FaultSchedule) Run(n *Network) *FaultRun {
+	r := &FaultRun{stop: make(chan struct{}), done: make(chan struct{})}
+	evs := s.sorted()
+	start := time.Now()
+	go func() {
+		defer close(r.done)
+		for _, ev := range evs {
+			if d := time.Until(start.Add(ev.At)); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-r.stop:
+					t.Stop()
+					return
+				}
+			} else {
+				select {
+				case <-r.stop:
+					return
+				default:
+				}
+			}
+			ev.Apply(n)
+		}
+	}()
+	return r
+}
+
+// FaultRun is a schedule in progress.
+type FaultRun struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Stop cancels events that have not fired yet. Safe to call twice.
+func (r *FaultRun) Stop() { r.once.Do(func() { close(r.stop) }) }
+
+// Wait blocks until the schedule has fully played out or was stopped.
+func (r *FaultRun) Wait() { <-r.done }
+
+// ChaosConfig parameterizes GenSchedule.
+type ChaosConfig struct {
+	// Nodes are the candidates for crashes and partition endpoints.
+	Nodes []wire.NodeID
+	// Duration is the window fault start times are drawn from.
+	Duration time.Duration
+	// Crashes is how many crash+restart pairs to script; each downtime is
+	// drawn uniformly from [MinDown, MaxDown].
+	Crashes          int
+	MinDown, MaxDown time.Duration
+	// Partitions is how many partition+heal pairs to script; each cut lasts
+	// uniformly [MinCut, MaxCut].
+	Partitions     int
+	MinCut, MaxCut time.Duration
+	// Flaps is how many link degradations to script: the link flips to
+	// FlapLink for uniformly [MinFlap, MaxFlap], then back to RestoreLink.
+	Flaps            int
+	FlapLink         LinkConfig
+	RestoreLink      LinkConfig
+	MinFlap, MaxFlap time.Duration
+}
+
+// GenSchedule derives a fault schedule from a seed. The same seed and
+// config always produce the same schedule (its own rand.Source; nothing
+// shared), which is what makes chaos runs reproducible.
+func GenSchedule(seed int64, cfg ChaosConfig) *FaultSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	dur := func(min, max time.Duration) time.Duration {
+		if max <= min {
+			return min
+		}
+		return min + time.Duration(rng.Int63n(int64(max-min)))
+	}
+	node := func() wire.NodeID {
+		return cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+	}
+	pair := func() (wire.NodeID, wire.NodeID) {
+		a := node()
+		b := node()
+		for len(cfg.Nodes) > 1 && b == a {
+			b = node()
+		}
+		return a, b
+	}
+	s := &FaultSchedule{}
+	if len(cfg.Nodes) == 0 {
+		return s
+	}
+	for i := 0; i < cfg.Crashes; i++ {
+		at := dur(0, cfg.Duration)
+		down := dur(cfg.MinDown, cfg.MaxDown)
+		a := node()
+		s.Events = append(s.Events,
+			FaultEvent{At: at, Kind: FaultCrash, A: a},
+			FaultEvent{At: at + down, Kind: FaultRestart, A: a})
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		at := dur(0, cfg.Duration)
+		cut := dur(cfg.MinCut, cfg.MaxCut)
+		a, b := pair()
+		s.Events = append(s.Events,
+			FaultEvent{At: at, Kind: FaultPartition, A: a, B: b},
+			FaultEvent{At: at + cut, Kind: FaultHeal, A: a, B: b})
+	}
+	for i := 0; i < cfg.Flaps; i++ {
+		at := dur(0, cfg.Duration)
+		flap := dur(cfg.MinFlap, cfg.MaxFlap)
+		a, b := pair()
+		s.Events = append(s.Events,
+			FaultEvent{At: at, Kind: FaultLink, A: a, B: b, Link: cfg.FlapLink},
+			FaultEvent{At: at + flap, Kind: FaultLink, A: a, B: b, Link: cfg.RestoreLink})
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestCrashDropsTrafficAndRestartRecovers(t *testing.T) {
+	n := New()
+	defer n.Close()
+	ep1, err := n.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := n.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a frame in node 2's queue, then crash it: the queued frame must
+	// drop — a crash loses undelivered input.
+	if err := ep1.Send(frameTo(1, 2, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash(2)
+	if !n.Crashed(2) {
+		t.Fatal("Crashed(2) = false after Crash")
+	}
+	select {
+	case f := <-ep2.Recv():
+		t.Fatalf("crashed node received %q", f.Payload)
+	default:
+	}
+
+	// Traffic to the crashed node disappears silently, like a partition.
+	if err := ep1.Send(frameTo(1, 2, "into the void")); err != nil {
+		t.Fatalf("send to crashed node should drop silently, got %v", err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case f := <-ep2.Recv():
+		t.Fatalf("crashed node received %q", f.Payload)
+	default:
+	}
+	if st := n.Snapshot(); st.Crashed == 0 {
+		t.Errorf("Stats.Crashed = 0, want >0")
+	}
+
+	// Sends from the crashed node fail loudly: local code notices.
+	if err := ep2.Send(frameTo(2, 1, "from the grave")); !errors.Is(err, ErrNodeCrashed) {
+		t.Errorf("send from crashed node: err = %v, want ErrNodeCrashed", err)
+	}
+
+	// Restart: a new incarnation, traffic flows again.
+	if inc := n.Incarnation(2); inc != 1 {
+		t.Errorf("incarnation before restart = %d, want 1", inc)
+	}
+	n.Restart(2)
+	if n.Crashed(2) {
+		t.Error("Crashed(2) = true after Restart")
+	}
+	if inc := n.Incarnation(2); inc != 2 {
+		t.Errorf("incarnation after restart = %d, want 2", inc)
+	}
+	if err := ep1.Send(frameTo(1, 2, "welcome back")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-ep2.Recv():
+		if string(f.Payload) != "welcome back" {
+			t.Errorf("payload = %q", f.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery after restart")
+	}
+}
+
+func TestLinkFIFOUnderJitter(t *testing.T) {
+	// High jitter relative to latency used to reorder frames (each rode a
+	// private timer). Per-link FIFO must deliver them in send order.
+	n := New(WithSeed(7), WithDefaultLink(LinkConfig{
+		Latency: 200 * time.Microsecond,
+		Jitter:  3 * time.Millisecond,
+	}))
+	defer n.Close()
+	ep1, err := n.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := n.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		if err := ep1.Send(frameTo(1, 2, fmt.Sprintf("%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		select {
+		case f := <-ep2.Recv():
+			if want := fmt.Sprintf("%04d", i); string(f.Payload) != want {
+				t.Fatalf("frame %d arrived as %q (out of order)", i, f.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}
+
+func TestGenScheduleReproducible(t *testing.T) {
+	cfg := ChaosConfig{
+		Nodes:      []wire.NodeID{1, 2, 3},
+		Duration:   100 * time.Millisecond,
+		Crashes:    3,
+		MinDown:    10 * time.Millisecond,
+		MaxDown:    40 * time.Millisecond,
+		Partitions: 2,
+		MinCut:     5 * time.Millisecond,
+		MaxCut:     20 * time.Millisecond,
+		Flaps:      1,
+		FlapLink:   LinkConfig{Latency: 5 * time.Millisecond, LossRate: 0.5},
+		MinFlap:    5 * time.Millisecond,
+		MaxFlap:    15 * time.Millisecond,
+	}
+	a := GenSchedule(42, cfg).String()
+	b := GenSchedule(42, cfg).String()
+	if a != b {
+		t.Errorf("same seed, different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty schedule")
+	}
+	if c := GenSchedule(43, cfg).String(); c == a {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultScheduleRunApplies(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach(2); err != nil {
+		t.Fatal(err)
+	}
+	s := &FaultSchedule{Events: []FaultEvent{
+		{At: 0, Kind: FaultCrash, A: 1},
+		{At: 10 * time.Millisecond, Kind: FaultPartition, A: 1, B: 2},
+		{At: 20 * time.Millisecond, Kind: FaultHeal, A: 1, B: 2},
+		{At: 30 * time.Millisecond, Kind: FaultRestart, A: 1},
+	}}
+	run := s.Run(n)
+	// Crash at offset 0 applies before the first sleep completes.
+	deadline := time.After(time.Second)
+	for !n.Crashed(1) {
+		select {
+		case <-deadline:
+			t.Fatal("node 1 never crashed")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	run.Wait()
+	if n.Crashed(1) {
+		t.Error("node 1 still crashed after the schedule's restart")
+	}
+	if inc := n.Incarnation(1); inc != 2 {
+		t.Errorf("incarnation = %d, want 2 after one restart", inc)
+	}
+}
+
+func TestFaultRunStop(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	s := &FaultSchedule{Events: []FaultEvent{
+		{At: time.Hour, Kind: FaultCrash, A: 1},
+	}}
+	run := s.Run(n)
+	run.Stop()
+	done := make(chan struct{})
+	go func() { run.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not return after Stop")
+	}
+	if n.Crashed(1) {
+		t.Error("stopped schedule still applied its event")
+	}
+}

@@ -40,6 +40,7 @@ var (
 	ErrClosed      = errors.New("netsim: endpoint closed")
 	ErrUnknownNode = errors.New("netsim: unknown destination node")
 	ErrDuplicate   = errors.New("netsim: node already attached")
+	ErrNodeCrashed = errors.New("netsim: node crashed")
 )
 
 // LinkConfig describes one directed link's behaviour.
@@ -75,6 +76,7 @@ type Stats struct {
 	Lost       uint64 // frames dropped by the loss model
 	Partition  uint64 // frames dropped by a partition
 	Overrun    uint64 // frames dropped because the receiver queue was full
+	Crashed    uint64 // frames dropped because the destination node was down
 	BytesMoved uint64 // payload+header bytes of delivered frames
 }
 
@@ -114,24 +116,30 @@ type Network struct {
 	localLink   LinkConfig
 	queueDepth  int
 
-	mu          sync.Mutex
-	rng         *rand.Rand
-	endpoints   map[wire.NodeID]*simEndpoint
-	links       map[[2]wire.NodeID]LinkConfig
-	partitioned map[[2]wire.NodeID]bool
-	stats       Stats
-	closed      bool
+	mu           sync.Mutex
+	rng          *rand.Rand
+	endpoints    map[wire.NodeID]*simEndpoint
+	links        map[[2]wire.NodeID]LinkConfig
+	partitioned  map[[2]wire.NodeID]bool
+	crashed      map[wire.NodeID]bool
+	incarnations map[wire.NodeID]uint64
+	queues       map[[2]wire.NodeID]*linkQueue
+	stats        Stats
+	closed       bool
 }
 
 // New creates a network with the given options. Without options the network
 // is perfect: zero latency, infinite bandwidth, no loss.
 func New(opts ...NetworkOption) *Network {
 	n := &Network{
-		queueDepth:  1024,
-		rng:         rand.New(rand.NewSource(1)),
-		endpoints:   make(map[wire.NodeID]*simEndpoint),
-		links:       make(map[[2]wire.NodeID]LinkConfig),
-		partitioned: make(map[[2]wire.NodeID]bool),
+		queueDepth:   1024,
+		rng:          rand.New(rand.NewSource(1)),
+		endpoints:    make(map[wire.NodeID]*simEndpoint),
+		links:        make(map[[2]wire.NodeID]LinkConfig),
+		partitioned:  make(map[[2]wire.NodeID]bool),
+		crashed:      make(map[wire.NodeID]bool),
+		incarnations: make(map[wire.NodeID]uint64),
+		queues:       make(map[[2]wire.NodeID]*linkQueue),
 	}
 	for _, o := range opts {
 		o(n)
@@ -155,7 +163,69 @@ func (n *Network) Attach(node wire.NodeID) (Endpoint, error) {
 		recv: make(chan *wire.Frame, n.queueDepth),
 	}
 	n.endpoints[node] = ep
+	if n.incarnations[node] == 0 {
+		n.incarnations[node] = 1
+	}
 	return ep, nil
+}
+
+// Crash takes a node down. The node's endpoint stops receiving (already
+// queued inbound frames drop) and every Send from it fails with
+// ErrNodeCrashed; frames addressed to it are silently dropped, exactly as a
+// powered-off machine looks to its peers. The endpoint itself stays
+// attached so Restart can bring the node back (fail-recover model: the
+// simulation approximates a reboot that keeps durable state).
+func (n *Network) Crash(node wire.NodeID) {
+	n.mu.Lock()
+	if n.crashed[node] {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed[node] = true
+	ep := n.endpoints[node]
+	n.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	// Drop frames that arrived before the crash but were never consumed:
+	// they are the "queued frames" a real crash loses.
+	for {
+		select {
+		case _, ok := <-ep.recv:
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Restart brings a crashed node back with a new incarnation number. Frames
+// sent to it after Restart deliver normally again.
+func (n *Network) Restart(node wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.crashed[node] {
+		return
+	}
+	delete(n.crashed, node)
+	n.incarnations[node]++
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Network) Crashed(node wire.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[node]
+}
+
+// Incarnation reports how many times the node has come up: 1 after Attach,
+// incremented by every Restart. Zero means the node was never attached.
+func (n *Network) Incarnation(node wire.NodeID) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.incarnations[node]
 }
 
 // SetLink overrides the directed link from a to b. Use twice for symmetry.
@@ -220,6 +290,10 @@ func (n *Network) send(from wire.NodeID, f *wire.Frame) error {
 		n.mu.Unlock()
 		return ErrClosed
 	}
+	if n.crashed[from] {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNodeCrashed, from)
+	}
 	dst, ok := n.endpoints[f.Dst.Node]
 	if !ok {
 		n.mu.Unlock()
@@ -231,6 +305,11 @@ func (n *Network) send(from wire.NodeID, f *wire.Frame) error {
 		n.mu.Unlock()
 		return nil // silently dropped: partitions look like loss to senders
 	}
+	if n.crashed[f.Dst.Node] {
+		n.stats.Crashed++
+		n.mu.Unlock()
+		return nil // like a partition: the sender cannot tell
+	}
 	lc := n.linkFor(from, f.Dst.Node)
 	delay, delivered := lc.delay(f.EncodedLen(),
 		func(m int64) int64 { return n.rng.Int63n(m) },
@@ -240,17 +319,33 @@ func (n *Network) send(from wire.NodeID, f *wire.Frame) error {
 		n.mu.Unlock()
 		return nil
 	}
+	q := n.queueFor(from, f.Dst.Node)
 	n.mu.Unlock()
 
-	if delay == 0 {
-		n.deliver(dst, f)
-		return nil
-	}
-	time.AfterFunc(delay, func() { n.deliver(dst, f) })
+	// Lock order is q.mu → dst.mu → n.mu; send holds none of them here.
+	q.enqueue(dst, f, delay)
 	return nil
 }
 
+// queueFor returns the FIFO queue for the directed link; n.mu must be held.
+func (n *Network) queueFor(from, to wire.NodeID) *linkQueue {
+	key := [2]wire.NodeID{from, to}
+	q, ok := n.queues[key]
+	if !ok {
+		q = &linkQueue{net: n}
+		n.queues[key] = q
+	}
+	return q
+}
+
 func (n *Network) deliver(dst *simEndpoint, f *wire.Frame) {
+	n.mu.Lock()
+	if n.crashed[dst.node] {
+		n.stats.Crashed++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
 	dst.mu.Lock()
 	if dst.closed {
 		dst.mu.Unlock()
@@ -269,6 +364,81 @@ func (n *Network) deliver(dst *simEndpoint, f *wire.Frame) {
 		n.stats.Overrun++
 		n.mu.Unlock()
 	}
+}
+
+// linkQueue serializes deliveries on one directed link. Each frame's delay
+// decides its due time, but a frame never overtakes the one ahead of it:
+// due times are clamped to be monotonic (FIFO with head-of-line blocking),
+// matching how a real point-to-point link behaves. Without this, two frames
+// with independent jitter each riding a private timer could arrive
+// reversed.
+type linkQueue struct {
+	net *Network
+
+	mu      sync.Mutex
+	items   []queuedFrame
+	lastDue time.Time
+	armed   bool
+	timer   *time.Timer
+}
+
+type queuedFrame struct {
+	dst *simEndpoint
+	f   *wire.Frame
+	due time.Time
+}
+
+func (q *linkQueue) enqueue(dst *simEndpoint, f *wire.Frame, delay time.Duration) {
+	q.mu.Lock()
+	now := time.Now()
+	due := now.Add(delay)
+	if due.Before(q.lastDue) {
+		due = q.lastDue
+	}
+	q.lastDue = due
+	if !q.armed && len(q.items) == 0 && !due.After(now) {
+		// Fast path: link idle and the frame is already due. Delivering
+		// under q.mu keeps it ordered against a concurrent enqueue.
+		q.net.deliver(dst, f)
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, queuedFrame{dst: dst, f: f, due: due})
+	if !q.armed {
+		q.armed = true
+		q.arm(time.Until(due))
+	}
+	q.mu.Unlock()
+}
+
+// arm schedules pop; q.mu must be held.
+func (q *linkQueue) arm(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if q.timer == nil {
+		q.timer = time.AfterFunc(d, q.pop)
+	} else {
+		q.timer.Reset(d)
+	}
+}
+
+// pop delivers every due frame in order, then re-arms for the next one.
+// Delivery happens under q.mu: that is what serializes the link.
+func (q *linkQueue) pop() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) > 0 {
+		head := q.items[0]
+		if wait := time.Until(head.due); wait > 0 {
+			q.arm(wait)
+			return
+		}
+		q.items = q.items[1:]
+		q.net.deliver(head.dst, head.f)
+	}
+	q.items = nil
+	q.armed = false
 }
 
 type simEndpoint struct {

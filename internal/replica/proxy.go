@@ -9,7 +9,6 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/group"
-	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -77,23 +76,24 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 }
 
 // writeToPrimary funnels one write through the primary's ordered path.
-// The request payload carries the span from ctx so the primary's apply
-// and broadcast hops land in the same trace.
+// The request payload carries the span and deadline budget from ctx so
+// the primary's apply and broadcast hops land in the same trace and
+// abandoned writes cancel server-side. The call goes through the
+// runtime's shared circuit breaker, like every other proxy kind's.
 func (p *Proxy) writeToPrimary(ctx context.Context, method string, args []any) ([]any, error) {
-	sc, _ := obs.SpanFromContext(ctx)
 	lowered, err := p.rt.LowerArgs(args)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	payload, err := core.EncodeRequestTraced(p.ref.Cap, method, lowered, sc)
+	payload, err := core.EncodeRequestCtx(ctx, p.ref.Cap, method, lowered)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	reply, err := p.rt.Client().Call(ctx, p.ctrl, kindWrite, payload)
+	reply, err := p.rt.GuardedCall(ctx, p.ctrl, kindWrite, payload)
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
 	}
-	return core.DecodeResults(p.rt.Decoder(), reply)
+	return core.DecodeResults(p.rt.Decoder(), reply.Payload)
 }
 
 // Ref implements core.Proxy.

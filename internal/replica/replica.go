@@ -237,14 +237,15 @@ func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 }
 
 func (p *primary) handleWrite(req *rpc.Request) (wire.Kind, []byte, []byte) {
-	sc, cap, method, args, err := core.DecodeRequestTraced(p.rt.Decoder(), req.Frame.Payload)
+	sc, budget, cap, method, args, err := core.DecodeRequestFull(p.rt.Decoder(), req.Frame.Payload)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "%s", err))
 	}
 	if p.cap != 0 && cap != p.cap {
 		return 0, nil, core.EncodeInvokeError(method, core.Errorf(core.CodeDenied, method, "capability required"))
 	}
-	ctx := context.Background()
+	ctx, cancel := core.ApplyBudget(context.Background(), budget)
+	defer cancel()
 	finish := func(error) {}
 	if sc.Trace != 0 {
 		// The broadcast to members derives from this ctx, so each member's

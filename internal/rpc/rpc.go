@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/kernel"
@@ -30,11 +31,15 @@ var (
 // ClientOption configures a Client.
 type ClientOption func(*Client)
 
-// WithRetryInterval sets the retransmission interval (default 50 ms).
+// WithRetryInterval sets the base retransmission interval (default 50 ms).
+// Setting it (without WithBackoff) also selects a fixed, unjittered
+// interval, so tests that reason about exact retransmit counts stay
+// deterministic.
 func WithRetryInterval(d time.Duration) ClientOption {
 	return func(c *Client) {
 		if d > 0 {
 			c.retryEvery = d
+			c.intervalSet = true
 		}
 	}
 }
@@ -50,9 +55,10 @@ func WithMaxAttempts(n int) ClientOption {
 }
 
 // WithBackoff grows the retransmission interval by factor after every
-// attempt, capped at max. The default is no backoff (a fixed interval),
-// which suits simulated LANs; deployments over real, congested networks
-// should back off.
+// attempt, capped at max. Backoff implies full jitter (each wait drawn
+// uniformly from (0, interval]) unless WithJitter(false) turns it off: a
+// fleet of clients retrying a recovering node in lockstep is itself a
+// failure mode.
 func WithBackoff(factor float64, max time.Duration) ClientOption {
 	return func(c *Client) {
 		if factor > 1 {
@@ -61,6 +67,17 @@ func WithBackoff(factor float64, max time.Duration) ClientOption {
 		if max > 0 {
 			c.backoffMax = max
 		}
+		c.backoffSet = true
+	}
+}
+
+// WithJitter forces jitter on or off, overriding what the other options
+// imply. With jitter on, every retransmit wait is drawn uniformly from
+// (0, interval] — "full jitter", which decorrelates retry storms.
+func WithJitter(on bool) ClientOption {
+	return func(c *Client) {
+		c.jitter = on
+		c.jitterSet = true
 	}
 }
 
@@ -92,6 +109,10 @@ type Client struct {
 	maxAttempts   int
 	backoffFactor float64
 	backoffMax    time.Duration
+	jitter        bool
+	jitterSet     bool
+	intervalSet   bool
+	backoffSet    bool
 
 	obs   *obs.Observer
 	where string
@@ -103,7 +124,9 @@ type Client struct {
 	failures    *obs.Counter
 }
 
-// NewClient builds a client over a kernel context.
+// NewClient builds a client over a kernel context. The default retry
+// policy is jittered exponential backoff (base 50 ms, factor 2, cap 2 s);
+// WithRetryInterval alone selects a fixed deterministic interval instead.
 func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
 	c := &Client{
 		ktx:         ktx,
@@ -112,6 +135,17 @@ func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	switch {
+	case !c.intervalSet && !c.backoffSet:
+		// Nobody asked for a specific policy: back off with full jitter.
+		c.backoffFactor = 2
+		c.backoffMax = 2 * time.Second
+		if !c.jitterSet {
+			c.jitter = true
+		}
+	case c.backoffSet && !c.jitterSet:
+		c.jitter = true
 	}
 	if c.obs == nil {
 		c.obs = obs.NewObserver()
@@ -164,6 +198,16 @@ func (a *attemptRecorder) end(attempt int, errText string) {
 	a.start = time.Now()
 }
 
+// sleepFor resolves one retransmit wait from the current base interval:
+// the interval itself when deterministic, or a full-jitter draw from
+// (0, interval] when jitter is on.
+func (c *Client) sleepFor(interval time.Duration) time.Duration {
+	if !c.jitter || interval <= 0 {
+		return interval
+	}
+	return time.Duration(rand.Int63n(int64(interval))) + 1
+}
+
 // Call sends payload to the object at dst and waits for the response,
 // retransmitting under the same request id until an answer arrives, the
 // ctx expires, or attempts run out. kind is usually wire.KindRequest but
@@ -213,7 +257,7 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 	}
 
 	interval := c.retryEvery
-	timer := time.NewTimer(interval)
+	timer := time.NewTimer(c.sleepFor(interval))
 	defer timer.Stop()
 	for {
 		select {
@@ -254,7 +298,7 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 					interval = c.backoffMax
 				}
 			}
-			timer.Reset(interval)
+			timer.Reset(c.sleepFor(interval))
 		}
 	}
 }

@@ -333,7 +333,7 @@ func TestBackoffGrowsInterval(t *testing.T) {
 		netsim.WithDefaultLink(netsim.LinkConfig{LossRate: 0.9999999}),
 		netsim.WithSeed(1),
 	}, WithRetryInterval(10*time.Millisecond), WithMaxAttempts(5),
-		WithBackoff(2, 40*time.Millisecond))
+		WithBackoff(2, 40*time.Millisecond), WithJitter(false))
 	dst, _ := r.serve(HandlerFunc(echo))
 	start := time.Now()
 	_, err := r.client.Call(context.Background(), dst, wire.KindRequest, nil)
@@ -429,5 +429,92 @@ func TestPerClientCacheIsolation(t *testing.T) {
 	}
 	if st := srv.Stats(); st.DupCached == 0 {
 		t.Error("retransmission was not served from the cache")
+	}
+}
+
+func TestDefaultPolicyIsJitteredBackoff(t *testing.T) {
+	r := newRig(t, nil)
+	c := r.client
+	if !c.jitter {
+		t.Error("default client should jitter its retransmit waits")
+	}
+	if c.backoffFactor != 2 || c.backoffMax != 2*time.Second {
+		t.Errorf("default backoff = (%v, %v), want (2, 2s)", c.backoffFactor, c.backoffMax)
+	}
+}
+
+func TestRetryIntervalAloneStaysDeterministic(t *testing.T) {
+	r := newRig(t, nil, WithRetryInterval(10*time.Millisecond))
+	c := r.client
+	if c.jitter {
+		t.Error("WithRetryInterval alone must keep a deterministic fixed interval")
+	}
+	if c.backoffFactor != 0 {
+		t.Errorf("backoffFactor = %v, want 0 (no growth)", c.backoffFactor)
+	}
+	if d := c.sleepFor(10 * time.Millisecond); d != 10*time.Millisecond {
+		t.Errorf("sleepFor = %v, want exactly 10ms", d)
+	}
+}
+
+func TestFullJitterDraw(t *testing.T) {
+	r := newRig(t, nil, WithBackoff(2, time.Second))
+	c := r.client
+	if !c.jitter {
+		t.Fatal("WithBackoff should imply jitter unless WithJitter(false)")
+	}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := c.sleepFor(50 * time.Millisecond)
+		if d <= 0 || d > 50*time.Millisecond {
+			t.Fatalf("full-jitter draw %v outside (0, 50ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("200 full-jitter draws produced only %d distinct values", len(seen))
+	}
+}
+
+func TestPartitionHealCompletesCall(t *testing.T) {
+	// A call that starts under a partition must keep retransmitting and
+	// complete after Heal, inside its deadline. The fixed 10ms retry
+	// interval ties the retransmit counter to the schedule: a ~60ms cut
+	// eats the original send plus at least 5 retransmits, and every one
+	// of those shows up in the network's partition-drop counter.
+	r := newRig(t, []netsim.NetworkOption{netsim.WithSeed(1)},
+		WithRetryInterval(10*time.Millisecond), WithMaxAttempts(100))
+	dst, _ := r.serve(HandlerFunc(echo))
+	const cut = 60 * time.Millisecond
+	r.net.Partition(1, 2)
+	heal := time.AfterFunc(cut, func() { r.net.Heal(1, 2) })
+	defer heal.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := r.client.Call(ctx, dst, wire.KindRequest, []byte("hi"))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("call across partition+heal: %v", err)
+	}
+	if elapsed < cut-5*time.Millisecond {
+		t.Errorf("call completed in %v, before the %v heal", elapsed, cut)
+	}
+	st := r.client.Stats()
+	if st.Retransmits < 5 {
+		t.Errorf("retransmits = %d, want ≥5 (one per 10ms interval under the 60ms cut)", st.Retransmits)
+	}
+	if st.Failures != 0 {
+		t.Errorf("failures = %d, want 0", st.Failures)
+	}
+	snap := r.net.Snapshot()
+	if snap.Partition == 0 {
+		t.Error("partition drop counter = 0, want >0")
+	}
+	// Consistency between the two counters: drops during the cut are the
+	// original send plus retransmits sent before the heal.
+	if uint64(st.Retransmits)+1 < snap.Partition {
+		t.Errorf("retransmits (%d) + original < partition drops (%d)", st.Retransmits, snap.Partition)
 	}
 }
