@@ -284,7 +284,7 @@ func TestChaosBreakerRecovery(t *testing.T) {
 	if _, err := p.Invoke(context.Background(), "get", "k"); err == nil {
 		t.Fatal("call to crashed node succeeded")
 	}
-	br := client.Breakers().For(ref.Target.Addr)
+	br := client.Breakers().For(ref.Target.Addr.Node)
 	if br.State() != health.BreakerOpen {
 		t.Fatalf("breaker after failed call = %v, want open", br.State())
 	}

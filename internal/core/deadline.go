@@ -15,10 +15,15 @@ import (
 // their handler ctx from it, cancelling abandoned work.
 //
 // The budget is relative (a duration, not an absolute time), so it is
-// immune to clock skew between nodes; the cost is that queueing delay
-// before the server applies it does not count against it, which errs on
-// the side of doing slightly too much work rather than cancelling live
-// calls.
+// immune to clock skew between nodes; the cost is that delay the header
+// cannot see does not count against it. That is both queueing delay
+// before the server applies the budget and retransmit delay before the
+// request arrives at all: the header is encoded once per binding attempt
+// (EncodeRequestCtx) and every retransmission reuses the same payload,
+// so a request that spent several retries in flight presents its
+// original, over-generous budget. Both err on the side of the server
+// doing slightly too much work rather than cancelling live calls — the
+// client's own ctx still bounds what it will wait for.
 //
 // deadlineMagic follows the convention set by the obs trace header: codec
 // tags occupy 1..13, so any leading byte ≥ 0xF0 is unambiguously a header.

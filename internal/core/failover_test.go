@@ -262,7 +262,7 @@ func TestCircuitBreakerFailsFastAndRecovers(t *testing.T) {
 	if _, err := p.Invoke(context.Background(), "get"); err == nil {
 		t.Fatal("call to crashed node succeeded")
 	}
-	if st := client.Breakers().For(ref.Target.Addr).State(); st != health.BreakerOpen {
+	if st := client.Breakers().For(ref.Target.Addr.Node).State(); st != health.BreakerOpen {
 		t.Fatalf("breaker state after failure = %v, want open", st)
 	}
 
@@ -291,8 +291,58 @@ func TestCircuitBreakerFailsFastAndRecovers(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if st := client.Breakers().For(ref.Target.Addr).State(); st != health.BreakerClosed {
+	if st := client.Breakers().For(ref.Target.Addr.Node).State(); st != health.BreakerClosed {
 		t.Errorf("breaker state after recovery = %v, want closed", st)
+	}
+}
+
+func TestProbeCtxExpiryDoesNotWedgeBreaker(t *testing.T) {
+	// Regression: a half-open probe that ends with ctx cancellation (no
+	// transport evidence either way) used to report nothing, leaving the
+	// breaker half-open forever — every later call to the destination got
+	// ErrCircuitOpen even after the node recovered.
+	w := newFaultWorld(t, 2, fastClient(),
+		WithBreakerConfig(health.BreakerConfig{Threshold: 1, Cooldown: 20 * time.Millisecond}))
+	server, client := w.runtimes[0], w.runtimes[1]
+	ref, err := server.Export(&counter{}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.net.Crash(1)
+	if _, err := p.Invoke(context.Background(), "get"); err == nil {
+		t.Fatal("call to crashed node succeeded")
+	}
+	br := client.Breakers().For(ref.Target.Addr.Node)
+	if br.State() != health.BreakerOpen {
+		t.Fatalf("breaker after failed call = %v, want open", br.State())
+	}
+
+	// Cooldown passes; the next call is admitted as the probe but its ctx
+	// is already cancelled, so it ends without evidence about the node.
+	time.Sleep(30 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _ = p.Invoke(ctx, "get")
+	if st := br.State(); st == health.BreakerHalfOpen {
+		t.Fatal("inconclusive probe left breaker half-open")
+	}
+
+	// Node recovers: calls must start succeeding again.
+	w.net.Restart(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := p.Invoke(context.Background(), "get"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered after inconclusive probe")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -184,16 +184,18 @@ func (rt *Runtime) IsIdempotent(typeName, method string) bool {
 	return rt.idem[typeName][method]
 }
 
-// GuardedCall is Client().CallFrame behind this destination's circuit
+// GuardedCall is Client().CallFrame behind the destination node's circuit
 // breaker, with the outcome fed back to the breaker and (when attached)
 // the health monitor. Every proxy kind issues its remote calls through
-// it, so one failing node trips one shared breaker however many proxies
-// point at it. An open breaker rejects immediately with ErrCircuitOpen —
+// it, and breakers are keyed per node — one failing node trips one shared
+// breaker however many proxies (or contexts on that node) the calls
+// target. An open breaker rejects immediately with ErrCircuitOpen —
 // failing fast instead of burning a retransmit budget against a node
 // already known to be down.
 func (rt *Runtime) GuardedCall(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, payload []byte) (*wire.Frame, error) {
-	br := rt.breakers.For(dst.Addr)
-	if !br.Allow() {
+	br := rt.breakers.For(dst.Addr.Node)
+	ok, probe := br.Admit()
+	if !ok {
 		rt.circuitRejects.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, dst.Addr)
 	}
@@ -211,7 +213,14 @@ func (rt *Runtime) GuardedCall(ctx context.Context, dst wire.ObjAddr, kind wire.
 			rt.monitor.ReportFailure(dst.Addr.Node)
 		}
 	default:
-		// ctx cancellation or local errors: no evidence either way.
+		// ctx cancellation or local errors: no evidence about the node, so
+		// the monitor hears nothing. The half-open probe must still report,
+		// though — an unreported probe stalls recovery until the breaker's
+		// probe deadline — and the conservative reading of "the probe
+		// learned nothing" is that the node is not yet proven healthy.
+		if probe {
+			br.Failure()
+		}
 	}
 	return f, err
 }
@@ -224,13 +233,14 @@ func isRemoteAnswer(err error) bool {
 }
 
 // isNodeFailure reports whether err means the destination never answered:
-// the evidence a breaker and a failure detector count.
+// the evidence a breaker and a failure detector count. kernel.ErrClosed
+// and netsim.ErrClosed are deliberately absent — they report the LOCAL
+// kernel or network handle shutting down, which says nothing about the
+// remote node's health.
 func isNodeFailure(err error) bool {
 	return errors.Is(err, rpc.ErrTooManyRetries) ||
-		errors.Is(err, kernel.ErrClosed) ||
 		errors.Is(err, netsim.ErrNodeCrashed) ||
-		errors.Is(err, netsim.ErrUnknownNode) ||
-		errors.Is(err, netsim.ErrClosed)
+		errors.Is(err, netsim.ErrUnknownNode)
 }
 
 // RegisterProxyType installs the factory for a service type name. In the

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"sync"
@@ -170,7 +169,10 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 
 // callBinding runs the invocation against one binding, following
 // migration forwards. Transport-level failures return unconverted, so
-// invoke can classify whether failing over is safe.
+// invoke can classify whether failing over is safe. The deadline header
+// inside payload snapshots the remaining budget once per binding;
+// retransmissions reuse it, so a request that spent retries in flight
+// arrives with a stale, over-generous budget (see deadline.go).
 func (s *Stub) callBinding(ctx context.Context, ref codec.Ref, method string, lowered []any) ([]any, error) {
 	payload, err := EncodeRequestCtx(ctx, ref.Cap, method, lowered)
 	if err != nil {
@@ -238,9 +240,12 @@ const (
 func classifyFailure(err error) failoverClass {
 	var re *kernel.RemoteError
 	if errors.As(err, &re) {
-		// "no such context/object" is what a restarted (or wrong) node
-		// says when the export is not there: the invocation did not run.
-		if bytes.HasPrefix(re.Payload, []byte("no such")) {
+		// A no-route answer (wire.FlagNoRoute) is what a restarted (or
+		// wrong) node's kernel says when the export is not there: the
+		// invocation provably did not run. Anything else — including
+		// application errors whose text happens to resemble the kernel's —
+		// is a real answer from the service.
+		if re.NoRoute {
 			return foNotSent
 		}
 		return foNone

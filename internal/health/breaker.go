@@ -55,9 +55,12 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 // Breaker is a per-destination circuit breaker. Closed: calls flow, and
 // consecutive failures are counted. Open: calls are rejected outright
 // (failing fast instead of burning a retransmit budget against a dead
-// node) until the cooldown expires. Then exactly one caller is let through
-// as a probe (half-open); its outcome snaps the breaker closed or open
-// again. Safe for concurrent use.
+// node) until the cooldown expires. Then one caller is let through as a
+// probe (half-open); its outcome snaps the breaker closed or open again.
+// A probe that never reports — its caller crashed, or the call ended
+// with no evidence either way — does not wedge the breaker: after one
+// more cooldown the probe role passes to the next caller. Safe for
+// concurrent use.
 type Breaker struct {
 	cfg   BreakerConfig
 	now   func() time.Time // injectable for tests
@@ -66,7 +69,10 @@ type Breaker struct {
 	mu          sync.Mutex
 	state       BreakerState
 	consecutive int
-	until       time.Time // while open: when the next probe is allowed
+	// until is the next decision point: while open, when the next probe
+	// is allowed; while half-open, when the outstanding probe is presumed
+	// lost and the probe role may be handed to a new caller.
+	until time.Time
 }
 
 // NewBreaker builds a breaker with the given config.
@@ -74,23 +80,42 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
 }
 
-// Allow reports whether a call may proceed now. When it returns true from
-// the open state, the caller is the half-open probe: it must report the
-// outcome via Success or Failure.
+// Allow reports whether a call may proceed now; Admit additionally tells
+// the caller whether it holds the probe role.
 func (b *Breaker) Allow() bool {
+	ok, _ := b.Admit()
+	return ok
+}
+
+// Admit reports whether a call may proceed now and, when it may, whether
+// the caller is the half-open probe. A probe caller must report the
+// call's outcome: Success or Failure when there is evidence, Failure
+// when the call ended without any (a ctx expiring mid-probe says nothing
+// about the node, but leaving the probe unreported would stall recovery
+// until the probe deadline passes).
+func (b *Breaker) Admit() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	now := b.now()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
-		if b.now().Before(b.until) {
-			return false
+		if now.Before(b.until) {
+			return false, false
 		}
 		b.set(BreakerHalfOpen)
-		return true
-	default: // BreakerHalfOpen: a probe is already out
-		return false
+		b.until = now.Add(b.cfg.Cooldown) // probe deadline
+		return true, true
+	default: // BreakerHalfOpen
+		if now.Before(b.until) {
+			return false, false // a probe is already out
+		}
+		// The outstanding probe never reported: presume it lost and hand
+		// the probe role to this caller, so an unreported probe delays
+		// recovery by one cooldown instead of wedging the breaker.
+		b.until = now.Add(b.cfg.Cooldown)
+		return true, true
 	}
 }
 
@@ -143,56 +168,59 @@ func (b *Breaker) set(s BreakerState) {
 }
 
 // BreakerSet is a lazily populated map of breakers keyed by destination
-// address, so every layer consulting "the breaker for that node/context"
-// shares one instance and one failure history.
+// node, so every layer consulting "the breaker for that node" shares one
+// instance and one failure history. The evidence a breaker counts (retry
+// exhaustion, crashed or unknown node) is node-level, and contexts on a
+// node share fate — so one failing node trips one breaker however many
+// of its contexts the proxies here point at.
 type BreakerSet struct {
 	cfg   BreakerConfig
 	reg   *obs.Registry // may be nil
 	scope string
 
 	mu sync.Mutex
-	m  map[wire.Addr]*Breaker
+	m  map[wire.NodeID]*Breaker
 }
 
 // NewBreakerSet builds a set; reg (optional) receives one state gauge per
-// destination, named scope + "breaker.<addr>.state".
+// destination, named scope + "breaker.node<id>.state".
 func NewBreakerSet(cfg BreakerConfig, reg *obs.Registry, scope string) *BreakerSet {
 	return &BreakerSet{
 		cfg:   cfg.withDefaults(),
 		reg:   reg,
 		scope: scope,
-		m:     make(map[wire.Addr]*Breaker),
+		m:     make(map[wire.NodeID]*Breaker),
 	}
 }
 
-// For returns the breaker guarding addr, creating it on first use.
-func (s *BreakerSet) For(addr wire.Addr) *Breaker {
+// For returns the breaker guarding node, creating it on first use.
+func (s *BreakerSet) For(node wire.NodeID) *Breaker {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.m[addr]
+	b, ok := s.m[node]
 	if !ok {
 		b = NewBreaker(s.cfg)
 		if s.reg != nil {
-			b.gauge = s.reg.Gauge(fmt.Sprintf("%sbreaker.%s.state", s.scope, addr))
+			b.gauge = s.reg.Gauge(fmt.Sprintf("%sbreaker.node%d.state", s.scope, node))
 		}
-		s.m[addr] = b
+		s.m[node] = b
 	}
 	return b
 }
 
 // Each visits every breaker created so far.
-func (s *BreakerSet) Each(fn func(addr wire.Addr, state BreakerState)) {
+func (s *BreakerSet) Each(fn func(node wire.NodeID, state BreakerState)) {
 	s.mu.Lock()
 	type entry struct {
-		addr wire.Addr
+		node wire.NodeID
 		b    *Breaker
 	}
 	entries := make([]entry, 0, len(s.m))
-	for a, b := range s.m {
-		entries = append(entries, entry{a, b})
+	for n, b := range s.m {
+		entries = append(entries, entry{n, b})
 	}
 	s.mu.Unlock()
 	for _, e := range entries {
-		fn(e.addr, e.b.State())
+		fn(e.node, e.b.State())
 	}
 }

@@ -100,6 +100,34 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 }
 
+func TestBreakerProbeTimeoutReadmits(t *testing.T) {
+	// A probe whose caller never reports an outcome (e.g. it died, or its
+	// result was inconclusive and went unreported) must not wedge the
+	// breaker half-open: after another cooldown the probe role is handed
+	// to the next caller.
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	b.Failure()
+	clk.advance(2 * time.Second)
+	ok, probe := b.Admit()
+	if !ok || !probe {
+		t.Fatalf("Admit after cooldown = %v, %v, want probe admitted", ok, probe)
+	}
+	// The probe vanishes without reporting. Until its deadline, no one
+	// else gets in; after it, the next caller becomes the probe.
+	if b.Allow() {
+		t.Fatal("second caller admitted while probe outstanding")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	ok, probe = b.Admit()
+	if !ok || !probe {
+		t.Fatalf("Admit after probe deadline = %v, %v, want replacement probe", ok, probe)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after replacement probe succeeded = %v", b.State())
+	}
+}
+
 func TestBreakerSuccessResetsConsecutive(t *testing.T) {
 	b, _ := newTestBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second})
 	b.Failure()
@@ -120,19 +148,18 @@ func TestBreakerDefaults(t *testing.T) {
 func TestBreakerSetSharesAndObserves(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Minute}, reg, "test.")
-	a1 := wire.Addr{Node: 1, Context: 1}
-	a2 := wire.Addr{Node: 2, Context: 1}
-	if s.For(a1) != s.For(a1) {
-		t.Error("same addr returned different breakers")
+	n1, n2 := wire.NodeID(1), wire.NodeID(2)
+	if s.For(n1) != s.For(n1) {
+		t.Error("same node returned different breakers")
 	}
-	if s.For(a1) == s.For(a2) {
-		t.Error("different addrs shared a breaker")
+	if s.For(n1) == s.For(n2) {
+		t.Error("different nodes shared a breaker")
 	}
-	s.For(a1).Failure()
+	s.For(n1).Failure()
 
-	states := make(map[wire.Addr]BreakerState)
-	s.Each(func(addr wire.Addr, st BreakerState) { states[addr] = st })
-	if states[a1] != BreakerOpen || states[a2] != BreakerClosed {
+	states := make(map[wire.NodeID]BreakerState)
+	s.Each(func(node wire.NodeID, st BreakerState) { states[node] = st })
+	if states[n1] != BreakerOpen || states[n2] != BreakerClosed {
 		t.Errorf("states = %v", states)
 	}
 

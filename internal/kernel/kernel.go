@@ -45,6 +45,11 @@ var (
 type RemoteError struct {
 	From    wire.Addr
 	Payload []byte
+	// NoRoute reports that the answering kernel found no such context or
+	// object at the destination (the response carried wire.FlagNoRoute):
+	// the request provably never executed, so callers may safely redirect
+	// it to an alternate binding.
+	NoRoute bool
 }
 
 // Error implements error.
@@ -234,7 +239,7 @@ func (n *Node) route(f *wire.Frame) {
 func (n *Node) replyNoRoute(f *wire.Frame) {
 	resp := &wire.Frame{
 		Kind:    wire.KindError,
-		Flags:   wire.FlagResponse,
+		Flags:   wire.FlagResponse | wire.FlagNoRoute,
 		ReqID:   f.ReqID,
 		Src:     f.Dst,
 		Dst:     f.Src,
@@ -346,7 +351,14 @@ func (c *Context) dispatch(f *wire.Frame) {
 	c.mu.Unlock()
 	if !ok {
 		if f.Flags&wire.FlagOneWay == 0 && !f.Src.IsZero() {
-			c.RespondError(f, []byte(fmt.Sprintf("no such object %d", f.Object)))
+			_ = c.Send(&wire.Frame{
+				Kind:    wire.KindError,
+				Flags:   wire.FlagResponse | wire.FlagNoRoute,
+				ReqID:   f.ReqID,
+				Dst:     f.Src,
+				Object:  wire.KernelObject,
+				Payload: []byte(fmt.Sprintf("no such object %d", f.Object)),
+			})
 		}
 		return
 	}
@@ -429,7 +441,11 @@ func (c *Context) Call(ctx context.Context, dst wire.Addr, obj wire.ObjectID, ki
 			return nil, ErrClosed
 		}
 		if resp.Kind == wire.KindError {
-			return nil, &RemoteError{From: resp.Src, Payload: resp.Payload}
+			return nil, &RemoteError{
+				From:    resp.Src,
+				Payload: resp.Payload,
+				NoRoute: resp.Flags&wire.FlagNoRoute != 0,
+			}
 		}
 		return resp, nil
 	case <-ctx.Done():

@@ -90,8 +90,31 @@ func TestCallErrorResponse(t *testing.T) {
 	if string(re.Payload) != "denied" {
 		t.Errorf("remote payload = %q", re.Payload)
 	}
+	if re.NoRoute {
+		t.Error("application error marked NoRoute")
+	}
 	if re.Error() == "" {
 		t.Error("empty error string")
+	}
+}
+
+func TestApplicationNoSuchTextIsNotNoRoute(t *testing.T) {
+	// An application error whose text mimics the kernel's must not be
+	// mistaken for "addressee missing": NoRoute keys on the wire flag,
+	// which only kernels set.
+	n1, n2 := twoNodes(t)
+	c1, _ := n1.NewContext()
+	c2, _ := n2.NewContext()
+	obj := c2.Register(HandlerFunc(func(ktx *Context, f *wire.Frame) {
+		_ = ktx.RespondError(f, []byte("no such entry"))
+	}))
+	_, err := c1.Call(context.Background(), c2.Addr(), obj, wire.KindRequest, 0, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.NoRoute {
+		t.Error(`application "no such entry" error classified as NoRoute`)
 	}
 }
 
@@ -104,6 +127,9 @@ func TestCallNoSuchObject(t *testing.T) {
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError for missing object", err)
 	}
+	if !re.NoRoute {
+		t.Error("missing-object error not marked NoRoute")
+	}
 }
 
 func TestCallNoSuchContext(t *testing.T) {
@@ -114,6 +140,9 @@ func TestCallNoSuchContext(t *testing.T) {
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError for missing context", err)
+	}
+	if !re.NoRoute {
+		t.Error("missing-context error not marked NoRoute")
 	}
 }
 

@@ -269,7 +269,11 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 			}
 			if resp.Kind == wire.KindError {
 				rec.end(attempts, "remote error")
-				return nil, &kernel.RemoteError{From: resp.Src, Payload: resp.Payload}
+				return nil, &kernel.RemoteError{
+					From:    resp.Src,
+					Payload: resp.Payload,
+					NoRoute: resp.Flags&wire.FlagNoRoute != 0,
+				}
 			}
 			rec.end(attempts, "")
 			return resp, nil

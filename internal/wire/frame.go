@@ -93,6 +93,13 @@ const (
 	// what lets service-private protocols reuse the kernel's call
 	// machinery without the kernel understanding their messages.
 	FlagResponse
+	// FlagNoRoute marks a KindError response emitted by the receiving
+	// kernel itself because the addressed context or object does not
+	// exist: the request provably never reached a service. Failover logic
+	// keys on this flag — not on the error text — to decide that
+	// redirecting the call cannot double-execute anything. Only kernels
+	// set it; application error responses must not.
+	FlagNoRoute
 )
 
 // Frame is the unit of transmission. Payload is opaque to every layer
