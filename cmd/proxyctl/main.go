@@ -19,6 +19,9 @@
 //	trace <id>                    render one trace tree (hex id from traces)
 //	health                        print the daemon's failure-detector view
 //	                              of its peers (alive/suspect/dead)
+//	group                         print the daemon's replica groups:
+//	                              role, epoch, primary, and per-member
+//	                              applied sequence numbers
 //
 // With -trace, invoke runs under a fresh trace and prints the resulting
 // tree, merging this client's spans with the spans the daemon recorded —
@@ -163,6 +166,16 @@ func main() {
 			log.Fatalf("resolve services/health (daemon too old?): %v", err)
 		}
 		text, err := core.Call1[string](ctx, p, "nodes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+	case "group":
+		p, err := client.Resolve(ctx, rt, "services/replica")
+		if err != nil {
+			log.Fatalf("resolve services/replica (daemon too old?): %v", err)
+		}
+		text, err := core.Call1[string](ctx, p, "groups")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,14 @@
 // exported as a service bound at "services/health" (inspect it with
 // proxyctl health). -health-interval 0 disables active probing; the
 // detector then learns passively from invocation outcomes only.
+//
+// With -replicated-kv the demo KV is exported through the replica smart
+// proxy instead: importing peers with the factory registered become group
+// members with local reads and self-healing failover. -wal-dir makes the
+// primary's write-ahead log file-backed, so a restarted daemon reassumes
+// its groups (next epoch, state replayed from the log) instead of losing
+// them. Every daemon also exports a replica status service bound at
+// "services/replica" (inspect it with proxyctl group).
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,6 +52,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/persist"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -53,6 +63,8 @@ func main() {
 	peersFlag := flag.String("peers", "", "peer table: id=host:port,id=host:port")
 	withKV := flag.Bool("with-kv", false, "export a demo KV service bound at services/kv")
 	cachedKV := flag.Bool("cached-kv", false, "export the demo KV through the caching smart proxy (clients with the factory registered cache reads locally)")
+	replicatedKV := flag.Bool("replicated-kv", false, "export the demo KV through the replicating smart proxy (importing peers become self-healing group members)")
+	walDir := flag.String("wal-dir", "", "directory for replica write-ahead logs (empty = in-memory; set it and a restarted daemon reassumes its groups)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer liveness probe interval (0 = passive detection only)")
 	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
@@ -123,6 +135,15 @@ func main() {
 	}
 	dir.Bind("services/health", healthRef, 0)
 
+	// And the replica-group status view: membership, primary, epoch, and
+	// per-member applied sequence for every group this node hosts or has
+	// joined (proxyctl group).
+	replicaRef, err := rt.Export(replica.NewService(rt), replica.TypeName)
+	if err != nil {
+		log.Fatalf("export replica status: %v", err)
+	}
+	dir.Bind("services/replica", replicaRef, 0)
+
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -153,16 +174,27 @@ func main() {
 	}
 
 	var kv *bench.KV
-	if *withKV || *cachedKV {
+	if *withKV || *cachedKV || *replicatedKV {
 		kv = bench.NewKV()
 		typeName := "KV"
-		if *cachedKV {
+		switch {
+		case *cachedKV:
 			// The service chooses its distribution strategy: reads served
 			// from client-side caches kept coherent by callback
 			// invalidation. Clients that never register the factory fall
 			// back to plain stubs and still interoperate.
 			typeName = "CachedKV"
 			rt.RegisterProxyType(typeName, cache.NewFactory(bench.KVReads()))
+		case *replicatedKV:
+			// Or full replication: importers join a totally-ordered group,
+			// every acknowledged write is logged before the ack, and the
+			// group heals itself around crashes. Plain-stub clients still
+			// interoperate (their invokes run on the primary).
+			typeName = "ReplicatedKV"
+			rt.RegisterProxyType(typeName, replica.NewFactory(bench.KVReads(),
+				func() replica.StateMachine { return bench.NewKV() },
+				replica.WithName("kv"),
+				replica.WithWALStore(walStoreFor(*walDir))))
 		}
 		kvRef, err := rt.Export(kv, typeName)
 		if err != nil {
@@ -172,8 +204,14 @@ func main() {
 		log.Printf("demo KV exported as %s, bound at services/kv", kvRef)
 	}
 
+	// A replicated KV's durable state is its write-ahead log; only the
+	// other flavors ride the checkpoint file.
+	ckKV := kv
+	if *replicatedKV {
+		ckKV = nil
+	}
 	if *checkpoint != "" {
-		if err := loadCheckpoint(*checkpoint, dir, kv); err != nil {
+		if err := loadCheckpoint(*checkpoint, dir, ckKV); err != nil {
 			log.Fatalf("load checkpoint: %v", err)
 		}
 	}
@@ -182,7 +220,7 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	if *checkpoint != "" {
-		if err := saveCheckpoint(*checkpoint, dir, kv); err != nil {
+		if err := saveCheckpoint(*checkpoint, dir, ckKV); err != nil {
 			log.Printf("save checkpoint: %v", err)
 		} else {
 			log.Printf("checkpoint saved to %s", *checkpoint)
@@ -264,4 +302,22 @@ func parsePeers(s string) (map[wire.NodeID]string, error) {
 		peers[wire.NodeID(n)] = addr
 	}
 	return peers, nil
+}
+
+// walStoreFor resolves the durability substrate for replica write-ahead
+// logs: file-backed under dir when set (a restarted daemon finds its log
+// and reassumes the group), in-memory otherwise.
+func walStoreFor(dir string) func(wire.Addr) persist.LogStore {
+	return func(addr wire.Addr) persist.LogStore {
+		if dir == "" {
+			return persist.NewMemStore(nil)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("wal-%d.%d.log", addr.Node, addr.Context))
+		s, err := persist.OpenFileStore(path)
+		if err != nil {
+			// A primary that cannot log durably must not ack writes.
+			log.Fatalf("open wal store %s: %v", path, err)
+		}
+		return s
+	}
 }

@@ -128,6 +128,12 @@ const (
 	// CodeDenied reports an invocation that did not present the protected
 	// export's capability token.
 	CodeDenied Code = 6
+	// CodeFenced reports a request carrying a stale epoch: the sender was
+	// deposed (e.g. an old replica-group primary after promotion) and must
+	// not treat the operation as performed. Unlike CodeUnavailable this is
+	// a permanent verdict on the sender's authority, not the target's
+	// reachability, so it is never retried or failed over.
+	CodeFenced Code = 7
 )
 
 // String names the code.
@@ -145,6 +151,8 @@ func (c Code) String() string {
 		return "unavailable"
 	case CodeDenied:
 		return "denied"
+	case CodeFenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("code(%d)", int64(c))
 	}

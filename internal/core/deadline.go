@@ -16,43 +16,31 @@ import (
 //
 // The budget is relative (a duration, not an absolute time), so it is
 // immune to clock skew between nodes; the cost is that delay the header
-// cannot see does not count against it. That is both queueing delay
-// before the server applies the budget and retransmit delay before the
-// request arrives at all: the header is encoded once per binding attempt
-// (EncodeRequestCtx) and every retransmission reuses the same payload,
-// so a request that spent several retries in flight presents its
-// original, over-generous budget. Both err on the side of the server
-// doing slightly too much work rather than cancelling live calls — the
-// client's own ctx still bounds what it will wait for.
+// cannot see does not count against it — queueing delay before the
+// server applies the budget. Retransmit delay, by contrast, IS counted:
+// the header is encoded first in the payload (AppendCtxHeaders), and the
+// rpc layer re-encodes the shrunken remaining budget before every
+// retransmission, so a request that spent several retries in flight
+// presents its current budget, not its original one. What slack remains
+// errs on the side of the server doing slightly too much work rather
+// than cancelling live calls — the client's own ctx still bounds what it
+// will wait for.
 //
-// deadlineMagic follows the convention set by the obs trace header: codec
-// tags occupy 1..13, so any leading byte ≥ 0xF0 is unambiguously a header.
-// Headerless payloads from pre-deadline peers decode unchanged, and the
-// two headers compose in either order.
-const deadlineMagic = 0xF6
+// The wire format and magic byte live in wire/deadline.go (the rpc layer
+// rewrites the header and cannot import core); this file keeps the
+// policy: which ctx values become headers, and how servers apply them.
 
 // AppendDeadlineHeader prefixes dst with the wire form of a remaining
 // budget: [magic, uvarint nanoseconds]. Non-positive budgets append
 // nothing (an already-expired call fails client-side anyway).
 func AppendDeadlineHeader(dst []byte, budget time.Duration) []byte {
-	if budget <= 0 {
-		return dst
-	}
-	dst = append(dst, deadlineMagic)
-	return wire.AppendUvarint(dst, uint64(budget))
+	return wire.AppendDeadlineHeader(dst, budget)
 }
 
 // SplitDeadlineHeader strips a leading deadline header, returning the
 // budget it carried (zero if absent) and the rest of the payload.
 func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
-	if len(payload) == 0 || payload[0] != deadlineMagic {
-		return 0, payload
-	}
-	ns, n, err := wire.Uvarint(payload[1:])
-	if err != nil {
-		return 0, payload
-	}
-	return time.Duration(ns), payload[1+n:]
+	return wire.SplitDeadlineHeader(payload)
 }
 
 // AppendCtxHeaders prefixes dst with every header the ctx implies: the

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E10 described
+// Package experiments implements the reproduction suite E1–E13 described
 // in EXPERIMENTS.md: each experiment builds its world on the simulated
 // network, runs the sweep, and renders the table or series the paper's
 // claims predict. cmd/proxybench runs them all; the root bench_test.go
@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"E10", "Invalidation cost vs sharer-set size (sync vs async)", E10InvalidationStorm},
 		{"E11", "Batching-proxy amortization (extension)", E11BatchingAmortization},
 		{"E12", "Pub/sub fan-out (extension)", E12PubSubFanout},
+		{"E13", "Primary-crash recovery: failover gap and acked-write survival (extension)", E13Recovery},
 	}
 }
 

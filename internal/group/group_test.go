@@ -2,6 +2,7 @@ package group
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
+	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
@@ -138,8 +140,14 @@ func TestJoinBootstrap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(boot) != "snapshot-at-42" {
-		t.Errorf("boot = %q", boot)
+	if string(boot.Boot) != "snapshot-at-42" {
+		t.Errorf("boot = %q", boot.Boot)
+	}
+	if boot.BootSeq != 42 {
+		t.Errorf("boot seq = %d, want 42", boot.BootSeq)
+	}
+	if boot.Epoch != 1 {
+		t.Errorf("boot epoch = %d, want 1", boot.Epoch)
 	}
 	if len(joined) != 1 || joined[0] != m.Self() {
 		t.Errorf("join callback saw %v", joined)
@@ -182,7 +190,7 @@ func TestOutOfOrderDeliveryBuffered(t *testing.T) {
 	if len(msgs) != 2 || msgs[0] != "first" || msgs[1] != "second" {
 		t.Fatalf("msgs = %v", msgs)
 	}
-	if _, buffered := m.Stats(); buffered != 1 {
+	if _, buffered, _ := m.Stats(); buffered != 1 {
 		t.Errorf("buffered = %d, want 1", buffered)
 	}
 	// Duplicate of an already-delivered seq is dropped.
@@ -309,7 +317,229 @@ func TestConcurrentBroadcasters(t *testing.T) {
 }
 
 // encodeDeliver mirrors the sequencer's delivery encoding for injection
-// tests.
+// tests (at the default epoch).
 func encodeDeliver(seq uint64, payload []byte) ([]byte, error) {
-	return deliverMessage(seq, payload)
+	return deliverMessage(1, seq, payload)
+}
+
+func TestStaleEpochFencedNotEvicted(t *testing.T) {
+	// A member that has moved to a newer epoch fences the old sequencer:
+	// the broadcast fails with ErrFenced and the member is NOT evicted —
+	// a deposed sequencer's suspicions carry no authority.
+	rts := runtimes(t, 2)
+	seq := NewSequencer(rts[0])
+	rec := &recorder{}
+	m, _, err := Join(context.Background(), rts[1], seq.Addr(), rec.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate adoption of a successor at epoch 2.
+	m.Pause(2)
+	m.ResumeAt(2, 0, false, nil)
+
+	if _, err := seq.Broadcast(context.Background(), []byte("stale")); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Broadcast from deposed sequencer = %v, want ErrFenced", err)
+	}
+	if got := seq.Members(); got != 1 {
+		t.Errorf("Members after fence = %d, want 1 (no eviction)", got)
+	}
+	if _, msgs := rec.snapshot(); len(msgs) != 0 {
+		t.Errorf("fenced delivery was applied: %v", msgs)
+	}
+	if _, _, fenced := m.Stats(); fenced != 1 {
+		t.Errorf("fenced counter = %d, want 1", fenced)
+	}
+}
+
+func TestAheadEpochRefusedUntilResync(t *testing.T) {
+	// A delivery from an epoch newer than the member's is an ordinary
+	// refusal (the member is the stale party and must resync first), so
+	// the new sequencer evicts it — rejoin happens at the service layer.
+	rts := runtimes(t, 3)
+	old := NewSequencer(rts[0])
+	rec := &recorder{}
+	m, _, err := Join(context.Background(), rts[1], old.Addr(), rec.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := NewSequencer(rts[2], WithEpoch(2), WithStartSeq(0))
+	succ.AddMember(m.Self(), 0)
+	if _, err := succ.Broadcast(context.Background(), []byte("ahead")); err != nil {
+		t.Fatal(err)
+	}
+	if got := succ.Members(); got != 0 {
+		t.Errorf("successor members = %d, want 0 (stale member evicted)", got)
+	}
+	if _, msgs := rec.snapshot(); len(msgs) != 0 {
+		t.Errorf("ahead-epoch delivery was applied: %v", msgs)
+	}
+}
+
+func TestPauseBuffersResumeDrains(t *testing.T) {
+	// While paused, deliveries at the member's epoch are acknowledged and
+	// buffered without being applied; ResumeAt drains them in order.
+	rts := runtimes(t, 2)
+	seq := NewSequencer(rts[0])
+	rec := &recorder{}
+	m, _, err := Join(context.Background(), rts[1], seq.Addr(), rec.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Pause(1)
+	for i := 0; i < 2; i++ {
+		if _, err := seq.Broadcast(context.Background(), []byte(fmt.Sprintf("m%d", i+1))); err != nil {
+			t.Fatalf("broadcast to paused member: %v", err)
+		}
+	}
+	if seq.Members() != 1 {
+		t.Fatalf("paused member was evicted")
+	}
+	if _, msgs := rec.snapshot(); len(msgs) != 0 {
+		t.Fatalf("paused member applied %v", msgs)
+	}
+	m.ResumeAt(1, 0, false, nil)
+	_, msgs := rec.snapshot()
+	if len(msgs) != 2 || msgs[0] != "m1" || msgs[1] != "m2" {
+		t.Fatalf("drained msgs = %v", msgs)
+	}
+}
+
+func TestResumeRewindResetsPosition(t *testing.T) {
+	// A full-snapshot transfer rewinds the delivery position even when the
+	// member had applied beyond it (divergent tail at an epoch boundary):
+	// re-deliveries of the overwritten range must apply, not drop as dups.
+	rts := runtimes(t, 2)
+	seq := NewSequencer(rts[0])
+	rec := &recorder{}
+	m, _, err := Join(context.Background(), rts[1], seq.Addr(), rec.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := seq.Broadcast(context.Background(), []byte(fmt.Sprintf("old%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot transfer at epoch 2 whose state point is seq 1: seqs 2–3
+	// were a divergent tail.
+	m.Pause(2)
+	m.ResumeAt(2, 1, true, nil)
+	inject, err := deliverMessage(2, 2, []byte("new2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rts[0].Client().Call(context.Background(), m.Self(), KindDeliver, inject); err != nil {
+		t.Fatal(err)
+	}
+	_, msgs := rec.snapshot()
+	want := []string{"old1", "old2", "old3", "new2"}
+	if len(msgs) != len(want) {
+		t.Fatalf("msgs = %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Fatalf("msgs[%d] = %q, want %q", i, msgs[i], want[i])
+		}
+	}
+}
+
+// TestSequencerIntrospectionAndCustomHandler exercises the read-side
+// surface the replica layer leans on (Seq/Epoch/MemberSeqs/HasMember,
+// member epoch), the side-channel request handler members expose to
+// repair protocols, explicit removal, and the eviction callback.
+func TestSequencerIntrospectionAndCustomHandler(t *testing.T) {
+	rts := runtimes(t, 3)
+	ctx := context.Background()
+
+	var evMu sync.Mutex
+	var evicted []wire.ObjAddr
+	seq := NewSequencer(rts[0],
+		WithDeliverTimeout(60*time.Millisecond),
+		WithOnEvict(func(m wire.ObjAddr) {
+			evMu.Lock()
+			evicted = append(evicted, m)
+			evMu.Unlock()
+		}))
+
+	rec := &recorder{}
+	kindPing := wire.KindCustom + 99
+	m, _, err := Join(ctx, rts[1], seq.Addr(), rec.deliver,
+		WithRequestHandler(func(req *rpc.Request) (wire.Kind, []byte, []byte) {
+			if req.Kind != kindPing {
+				t.Errorf("handler saw kind %v", req.Kind)
+			}
+			return req.Kind, []byte("pong"), nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 || seq.Epoch() != 1 {
+		t.Fatalf("epochs = (%d, %d), want (1, 1)", m.Epoch(), seq.Epoch())
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := m.Broadcast(ctx, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := seq.Seq(); got != 2 {
+		t.Fatalf("Seq = %d, want 2", got)
+	}
+	if got := seq.MemberSeqs()[m.Self()]; got != 2 {
+		t.Fatalf("MemberSeqs[self] = %d, want 2", got)
+	}
+	if !seq.HasMember(m.Self()) {
+		t.Fatal("HasMember(self) = false")
+	}
+
+	// The member's registered object answers non-delivery kinds through
+	// the side-channel handler: that is how repair peers talk to each
+	// other directly.
+	reply, err := rts[2].Client().Call(ctx, m.Self(), kindPing, []byte("ping"))
+	if err != nil {
+		t.Fatalf("side-channel call: %v", err)
+	}
+	if string(reply) != "pong" {
+		t.Fatalf("side-channel reply = %q", reply)
+	}
+
+	// A member whose delivery object does not exist is evicted on the
+	// first broadcast, and the eviction callback names it.
+	bogus := wire.ObjAddr{Addr: rts[2].Addr(), Object: 9999}
+	seq.AddMember(bogus, seq.Seq())
+	if _, err := m.Broadcast(ctx, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		evMu.Lock()
+		n := len(evicted)
+		evMu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	evMu.Lock()
+	if len(evicted) != 1 || evicted[0] != bogus {
+		t.Fatalf("evicted = %v, want [%v]", evicted, bogus)
+	}
+	evMu.Unlock()
+	if seq.HasMember(bogus) {
+		t.Fatal("bogus member survived eviction")
+	}
+
+	// Explicit removal: the member is gone and deliveries stop reaching
+	// it (removal is server-side; the member itself learns via resync).
+	seq.RemoveMember(m.Self())
+	if seq.HasMember(m.Self()) || seq.Members() != 0 {
+		t.Fatalf("member survived removal (n=%d)", seq.Members())
+	}
+	_, before := rec.snapshot()
+	if _, err := seq.Broadcast(ctx, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := rec.snapshot(); len(after) != len(before) {
+		t.Fatalf("removed member still receives deliveries: %v", after)
+	}
 }

@@ -1,0 +1,379 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Write-ahead log. A replica-group primary appends every ordered write
+// here *before* acknowledging it, so a crash between ack and fan-out can
+// never lose an acknowledged write: the log survives the crash and the
+// restarted node (or its successor, via state transfer) replays it.
+//
+// The log is a flat stream of CRC-framed blocks:
+//
+//	snapshot block: 'S' epoch(uvarint) seq(uvarint) state(bytes) crc32(4)
+//	record block:   'R' epoch(uvarint) seq(uvarint) payload(bytes) crc32(4)
+//
+// The CRC (Castagnoli, as in checkpoints) covers the block from the kind
+// byte through the body. A snapshot block resets the baseline: replay
+// state = last snapshot + records after it, and Compact rewrites the log
+// to exactly that. A torn final block — the artifact of dying mid-append —
+// is silently dropped on open (and truncated away, so later appends stay
+// parseable); a complete block whose CRC mismatches is ErrBadLog, because
+// that is corruption, not a crash.
+
+// ErrBadLog reports a corrupted (not merely torn) write-ahead log.
+var ErrBadLog = errors.New("persist: bad log")
+
+// ErrCompacted reports a log suffix request older than the last snapshot:
+// the records needed were discarded by compaction.
+var ErrCompacted = errors.New("persist: suffix compacted away")
+
+const (
+	blockSnapshot = 'S'
+	blockRecord   = 'R'
+)
+
+// Record is one ordered write as logged by the primary: the epoch it was
+// sequenced under, its global sequence number, and the raw request payload.
+type Record struct {
+	Epoch   uint64
+	Seq     uint64
+	Payload []byte
+}
+
+// LogStore is the durability substrate a WAL writes through. Append must
+// not return before the bytes are durable; Rewrite must be atomic (a crash
+// mid-rewrite leaves either the old or the new contents).
+type LogStore interface {
+	// ReadAll returns the current contents.
+	ReadAll() ([]byte, error)
+	// Append durably appends data.
+	Append(data []byte) error
+	// Rewrite atomically replaces the contents.
+	Rewrite(data []byte) error
+}
+
+// MemStore is an in-memory LogStore for tests and the simulated network,
+// where netsim's Restart models durable state surviving a crash.
+type MemStore struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemStore returns a MemStore seeded with initial contents (may be nil).
+func NewMemStore(initial []byte) *MemStore {
+	return &MemStore{buf: append([]byte(nil), initial...)}
+}
+
+// ReadAll implements LogStore.
+func (s *MemStore) ReadAll() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf...), nil
+}
+
+// Append implements LogStore.
+func (s *MemStore) Append(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, data...)
+	return nil
+}
+
+// Rewrite implements LogStore.
+func (s *MemStore) Rewrite(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf[:0:0], data...)
+	return nil
+}
+
+// FileStore is a file-backed LogStore: Append writes and syncs, Rewrite
+// goes through a temp file + rename (the same atomicity discipline as
+// proxyd's checkpoint save).
+type FileStore struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenFileStore opens (creating if absent) the log file at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open log: %w", err)
+	}
+	return &FileStore{path: path, f: f}, nil
+}
+
+// ReadAll implements LogStore.
+func (s *FileStore) ReadAll() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile(s.path)
+}
+
+// Append implements LogStore.
+func (s *FileStore) Append(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if _, err := s.f.Write(data); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Rewrite implements LogStore.
+func (s *FileStore) Rewrite(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, base := filepath.Split(s.path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	return old.Close()
+}
+
+// Close closes the underlying file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// WAL is a write-ahead log over a LogStore. It mirrors the live suffix in
+// memory (bounded by compaction) so state transfer can serve log suffixes
+// without re-reading the store. Safe for concurrent use.
+type WAL struct {
+	mu    sync.Mutex
+	store LogStore
+
+	snapEpoch uint64
+	snapSeq   uint64
+	snapshot  []byte
+	hasSnap   bool
+	records   []Record
+}
+
+// OpenWAL replays the store's contents. A torn final block is dropped and
+// truncated away; any other malformation is ErrBadLog.
+func OpenWAL(store LogStore) (*WAL, error) {
+	raw, err := store.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("persist: read log: %w", err)
+	}
+	w := &WAL{store: store}
+	clean, err := w.replay(raw)
+	if err != nil {
+		return nil, err
+	}
+	if clean < len(raw) {
+		// Torn tail: truncate so future appends follow a parseable prefix.
+		if err := store.Rewrite(raw[:clean]); err != nil {
+			return nil, fmt.Errorf("persist: truncate torn log: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// replay parses raw, populating w, and returns the length of the clean
+// prefix (everything before a torn final block).
+func (w *WAL) replay(raw []byte) (int, error) {
+	off := 0
+	for off < len(raw) {
+		kind := raw[off]
+		if kind != blockSnapshot && kind != blockRecord {
+			return 0, fmt.Errorf("%w: unknown block kind 0x%02x at %d", ErrBadLog, kind, off)
+		}
+		body := raw[off+1:]
+		epoch, n1, err := wire.Uvarint(body)
+		if err != nil {
+			return off, nil // torn
+		}
+		body = body[n1:]
+		seq, n2, err := wire.Uvarint(body)
+		if err != nil {
+			return off, nil // torn
+		}
+		body = body[n2:]
+		data, n3, err := wire.Bytes(body)
+		if err != nil {
+			return off, nil // torn
+		}
+		body = body[n3:]
+		if len(body) < 4 {
+			return off, nil // torn
+		}
+		blockLen := 1 + n1 + n2 + n3
+		want := binary.BigEndian.Uint32(body)
+		if crc32.Checksum(raw[off:off+blockLen], crcTable) != want {
+			return 0, fmt.Errorf("%w: crc mismatch at %d", ErrBadLog, off)
+		}
+		switch kind {
+		case blockSnapshot:
+			if w.hasSnap && (epoch < w.snapEpoch || (epoch == w.snapEpoch && seq < w.snapSeq)) {
+				return 0, fmt.Errorf("%w: snapshot goes backwards at %d", ErrBadLog, off)
+			}
+			w.snapEpoch, w.snapSeq = epoch, seq
+			w.snapshot = append([]byte(nil), data...)
+			w.hasSnap = true
+			w.records = w.records[:0]
+		case blockRecord:
+			le, ls := w.lastLocked()
+			if epoch < le || seq <= ls {
+				return 0, fmt.Errorf("%w: record order violation at %d (epoch %d seq %d after epoch %d seq %d)", ErrBadLog, off, epoch, seq, le, ls)
+			}
+			w.records = append(w.records, Record{Epoch: epoch, Seq: seq, Payload: append([]byte(nil), data...)})
+		}
+		off += blockLen + 4
+	}
+	return off, nil
+}
+
+func appendBlock(dst []byte, kind byte, epoch, seq uint64, data []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	dst = wire.AppendUvarint(dst, epoch)
+	dst = wire.AppendUvarint(dst, seq)
+	dst = wire.AppendBytes(dst, data)
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc32.Checksum(dst[start:], crcTable))
+	return append(dst, crcBuf[:]...)
+}
+
+// lastLocked returns the epoch/seq position after the newest entry.
+func (w *WAL) lastLocked() (epoch, seq uint64) {
+	if n := len(w.records); n > 0 {
+		return w.records[n-1].Epoch, w.records[n-1].Seq
+	}
+	return w.snapEpoch, w.snapSeq
+}
+
+// Last returns the epoch and sequence number of the newest entry (record
+// or snapshot baseline); zero values for an empty log.
+func (w *WAL) Last() (epoch, seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLocked()
+}
+
+// Append durably logs one ordered write. It must be called before the
+// write is acknowledged; order violations (non-increasing seq, decreasing
+// epoch) are rejected.
+func (w *WAL) Append(epoch, seq uint64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	le, ls := w.lastLocked()
+	if epoch < le || seq <= ls {
+		return fmt.Errorf("%w: append epoch %d seq %d after epoch %d seq %d", ErrBadLog, epoch, seq, le, ls)
+	}
+	if err := w.store.Append(appendBlock(nil, blockRecord, epoch, seq, payload)); err != nil {
+		return err
+	}
+	w.records = append(w.records, Record{Epoch: epoch, Seq: seq, Payload: append([]byte(nil), payload...)})
+	return nil
+}
+
+// Snapshot records a full-state snapshot as of (epoch, seq) and compacts:
+// the log is atomically rewritten to just the snapshot block, discarding
+// the records it subsumes.
+func (w *WAL) Snapshot(epoch, seq uint64, state []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if le, ls := w.lastLocked(); epoch < le || seq < ls {
+		return fmt.Errorf("%w: snapshot epoch %d seq %d before epoch %d seq %d", ErrBadLog, epoch, seq, le, ls)
+	}
+	if err := w.store.Rewrite(appendBlock(nil, blockSnapshot, epoch, seq, state)); err != nil {
+		return err
+	}
+	w.snapEpoch, w.snapSeq = epoch, seq
+	w.snapshot = append([]byte(nil), state...)
+	w.hasSnap = true
+	w.records = w.records[:0]
+	return nil
+}
+
+// LastSnapshot returns the newest snapshot, if any.
+func (w *WAL) LastSnapshot() (epoch, seq uint64, state []byte, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.hasSnap {
+		return 0, 0, nil, false
+	}
+	return w.snapEpoch, w.snapSeq, append([]byte(nil), w.snapshot...), true
+}
+
+// Suffix returns the records with Seq > afterSeq. ErrCompacted means the
+// caller is behind the snapshot baseline and needs full state transfer.
+func (w *WAL) Suffix(afterSeq uint64) ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if afterSeq < w.snapSeq {
+		return nil, ErrCompacted
+	}
+	var out []Record
+	for _, r := range w.records {
+		if r.Seq > afterSeq {
+			out = append(out, Record{Epoch: r.Epoch, Seq: r.Seq, Payload: append([]byte(nil), r.Payload...)})
+		}
+	}
+	return out, nil
+}
+
+// Records returns every record after the snapshot baseline (the live
+// suffix). Chaos tests use this to audit that acknowledged writes were
+// logged before their acks.
+func (w *WAL) Records() []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, 0, len(w.records))
+	for _, r := range w.records {
+		out = append(out, Record{Epoch: r.Epoch, Seq: r.Seq, Payload: append([]byte(nil), r.Payload...)})
+	}
+	return out
+}
+
+// Len reports the number of live (post-snapshot) records.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}

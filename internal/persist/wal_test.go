@@ -1,0 +1,252 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func mustAppend(t *testing.T, w *WAL, epoch, seq uint64, payload string) {
+	t.Helper()
+	if err := w.Append(epoch, seq, []byte(payload)); err != nil {
+		t.Fatalf("append %d/%d: %v", epoch, seq, err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	store := NewMemStore(nil)
+	w, err := OpenWAL(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, 1, 1, "a")
+	mustAppend(t, w, 1, 2, "b")
+	mustAppend(t, w, 2, 3, "c")
+
+	raw, _ := store.ReadAll()
+	re, err := OpenWAL(NewMemStore(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := re.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[2].Epoch != 2 || recs[2].Seq != 3 || string(recs[2].Payload) != "c" {
+		t.Errorf("last record = %+v", recs[2])
+	}
+	if e, s := re.Last(); e != 2 || s != 3 {
+		t.Errorf("Last = %d/%d", e, s)
+	}
+}
+
+func TestWALOrderViolations(t *testing.T) {
+	w, _ := OpenWAL(NewMemStore(nil))
+	mustAppend(t, w, 2, 5, "x")
+	if err := w.Append(2, 5, []byte("dup")); !errors.Is(err, ErrBadLog) {
+		t.Errorf("duplicate seq = %v", err)
+	}
+	if err := w.Append(2, 4, []byte("back")); !errors.Is(err, ErrBadLog) {
+		t.Errorf("seq going backwards = %v", err)
+	}
+	if err := w.Append(1, 6, []byte("old")); !errors.Is(err, ErrBadLog) {
+		t.Errorf("epoch going backwards = %v", err)
+	}
+	if err := w.Snapshot(1, 1, nil); !errors.Is(err, ErrBadLog) {
+		t.Errorf("snapshot going backwards = %v", err)
+	}
+}
+
+func TestWALSnapshotCompacts(t *testing.T) {
+	store := NewMemStore(nil)
+	w, _ := OpenWAL(store)
+	for i := uint64(1); i <= 5; i++ {
+		mustAppend(t, w, 1, i, "w")
+	}
+	before, _ := store.ReadAll()
+	if err := w.Snapshot(1, 5, []byte("state@5")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := store.ReadAll()
+	if len(after) >= len(before) {
+		t.Errorf("compaction did not shrink the log: %d -> %d", len(before), len(after))
+	}
+	if w.Len() != 0 {
+		t.Errorf("live records after snapshot = %d", w.Len())
+	}
+	mustAppend(t, w, 1, 6, "post")
+
+	raw, _ := store.ReadAll()
+	re, err := OpenWAL(NewMemStore(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, seq, state, ok := re.LastSnapshot()
+	if !ok || epoch != 1 || seq != 5 || string(state) != "state@5" {
+		t.Errorf("snapshot = %d/%d %q ok=%v", epoch, seq, state, ok)
+	}
+	recs := re.Records()
+	if len(recs) != 1 || recs[0].Seq != 6 {
+		t.Errorf("post-snapshot records = %+v", recs)
+	}
+}
+
+func TestWALSuffix(t *testing.T) {
+	w, _ := OpenWAL(NewMemStore(nil))
+	for i := uint64(1); i <= 4; i++ {
+		mustAppend(t, w, 1, i, "w")
+	}
+	if err := w.Snapshot(1, 4, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, 1, 5, "e")
+	mustAppend(t, w, 1, 6, "f")
+
+	if recs, err := w.Suffix(4); err != nil || len(recs) != 2 {
+		t.Errorf("Suffix(4) = %v, %v", recs, err)
+	}
+	if recs, err := w.Suffix(5); err != nil || len(recs) != 1 || recs[0].Seq != 6 {
+		t.Errorf("Suffix(5) = %v, %v", recs, err)
+	}
+	if recs, err := w.Suffix(6); err != nil || len(recs) != 0 {
+		t.Errorf("Suffix(6) = %v, %v", recs, err)
+	}
+	// Behind the compaction baseline: needs full state transfer.
+	if _, err := w.Suffix(2); !errors.Is(err, ErrCompacted) {
+		t.Errorf("Suffix(2) err = %v", err)
+	}
+}
+
+// TestWALTornTail simulates dying mid-append: every strict prefix of the
+// final block must replay to the first two records, and the torn bytes
+// must be truncated so subsequent appends parse.
+func TestWALTornTail(t *testing.T) {
+	store := NewMemStore(nil)
+	w, _ := OpenWAL(store)
+	mustAppend(t, w, 1, 1, "keep-1")
+	mustAppend(t, w, 1, 2, "keep-2")
+	clean, _ := store.ReadAll()
+	cleanLen := len(clean)
+	mustAppend(t, w, 1, 3, "torn")
+	full, _ := store.ReadAll()
+
+	for cut := cleanLen + 1; cut < len(full); cut++ {
+		store := NewMemStore(full[:cut])
+		re, err := OpenWAL(store)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got := len(re.Records()); got != 2 {
+			t.Fatalf("cut %d: %d records, want 2", cut, got)
+		}
+		// The torn bytes must be gone: a fresh append then a re-open
+		// must see exactly records 1, 2, 3.
+		mustAppend(t, re, 1, 3, "retry")
+		raw, _ := store.ReadAll()
+		re2, err := OpenWAL(NewMemStore(raw))
+		if err != nil {
+			t.Fatalf("cut %d reopen: %v", cut, err)
+		}
+		if got := len(re2.Records()); got != 3 {
+			t.Fatalf("cut %d reopen: %d records, want 3", cut, got)
+		}
+	}
+}
+
+// TestWALCorruption flips each byte of a complete log: every flip that
+// lands in a complete block must surface ErrBadLog, never silently alter
+// a record. (Flips that make the stream look torn are allowed to replay
+// a shorter prefix — but only ever a prefix.)
+func TestWALCorruption(t *testing.T) {
+	store := NewMemStore(nil)
+	w, _ := OpenWAL(store)
+	mustAppend(t, w, 1, 1, "alpha")
+	mustAppend(t, w, 1, 2, "beta")
+	good, _ := store.ReadAll()
+
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		re, err := OpenWAL(NewMemStore(mut))
+		if err != nil {
+			if !errors.Is(err, ErrBadLog) {
+				t.Errorf("byte %d: unexpected error class %v", i, err)
+			}
+			continue
+		}
+		// Accepted: every surviving record must be byte-identical to an
+		// original one (a prefix replay after an apparent tear).
+		for _, r := range re.Records() {
+			want := map[uint64]string{1: "alpha", 2: "beta"}[r.Seq]
+			if want == "" || string(r.Payload) != want || r.Epoch != 1 {
+				t.Errorf("byte %d: corrupted record %+v accepted", i, r)
+			}
+		}
+	}
+}
+
+func TestWALFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group.wal")
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, 1, 1, "a")
+	mustAppend(t, w, 1, 2, "b")
+	if err := w.Snapshot(1, 2, []byte("st")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, 1, 3, "c")
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	re, err := OpenWAL(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, state, ok := re.LastSnapshot(); !ok || seq != 2 || string(state) != "st" {
+		t.Errorf("snapshot = %d %q ok=%v", seq, state, ok)
+	}
+	recs := re.Records()
+	if len(recs) != 1 || recs[0].Seq != 3 || string(recs[0].Payload) != "c" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestWALEmpty(t *testing.T) {
+	w, err := OpenWAL(NewMemStore(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, s := w.Last(); e != 0 || s != 0 {
+		t.Errorf("Last = %d/%d", e, s)
+	}
+	if _, _, _, ok := w.LastSnapshot(); ok {
+		t.Error("empty log has a snapshot")
+	}
+	if recs, err := w.Suffix(0); err != nil || len(recs) != 0 {
+		t.Errorf("Suffix(0) = %v, %v", recs, err)
+	}
+}
+
+func TestWALRecordsAreCopies(t *testing.T) {
+	w, _ := OpenWAL(NewMemStore(nil))
+	payload := []byte("orig")
+	mustAppend(t, w, 1, 1, string(payload))
+	recs := w.Records()
+	recs[0].Payload[0] = 'X'
+	if got := w.Records(); !bytes.Equal(got[0].Payload, []byte("orig")) {
+		t.Errorf("caller mutation leaked into the log: %q", got[0].Payload)
+	}
+}

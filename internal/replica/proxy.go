@@ -9,6 +9,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/group"
+	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
@@ -21,20 +22,45 @@ func contextWithJoinTimeout() (context.Context, context.CancelFunc) {
 
 // Proxy is the replicated proxy: a full local copy of the object plus
 // group membership. Implements core.Proxy.
+//
+// Beyond serving calls, a proxy is the group's unit of fault tolerance:
+// its repair loop (heal.go) keeps it in sync with the primary, and when
+// the primary dies the deterministic successor among the proxies promotes
+// itself — its local copy becomes the authoritative one, under a new
+// epoch that fences the old primary.
 type Proxy struct {
 	rt     *core.Runtime
+	f      *Factory
 	ref    codec.Ref
-	ctrl   wire.ObjAddr
 	isRead func(string) bool
 	local  StateMachine
+	stop   chan struct{}
 
 	mu     sync.Mutex
+	ctrl   wire.ObjAddr
 	member *group.Member
 	closed bool
+	// epoch is the primary incarnation this proxy follows; stateEpoch is
+	// the incarnation its local state was last synchronized with. They
+	// diverge between adopting a new primary and completing state
+	// transfer from it — a window in which this proxy must not promote.
+	epoch      uint64
+	stateEpoch uint64
+	// view is the primary's join-ordered membership view, refreshed on
+	// join and on every sync round; its first live entry is the
+	// deterministic successor.
+	view []wire.ObjAddr
+	// prim is non-nil once this proxy has promoted itself to primary.
+	prim *primary
+	// failures counts consecutive repair-probe failures of any kind;
+	// crossing a threshold is treated as primary-death evidence even when
+	// no single error is conclusive.
+	failures int
 
 	localReads atomic.Uint64
 	writesSent atomic.Uint64
 	applied    atomic.Uint64
+	appliedSeq atomic.Uint64
 }
 
 // apply is the group delivery callback: one ordered write at a time. The
@@ -52,12 +78,31 @@ func (p *Proxy) apply(seq uint64, payload []byte) {
 	// the writer; replicas apply purely for state.
 	_, _ = p.local.Invoke(context.Background(), method, args)
 	p.applied.Add(1)
+	p.appliedSeq.Store(seq)
+}
+
+// handleRepair answers repair-protocol queries addressed to this proxy's
+// member object. kindWhereIs is how peers discover a promoted primary:
+// the reply is this proxy's current belief, epoch-stamped so stale
+// beliefs lose.
+func (p *Proxy) handleRepair(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	switch req.Kind {
+	case kindWhereIs:
+		p.mu.Lock()
+		epoch, ctrl := p.epoch, p.ctrl
+		p.mu.Unlock()
+		reply := wire.AppendUvarint(nil, epoch)
+		reply = wire.AppendObjAddr(reply, ctrl)
+		return kindWhereIs, reply, nil
+	default:
+		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "replica: unexpected kind %v", req.Kind))
+	}
 }
 
 // Invoke implements core.Proxy.
 func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
 	p.mu.Lock()
-	closed := p.closed
+	closed, prim := p.closed, p.prim
 	p.mu.Unlock()
 	if closed {
 		return nil, core.ErrProxyClosed
@@ -69,6 +114,11 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 		return p.local.Invoke(ctx, method, args)
 	}
 	p.writesSent.Add(1)
+	if prim != nil {
+		// Promoted: this proxy's copy is the authoritative one; the write
+		// path is in-process.
+		return invokeOnPrimary(ctx, prim, method, args)
+	}
 	ctx, finish := p.rt.Tracer().StartChild(ctx, "replica.write:"+method, p.rt.Where())
 	results, err := p.writeToPrimary(ctx, method, args)
 	finish(err)
@@ -89,7 +139,10 @@ func (p *Proxy) writeToPrimary(ctx context.Context, method string, args []any) (
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	reply, err := p.rt.GuardedCall(ctx, p.ctrl, kindWrite, payload)
+	p.mu.Lock()
+	ctrl := p.ctrl
+	p.mu.Unlock()
+	reply, err := p.rt.GuardedCall(ctx, ctrl, kindWrite, payload)
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
 	}
@@ -103,6 +156,24 @@ func (p *Proxy) Ref() codec.Ref { return p.ref }
 // applied by delivery).
 func (p *Proxy) Stats() (localReads, writesSent, applied uint64) {
 	return p.localReads.Load(), p.writesSent.Load(), p.applied.Load()
+}
+
+// AppliedSeq reports the sequence number of the last write applied to the
+// local copy (via delivery, log-suffix catch-up, or snapshot transfer).
+func (p *Proxy) AppliedSeq() uint64 { return p.appliedSeq.Load() }
+
+// Epoch reports the primary incarnation this proxy currently follows.
+func (p *Proxy) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// IsPrimary reports whether this proxy has promoted itself to primary.
+func (p *Proxy) IsPrimary() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.prim != nil
 }
 
 // Local exposes the local replica (tests verify convergence through it).
@@ -119,6 +190,8 @@ func (p *Proxy) Close() error {
 	member := p.member
 	p.mu.Unlock()
 
+	close(p.stop)
+	unregisterStatus(p.rt, p)
 	p.rt.ForgetProxy(p.ref.Target)
 	if member != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)

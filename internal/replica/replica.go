@@ -13,6 +13,16 @@
 // served from the local replica, so a read concurrent with a write may
 // see either side of it, and read-your-writes holds because the writer's
 // own replica is updated before its write returns.
+//
+// Fault tolerance: the primary appends every ordered write to a
+// write-ahead log (internal/persist) before acknowledging it, and each
+// proxy runs a repair loop (heal.go) that rejoins after eviction, fetches
+// missed state from the primary (log suffix or full snapshot), and — when
+// the primary's node dies — promotes a deterministic successor under a
+// new epoch that fences the deposed primary. A primary restarted on top
+// of a durable log store reassumes the sequencer role at a fresh epoch.
+// DESIGN.md's "Recovery" subsection documents the protocol and its
+// single-failure guarantee.
 package replica
 
 import (
@@ -26,13 +36,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/group"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
-// kindWrite is the private kind a replica proxy uses to submit a write to
-// the primary.
-const kindWrite = wire.KindCustom + 40
+// Private protocol kinds between replica proxies and the primary.
+const (
+	// kindWrite submits a write to the primary's ordered path.
+	kindWrite = wire.KindCustom + 40
+	// kindSync is the repair/anti-entropy probe: a member reports its
+	// position and gets back nothing (in sync), a log suffix, or a full
+	// snapshot — and is re-added to the delivery set if it was evicted.
+	kindSync = wire.KindCustom + 41
+	// kindWhereIs asks a *member* (not the primary) who it believes the
+	// primary is; the answer carries an epoch so stale beliefs lose.
+	kindWhereIs = wire.KindCustom + 42
+)
 
 // StateMachine is a deterministic service whose full state can be
 // snapshotted and restored: applying the same writes in the same order to
@@ -54,9 +74,48 @@ type FactoryOption func(*Factory)
 
 // WithDeliverTimeout bounds how long a write waits for one replica to
 // acknowledge before the primary suspects it dead and evicts it (default
-// 5s; shrink it to trade write-latency tail for faster failover).
+// 5s; shrink it to trade write-latency tail for faster failover). An
+// evicted replica that is merely slow, not dead, rejoins through the
+// repair loop.
 func WithDeliverTimeout(d time.Duration) FactoryOption {
 	return func(f *Factory) { f.deliverTimeout = d }
+}
+
+// WithSyncInterval sets the repair-loop period: how often each proxy
+// confirms it is still a member, fetches missed state, and probes the
+// primary's liveness (default 1s; tests shrink it for fast failover).
+func WithSyncInterval(d time.Duration) FactoryOption {
+	return func(f *Factory) {
+		if d > 0 {
+			f.syncInterval = d
+		}
+	}
+}
+
+// WithWALStore supplies the durable store backing the write-ahead log of
+// whichever node becomes primary (the exporter at first, a promoted
+// successor later). The default is a fresh in-memory store per
+// incarnation — appropriate on the simulated network, where netsim's
+// Restart models in-memory state as durable. proxyd passes file-backed
+// stores so a real restart reassumes the group.
+func WithWALStore(fn func(node wire.Addr) persist.LogStore) FactoryOption {
+	return func(f *Factory) { f.walStore = fn }
+}
+
+// WithSnapshotEvery sets how many writes the primary logs between
+// full-state snapshots (which also truncate the log). Default 64.
+func WithSnapshotEvery(n uint64) FactoryOption {
+	return func(f *Factory) {
+		if n > 0 {
+			f.snapEvery = n
+		}
+	}
+}
+
+// WithName labels the group in the replica status service (proxyctl
+// group). Default "replica".
+func WithName(name string) FactoryOption {
+	return func(f *Factory) { f.name = name }
 }
 
 // Factory is the replicated proxy factory. The service side constructs it
@@ -67,6 +126,10 @@ type Factory struct {
 	reads          []string
 	ctor           func() StateMachine
 	deliverTimeout time.Duration
+	syncInterval   time.Duration
+	walStore       func(node wire.Addr) persist.LogStore
+	snapEvery      uint64
+	name           string
 }
 
 // NewFactory builds a replicating factory: readMethods are served from the
@@ -75,8 +138,12 @@ type Factory struct {
 // restored.
 func NewFactory(readMethods []string, ctor func() StateMachine, opts ...FactoryOption) *Factory {
 	f := &Factory{
-		reads: append([]string(nil), readMethods...),
-		ctor:  ctor,
+		reads:        append([]string(nil), readMethods...),
+		ctor:         ctor,
+		syncInterval: time.Second,
+		walStore:     func(wire.Addr) persist.LogStore { return persist.NewMemStore(nil) },
+		snapEvery:    64,
+		name:         "replica",
 	}
 	for _, o := range opts {
 		o(f)
@@ -128,26 +195,65 @@ func decodeRepHint(src []byte) (repHint, error) {
 }
 
 // Export implements core.Exporter: it stands up the primary (sequencer +
-// control object) for this service.
+// control object) for this service. If the factory's log store already
+// holds a previous incarnation's write-ahead log, the primary reassumes
+// the group: state is rebuilt from the last snapshot plus the logged
+// suffix, and the sequencer restarts at the next epoch so any survivor of
+// the old incarnation is fenced.
 func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (core.Service, []byte, error) {
 	sm, ok := svc.(StateMachine)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %T", ErrNotStateMachine, svc)
 	}
-	p := &primary{rt: rt, svc: sm, isRead: readSet(f.reads), cap: ref.Cap}
-	var seqOpts []group.SequencerOption
+	wal, err := persist.OpenWAL(f.walStore(rt.Addr()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("replica: open wal: %w", err)
+	}
+	epoch, startSeq := uint64(1), uint64(0)
+	if le, ls := wal.Last(); le > 0 {
+		// Reassume a crashed incarnation's group from its log.
+		if _, _, state, ok := wal.LastSnapshot(); ok {
+			if err := sm.Restore(state); err != nil {
+				return nil, nil, fmt.Errorf("replica: restore wal snapshot: %w", err)
+			}
+		}
+		for _, r := range wal.Records() {
+			_, method, args, err := core.DecodeRequest(rt.Decoder(), r.Payload)
+			if err != nil {
+				continue
+			}
+			_, _ = sm.Invoke(context.Background(), method, args)
+		}
+		epoch, startSeq = le+1, ls
+	}
+	p := &primary{
+		rt: rt, svc: sm, isRead: readSet(f.reads), cap: ref.Cap,
+		wal: wal, name: f.name, snapEvery: f.snapEvery,
+	}
+	seqOpts := []group.SequencerOption{
+		group.WithEpoch(epoch),
+		group.WithStartSeq(startSeq),
+		group.WithOnEvict(p.onEvict),
+	}
 	if f.deliverTimeout > 0 {
 		seqOpts = append(seqOpts, group.WithDeliverTimeout(f.deliverTimeout))
 	}
 	p.seq = group.NewSequencer(rt, seqOpts...)
+	// Stamp this incarnation's baseline into the log: recovery of *this*
+	// incarnation starts here.
+	if state, err := sm.Snapshot(); err == nil {
+		_ = wal.Snapshot(epoch, startSeq, state)
+	}
 	srv := rpc.NewServer(rpc.HandlerFunc(p.handle))
 	p.id = rt.Kernel().Register(srv)
+	registerStatus(rt, p)
 	h := repHint{Ctrl: p.id, Reads: f.reads}
 	return &wrapped{p: p}, h.encode(), nil
 }
 
 // New implements core.ProxyFactory: build the local replica, join the
-// group, restore the snapshot, serve.
+// group, restore the snapshot, serve — and keep a repair loop running for
+// the rest of the proxy's life.
 func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
 	h, err := decodeRepHint(ref.Hint)
 	if err != nil {
@@ -158,22 +264,32 @@ func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
 	}
 	p := &Proxy{
 		rt:     rt,
+		f:      f,
 		ref:    ref,
 		ctrl:   wire.ObjAddr{Addr: ref.Target.Addr, Object: h.Ctrl},
 		isRead: readSet(h.Reads),
 		local:  f.ctor(),
+		stop:   make(chan struct{}),
 	}
 	ctx, cancel := contextWithJoinTimeout()
 	defer cancel()
-	member, boot, err := group.Join(ctx, rt, p.ctrl, p.apply)
+	member, info, err := group.Join(ctx, rt, p.ctrl, p.apply, group.WithRequestHandler(p.handleRepair))
 	if err != nil {
 		return nil, fmt.Errorf("replica: join: %w", err)
 	}
-	if err := p.local.Restore(boot); err != nil {
+	if err := p.local.Restore(info.Boot); err != nil {
 		_ = member.Leave(ctx)
 		return nil, fmt.Errorf("replica: restore bootstrap: %w", err)
 	}
 	p.member = member
+	p.epoch = info.Epoch
+	p.stateEpoch = info.Epoch
+	p.appliedSeq.Store(info.BootSeq)
+	if view, err := decodeView(info.Extra); err == nil {
+		p.view = view
+	}
+	registerStatus(rt, p)
+	go p.healLoop()
 	return p, nil
 }
 
@@ -191,14 +307,29 @@ type primary struct {
 	svc    StateMachine
 	isRead func(string) bool
 	seq    *group.Sequencer
+	wal    *persist.WAL
 	id     wire.ObjectID
 	// cap mirrors the export's capability token for the private write path.
-	cap uint64
+	cap       uint64
+	name      string
+	snapEvery uint64
 
-	// mu serializes apply+broadcast for writes and snapshot+join for
+	// mu serializes apply+log+broadcast for writes and snapshot+join for
 	// joins, which is what makes the bootstrap sequence point exact.
-	mu     sync.Mutex
-	writes uint64
+	mu      sync.Mutex
+	writes  uint64
+	deposed bool
+
+	// viewMu guards the join-ordered membership view. Separate from mu
+	// because evictions are reported mid-Deliver, while mu is held.
+	viewMu sync.Mutex
+	view   []wire.ObjAddr
+}
+
+// errDeposed is the fencing verdict a deposed primary returns everywhere.
+func errDeposed(method string) []byte {
+	return core.EncodeInvokeError(method,
+		core.Errorf(core.CodeFenced, method, "replica: primary deposed (a successor holds a newer epoch)"))
 }
 
 func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
@@ -209,15 +340,21 @@ func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 			return 0, nil, core.EncodeInvokeError("join", err)
 		}
 		p.mu.Lock()
+		if p.deposed {
+			p.mu.Unlock()
+			return 0, nil, errDeposed("join")
+		}
 		boot, err := p.svc.Snapshot()
 		if err != nil {
 			p.mu.Unlock()
 			return 0, nil, core.EncodeInvokeError("join", err)
 		}
 		bootSeq := p.seq.Seq()
-		p.seq.AddMember(member)
+		p.seq.AddMember(member, bootSeq)
+		p.addToView(member)
+		view := encodeView(p.snapshotView())
 		p.mu.Unlock()
-		reply, err := group.EncodeJoinReply(bootSeq, boot)
+		reply, err := group.EncodeJoinReply(p.seq.Epoch(), bootSeq, boot, view)
 		if err != nil {
 			return 0, nil, core.EncodeInvokeError("join", err)
 		}
@@ -228,9 +365,12 @@ func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 			return 0, nil, core.EncodeInvokeError("leave", err)
 		}
 		p.seq.RemoveMember(member)
+		p.removeFromView(member)
 		return group.KindLeave, nil, nil
 	case kindWrite:
 		return p.handleWrite(req)
+	case kindSync:
+		return p.handleSync(req)
 	default:
 		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "replica: unexpected kind %v", req.Kind))
 	}
@@ -270,27 +410,220 @@ func (p *primary) handleWrite(req *rpc.Request) (wire.Kind, []byte, []byte) {
 	return kindWrite, reply, nil
 }
 
-// applyWrite runs one write at the primary and pushes it to every replica
-// before returning. rawPayload is the already-encoded request, forwarded
-// verbatim to replicas.
+// applyWrite runs one write at the primary: apply to the authoritative
+// copy, append to the write-ahead log (durability before acknowledgement),
+// push to every replica, and only then return. rawPayload is the
+// already-encoded request, logged and forwarded verbatim.
 func (p *primary) applyWrite(ctx context.Context, from wire.Addr, method string, args []any, rawPayload []byte) ([]any, []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.deposed {
+		return nil, errDeposed(method)
+	}
 	results, err := p.svc.Invoke(core.WithCaller(ctx, from), method, args)
 	if err != nil {
 		return nil, core.EncodeInvokeError(method, err)
 	}
-	p.writes++
-	if _, err := p.seq.Broadcast(ctx, rawPayload); err != nil {
+	epoch, seq := p.seq.Reserve()
+	if err := p.wal.Append(epoch, seq, rawPayload); err != nil {
+		// Unlogged writes must not be acknowledged: a crash would lose them.
+		return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeUnavailable, method, "replica wal: %s", err))
+	}
+	if err := p.seq.Deliver(ctx, epoch, seq, rawPayload); err != nil {
+		if errors.Is(err, group.ErrFenced) {
+			// A member has seen a newer epoch: this primary was deposed.
+			// Nothing it does from here on may be acknowledged.
+			p.deposed = true
+			return nil, errDeposed(method)
+		}
 		// The write is applied at the primary; a broadcast failure means
 		// some replica may be behind. Fail loudly so the caller knows.
 		return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeUnavailable, method, "replica broadcast: %s", err))
 	}
+	p.writes++
+	if p.snapEvery > 0 && p.writes%p.snapEvery == 0 {
+		if state, err := p.svc.Snapshot(); err == nil {
+			_ = p.wal.Snapshot(epoch, seq, state)
+		}
+	}
 	return results, nil
 }
 
-// Replicas reports the current replica count (tests/benches).
+// Sync-reply transfer modes.
+const (
+	syncOK       = 0 // member is current; nothing to transfer
+	syncRecords  = 1 // blob is a log suffix (encodeRecords)
+	syncSnapshot = 2 // blob is a full state snapshot
+)
+
+// handleSync serves the repair probe: re-admit an evicted member and hand
+// it whatever it is missing. Same-epoch members get the log suffix past
+// their position when the log still has it; anything else — including
+// every cross-epoch rejoin, where the member's tail may have diverged at
+// the old epoch's end — gets a full snapshot.
+func (p *primary) handleSync(req *rpc.Request) (wire.Kind, []byte, []byte) {
+	payload := req.Frame.Payload
+	member, n, err := wire.DecodeObjAddr(payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("sync", err)
+	}
+	payload = payload[n:]
+	stateEpoch, n, err := wire.Uvarint(payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("sync", err)
+	}
+	payload = payload[n:]
+	appliedSeq, _, err := wire.Uvarint(payload)
+	if err != nil {
+		return 0, nil, core.EncodeInvokeError("sync", err)
+	}
+
+	p.mu.Lock()
+	if p.deposed {
+		p.mu.Unlock()
+		return 0, nil, errDeposed("sync")
+	}
+	epoch := p.seq.Epoch()
+	curSeq := p.seq.Seq()
+	mode := byte(syncOK)
+	var blob []byte
+	switch {
+	case stateEpoch == epoch && p.seq.HasMember(member):
+		// Current member checking in.
+	case stateEpoch == epoch:
+		// Evicted (or silently dropped) at our own epoch: catch it up from
+		// the log if compaction hasn't outrun it.
+		if recs, err := p.wal.Suffix(appliedSeq); err == nil {
+			mode, blob = syncRecords, encodeRecords(recs)
+			p.seq.AddMember(member, appliedSeq)
+			p.addToView(member)
+			break
+		}
+		fallthrough
+	default:
+		state, err := p.svc.Snapshot()
+		if err != nil {
+			p.mu.Unlock()
+			return 0, nil, core.EncodeInvokeError("sync", err)
+		}
+		mode, blob = syncSnapshot, state
+		p.seq.AddMember(member, curSeq)
+		p.addToView(member)
+	}
+	view := encodeView(p.snapshotView())
+	p.mu.Unlock()
+
+	reply := []byte{mode}
+	reply = wire.AppendUvarint(reply, epoch)
+	reply = wire.AppendUvarint(reply, curSeq)
+	reply = wire.AppendBytes(reply, blob)
+	reply = append(reply, view...)
+	return kindSync, reply, nil
+}
+
+// onEvict is the sequencer's eviction callback: drop the member from the
+// successor-election view. It may run while mu is held by a write, so it
+// only touches viewMu.
+func (p *primary) onEvict(m wire.ObjAddr) { p.removeFromView(m) }
+
+func (p *primary) addToView(m wire.ObjAddr) {
+	p.viewMu.Lock()
+	defer p.viewMu.Unlock()
+	for _, v := range p.view {
+		if v == m {
+			return
+		}
+	}
+	p.view = append(p.view, m)
+}
+
+func (p *primary) removeFromView(m wire.ObjAddr) {
+	p.viewMu.Lock()
+	defer p.viewMu.Unlock()
+	for i, v := range p.view {
+		if v == m {
+			p.view = append(p.view[:i], p.view[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *primary) snapshotView() []wire.ObjAddr {
+	p.viewMu.Lock()
+	defer p.viewMu.Unlock()
+	return append([]wire.ObjAddr(nil), p.view...)
+}
+
+// replicas reports the current replica count (tests/benches).
 func (p *primary) replicas() int { return p.seq.Members() }
+
+// encodeView serializes a join-ordered membership view.
+func encodeView(view []wire.ObjAddr) []byte {
+	buf := wire.AppendUvarint(nil, uint64(len(view)))
+	for _, m := range view {
+		buf = wire.AppendObjAddr(buf, m)
+	}
+	return buf
+}
+
+func decodeView(src []byte) ([]wire.ObjAddr, error) {
+	count, n, err := wire.Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[n:]
+	if count > uint64(len(src)) {
+		return nil, codec.ErrElementCount
+	}
+	view := make([]wire.ObjAddr, 0, count)
+	for i := uint64(0); i < count; i++ {
+		m, n, err := wire.DecodeObjAddr(src)
+		if err != nil {
+			return nil, err
+		}
+		src = src[n:]
+		view = append(view, m)
+	}
+	return view, nil
+}
+
+// encodeRecords serializes a log suffix for a sync reply: count, then
+// (seq, payload) per record. The epoch is implicit — a suffix is only
+// ever served within one epoch.
+func encodeRecords(recs []persist.Record) []byte {
+	buf := wire.AppendUvarint(nil, uint64(len(recs)))
+	for _, r := range recs {
+		buf = wire.AppendUvarint(buf, r.Seq)
+		buf = wire.AppendBytes(buf, r.Payload)
+	}
+	return buf
+}
+
+func decodeRecords(src []byte) ([]persist.Record, error) {
+	count, n, err := wire.Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[n:]
+	if count > uint64(len(src)) {
+		return nil, codec.ErrElementCount
+	}
+	recs := make([]persist.Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		seq, n, err := wire.Uvarint(src)
+		if err != nil {
+			return nil, err
+		}
+		src = src[n:]
+		payload, n2, err := wire.Bytes(src)
+		if err != nil {
+			return nil, err
+		}
+		src = src[n2:]
+		recs = append(recs, persist.Record{Seq: seq, Payload: payload})
+	}
+	return recs, nil
+}
 
 // wrapped serves the standard invocation path (plain stub clients): reads
 // hit the primary copy; writes enter the ordered write path, so stub
@@ -301,19 +634,25 @@ type wrapped struct {
 
 // Invoke implements core.Service.
 func (w *wrapped) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
-	if w.p.isRead(method) {
-		return w.p.svc.Invoke(ctx, method, args)
+	return invokeOnPrimary(ctx, w.p, method, args)
+}
+
+// invokeOnPrimary is the in-process invocation path shared by the
+// exporter's wrapped service and a promoted proxy.
+func invokeOnPrimary(ctx context.Context, p *primary, method string, args []any) ([]any, error) {
+	if p.isRead(method) {
+		return p.svc.Invoke(ctx, method, args)
 	}
 	from, _ := core.CallerFrom(ctx)
-	lowered, err := w.p.rt.LowerArgs(args)
+	lowered, err := p.rt.LowerArgs(args)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	raw, err := core.EncodeRequest(w.p.cap, method, lowered)
+	raw, err := core.EncodeRequest(p.cap, method, lowered)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	results, errPayload := w.p.applyWrite(ctx, from, method, args, raw)
+	results, errPayload := p.applyWrite(ctx, from, method, args, raw)
 	if errPayload != nil {
 		return nil, core.DecodeInvokeError(errPayload)
 	}

@@ -291,6 +291,15 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 			attempts++
 			c.retransmits.Inc()
 			req.Flags |= wire.FlagRetransmit
+			if len(payload) > 0 && payload[0] == wire.DeadlineMagic {
+				// The payload opens with a deadline-budget header encoded
+				// when the call began; the budget has been shrinking while
+				// we waited. Re-encode what actually remains so the server
+				// does not trust a stale, over-generous figure.
+				if dl, ok := ctx.Deadline(); ok {
+					req.Payload = wire.RewriteDeadlineHeader(payload, time.Until(dl))
+				}
+			}
 			if err := c.ktx.Send(req); err != nil {
 				c.failures.Inc()
 				rec.end(attempts, err.Error())

@@ -518,3 +518,58 @@ func TestPartitionHealCompletesCall(t *testing.T) {
 		t.Errorf("retransmits (%d) + original < partition drops (%d)", st.Retransmits, snap.Partition)
 	}
 }
+
+func TestRetransmitReencodesDeadlineBudget(t *testing.T) {
+	// Regression: a payload opening with a deadline-budget header must not
+	// present its original budget after riding out retransmissions — the
+	// client re-encodes the remaining budget before each retransmit, so
+	// the server sees how much time is actually left.
+	r := newRig(t, []netsim.NetworkOption{netsim.WithSeed(1)},
+		WithRetryInterval(50*time.Millisecond), WithMaxAttempts(40))
+
+	var mu sync.Mutex
+	var budgets []time.Duration
+	var body []byte
+	dst, _ := r.serve(HandlerFunc(func(req *Request) (wire.Kind, []byte, []byte) {
+		b, rest := wire.SplitDeadlineHeader(req.Frame.Payload)
+		mu.Lock()
+		budgets = append(budgets, b)
+		body = append([]byte(nil), rest...)
+		mu.Unlock()
+		return wire.KindReply, nil, nil
+	}))
+
+	// Cut the request path so the first few transmissions vanish, then
+	// heal: the first frame the server ever sees is a retransmission.
+	r.net.Partition(1, 2)
+	const cut = 300 * time.Millisecond
+	heal := time.AfterFunc(cut, func() { r.net.Heal(1, 2) })
+	defer heal.Stop()
+
+	const total = 2 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), total)
+	defer cancel()
+	payload := append(wire.AppendDeadlineHeader(nil, total), []byte("work")...)
+	if _, err := r.client.Call(ctx, dst, wire.KindRequest, payload); err != nil {
+		t.Fatalf("call across partition+heal: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(budgets) == 0 {
+		t.Fatal("server never saw the request")
+	}
+	got := budgets[0]
+	if got == 0 {
+		t.Fatal("retransmitted request lost its deadline header")
+	}
+	if got > total-cut+100*time.Millisecond {
+		t.Errorf("server saw budget %v after a %v cut — stale original budget (%v) survived retransmission", got, cut, total)
+	}
+	if got <= 0 || got >= total {
+		t.Errorf("server saw budget %v, want within (0, %v)", got, total)
+	}
+	if string(body) != "work" {
+		t.Errorf("body after header rewrite = %q, want %q", body, "work")
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+import "time"
+
+// Deadline budget header. A request payload may be prefixed with
+// [DeadlineMagic, uvarint nanoseconds]: the caller's remaining deadline
+// budget, relative so it is immune to clock skew. The primitives live
+// here (not in core, which owns the policy) so the rpc layer below core
+// can re-encode the shrinking budget on each retransmission without
+// understanding the rest of the payload.
+//
+// DeadlineMagic follows the convention set by the obs trace header: codec
+// tags occupy 1..13, so any leading byte ≥ 0xF0 is unambiguously a
+// header. Headerless payloads from pre-deadline peers decode unchanged.
+const DeadlineMagic = 0xF6
+
+// AppendDeadlineHeader prefixes dst with the wire form of a remaining
+// budget: [magic, uvarint nanoseconds]. Non-positive budgets append
+// nothing (an already-expired call fails client-side anyway).
+func AppendDeadlineHeader(dst []byte, budget time.Duration) []byte {
+	if budget <= 0 {
+		return dst
+	}
+	dst = append(dst, DeadlineMagic)
+	return AppendUvarint(dst, uint64(budget))
+}
+
+// SplitDeadlineHeader strips a leading deadline header, returning the
+// budget it carried (zero if absent) and the rest of the payload.
+func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
+	if len(payload) == 0 || payload[0] != DeadlineMagic {
+		return 0, payload
+	}
+	ns, n, err := Uvarint(payload[1:])
+	if err != nil {
+		return 0, payload
+	}
+	return time.Duration(ns), payload[1+n:]
+}
+
+// RewriteDeadlineHeader replaces a leading deadline header with one
+// carrying budget, leaving everything after it untouched. Payloads that
+// do not start with a deadline header come back unchanged. A non-positive
+// budget is clamped to one nanosecond rather than dropped: a headerless
+// payload would read as "no deadline", the opposite of an expired one.
+func RewriteDeadlineHeader(payload []byte, budget time.Duration) []byte {
+	if len(payload) == 0 || payload[0] != DeadlineMagic {
+		return payload
+	}
+	_, rest := SplitDeadlineHeader(payload)
+	if len(rest) == len(payload) {
+		return payload // malformed header: leave it alone
+	}
+	if budget <= 0 {
+		budget = time.Nanosecond
+	}
+	out := AppendDeadlineHeader(make([]byte, 0, len(payload)), budget)
+	return append(out, rest...)
+}

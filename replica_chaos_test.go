@@ -1,0 +1,346 @@
+package repro
+
+// Replica-group chaos: crash the primary (or a replica) mid-write-load
+// and assert the self-healing invariants end to end — a deterministic
+// successor promotes itself, no acknowledged write is ever lost (audited
+// against the new primary's write-ahead log), the deposed primary cannot
+// acknowledge anything after fencing, and crashed-then-restarted members
+// rejoin and converge. Seeded like the rest of the chaos suite:
+// CHAOS_SEED=<n> go test -race -run TestChaos .
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// chaosReg is the replicated state machine under test: a register map.
+type chaosReg struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newChaosReg() *chaosReg { return &chaosReg{m: make(map[string]int64)} }
+
+func (s *chaosReg) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "get":
+		k, _ := args[0].(string)
+		return []any{s.m[k]}, nil
+	case "put":
+		k, _ := args[0].(string)
+		v, _ := args[1].(int64)
+		s.m[k] = v
+		return []any{v}, nil
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+func (s *chaosReg) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return codec.Marshal(s.m)
+}
+
+func (s *chaosReg) Restore(data []byte) error {
+	var m map[string]int64
+	if err := codec.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	return nil
+}
+
+func (s *chaosReg) get(k string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// chaosRepWorld is a chaos cluster with a replica factory whose WAL
+// stores are captured per node so tests can audit the logs afterwards.
+type chaosRepWorld struct {
+	c       *chaosCluster
+	factory *replica.Factory
+	ref     codec.Ref
+
+	storeMu sync.Mutex
+	stores  map[wire.Addr]*persist.MemStore
+}
+
+func newChaosRepWorld(t *testing.T, n int) *chaosRepWorld {
+	t.Helper()
+	w := &chaosRepWorld{stores: make(map[wire.Addr]*persist.MemStore)}
+	// The rpc budget (~300ms of 5ms retries) must outlive the primary's
+	// delivery timeout, while still failing conclusively on dead nodes
+	// well inside the repair probe's patience.
+	w.c = newChaosCluster(t, n,
+		[]rpc.ClientOption{rpc.WithRetryInterval(5 * time.Millisecond), rpc.WithMaxAttempts(60)})
+	w.factory = replica.NewFactory([]string{"get"},
+		func() replica.StateMachine { return newChaosReg() },
+		replica.WithDeliverTimeout(80*time.Millisecond),
+		replica.WithSyncInterval(25*time.Millisecond),
+		replica.WithSnapshotEvery(8),
+		replica.WithName("chaos-reg"),
+		replica.WithWALStore(func(node wire.Addr) persist.LogStore {
+			w.storeMu.Lock()
+			defer w.storeMu.Unlock()
+			if s, ok := w.stores[node]; ok {
+				return s
+			}
+			s := persist.NewMemStore(nil)
+			w.stores[node] = s
+			return s
+		}))
+	for _, rt := range w.c.rts {
+		rt.RegisterProxyType("ChaosReg", w.factory)
+	}
+	ref, err := w.c.rts[0].Export(newChaosReg(), "ChaosReg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ref = ref
+	return w
+}
+
+func (w *chaosRepWorld) proxy(t *testing.T, i int) *replica.Proxy {
+	t.Helper()
+	p, err := w.c.rts[i].Import(w.ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.(*replica.Proxy)
+}
+
+// walReconstruct rebuilds the state a WAL store proves durable: last
+// snapshot plus logged suffix.
+func walReconstruct(t *testing.T, rt *core.Runtime, store persist.LogStore) *chaosReg {
+	t.Helper()
+	wal, err := persist.OpenWAL(store)
+	if err != nil {
+		t.Fatalf("open wal for audit: %v", err)
+	}
+	reg := newChaosReg()
+	if _, _, state, ok := wal.LastSnapshot(); ok {
+		if err := reg.Restore(state); err != nil {
+			t.Fatalf("restore wal snapshot: %v", err)
+		}
+	}
+	for _, r := range wal.Records() {
+		_, method, args, err := core.DecodeRequest(rt.Decoder(), r.Payload)
+		if err != nil {
+			t.Fatalf("wal record %d undecodable: %v", r.Seq, err)
+		}
+		if _, err := reg.Invoke(context.Background(), method, args); err != nil {
+			t.Fatalf("wal replay of %q: %v", method, err)
+		}
+	}
+	return reg
+}
+
+// holdsAll reports whether reg contains every acked key at its value.
+func holdsAll(reg *chaosReg, acked map[string]int64) bool {
+	for key, want := range acked {
+		if got, ok := reg.get(key); !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+func chaosWaitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChaosPrimaryPromotion kills the primary's node mid-write-load and
+// asserts the full failover story: the first-joined survivor promotes
+// itself under epoch 2, writes resume through every surviving proxy, no
+// acknowledged write is lost (verified against the new primary's WAL),
+// and when the old primary's node comes back it is fenced on its first
+// delivery — a late client that joined the zombie is bounced with
+// CodeFenced and re-routes to the new primary.
+func TestChaosPrimaryPromotion(t *testing.T) {
+	seed := chaosSeed()
+	w := newChaosRepWorld(t, 4)
+	ctx := context.Background()
+	p2 := w.proxy(t, 1) // first joiner: the deterministic successor
+	p3 := w.proxy(t, 2)
+	proxies := []*replica.Proxy{p2, p3}
+
+	acked := make(map[string]int64)
+	var seq int64
+	write := func(p *replica.Proxy) error {
+		key := fmt.Sprintf("w%d", seq)
+		_, err := p.Invoke(ctx, "put", key, seq)
+		if err == nil {
+			acked[key] = seq
+		}
+		seq++
+		return err
+	}
+
+	// Seeded pre-crash load; every write must succeed while the group is
+	// whole.
+	preWrites := 15 + int(seed%10)
+	for i := 0; i < preWrites; i++ {
+		if err := write(proxies[i%2]); err != nil {
+			t.Fatalf("pre-crash write %d: %v", i, err)
+		}
+	}
+
+	w.c.net.Crash(1)
+
+	// Keep the load running through the outage; writes fail until the
+	// successor promotes, then start landing again.
+	chaosWaitFor(t, 10*time.Second, "successor to promote and accept writes", func() bool {
+		_ = write(proxies[int(seq)%2])
+		return p2.IsPrimary()
+	})
+	if got := p2.Epoch(); got < 2 {
+		t.Fatalf("promoted epoch = %d, want >= 2", got)
+	}
+	chaosWaitFor(t, 10*time.Second, "survivor to adopt the new primary", func() bool {
+		return p3.Epoch() >= 2 && !p3.IsPrimary()
+	})
+	// Post-failover load through both surviving proxies must all ack.
+	for i := 0; i < 10; i++ {
+		if err := write(proxies[i%2]); err != nil {
+			t.Fatalf("post-failover write: %v", err)
+		}
+	}
+
+	// Zero lost acknowledged writes: every acked key is in both
+	// survivors' local copies. (A promoted proxy applies through the
+	// primary's shared state machine, not its old member, so state — not
+	// AppliedSeq — is the convergence signal here.)
+	for _, p := range proxies {
+		reg := p.Local().(*chaosReg)
+		chaosWaitFor(t, 5*time.Second, "survivor to hold every acked write", func() bool {
+			return holdsAll(reg, acked)
+		})
+		for key, want := range acked {
+			if got, ok := reg.get(key); !ok || got != want {
+				t.Fatalf("acked write %s=%d missing from a survivor (got %d, present=%v)", key, want, got, ok)
+			}
+		}
+	}
+	// ...and every acked key is durable in the new primary's write-ahead
+	// log (append-before-ack held across the promotion).
+	w.storeMu.Lock()
+	store := w.stores[w.c.rts[1].Addr()]
+	w.storeMu.Unlock()
+	if store == nil {
+		t.Fatal("promoted primary opened no WAL store")
+	}
+	audit := walReconstruct(t, w.c.rts[1], store)
+	for key, want := range acked {
+		if got, ok := audit.get(key); !ok || got != want {
+			t.Fatalf("acked write %s=%d not recoverable from the new primary's WAL", key, want)
+		}
+	}
+
+	// Restart the old primary's node: the deposed primary is now a
+	// zombie. A late client importing the original reference joins it —
+	// and its first write is fenced, never acknowledged, after which the
+	// repair loop re-routes the client to the real primary.
+	w.c.net.Restart(1)
+	stale := w.proxy(t, 3)
+	_, err := stale.Invoke(ctx, "put", "fenced-write", int64(-1))
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeFenced {
+		t.Fatalf("write through deposed primary = %v, want CodeFenced", err)
+	}
+	chaosWaitFor(t, 10*time.Second, "stale client to re-route to the new primary", func() bool {
+		return stale.Epoch() >= 2
+	})
+	chaosWaitFor(t, 10*time.Second, "re-routed client write to succeed", func() bool {
+		_, err := stale.Invoke(ctx, "put", "rerouted", int64(1))
+		return err == nil
+	})
+	if got, ok := p2.Local().(*chaosReg).get("fenced-write"); ok {
+		t.Errorf("fenced write leaked into the new group: %d", got)
+	}
+	t.Logf("seed %d: %d writes issued, %d acked, promotion epoch %d", seed, seq, len(acked), p2.Epoch())
+}
+
+// TestChaosReplicaCrashRejoin crashes a replica's node mid-load (twice,
+// on a seed-jittered cadence), asserting the group keeps acknowledging
+// writes throughout (eviction, not wedging) and the restarted member
+// rejoins through its repair loop and converges to the same state.
+func TestChaosReplicaCrashRejoin(t *testing.T) {
+	seed := chaosSeed()
+	w := newChaosRepWorld(t, 3)
+	ctx := context.Background()
+	p2 := w.proxy(t, 1)
+	p3 := w.proxy(t, 2) // the crash victim
+
+	acked := make(map[string]int64)
+	var seq int64
+	mustWrite := func() {
+		key := fmt.Sprintf("w%d", seq)
+		if _, err := p2.Invoke(ctx, "put", key, seq); err != nil {
+			t.Fatalf("write %d through healthy proxy: %v", seq, err)
+		}
+		acked[key] = seq
+		seq++
+	}
+
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 5; i++ {
+			mustWrite()
+		}
+		w.c.net.Crash(3)
+		// The group must not wedge: every write keeps acknowledging while
+		// the member is down (first one pays the eviction timeout).
+		downWrites := 8 + int(seed%5) + round
+		for i := 0; i < downWrites; i++ {
+			mustWrite()
+		}
+		w.c.net.Restart(3)
+		chaosWaitFor(t, 10*time.Second, "restarted replica to rejoin and converge", func() bool {
+			return p3.AppliedSeq() == p2.AppliedSeq()
+		})
+	}
+
+	// Zero lost acked writes, on the survivor and the twice-crashed
+	// member alike.
+	for _, p := range []*replica.Proxy{p2, p3} {
+		reg := p.Local().(*chaosReg)
+		for key, want := range acked {
+			if got, ok := reg.get(key); !ok || got != want {
+				t.Fatalf("acked write %s=%d missing after crash-rejoin (got %d, present=%v)", key, want, got, ok)
+			}
+		}
+	}
+	if p3.Epoch() != p2.Epoch() {
+		t.Errorf("epochs diverged after rejoin: %d vs %d", p3.Epoch(), p2.Epoch())
+	}
+	t.Logf("seed %d: %d writes acked across 2 crash-rejoin cycles", seed, seq)
+}
