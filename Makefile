@@ -4,14 +4,21 @@ GO ?= go
 
 # make cover fails if any of these packages drop below this (percent).
 COVER_MIN ?= 80
-COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group
+COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec
 
 # Seeds make chaos replays; override to explore: make chaos CHAOS_SEEDS="7 8 9"
 CHAOS_SEEDS ?= 1 2 3
 
-.PHONY: all build test race vet bench chaos cover experiments examples clean
+.PHONY: all build test race vet bench bench-short chaos cover experiments examples clean
 
-all: vet test race chaos build
+all: vet test race chaos bench-short build
+
+# Fast-path gate: the allocation-budget tests (bypass must be 0 allocs/op,
+# stub and cache at or under their enforced ceilings) plus a one-iteration
+# proxybench smoke run. Cheap enough to ride in `make all`.
+bench-short:
+	$(GO) test -count=1 -run 'TestAllocBudget' .
+	$(GO) run ./cmd/proxybench -only E1 -ops 25
 
 cover:
 	@for pkg in $(COVER_PKGS); do \

@@ -3,19 +3,26 @@
 //
 // Usage:
 //
-//	proxybench [-only E2,E5] [-latency 500us] [-ops 400] [-seed 1]
+//	proxybench [-only E2,E5] [-latency 500us] [-ops 400] [-seed 1] [-json]
+//
+// With -json, instead of the experiment tables it measures the invocation
+// fast path (the E1 ladder and E2's cache cells) with latency quantiles
+// and allocs/op, and writes BENCH_<date>.json in the current directory —
+// the machine-readable before/after record for the fast-path work.
 //
 // Absolute numbers depend on the host; the *shapes* (who wins, where
 // crossovers fall) are what the suite reproduces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
 
@@ -24,7 +31,25 @@ func main() {
 	latency := flag.Duration("latency", 500*time.Microsecond, "one-way simulated link latency")
 	ops := flag.Int("ops", 400, "operations per measurement")
 	seed := flag.Int64("seed", 1, "workload and network seed")
+	jsonOut := flag.Bool("json", false, "measure the fast path and write BENCH_<date>.json instead of running the experiment tables")
 	flag.Parse()
+
+	if *jsonOut {
+		// The embedded baseline was recorded at zero link latency (the
+		// root benchmarks' configuration); measure the same way unless
+		// the user explicitly asks for a latency.
+		reportLatency := time.Duration(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "latency" {
+				reportLatency = *latency
+			}
+		})
+		if err := writeJSONReport(reportLatency, *ops, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Latency: *latency, Ops: *ops, Seed: *seed}
 
@@ -53,4 +78,37 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSONReport measures the fast path and writes the dated report.
+func writeJSONReport(latency time.Duration, ops int, seed int64) error {
+	date := time.Now().Format("2006-01-02")
+	rep, err := bench.BuildReport(date, latency, ops, seed)
+	if err != nil {
+		return fmt.Errorf("proxybench -json: %w", err)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := "BENCH_" + date + ".json"
+	if err := os.WriteFile(name, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("proxybench: wrote %s\n", name)
+	// A console summary of the headline comparison: each measured row
+	// against its embedded pre-optimization baseline.
+	base := map[string]bench.ReportRow{}
+	for _, b := range rep.Baseline {
+		base[b.Experiment+"/"+b.Case] = b
+	}
+	for _, r := range rep.Rows {
+		b, ok := base[r.Experiment+"/"+r.Case]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-18s %8.1f ns/op (was %8.1f)  %5.1f allocs/op (was %4.1f)\n",
+			r.Experiment+"/"+r.Case, r.NsPerOp, b.NsPerOp, r.AllocsPerOp, b.AllocsPerOp)
+	}
+	return nil
 }

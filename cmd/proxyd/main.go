@@ -67,6 +67,7 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for replica write-ahead logs (empty = in-memory; set it and a restarted daemon reassumes its groups)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer liveness probe interval (0 = passive detection only)")
+	dispatchLimit := flag.Int("dispatch-limit", kernel.DefaultDispatchLimit, "max concurrent request handlers per node before the kernel pump applies backpressure")
 	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
 	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /traces text dumps")
 	flag.Parse()
@@ -80,6 +81,9 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	var nodeOpts []kernel.NodeOption
+	if *dispatchLimit != kernel.DefaultDispatchLimit {
+		nodeOpts = append(nodeOpts, kernel.WithDispatchLimit(*dispatchLimit))
+	}
 	if *traceFrames {
 		nodeOpts = append(nodeOpts, kernel.WithTrace(func(dir kernel.TraceDirection, f *wire.Frame) {
 			log.Printf("%s %s", dir, f)
@@ -105,6 +109,9 @@ func main() {
 	}
 
 	rt := core.NewRuntime(ktx, core.WithObserver(observer), core.WithHealth(monitor))
+	// Fast-path health gauges: pool hit rates and allocs/op show up in
+	// `proxyctl stats` next to the service counters.
+	obs.RegisterFastPathMetrics(observer.Registry, rt.InvokeCount)
 
 	// The directory must land at the well-known object id, so it is the
 	// first export in this context.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	proxygen -in service.go [-out service_gen.go]
+//	proxygen -in service.go [-out service_gen.go] [-static]
 //
 // It is also suitable as a go:generate directive:
 //
@@ -27,6 +27,7 @@ func main() {
 	log.SetFlags(0)
 	in := flag.String("in", "", "input Go file with annotated interfaces")
 	out := flag.String("out", "", "output file (default <in>_gen.go)")
+	static := flag.Bool("static", false, "emit static marshalers: native wire types (bool, string, []byte, int64, uint64, float64, time.Time, codec.Ref) bypass reflection on both sides")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -40,7 +41,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	code, err := gen.Generate(*in, src)
+	generate := gen.Generate
+	if *static {
+		generate = gen.GenerateStatic
+	}
+	code, err := generate(*in, src)
 	if err != nil {
 		log.Fatal(err)
 	}

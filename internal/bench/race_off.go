@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// alloc-budget tests skip under -race: the detector instruments every
+// allocation site and the budgets would measure it, not the code.
+const RaceEnabled = false

@@ -127,10 +127,17 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	payload, err := core.EncodeRequest(p.ref.Cap, method, lowered)
-	if err != nil {
+	// The payload lives in a pooled buffer until the invocation resolves:
+	// a cache hit never materializes a key string (the map lookup below
+	// converts in place without allocating), which is most of what makes
+	// the hit path cheap. The buffer is released on every exit; fill and
+	// the transports copy what they keep.
+	pb := wire.GetBuf()
+	defer pb.Release()
+	if pb.B, err = core.AppendRequest(pb.B[:0], p.ref.Cap, method, lowered); err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
+	payload := pb.B
 
 	if !p.reads[method] {
 		return p.write(ctx, method, payload)
@@ -140,20 +147,19 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 	// would be a miss. Cache hits are served without a span — they are
 	// pure local work on the ns scale; misses cross the network and are
 	// traced like any other hop.
-	key := string(payload)
-	if results, ok := p.cachedResult(key); ok {
+	if results, ok := p.cachedResult(payload); ok {
 		p.hits.Inc()
 		return results, nil
 	}
 	p.misses.Inc()
 	ctx, finish := p.rt.Tracer().StartChild(ctx, "cache.miss:"+method, p.rt.Where())
-	results, err := p.readThrough(ctx, method, key, payload)
+	results, err := p.readThrough(ctx, method, payload)
 	finish(err)
 	return results, err
 }
 
 // readThrough fetches a read from the coordinator and fills the cache.
-func (p *Proxy) readThrough(ctx context.Context, method, key string, payload []byte) ([]any, error) {
+func (p *Proxy) readThrough(ctx context.Context, method string, payload []byte) ([]any, error) {
 	reply, err := p.coordCall(ctx, kindRead, payload)
 	if err != nil {
 		return nil, core.RemoteToInvokeError(method, err)
@@ -162,7 +168,7 @@ func (p *Proxy) readThrough(ctx context.Context, method, key string, payload []b
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	p.fill(key, version, results)
+	p.fill(payload, version, results)
 	return results, nil
 }
 
@@ -179,22 +185,24 @@ func (p *Proxy) coordCall(ctx context.Context, kind wire.Kind, payload []byte) (
 	return f.Payload, nil
 }
 
-func (p *Proxy) cachedResult(key string) ([]any, bool) {
+func (p *Proxy) cachedResult(payload []byte) ([]any, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	e, ok := p.entries[key]
+	// string(payload) in the index expression compiles to an allocation-free
+	// lookup; a key string only exists once fill stores one.
+	e, ok := p.entries[string(payload)]
 	if !ok {
 		return nil, false
 	}
 	switch p.h.Mode {
 	case ModeCallback:
 		if e.version != p.version {
-			delete(p.entries, key)
+			delete(p.entries, string(payload))
 			return nil, false
 		}
 	case ModeLease:
 		if p.now().Sub(e.filled) >= p.h.LeaseTTL {
-			delete(p.entries, key)
+			delete(p.entries, string(payload))
 			return nil, false
 		}
 	}
@@ -204,7 +212,7 @@ func (p *Proxy) cachedResult(key string) ([]any, bool) {
 // fill stores a read result unless the world moved on while the read was
 // in flight (a newer version was announced), which prevents a slow read
 // from resurrecting stale data after an invalidation.
-func (p *Proxy) fill(key string, version uint64, results []any) {
+func (p *Proxy) fill(payload []byte, version uint64, results []any) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	switch p.h.Mode {
@@ -218,9 +226,11 @@ func (p *Proxy) fill(key string, version uint64, results []any) {
 			p.version = version
 			p.entries = make(map[string]cacheEntry)
 		}
-		p.entries[key] = cacheEntry{results: results, version: version}
+		// The map assignment copies payload into a real key string, so the
+		// caller is free to recycle its buffer afterwards.
+		p.entries[string(payload)] = cacheEntry{results: results, version: version}
 	case ModeLease:
-		p.entries[key] = cacheEntry{results: results, filled: p.now()}
+		p.entries[string(payload)] = cacheEntry{results: results, filled: p.now()}
 	}
 }
 

@@ -275,6 +275,20 @@ func EncodeArgs(args ...any) ([]byte, error) {
 	return Append(nil, anySlice(args))
 }
 
+// AppendListHeader opens a TagList of exactly n elements; the caller
+// must append n values with AppendElem. It lets hot paths build an
+// argument list in place instead of materializing an []any first.
+func AppendListHeader(dst []byte, n int) []byte {
+	dst = append(dst, byte(TagList))
+	return wire.AppendUvarint(dst, uint64(n))
+}
+
+// AppendElem appends one element of a list opened with AppendListHeader,
+// depth-accounted exactly as Append nests list elements.
+func AppendElem(dst []byte, v any) ([]byte, error) {
+	return appendValue(dst, v, 1)
+}
+
 func anySlice(args []any) []any {
 	if args == nil {
 		return []any{}

@@ -1,0 +1,313 @@
+package codec
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Compiled marshal plans.
+//
+// Marshal's original pipeline lowers a typed value into the codec's
+// generic shapes with a fresh reflect.Value walk per call, then encodes
+// the lowered form — two traversals and a pile of intermediate []any /
+// Struct allocations every time. A plan resolves everything that is
+// per-*type* — which fields to encode, their pre-encoded name bytes,
+// the struct header, the element encoder — exactly once, caches it in
+// a sync.Map, and encodes straight from the typed value to bytes.
+//
+// Plans must be byte-identical to the lower+Append reference path
+// (marshalAppendReflect); FuzzMarshalParity enforces this on a
+// committed corpus. The parity subtleties worth knowing:
+//
+//   - an exact []byte encodes as TagBytes even when nil, but a *named*
+//     byte-slice type encodes nil as TagNil (lower's exact-type check
+//     precedes its Kind switch);
+//   - [N]byte arrays are TagList of TagUint, not TagBytes;
+//   - maps with non-string keys are ErrUnsupported even when nil;
+//   - pointer and interface indirection does not consume depth budget,
+//     container nesting (struct/list/map) does.
+
+// encFunc encodes rv onto dst; depth counts container nesting with the
+// same accounting as the lower/Append pair.
+type encFunc func(dst []byte, rv reflect.Value, depth int) ([]byte, error)
+
+// plan is one type's compiled encoder. Compilation is deferred to first
+// use (sync.Once) so mutually-recursive types can reference each
+// other's plans while compiling without cycling.
+type plan struct {
+	t    reflect.Type
+	once sync.Once
+	fn   encFunc
+}
+
+var plans sync.Map // reflect.Type → *plan
+
+func planFor(t reflect.Type) *plan {
+	if v, ok := plans.Load(t); ok {
+		return v.(*plan)
+	}
+	p := &plan{t: t}
+	if prior, loaded := plans.LoadOrStore(t, p); loaded {
+		return prior.(*plan)
+	}
+	return p
+}
+
+func (p *plan) encode(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+	if depth > MaxDepth {
+		return dst, ErrTooDeep
+	}
+	p.once.Do(p.compile)
+	return p.fn(dst, rv, depth)
+}
+
+func (p *plan) compile() { p.fn = compilePlan(p.t) }
+
+var stringType = reflect.TypeOf("")
+
+func compilePlan(t reflect.Type) encFunc {
+	switch t {
+	case refType:
+		return encodePlanRef
+	case timeType:
+		return encodePlanTime
+	case bytesType:
+		// Exact []byte: TagBytes even when nil, matching lower's
+		// exact-type check running before any nil handling.
+		return encodePlanRawBytes
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return encodePlanBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return encodePlanInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return encodePlanUint
+	case reflect.Float32, reflect.Float64:
+		return encodePlanFloat
+	case reflect.String:
+		return encodePlanString
+	case reflect.Interface:
+		return encodePlanIface
+	case reflect.Pointer:
+		elem := planFor(t.Elem())
+		return func(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+			if rv.IsNil() {
+				return append(dst, byte(TagNil)), nil
+			}
+			return elem.encode(dst, rv.Elem(), depth)
+		}
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			// Named byte-slice type: nil is TagNil (unlike exact []byte).
+			return func(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+				if rv.IsNil() {
+					return append(dst, byte(TagNil)), nil
+				}
+				dst = append(dst, byte(TagBytes))
+				return wire.AppendBytes(dst, rv.Bytes()), nil
+			}
+		}
+		elem := planFor(t.Elem())
+		return func(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+			if rv.IsNil() {
+				return append(dst, byte(TagNil)), nil
+			}
+			return encodePlanSeq(dst, rv, depth, elem)
+		}
+	case reflect.Array:
+		elem := planFor(t.Elem())
+		return func(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+			return encodePlanSeq(dst, rv, depth, elem)
+		}
+	case reflect.Map:
+		if t.Key().Kind() != reflect.String {
+			err := fmt.Errorf("%w: map key %s (want string)", ErrUnsupported, t.Key())
+			return failEncoder(err)
+		}
+		elem := planFor(t.Elem())
+		convertKey := t.Key() != stringType
+		keyType := t.Key()
+		return func(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+			if rv.IsNil() {
+				return append(dst, byte(TagNil)), nil
+			}
+			dst = append(dst, byte(TagMap))
+			dst = wire.AppendUvarint(dst, uint64(rv.Len()))
+			// Canonical order: sorted keys, same as appendStringMap.
+			keys := make([]string, 0, rv.Len())
+			iter := rv.MapRange()
+			for iter.Next() {
+				keys = append(keys, iter.Key().String())
+			}
+			sortStrings(keys)
+			var err error
+			for _, k := range keys {
+				dst = wire.AppendString(dst, k)
+				kv := reflect.ValueOf(k)
+				if convertKey {
+					kv = kv.Convert(keyType)
+				}
+				if dst, err = elem.encode(dst, rv.MapIndex(kv), depth+1); err != nil {
+					return dst, err
+				}
+			}
+			return dst, nil
+		}
+	case reflect.Struct:
+		return compileStructPlan(t)
+	default:
+		return failEncoder(fmt.Errorf("%w: %s", ErrUnsupported, t))
+	}
+}
+
+// fieldPlan is one struct field's slot in a compiled struct encoder.
+type fieldPlan struct {
+	index   int
+	nameEnc []byte // pre-encoded field name (string header + bytes)
+	p       *plan
+	errName string // "Type.Field", for lower-compatible error context
+}
+
+func compileStructPlan(t reflect.Type) encFunc {
+	var fields []fieldPlan
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Tag.Get("codec") == "-" {
+			continue
+		}
+		fields = append(fields, fieldPlan{
+			index:   i,
+			nameEnc: wire.AppendString(nil, f.Name),
+			p:       planFor(f.Type),
+			errName: t.Name() + "." + f.Name,
+		})
+	}
+	// The header — tag, type name, field count — is invariant per type.
+	hdr := append([]byte{byte(TagStruct)}, wire.AppendString(nil, t.Name())...)
+	hdr = wire.AppendUvarint(hdr, uint64(len(fields)))
+	return func(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+		dst = append(dst, hdr...)
+		var err error
+		for i := range fields {
+			f := &fields[i]
+			dst = append(dst, f.nameEnc...)
+			if dst, err = f.p.encode(dst, rv.Field(f.index), depth+1); err != nil {
+				return dst, fmt.Errorf("field %s: %w", f.errName, err)
+			}
+		}
+		return dst, nil
+	}
+}
+
+func encodePlanSeq(dst []byte, rv reflect.Value, depth int, elem *plan) ([]byte, error) {
+	n := rv.Len()
+	dst = append(dst, byte(TagList))
+	dst = wire.AppendUvarint(dst, uint64(n))
+	var err error
+	for i := 0; i < n; i++ {
+		if dst, err = elem.encode(dst, rv.Index(i), depth+1); err != nil {
+			return dst, fmt.Errorf("elem %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+func encodePlanIface(dst []byte, rv reflect.Value, depth int) ([]byte, error) {
+	if rv.IsNil() {
+		return append(dst, byte(TagNil)), nil
+	}
+	e := rv.Elem()
+	// Indirection costs no depth, matching lower.
+	return planFor(e.Type()).encode(dst, e, depth)
+}
+
+func encodePlanBool(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	if rv.Bool() {
+		return append(dst, byte(TagTrue)), nil
+	}
+	return append(dst, byte(TagFalse)), nil
+}
+
+func encodePlanInt(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	return appendInt(dst, rv.Int()), nil
+}
+
+func encodePlanUint(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	return appendUint(dst, rv.Uint()), nil
+}
+
+func encodePlanFloat(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	return appendFloat(dst, rv.Float()), nil
+}
+
+func encodePlanString(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	dst = append(dst, byte(TagString))
+	return wire.AppendString(dst, rv.String()), nil
+}
+
+func encodePlanRawBytes(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	dst = append(dst, byte(TagBytes))
+	return wire.AppendBytes(dst, rv.Bytes()), nil
+}
+
+func encodePlanRef(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	return AppendRef(dst, rv.Interface().(Ref)), nil
+}
+
+func encodePlanTime(dst []byte, rv reflect.Value, _ int) ([]byte, error) {
+	dst = append(dst, byte(TagTime))
+	return wire.AppendVarint(dst, rv.Interface().(time.Time).UnixNano()), nil
+}
+
+func failEncoder(err error) encFunc {
+	return func(dst []byte, _ reflect.Value, _ int) ([]byte, error) {
+		return dst, err
+	}
+}
+
+// Unmarshal-side plan: assignStruct resolves destination fields by name
+// through reflect's FieldByName, which performs a promoted-field search
+// per field per call. The cache memoizes each (type, name) resolution
+// once, preserving FieldByName's exact semantics (including embedded
+// promotion and its ambiguity rules) because it is the function that
+// fills the cache.
+
+type structFieldCache struct {
+	mu sync.RWMutex
+	m  map[string]cachedField
+}
+
+type cachedField struct {
+	index []int
+	ok    bool
+}
+
+var fieldCaches sync.Map // reflect.Type → *structFieldCache
+
+func lookupField(t reflect.Type, name string) ([]int, bool) {
+	cv, ok := fieldCaches.Load(t)
+	if !ok {
+		cv, _ = fieldCaches.LoadOrStore(t, &structFieldCache{m: make(map[string]cachedField)})
+	}
+	c := cv.(*structFieldCache)
+	c.mu.RLock()
+	f, hit := c.m[name]
+	c.mu.RUnlock()
+	if hit {
+		return f.index, f.ok
+	}
+	sf, found := t.FieldByName(name)
+	f = cachedField{ok: found && sf.IsExported()}
+	if f.ok {
+		f.index = sf.Index
+	}
+	c.mu.Lock()
+	c.m[name] = f
+	c.mu.Unlock()
+	return f.index, f.ok
+}

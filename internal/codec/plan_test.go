@@ -1,0 +1,470 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Types exercising every corner the plan compiler must keep
+// byte-identical with the reflect reference path.
+
+type planPoint struct {
+	X, Y int64
+}
+
+type (
+	planNamedBytes  []byte
+	planNamedString string
+	planNamedInt    int32
+	planNamedFloat  float32
+	planNamedBool   bool
+	planNamedSlice  []int64
+	planKeyMap      map[planNamedString]int64
+)
+
+type PlanBase struct {
+	X int64
+}
+
+type planEmbed struct {
+	PlanBase
+	Z int64
+}
+
+type planRecursive struct {
+	V    int64
+	Next *planRecursive
+}
+
+type planNested struct {
+	Name   string
+	Tags   map[string]any
+	Points []planPoint
+	Raw    []byte
+	NB     planNamedBytes
+	Skip   int64 `codec:"-"`
+	hidden int64
+	PtrP   *planPoint
+	Iface  any
+	When   time.Time
+	R      Ref
+	Arr    [3]byte
+	F32    float32
+	U      uint16
+}
+
+func planParityCases() []any {
+	deep := any(int64(1))
+	for i := 0; i < MaxDepth+5; i++ {
+		deep = []any{deep}
+	}
+	p := &planPoint{X: -7, Y: 9}
+	return []any{
+		nil,
+		true,
+		false,
+		int(-42),
+		int8(-8),
+		int16(300),
+		int32(-70000),
+		int64(1) << 60,
+		uint(99),
+		uint8(255),
+		uint16(65535),
+		uint32(1 << 30),
+		uint64(1) << 63,
+		float32(3.5),
+		float64(math.Pi),
+		math.NaN(),
+		math.Inf(-1),
+		"",
+		"hello, 世界",
+		[]byte(nil),            // exact []byte: TagBytes len 0, NOT TagNil
+		[]byte{},               // same bytes as above
+		[]byte{1, 2, 3},        //
+		planNamedBytes(nil),    // named byte slice: TagNil
+		planNamedBytes{4, 5},   //
+		planNamedString("ns"),  //
+		planNamedInt(-3),       //
+		planNamedFloat(1.25),   //
+		planNamedBool(true),    //
+		planNamedSlice{1, 2},   //
+		planNamedSlice(nil),    //
+		[]any{},                //
+		[]any{nil, int64(1), "x", []byte{9}},
+		[]string{"b", "a"},
+		[][]int64{{1}, {2, 3}},
+		[3]byte{1, 2, 3}, // array of bytes is TagList of TagUint
+		[0]int64{},
+		map[string]any(nil),
+		map[string]any{},
+		map[string]any{"b": int64(2), "a": "one", "c": nil},
+		map[string]int64{"z": 1, "a": 2, "m": 3},
+		planKeyMap{"k2": 2, "k1": 1}, // named string key type
+		planPoint{X: 1, Y: -2},
+		p,
+		(*planPoint)(nil),
+		planEmbed{PlanBase: PlanBase{X: 5}, Z: 6},
+		planRecursive{V: 1, Next: &planRecursive{V: 2}},
+		planNested{
+			Name:   "n",
+			Tags:   map[string]any{"t": int64(1)},
+			Points: []planPoint{{1, 2}, {3, 4}},
+			Raw:    []byte{1},
+			NB:     planNamedBytes{2},
+			Skip:   999,
+			hidden: 7,
+			PtrP:   &planPoint{X: 10},
+			Iface:  "dyn",
+			When:   time.Unix(12345, 6789),
+			R:      Ref{Target: wire.ObjAddr{Addr: wire.Addr{Node: 1, Context: 2}, Object: 3}, Type: "kv", Hint: []byte{9}, Cap: 77},
+			Arr:    [3]byte{7, 8, 9},
+			F32:    0.5,
+			U:      12,
+		},
+		time.Time{},
+		time.Unix(0, 1),
+		Ref{},
+		Ref{Type: "t"},
+		Struct{Name: "S", Fields: []Field{{Name: "A", Value: int64(1)}}},
+		&Struct{Name: "S2"},
+		// Unsupported shapes: both paths must fail identically.
+		make(chan int),
+		func() {},
+		complex(1, 2),
+		uintptr(7),
+		map[int]string{1: "x"},
+		map[int]string(nil), // key check precedes nil check
+		[]any{int64(1), make(chan int)},
+		planPoint{}, // and too-deep nesting:
+		deep,
+	}
+}
+
+// TestPlanParity pins the compiled-plan encoder to the reflect
+// reference byte-for-byte, including error behavior.
+func TestPlanParity(t *testing.T) {
+	for i, v := range planParityCases() {
+		got, errGot := MarshalAppend(nil, v)
+		want, errWant := marshalAppendReflect(nil, v)
+		if (errGot != nil) != (errWant != nil) {
+			t.Fatalf("case %d (%T): plan err %v, reflect err %v", i, v, errGot, errWant)
+		}
+		if errGot != nil {
+			if errors.Is(errWant, ErrUnsupported) != errors.Is(errGot, ErrUnsupported) ||
+				errors.Is(errWant, ErrTooDeep) != errors.Is(errGot, ErrTooDeep) {
+				t.Fatalf("case %d (%T): error identities differ: plan %v, reflect %v", i, v, errGot, errWant)
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d (%T): plan bytes %x != reflect bytes %x", i, v, got, want)
+		}
+	}
+}
+
+// TestPlanParityRepeated re-runs a case after the plan is cached: the
+// second (cache-hit) encode must match the first.
+func TestPlanParityRepeated(t *testing.T) {
+	v := planNested{Name: "again", Points: []planPoint{{1, 1}}}
+	first, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached plan produced different bytes")
+	}
+}
+
+// TestPlanConcurrentCompile exercises the lazy-compile path under
+// parallel first use, including a recursive type.
+func TestPlanConcurrentCompile(t *testing.T) {
+	type fresh struct {
+		A    int64
+		Next *planRecursive
+	}
+	v := fresh{A: 1, Next: &planRecursive{V: 2, Next: &planRecursive{V: 3}}}
+	want, err := marshalAppendReflect(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Marshal(v)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("concurrent plan encode: err=%v match=%v", err, bytes.Equal(got, want))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanRoundTrip checks Marshal → Unmarshal → Marshal is stable for
+// typed values (field caches on the unmarshal side included).
+func TestPlanRoundTrip(t *testing.T) {
+	orig := planNested{
+		Name:   "rt",
+		Tags:   map[string]any{"a": int64(1)},
+		Points: []planPoint{{5, 6}},
+		Raw:    []byte{1, 2},
+		PtrP:   &planPoint{X: -1, Y: 2},
+		Iface:  int64(42),
+		When:   time.Unix(99, 100),
+		R:      Ref{Type: "x", Cap: 5},
+		Arr:    [3]byte{1, 2, 3},
+		F32:    2.5,
+		U:      7,
+	}
+	enc, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back planNested
+	if err := Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("round trip changed bytes:\n  %x\n  %x", enc, re)
+	}
+}
+
+// TestFieldCachePromotion verifies the memoized field lookup preserves
+// FieldByName's embedded-promotion semantics.
+func TestFieldCachePromotion(t *testing.T) {
+	src := &Struct{Name: "planEmbed", Fields: []Field{
+		{Name: "X", Value: int64(11)}, // promoted from PlanBase
+		{Name: "Z", Value: int64(22)},
+		{Name: "Nope", Value: int64(1)}, // unknown: skipped
+	}}
+	for i := 0; i < 2; i++ { // second pass hits the cache
+		var dst planEmbed
+		if err := Assign(src, &dst); err != nil {
+			t.Fatal(err)
+		}
+		if dst.X != 11 || dst.Z != 22 {
+			t.Fatalf("pass %d: got %+v", i, dst)
+		}
+	}
+}
+
+// buildValue deterministically interprets fuzz bytes as a nested Go
+// value drawn from the codec's full supported (and a few unsupported)
+// shapes, so the fuzzer explores the plan compiler's whole surface.
+type valueBuilder struct {
+	data  []byte
+	pos   int
+	nodes int
+}
+
+func (b *valueBuilder) next() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	c := b.data[b.pos]
+	b.pos++
+	return c
+}
+
+func (b *valueBuilder) u64() uint64 {
+	var raw [8]byte
+	for i := range raw {
+		raw[i] = b.next()
+	}
+	return binary.LittleEndian.Uint64(raw[:])
+}
+
+func (b *valueBuilder) str() string {
+	n := int(b.next() % 8)
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b.next()
+	}
+	return string(s)
+}
+
+func (b *valueBuilder) build(depth int) any {
+	b.nodes++
+	if depth > 5 || b.nodes > 48 {
+		return int64(b.next())
+	}
+	switch b.next() % 22 {
+	case 0:
+		return nil
+	case 1:
+		return b.next()%2 == 0
+	case 2:
+		return int64(b.u64())
+	case 3:
+		return int32(b.u64())
+	case 4:
+		return uint64(b.u64())
+	case 5:
+		return uint8(b.next())
+	case 6:
+		return math.Float64frombits(b.u64())
+	case 7:
+		return b.str()
+	case 8:
+		n := int(b.next() % 5)
+		raw := make([]byte, n)
+		for i := range raw {
+			raw[i] = b.next()
+		}
+		if b.next()%2 == 0 {
+			return raw // exact []byte
+		}
+		return planNamedBytes(raw)
+	case 9:
+		n := int(b.next() % 4)
+		xs := make([]any, n)
+		for i := range xs {
+			xs[i] = b.build(depth + 1)
+		}
+		return xs
+	case 10:
+		n := int(b.next() % 4)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[b.str()] = b.build(depth + 1)
+		}
+		return m
+	case 11:
+		return planPoint{X: int64(b.u64()), Y: int64(b.u64())}
+	case 12:
+		v := planNested{
+			Name: b.str(),
+			Raw:  []byte(b.str()),
+			F32:  planFloat32(b),
+			U:    uint16(b.u64()),
+		}
+		if b.next()%2 == 0 {
+			v.Tags = map[string]any{b.str(): b.build(depth + 1)}
+		}
+		if b.next()%2 == 0 {
+			v.PtrP = &planPoint{X: int64(b.next())}
+		}
+		v.Iface = b.build(depth + 1)
+		v.When = time.Unix(0, int64(b.u64()))
+		return v
+	case 13:
+		return Ref{
+			Target: wire.ObjAddr{
+				Addr:   wire.Addr{Node: wire.NodeID(b.next()), Context: wire.ContextID(b.next())},
+				Object: wire.ObjectID(b.next()),
+			},
+			Type: b.str(),
+			Hint: []byte(b.str()),
+			Cap:  b.u64(),
+		}
+	case 14:
+		return time.Unix(int64(b.next()), int64(b.u64()))
+	case 15:
+		if b.next()%2 == 0 {
+			return (*planPoint)(nil)
+		}
+		x := int64(b.u64())
+		return &x
+	case 16:
+		n := int(b.next() % 4)
+		xs := make(planNamedSlice, n)
+		for i := range xs {
+			xs[i] = int64(b.next())
+		}
+		return xs
+	case 17:
+		n := int(b.next() % 3)
+		m := make(planKeyMap, n)
+		for i := 0; i < n; i++ {
+			m[planNamedString(b.str())] = int64(b.next())
+		}
+		return m
+	case 18:
+		var arr [3]byte
+		for i := range arr {
+			arr[i] = b.next()
+		}
+		return arr
+	case 19:
+		return planEmbed{PlanBase: PlanBase{X: int64(b.next())}, Z: int64(b.next())}
+	case 20:
+		r := &planRecursive{V: int64(b.next())}
+		if b.next()%2 == 0 {
+			r.Next = &planRecursive{V: int64(b.next())}
+		}
+		return *r
+	default:
+		// Unsupported on purpose: parity includes matching failures.
+		if b.next()%2 == 0 {
+			return map[int]string{int(b.next()): b.str()}
+		}
+		return complex(1, 2)
+	}
+}
+
+func planFloat32(b *valueBuilder) float32 {
+	return math.Float32frombits(uint32(b.u64()))
+}
+
+// FuzzMarshalParity asserts the compiled-plan encoder and the reflect
+// reference produce identical bytes (or identical failure) for every
+// value the builder can express, and that successful encodings decode
+// cleanly and re-encode to the same bytes.
+func FuzzMarshalParity(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{9, 3, 0, 1, 1, 2, 255, 7, 2, 104, 105})
+	f.Add([]byte{12, 4, 97, 98, 99, 100, 3, 120, 0, 0, 1, 0, 1, 5})
+	f.Add([]byte{10, 2, 1, 97, 11, 9, 1, 13, 2, 97, 98})
+	f.Add([]byte{21, 0, 1, 2, 3})
+	f.Add([]byte{8, 3, 9, 9, 9, 1, 8, 2, 7, 7, 0})
+	f.Add([]byte{20, 5, 0, 6, 19, 1, 2, 18, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &valueBuilder{data: data}
+		v := b.build(0)
+		got, errGot := MarshalAppend(nil, v)
+		want, errWant := marshalAppendReflect(nil, v)
+		if (errGot != nil) != (errWant != nil) {
+			t.Fatalf("plan err %v, reflect err %v (value %T)", errGot, errWant, v)
+		}
+		if errGot != nil {
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("plan bytes differ from reflect path\n plan:    %x\n reflect: %x\n value: %#v", got, want, v)
+		}
+		// Round trip: the generic decode of a plan encoding re-encodes
+		// to the same bytes.
+		dec, n, err := (&Decoder{}).Decode(got)
+		if err != nil {
+			t.Fatalf("decode of plan output failed: %v (bytes %x)", err, got)
+		}
+		if n != len(got) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(got))
+		}
+		re, err := Append(nil, dec)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, got) {
+			t.Fatalf("re-encode changed bytes\n first:  %x\n second: %x", got, re)
+		}
+	})
+}

@@ -17,8 +17,22 @@ func Marshal(v any) ([]byte, error) {
 	return MarshalAppend(nil, v)
 }
 
-// MarshalAppend is Marshal appending to dst.
+// MarshalAppend is Marshal appending to dst. It encodes through a
+// compiled per-type plan (see plan.go), cached on first use; the plan
+// output is byte-identical to the original lower+Append pipeline, which
+// marshalAppendReflect preserves as the fuzzed reference.
 func MarshalAppend(dst []byte, v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return append(dst, byte(TagNil)), nil
+	}
+	return planFor(rv.Type()).encode(dst, rv, 0)
+}
+
+// marshalAppendReflect is the original two-pass lower+Append pipeline,
+// kept as the reference implementation the compiled plans are verified
+// against (TestPlanParity, FuzzMarshalParity).
+func marshalAppendReflect(dst []byte, v any) ([]byte, error) {
 	lowered, err := lower(reflect.ValueOf(v), 0)
 	if err != nil {
 		return dst, err
@@ -30,7 +44,33 @@ func MarshalAppend(dst []byte, v any) ([]byte, error) {
 // (typed slices to []any, structs to Struct, and so on) without encoding
 // it. Generated stubs use it so typed arguments of any marshalable shape
 // can travel through the dynamic invocation path; Assign is its inverse.
+// Values already in generic shape — the common case on the invocation
+// fast path — pass through without entering reflection.
 func Lower(v any) (any, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case bool, string, int64, uint64, float64, []byte, time.Time, Ref:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case int8:
+		return int64(x), nil
+	case int16:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case uint:
+		return uint64(x), nil
+	case uint8:
+		return uint64(x), nil
+	case uint16:
+		return uint64(x), nil
+	case uint32:
+		return uint64(x), nil
+	case float32:
+		return float64(x), nil
+	}
 	return lower(reflect.ValueOf(v), 0)
 }
 
@@ -329,11 +369,12 @@ func assignStruct(dst reflect.Value, s *Struct) error {
 	}
 	t := dst.Type()
 	for _, f := range s.Fields {
-		sf, ok := t.FieldByName(f.Name)
-		if !ok || !sf.IsExported() {
+		// Field resolution is memoized per (type, name) — see plan.go.
+		idx, ok := lookupField(t, f.Name)
+		if !ok {
 			continue // unknown fields are skipped for forward compatibility
 		}
-		if err := assign(dst.FieldByIndex(sf.Index), f.Value); err != nil {
+		if err := assign(dst.FieldByIndex(idx), f.Value); err != nil {
 			return fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
 		}
 	}

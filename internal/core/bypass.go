@@ -24,12 +24,19 @@ type bypassProxy struct {
 	ref    codec.Ref
 	closed atomic.Bool
 
+	// bgCtx is WithCaller(context.Background(), rt.Addr()) built once:
+	// callers invoking with a bare background context (the common case on
+	// the hot path) reuse it instead of allocating a value context plus a
+	// boxed address per call, which is what keeps the bypass at zero
+	// allocations per invocation.
+	bgCtx context.Context
+
 	mu       sync.Mutex
 	fallback *Stub
 }
 
 func newBypassProxy(rt *Runtime, ref codec.Ref) Proxy {
-	return &bypassProxy{rt: rt, ref: ref}
+	return &bypassProxy{rt: rt, ref: ref, bgCtx: WithCaller(context.Background(), rt.Addr())}
 }
 
 // Invoke implements Proxy by calling the service directly while it remains
@@ -47,6 +54,9 @@ func (p *bypassProxy) Invoke(ctx context.Context, method string, args ...any) ([
 	if svc, ok := p.rt.dispatchService(p.ref); ok {
 		// The caller address matters to coordination wrappers (a cache
 		// coordinator skips invalidating the writer's own context).
+		if ctx == context.Background() {
+			return svc.Invoke(p.bgCtx, method, args)
+		}
 		return svc.Invoke(WithCaller(ctx, p.rt.Addr()), method, args)
 	}
 	// The object left this context (migration or unexport); a stub's

@@ -32,14 +32,28 @@ import (
 // token. Arguments must already be in wire shape (Runtime.encodeOutbound
 // lowers proxies and services to Refs before calling this).
 func EncodeRequest(cap uint64, method string, args []any) ([]byte, error) {
-	vec := make([]any, 0, len(args)+2)
-	vec = append(vec, cap, method)
-	vec = append(vec, args...)
-	buf, err := codec.Append(nil, vec)
+	return AppendRequest(nil, cap, method, args)
+}
+
+// AppendRequest is EncodeRequest appending onto dst (which may be a
+// pooled buffer): the [cap, method, args...] list is encoded element by
+// element, with no intermediate vector.
+func AppendRequest(dst []byte, cap uint64, method string, args []any) ([]byte, error) {
+	dst = codec.AppendListHeader(dst, len(args)+2)
+	dst, err := codec.AppendElem(dst, cap)
+	if err == nil {
+		dst, err = codec.AppendElem(dst, method)
+	}
+	for _, a := range args {
+		if err != nil {
+			break
+		}
+		dst, err = codec.AppendElem(dst, a)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: encode request %q: %w", method, err)
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // EncodeRequestTraced is EncodeRequest with a trace header prefixed when
@@ -56,15 +70,14 @@ func EncodeRequestTraced(cap uint64, method string, args []any, sc obs.SpanConte
 // prefixed: the remaining deadline budget and the trace span. It is what
 // header-aware proxies use on their send path.
 func EncodeRequestCtx(ctx context.Context, cap uint64, method string, args []any) ([]byte, error) {
-	body, err := EncodeRequest(cap, method, args)
-	if err != nil {
-		return nil, err
-	}
-	hdr := AppendCtxHeaders(nil, ctx)
-	if len(hdr) == 0 {
-		return body, nil
-	}
-	return append(hdr, body...), nil
+	return AppendRequestCtx(nil, ctx, cap, method, args)
+}
+
+// AppendRequestCtx is EncodeRequestCtx appending onto dst: headers
+// first, then the request body, in one buffer.
+func AppendRequestCtx(dst []byte, ctx context.Context, cap uint64, method string, args []any) ([]byte, error) {
+	dst = AppendCtxHeaders(dst, ctx)
+	return AppendRequest(dst, cap, method, args)
 }
 
 // DecodeRequest parses a request payload with the given decoder (whose

@@ -85,6 +85,11 @@ type Runtime struct {
 	defaultFactory    ProxyFactory
 	defaultFactorySet bool
 
+	// dec is the runtime's shared ref-installing decoder; Decoder is
+	// stateless and safe for concurrent use, so one instance serves every
+	// call instead of allocating a decoder (plus hook closure) per call.
+	dec *codec.Decoder
+
 	mu        sync.Mutex
 	factories map[string]ProxyFactory
 	exports   map[wire.ObjectID]*exportRecord
@@ -129,6 +134,13 @@ func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
 	if !rt.defaultFactorySet {
 		rt.defaultFactory = StubFactory{}
 	}
+	rt.dec = &codec.Decoder{RefHook: func(r codec.Ref) (any, error) {
+		p, err := rt.Import(r)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}}
 	return rt
 }
 
@@ -151,6 +163,10 @@ func (rt *Runtime) Tracer() *obs.Tracer { return rt.observer.Tracer }
 // Where reports this runtime's context address in string form (the
 // location tag spans record).
 func (rt *Runtime) Where() string { return rt.where }
+
+// InvokeCount reports how many proxy invocations this runtime has served,
+// for use as the operation counter of obs.RegisterFastPathMetrics.
+func (rt *Runtime) InvokeCount() uint64 { return rt.invokeCalls.Load() }
 
 // Breakers exposes the runtime's per-destination circuit breakers.
 func (rt *Runtime) Breakers() *health.BreakerSet { return rt.breakers }
@@ -522,23 +538,27 @@ func (rt *Runtime) Decoder() *codec.Decoder { return rt.decoder() }
 // own private payloads.
 func (rt *Runtime) LowerArgs(vals []any) ([]any, error) { return rt.encodeOutbound(vals) }
 
-// decoder builds the codec decoder that installs proxies for every Ref
-// crossing into this context — the executable form of the paper's
-// reference-export figure.
-func (rt *Runtime) decoder() *codec.Decoder {
-	return &codec.Decoder{RefHook: func(r codec.Ref) (any, error) {
-		p, err := rt.Import(r)
-		if err != nil {
-			return nil, err
-		}
-		return p, nil
-	}}
-}
+// decoder returns the runtime's shared ref-installing decoder (built
+// once in NewRuntime — the executable form of the paper's
+// reference-export figure).
+func (rt *Runtime) decoder() *codec.Decoder { return rt.dec }
 
 // encodeOutbound lowers proxies and exportable services in an argument or
-// result vector to wire Refs. It does not mutate the input.
+// result vector to wire Refs. It does not mutate the input; when nothing
+// in the vector needs lowering — the common case for plain-data calls —
+// it returns the input slice unchanged, allocating nothing.
 func (rt *Runtime) encodeOutbound(vals []any) ([]any, error) {
 	if len(vals) == 0 {
+		return vals, nil
+	}
+	plain := true
+	for _, v := range vals {
+		if needsLowering(v) {
+			plain = false
+			break
+		}
+	}
+	if plain {
 		return vals, nil
 	}
 	out := make([]any, len(vals))
@@ -550,6 +570,18 @@ func (rt *Runtime) encodeOutbound(vals []any) ([]any, error) {
 		out[i] = lv
 	}
 	return out, nil
+}
+
+// needsLowering reports whether lowerValue could transform v (directly
+// or inside a container). The shapes lowerValue passes through untouched
+// are exactly the ones this returns false for.
+func needsLowering(v any) bool {
+	switch v.(type) {
+	case Proxy, Exportable, Service, []any, map[string]any:
+		return true
+	default:
+		return false
+	}
 }
 
 func (rt *Runtime) lowerValue(v any, depth int) (any, error) {

@@ -130,12 +130,12 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 	// The failover loop: try the current binding; on a redirectable
 	// failure, move to the next untried alternate (or one rebinder
 	// lookup) and go again. Tried targets are remembered so a stale
-	// rebinder or a duplicate alternate cannot loop us.
-	tried := map[wire.ObjAddr]bool{}
+	// rebinder or a duplicate alternate cannot loop us; the map is
+	// allocated lazily because the first binding almost always answers.
+	var tried map[wire.ObjAddr]bool
 	usedRebinder := false
 	ref := s.Ref()
 	for {
-		tried[ref.Target] = true
 		res, err := s.callBinding(ctx, ref, method, lowered)
 		if err == nil {
 			return res, nil
@@ -148,6 +148,10 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 		if class == foNone || (class == foMaybeSent && !s.isIdempotent(ctx, method)) {
 			return nil, stubError(method, err)
 		}
+		if tried == nil {
+			tried = make(map[wire.ObjAddr]bool, 2)
+		}
+		tried[ref.Target] = true
 		next, ok := s.nextBinding(ctx, tried, &usedRebinder)
 		if !ok {
 			return nil, stubError(method, err)
@@ -174,10 +178,17 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 // retransmissions reuse it, so a request that spent retries in flight
 // arrives with a stale, over-generous budget (see deadline.go).
 func (s *Stub) callBinding(ctx context.Context, ref codec.Ref, method string, lowered []any) ([]any, error) {
-	payload, err := EncodeRequestCtx(ctx, ref.Cap, method, lowered)
-	if err != nil {
+	// The request payload lives in a pooled buffer: every transport copies
+	// it before GuardedCall returns (netsim clones the frame, TCP encodes
+	// into its staging buffer) and retransmission rewrites copy too, so
+	// releasing at return cannot leave an alias behind.
+	pb := wire.GetBuf()
+	defer pb.Release()
+	var err error
+	if pb.B, err = AppendRequestCtx(pb.B[:0], ctx, ref.Cap, method, lowered); err != nil {
 		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 	}
+	payload := pb.B
 	sc, _ := obs.SpanFromContext(ctx)
 
 	// Follow forwarding responses a bounded number of times: an object in
@@ -200,9 +211,10 @@ func (s *Stub) callBinding(ctx context.Context, ref codec.Ref, method string, lo
 				return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 			}
 			if newRef.Cap != ref.Cap {
-				if payload, err = EncodeRequestCtx(ctx, newRef.Cap, method, lowered); err != nil {
+				if pb.B, err = AppendRequestCtx(pb.B[:0], ctx, newRef.Cap, method, lowered); err != nil {
 					return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 				}
+				payload = pb.B
 			}
 			s.Rebind(newRef)
 			ref = newRef

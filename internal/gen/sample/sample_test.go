@@ -144,7 +144,7 @@ func TestGeneratedCodeIsCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := gen.Generate("calc.go", src)
+	want, err := gen.GenerateStatic("calc.go", src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,6 +153,6 @@ func TestGeneratedCodeIsCurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Error("calc_gen.go is stale; rerun: go run ./cmd/proxygen -in internal/gen/sample/calc.go")
+		t.Error("calc_gen.go is stale; rerun: go run ./cmd/proxygen -static -in internal/gen/sample/calc.go")
 	}
 }

@@ -1,6 +1,57 @@
 package sample
 
-import "repro/internal/wire"
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
 
 // wireNode converts a test-local uint32 into the wire node id type.
 func wireNode(id uint32) wire.NodeID { return wire.NodeID(id) }
+
+// TestStaticWireParity verifies the claim on which -static rests: an
+// argument vector whose native values enter the payload as themselves
+// (what a static client passes to Invoke) encodes to the same bytes as
+// the reflect-lowered vector a dynamic client builds. If the codec's
+// treatment of any native type diverged between the two paths, static and
+// dynamic stubs would stop interoperating.
+func TestStaticWireParity(t *testing.T) {
+	when := time.Unix(1234567890, 42)
+	ref := codec.Ref{
+		Target: wire.ObjAddr{Addr: wire.Addr{Node: wireNode(3), Context: 7}, Object: 9},
+		Type:   "sample.Calculator",
+		Hint:   []byte{1, 2},
+		Cap:    99,
+	}
+	cases := [][]any{
+		{int64(-5), int64(12)},
+		{true, false, "hello", ""},
+		{uint64(1 << 60), float64(3.5)},
+		{[]byte("raw"), []byte(nil), when, ref},
+	}
+	for i, args := range cases {
+		lowered := make([]any, len(args))
+		for j, a := range args {
+			v, err := codec.Lower(a)
+			if err != nil {
+				t.Fatalf("case %d arg %d: %v", i, j, err)
+			}
+			lowered[j] = v
+		}
+		static, err := core.EncodeRequest(99, "M", args)
+		if err != nil {
+			t.Fatalf("case %d static: %v", i, err)
+		}
+		dynamic, err := core.EncodeRequest(99, "M", lowered)
+		if err != nil {
+			t.Fatalf("case %d dynamic: %v", i, err)
+		}
+		if !bytes.Equal(static, dynamic) {
+			t.Errorf("case %d: static and dynamic payloads differ\nstatic:  %x\ndynamic: %x", i, static, dynamic)
+		}
+	}
+}

@@ -60,7 +60,18 @@ func (e *RemoteError) Error() string {
 // NodeOption configures a Node.
 type NodeOption func(*Node)
 
-// WithDispatchLimit bounds concurrently-running handlers (default 512).
+// DefaultDispatchLimit is the default bound on concurrently-running
+// handlers per node (see WithDispatchLimit).
+const DefaultDispatchLimit = 512
+
+// WithDispatchLimit bounds concurrently-running handlers (default
+// DefaultDispatchLimit). When the limit saturates, the node's receive
+// pump blocks before spawning the next handler: inbound frames queue in
+// the endpoint's receive buffer, then in the transport, so overload
+// turns into backpressure on senders (and eventually rpc timeouts)
+// instead of unbounded goroutine growth. Responses are exempt — they
+// complete pending calls directly and never consume a slot, so a
+// saturated node can still drain the calls it has in flight.
 func WithDispatchLimit(n int) NodeOption {
 	return func(nd *Node) {
 		if n > 0 {
@@ -119,7 +130,7 @@ type Node struct {
 func NewNode(ep netsim.Endpoint, opts ...NodeOption) *Node {
 	n := &Node{
 		ep:       ep,
-		sem:      make(chan struct{}, 512),
+		sem:      make(chan struct{}, DefaultDispatchLimit),
 		contexts: make(map[wire.ContextID]*Context),
 		nextCtx:  1,
 		done:     make(chan struct{}),
@@ -148,7 +159,9 @@ func (n *Node) NewContext() (*Context, error) {
 		addr:    wire.Addr{Node: n.ID(), Context: id},
 		objects: make(map[wire.ObjectID]Handler),
 		nextObj: 1,
-		pending: make(map[uint64]chan *wire.Frame),
+	}
+	for i := range c.pending {
+		c.pending[i].m = make(map[uint64]chan *wire.Frame)
 	}
 	// Request ids must be unique across restarts of a context at the same
 	// address: remote reply caches key on (source address, request id), so
@@ -210,14 +223,15 @@ func (n *Node) route(f *wire.Frame) {
 	// The health monitor (internal/health) relies on this.
 	if f.Kind == wire.KindPing && f.Flags&wire.FlagResponse == 0 {
 		if f.Flags&wire.FlagOneWay == 0 && !f.Src.IsZero() {
-			_ = n.ep.Send(&wire.Frame{
-				Kind:   wire.KindAck,
-				Flags:  wire.FlagResponse,
-				ReqID:  f.ReqID,
-				Src:    f.Dst,
-				Dst:    f.Src,
-				Object: wire.KernelObject,
-			})
+			ack := wire.GetFrame()
+			ack.Kind = wire.KindAck
+			ack.Flags = wire.FlagResponse
+			ack.ReqID = f.ReqID
+			ack.Src = f.Dst
+			ack.Dst = f.Src
+			ack.Object = wire.KernelObject
+			_ = n.ep.Send(ack)
+			ack.Release()
 		}
 		return
 	}
@@ -236,17 +250,30 @@ func (n *Node) route(f *wire.Frame) {
 	c.dispatch(f)
 }
 
+var noSuchContext = []byte("no such context")
+
 func (n *Node) replyNoRoute(f *wire.Frame) {
-	resp := &wire.Frame{
-		Kind:    wire.KindError,
-		Flags:   wire.FlagResponse | wire.FlagNoRoute,
-		ReqID:   f.ReqID,
-		Src:     f.Dst,
-		Dst:     f.Src,
-		Object:  wire.KernelObject,
-		Payload: []byte("no such context"),
-	}
+	resp := wire.GetFrame()
+	resp.Kind = wire.KindError
+	resp.Flags = wire.FlagResponse | wire.FlagNoRoute
+	resp.ReqID = f.ReqID
+	resp.Src = f.Dst
+	resp.Dst = f.Src
+	resp.Object = wire.KernelObject
+	resp.Payload = noSuchContext
 	_ = n.ep.Send(resp)
+	resp.Release()
+}
+
+// pendingShards splits the per-context pending-call table so concurrent
+// callers registering and completing calls don't contend on one mutex.
+// Request ids are sequential, so id%pendingShards spreads neighbors
+// across shards.
+const pendingShards = 16
+
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan *wire.Frame
 }
 
 // Context is one address space: a registry of objects plus the machinery
@@ -258,10 +285,18 @@ type Context struct {
 	mu      sync.Mutex
 	objects map[wire.ObjectID]Handler
 	nextObj wire.ObjectID
-	pending map[uint64]chan *wire.Frame
-	closed  bool
+
+	// closed is checked under each shard's lock when registering a
+	// pending call: failPending stores true before draining the shards,
+	// so no registration can slip in after its shard was drained.
+	closed  atomic.Bool
+	pending [pendingShards]pendingShard
 
 	reqID atomic.Uint64
+}
+
+func (c *Context) shard(id uint64) *pendingShard {
+	return &c.pending[id%pendingShards]
 }
 
 // Addr reports the context's address.
@@ -334,12 +369,13 @@ func (c *Context) ObjectCount() int {
 
 func (c *Context) dispatch(f *wire.Frame) {
 	if f.Flags&wire.FlagResponse != 0 {
-		c.mu.Lock()
-		ch, ok := c.pending[f.ReqID]
+		s := c.shard(f.ReqID)
+		s.mu.Lock()
+		ch, ok := s.m[f.ReqID]
 		if ok {
-			delete(c.pending, f.ReqID)
+			delete(s.m, f.ReqID)
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		if ok {
 			ch <- f // buffered, never blocks
 		}
@@ -351,14 +387,15 @@ func (c *Context) dispatch(f *wire.Frame) {
 	c.mu.Unlock()
 	if !ok {
 		if f.Flags&wire.FlagOneWay == 0 && !f.Src.IsZero() {
-			_ = c.Send(&wire.Frame{
-				Kind:    wire.KindError,
-				Flags:   wire.FlagResponse | wire.FlagNoRoute,
-				ReqID:   f.ReqID,
-				Dst:     f.Src,
-				Object:  wire.KernelObject,
-				Payload: []byte(fmt.Sprintf("no such object %d", f.Object)),
-			})
+			resp := wire.GetFrame()
+			resp.Kind = wire.KindError
+			resp.Flags = wire.FlagResponse | wire.FlagNoRoute
+			resp.ReqID = f.ReqID
+			resp.Dst = f.Src
+			resp.Object = wire.KernelObject
+			resp.Payload = []byte(fmt.Sprintf("no such object %d", f.Object))
+			_ = c.Send(resp)
+			resp.Release()
 		}
 		return
 	}
@@ -367,10 +404,14 @@ func (c *Context) dispatch(f *wire.Frame) {
 	case <-c.node.done:
 		return
 	}
-	go func() {
-		defer func() { <-c.node.sem }()
-		h.HandleFrame(c, f)
-	}()
+	// Plain method-value goroutine launch: unlike a closure this does not
+	// allocate a capture environment per dispatched frame.
+	go c.runHandler(h, f)
+}
+
+func (c *Context) runHandler(h Handler, f *wire.Frame) {
+	defer func() { <-c.node.sem }()
+	h.HandleFrame(c, f)
 }
 
 // NextReqID allocates a request id unique within this context.
@@ -383,13 +424,17 @@ func (c *Context) NextReqID() uint64 { return c.reqID.Add(1) }
 // retransmit one logical request under a single id.
 func (c *Context) NewPending() (uint64, <-chan *wire.Frame, error) {
 	id := c.NextReqID()
+	// Response channels are deliberately not pooled: a late reply
+	// delivered into a recycled channel owned by a newer call would
+	// mis-correlate the two requests.
 	ch := make(chan *wire.Frame, 1)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed.Load() {
 		return 0, nil, ErrClosed
 	}
-	c.pending[id] = ch
+	s.m[id] = ch
 	return id, ch, nil
 }
 
@@ -415,23 +460,25 @@ func (c *Context) Call(ctx context.Context, dst wire.Addr, obj wire.ObjectID, ki
 	id := c.NextReqID()
 	ch := make(chan *wire.Frame, 1)
 
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	s := c.shard(id)
+	s.mu.Lock()
+	if c.closed.Load() {
+		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	c.pending[id] = ch
-	c.mu.Unlock()
+	s.m[id] = ch
+	s.mu.Unlock()
 
-	f := &wire.Frame{
-		Kind:    kind,
-		Flags:   flags &^ wire.FlagResponse,
-		ReqID:   id,
-		Dst:     dst,
-		Object:  obj,
-		Payload: payload,
-	}
-	if err := c.Send(f); err != nil {
+	f := wire.GetFrame()
+	f.Kind = kind
+	f.Flags = flags &^ wire.FlagResponse
+	f.ReqID = id
+	f.Dst = dst
+	f.Object = obj
+	f.Payload = payload
+	err := c.Send(f)
+	f.Release() // transports copy before Send returns
+	if err != nil {
 		c.dropPending(id)
 		return nil, err
 	}
@@ -455,36 +502,46 @@ func (c *Context) Call(ctx context.Context, dst wire.Addr, obj wire.ObjectID, ki
 }
 
 func (c *Context) dropPending(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+	s := c.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
 }
 
 func (c *Context) failPending(err error) {
-	c.mu.Lock()
-	c.closed = true
-	chans := make([]chan *wire.Frame, 0, len(c.pending))
-	for id, ch := range c.pending {
-		chans = append(chans, ch)
-		delete(c.pending, id)
+	// Mark closed first: any NewPending/Call that has not yet taken its
+	// shard lock will observe closed and refuse; any that already
+	// registered is drained below.
+	c.closed.Store(true)
+	var chans []chan *wire.Frame
+	for i := range c.pending {
+		s := &c.pending[i]
+		s.mu.Lock()
+		for id, ch := range s.m {
+			chans = append(chans, ch)
+			delete(s.m, id)
+		}
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	for _, ch := range chans {
 		ch <- nil // nil frame signals closure to waiting Call
 	}
 }
 
-// Respond answers a request frame with the given kind and payload.
+// Respond answers a request frame with the given kind and payload. The
+// response frame is pooled: both transports copy it before Send
+// returns, so it is recycled immediately after the send.
 func (c *Context) Respond(req *wire.Frame, kind wire.Kind, payload []byte) error {
-	resp := &wire.Frame{
-		Kind:    kind,
-		Flags:   wire.FlagResponse,
-		ReqID:   req.ReqID,
-		Dst:     req.Src,
-		Object:  wire.KernelObject,
-		Payload: payload,
-	}
-	return c.Send(resp)
+	resp := wire.GetFrame()
+	resp.Kind = kind
+	resp.Flags = wire.FlagResponse
+	resp.ReqID = req.ReqID
+	resp.Dst = req.Src
+	resp.Object = wire.KernelObject
+	resp.Payload = payload
+	err := c.Send(resp)
+	resp.Release()
+	return err
 }
 
 // RespondError answers a request with a KindError response.

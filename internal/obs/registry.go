@@ -45,6 +45,13 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// GaugeFunc is a computed gauge: the callback is evaluated at read time
+// (Each/Dump), so values that already exist elsewhere — pool hit rates,
+// queue depths owned by another subsystem — can be surfaced without a
+// write on every change. The callback must be safe for concurrent use and
+// cheap; it runs on whatever goroutine is snapshotting the registry.
+type GaugeFunc func() string
+
 // histBuckets is the number of exponential histogram buckets. Bucket i
 // holds durations whose nanosecond count has bit-length i, i.e. the range
 // [2^(i-1), 2^i); bucket 0 holds zero. 64 buckets cover every possible
@@ -145,6 +152,7 @@ type Registry struct {
 	mu     sync.RWMutex
 	counts map[string]*Counter
 	gauges map[string]*Gauge
+	funcs  map[string]GaugeFunc
 	hists  map[string]*Histogram
 }
 
@@ -153,8 +161,17 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
+		funcs:  make(map[string]GaugeFunc),
 		hists:  make(map[string]*Histogram),
 	}
+}
+
+// GaugeFunc registers (or replaces) a computed gauge under the given
+// name. It appears in Each/Dump alongside stored gauges.
+func (r *Registry) GaugeFunc(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -222,21 +239,29 @@ func (r *Registry) Each(fn func(kind, name string, value string)) {
 	for n := range r.gauges {
 		gnames = append(gnames, n)
 	}
+	fnames := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		fnames = append(fnames, n)
+	}
 	hnames := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		hnames = append(hnames, n)
 	}
-	counts, gauges, hists := r.counts, r.gauges, r.hists
+	counts, gauges, funcs, hists := r.counts, r.gauges, r.funcs, r.hists
 	r.mu.RUnlock()
 
 	sort.Strings(cnames)
 	sort.Strings(gnames)
+	sort.Strings(fnames)
 	sort.Strings(hnames)
 	for _, n := range cnames {
 		fn("counter", n, fmt.Sprintf("%d", counts[n].Load()))
 	}
 	for _, n := range gnames {
 		fn("gauge", n, fmt.Sprintf("%d", gauges[n].Load()))
+	}
+	for _, n := range fnames {
+		fn("gauge", n, funcs[n]())
 	}
 	for _, n := range hnames {
 		s := hists[n].Snapshot()

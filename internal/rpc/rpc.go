@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/kernel"
@@ -243,13 +244,16 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 		rec = &attemptRecorder{c: c, sc: sc, start: time.Now()}
 	}
 
-	req := &wire.Frame{
-		Kind:    kind,
-		ReqID:   id,
-		Dst:     dst.Addr,
-		Object:  dst.Object,
-		Payload: payload,
-	}
+	// The request frame is pooled: transports copy it before Send
+	// returns, and the deferred Release runs only after the last
+	// (re)transmission, so recycling is safe.
+	req := wire.GetFrame()
+	defer req.Release()
+	req.Kind = kind
+	req.ReqID = id
+	req.Dst = dst.Addr
+	req.Object = dst.Object
+	req.Payload = payload
 	if err := c.ktx.Send(req); err != nil {
 		c.failures.Inc()
 		rec.end(attempts, err.Error())
@@ -257,8 +261,8 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 	}
 
 	interval := c.retryEvery
-	timer := time.NewTimer(c.sleepFor(interval))
-	defer timer.Stop()
+	timer := getTimer(c.sleepFor(interval))
+	defer putTimer(timer)
 	for {
 		select {
 		case resp := <-ch:
@@ -314,4 +318,33 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 			timer.Reset(c.sleepFor(interval))
 		}
 	}
+}
+
+// timerPool recycles retransmission timers: every call needs one, and a
+// timer costs two allocations.
+var timerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return t
+}}
+
+// getTimer returns a pooled timer armed for d.
+func getTimer(d time.Duration) *time.Timer {
+	t := timerPool.Get().(*time.Timer)
+	// The pooled timer is stopped with a drained channel (putTimer
+	// guarantees it), so Reset is safe.
+	t.Reset(d)
+	return t
+}
+
+// putTimer stops and drains a timer so it can be pooled. Callers must
+// no longer be selecting on t.C.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
