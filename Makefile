@@ -4,14 +4,14 @@ GO ?= go
 
 # make cover fails if any of these packages drop below this (percent).
 COVER_MIN ?= 80
-COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec
+COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard
 
 # Seeds make chaos replays; override to explore: make chaos CHAOS_SEEDS="7 8 9"
 CHAOS_SEEDS ?= 1 2 3
 
-.PHONY: all build test race vet bench bench-short chaos cover experiments examples clean
+.PHONY: all build test race vet lint bench bench-short chaos cover experiments examples clean
 
-all: vet test race chaos bench-short build
+all: vet lint test race chaos bench-short build
 
 # Fast-path gate: the allocation-budget tests (bypass must be 0 allocs/op,
 # stub and cache at or under their enforced ceilings) plus a one-iteration
@@ -49,6 +49,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: staticcheck when installed, otherwise fall back to go
+# vet so offline checkouts still get a gate.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH, falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -22,6 +22,7 @@ import (
 	"repro/internal/pubsub"
 	"repro/internal/replica"
 	"repro/internal/rpc"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -457,6 +458,50 @@ func BenchmarkE11Batching(b *testing.B) {
 		b.StopTimer()
 		if err := p.(*core.BatchProxy).Flush(ctx); err != nil {
 			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkE14Sharding: the sharded proxy's key operations over a
+// 2-member deployment — a routed single-key write (table lookup + one
+// member invocation) and an 8-key scatter-gather read.
+func BenchmarkE14Sharding(b *testing.B) {
+	c := mustCluster(b, 4)
+	spec := bench.KVShardSpec()
+	sf := shard.NewFactory(spec, shard.WithName("bench"))
+	router := shard.NewRouter(c.RT(0), sf)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("m%d", i)
+		ref := mustExport(b, c.RT(i+1), shard.NewGuard(name, spec, bench.NewKV()), "KVShard")
+		if err := router.AddMember(ctx, name, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ref, err := c.RT(0).ExportVia(sf, router, "ShardedKV")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.RT(3).RegisterProxyType("ShardedKV", shard.NewFactory(shard.Spec{}))
+	p := mustImport(b, c.RT(3), ref)
+	keys := make([]any, 8)
+	for i := range keys {
+		k := fmt.Sprintf("k%d", i)
+		keys[i] = k
+		if _, err := p.Invoke(ctx, "put", k, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("routed-write", func(b *testing.B) {
+		invokeLoop(b, p, "put", "k0", int64(1))
+	})
+	b.Run("scatter-mget-8", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Invoke(ctx, "mget", keys...); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

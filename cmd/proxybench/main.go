@@ -8,7 +8,11 @@
 // With -json, instead of the experiment tables it measures the invocation
 // fast path (the E1 ladder and E2's cache cells) with latency quantiles
 // and allocs/op, and writes BENCH_<date>.json in the current directory —
-// the machine-readable before/after record for the fast-path work.
+// the machine-readable before/after record for the fast-path work. The
+// console summary compares each row against the embedded pre-optimization
+// baseline AND against the newest committed BENCH_*.json, so deltas chain
+// report-over-report rather than always measuring from the original
+// baseline.
 //
 // Absolute numbers depend on the host; the *shapes* (who wins, where
 // crossovers fall) are what the suite reproduces.
@@ -19,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -98,17 +104,63 @@ func writeJSONReport(latency time.Duration, ops int, seed int64) error {
 	fmt.Printf("proxybench: wrote %s\n", name)
 	// A console summary of the headline comparison: each measured row
 	// against its embedded pre-optimization baseline.
-	base := map[string]bench.ReportRow{}
-	for _, b := range rep.Baseline {
-		base[b.Experiment+"/"+b.Case] = b
+	fmt.Println("vs pre-optimization baseline:")
+	printComparison(rep.Rows, rep.Baseline)
+	// And against the newest previously committed report, so deltas
+	// chain report-over-report instead of always measuring from the
+	// original baseline.
+	prev, prevName, err := newestPriorReport(name)
+	if err != nil {
+		return err
 	}
-	for _, r := range rep.Rows {
-		b, ok := base[r.Experiment+"/"+r.Case]
+	if prev == nil {
+		fmt.Println("no prior BENCH_*.json to chain against")
+		return nil
+	}
+	fmt.Printf("vs %s (previous report):\n", prevName)
+	printComparison(rep.Rows, prev.Rows)
+	return nil
+}
+
+// printComparison lines each measured row up against the matching row of
+// a reference report.
+func printComparison(rows, against []bench.ReportRow) {
+	ref := map[string]bench.ReportRow{}
+	for _, b := range against {
+		ref[b.Experiment+"/"+b.Case] = b
+	}
+	for _, r := range rows {
+		b, ok := ref[r.Experiment+"/"+r.Case]
 		if !ok {
 			continue
 		}
 		fmt.Printf("  %-18s %8.1f ns/op (was %8.1f)  %5.1f allocs/op (was %4.1f)\n",
 			r.Experiment+"/"+r.Case, r.NsPerOp, b.NsPerOp, r.AllocsPerOp, b.AllocsPerOp)
 	}
-	return nil
+}
+
+// newestPriorReport loads the lexically newest BENCH_*.json in the
+// current directory other than the one just written (the date-stamped
+// names sort chronologically). Returns nil when this is the first.
+func newestPriorReport(exclude string) (*bench.Report, string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if matches[i] == exclude {
+			continue
+		}
+		data, err := os.ReadFile(matches[i])
+		if err != nil {
+			return nil, "", err
+		}
+		var rep bench.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, "", fmt.Errorf("parse %s: %w", matches[i], err)
+		}
+		return &rep, matches[i], nil
+	}
+	return nil, "", nil
 }

@@ -22,6 +22,15 @@
 //	group                         print the daemon's replica groups:
 //	                              role, epoch, primary, and per-member
 //	                              applied sequence numbers
+//	shard status                  print the daemon's sharded deployments:
+//	                              table epoch, members, keys per shard
+//	shard add <shard> <member> <ref>
+//	                              admit an exported member to a sharded
+//	                              deployment and rebalance onto it
+//	shard remove <shard> <member> [force]
+//	                              retire a member, draining its key
+//	                              ranges ("force" accepts data loss when
+//	                              the member is unreachable)
 //
 // With -trace, invoke runs under a fresh trace and prints the resulting
 // tree, merging this client's spans with the spans the daemon recorded —
@@ -30,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -45,6 +55,7 @@ import (
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -84,6 +95,11 @@ func main() {
 	// factory here lets this client cache reads locally. Unknown types
 	// still fall back to plain stubs.
 	rt.RegisterProxyType("CachedKV", cache.NewFactory(nil))
+	// Sharded deployments (proxyd -sharded-kv) hand out "ShardedKV" refs;
+	// with the factory registered this client routes each key straight to
+	// its owning shard (the keyspace spec travels in the reference hint,
+	// so a zero-spec factory suffices).
+	rt.RegisterProxyType("ShardedKV", shard.NewFactory(shard.Spec{}))
 
 	dirRef := codec.Ref{
 		Target: wire.ObjAddr{
@@ -180,6 +196,44 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(text)
+	case "shard":
+		requireArgs(args, 2, "shard status | shard add <shard> <member> <ref> | shard remove <shard> <member> [force]")
+		p, err := client.Resolve(ctx, rt, "services/shard")
+		if err != nil {
+			log.Fatalf("resolve services/shard (daemon too old?): %v", err)
+		}
+		switch sub := args[1]; sub {
+		case "status":
+			text, err := core.Call1[string](ctx, p, "status")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(text)
+		case "add":
+			requireArgs(args, 5, "shard add <shard> <member> <node.ctx/obj:Type>")
+			ref, err := parseRef(args[4])
+			if err != nil {
+				log.Fatal(err)
+			}
+			text, err := core.Call1[string](ctx, p, "add", args[2], args[3], ref)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(text)
+		case "remove":
+			requireArgs(args, 4, "shard remove <shard> <member> [force]")
+			callArgs := []any{args[2], args[3]}
+			if len(args) > 4 && args[4] == "force" {
+				callArgs = append(callArgs, true)
+			}
+			text, err := core.Call1[string](ctx, p, "remove", callArgs...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(text)
+		default:
+			log.Fatalf("unknown shard subcommand %q", sub)
+		}
 	case "stats":
 		text, err := obsCall[string](ctx, rt, client, "metrics")
 		if err != nil {
@@ -257,13 +311,31 @@ func requireArgs(args []string, n int, usage string) {
 func parseArgs(raw []string) []any {
 	out := make([]any, len(raw))
 	for i, s := range raw {
-		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
-			out[i] = v
-		} else {
-			out[i] = s
-		}
+		out[i] = parseArg(s)
 	}
 	return out
+}
+
+// parseArg converts one CLI string: an integer, a JSON list (the key
+// vectors multi-key shard methods take, e.g. '["k",7]'), or a string.
+func parseArg(s string) any {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v
+	}
+	if strings.HasPrefix(s, "[") {
+		var list []any
+		if err := json.Unmarshal([]byte(s), &list); err == nil {
+			for i, e := range list {
+				// JSON numbers decode as float64; invocation payloads
+				// want integers where the value is integral.
+				if f, ok := e.(float64); ok && f == float64(int64(f)) {
+					list[i] = int64(f)
+				}
+			}
+			return list
+		}
+	}
+	return s
 }
 
 // parseRef parses "node.ctx/obj:Type".

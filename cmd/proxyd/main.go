@@ -26,9 +26,17 @@
 // its groups (next epoch, state replayed from the log) instead of losing
 // them. Every daemon also exports a replica status service bound at
 // "services/replica" (inspect it with proxyctl group).
+//
+// With -sharded-kv the demo KV is exported through the sharding smart
+// proxy: its keyspace is consistent-hashed across -shard-members local
+// member shards, clients with the factory registered route each key
+// straight to its owner, and membership grows or shrinks at runtime via
+// `proxyctl shard add/remove` (the shard control service is bound at
+// "services/shard" on every daemon).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +53,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/health"
 	"repro/internal/kernel"
@@ -53,6 +62,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/replica"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -64,6 +74,8 @@ func main() {
 	withKV := flag.Bool("with-kv", false, "export a demo KV service bound at services/kv")
 	cachedKV := flag.Bool("cached-kv", false, "export the demo KV through the caching smart proxy (clients with the factory registered cache reads locally)")
 	replicatedKV := flag.Bool("replicated-kv", false, "export the demo KV through the replicating smart proxy (importing peers become self-healing group members)")
+	shardedKV := flag.Bool("sharded-kv", false, "export the demo KV through the sharding smart proxy: the keyspace is consistent-hashed across member shards")
+	shardMembers := flag.Int("shard-members", 2, "initial local member count of the -sharded-kv deployment (grow it with proxyctl shard add)")
 	walDir := flag.String("wal-dir", "", "directory for replica write-ahead logs (empty = in-memory; set it and a restarted daemon reassumes its groups)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer liveness probe interval (0 = passive detection only)")
@@ -151,6 +163,15 @@ func main() {
 	}
 	dir.Bind("services/replica", replicaRef, 0)
 
+	// Likewise the shard control view: routing tables, epochs, and
+	// membership operations for every sharded deployment this node routes
+	// (proxyctl shard status/add/remove).
+	shardRef, err := rt.Export(shard.NewService(rt), shard.TypeName)
+	if err != nil {
+		log.Fatalf("export shard status: %v", err)
+	}
+	dir.Bind("services/shard", shardRef, 0)
+
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -183,32 +204,59 @@ func main() {
 	var kv *bench.KV
 	if *withKV || *cachedKV || *replicatedKV {
 		kv = bench.NewKV()
-		typeName := "KV"
+		var kvRef codec.Ref
 		switch {
 		case *cachedKV:
 			// The service chooses its distribution strategy: reads served
 			// from client-side caches kept coherent by callback
 			// invalidation. Clients that never register the factory fall
 			// back to plain stubs and still interoperate.
-			typeName = "CachedKV"
-			rt.RegisterProxyType(typeName, cache.NewFactory(bench.KVReads()))
+			kvRef, err = rt.ExportVia(cache.NewFactory(bench.KVReads()), kv, "CachedKV")
 		case *replicatedKV:
 			// Or full replication: importers join a totally-ordered group,
 			// every acknowledged write is logged before the ack, and the
 			// group heals itself around crashes. Plain-stub clients still
 			// interoperate (their invokes run on the primary).
-			typeName = "ReplicatedKV"
-			rt.RegisterProxyType(typeName, replica.NewFactory(bench.KVReads(),
+			kvRef, err = rt.ExportVia(replica.NewFactory(bench.KVReads(),
 				func() replica.StateMachine { return bench.NewKV() },
 				replica.WithName("kv"),
-				replica.WithWALStore(walStoreFor(*walDir))))
+				replica.WithWALStore(walStoreFor(*walDir))), kv, "ReplicatedKV")
+		default:
+			kvRef, err = rt.Export(kv, "KV")
 		}
-		kvRef, err := rt.Export(kv, typeName)
 		if err != nil {
 			log.Fatalf("export kv: %v", err)
 		}
 		dir.Bind("services/kv", kvRef, 0)
 		log.Printf("demo KV exported as %s, bound at services/kv", kvRef)
+	}
+
+	// Or partitioning: the keyspace is consistent-hashed across member
+	// shards, each an ordinary export the router hands off key ranges to.
+	// The initial members live in this daemon; grow the deployment with
+	// `proxyctl shard add kv <member> <ref>` pointing at guards exported
+	// on other nodes.
+	if *shardedKV {
+		spec := bench.KVShardSpec()
+		sf := shard.NewFactory(spec, shard.WithName("kv"))
+		router := shard.NewRouter(rt, sf)
+		ctx := context.Background()
+		for i := 0; i < *shardMembers; i++ {
+			name := fmt.Sprintf("local%d", i)
+			memberRef, err := rt.Export(shard.NewGuard(name, spec, bench.NewKV()), "KVShard")
+			if err != nil {
+				log.Fatalf("export shard member %s: %v", name, err)
+			}
+			if err := router.AddMember(ctx, name, memberRef); err != nil {
+				log.Fatalf("admit shard member %s: %v", name, err)
+			}
+		}
+		kvRef, err := rt.ExportVia(sf, router, "ShardedKV")
+		if err != nil {
+			log.Fatalf("export sharded kv: %v", err)
+		}
+		dir.Bind("services/kv", kvRef, 0)
+		log.Printf("sharded KV exported as %s (%d members), bound at services/kv", kvRef, *shardMembers)
 	}
 
 	// A replicated KV's durable state is its write-ahead log; only the

@@ -6,9 +6,10 @@
 //
 // The implementation lives under internal/: the kernel substrate
 // (wire, codec, netsim, kernel, rpc, naming, group, vclock), the proxy
-// runtime itself (core), the smart proxies (cache, replica, migrate), the
-// comparators (rpc stubs, dsm), and the observability layer (obs:
-// cross-context invocation tracing plus the shared metrics registry).
+// runtime itself (core), the smart proxies (cache, replica, migrate,
+// shard), the comparators (rpc stubs, dsm), and the observability layer
+// (obs: cross-context invocation tracing plus the shared metrics
+// registry).
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the measured reproduction of every claim. The
 // benchmarks in this directory (bench_test.go) expose one testing.B
@@ -25,12 +26,24 @@
 //	core.NewRuntime(ktx, core.WithObserver(o))
 //	cache.NewFactory(reads, cache.WithLeaseTTL(ttl))
 //	pubsub.NewTopic("news", pubsub.WithQueueDepth(64))
+//	shard.NewFactory(spec, shard.WithVirtualNodes(64))
 //
-// Option types are named after what they configure (rpc.ClientOption,
-// core.RuntimeOption, cache.FactoryOption, pubsub.TopicOption). Zero
+// Option types are named after what they configure: rpc.ClientOption,
+// core.RuntimeOption, naming.ClientOption, core.ExportOption,
+// pubsub.TopicOption; the proxy factories take cache.FactoryOption,
+// replica.FactoryOption, migrate.FactoryOption and shard.FactoryOption,
+// with migrate.HostOption for the migration host and replica.ServiceOption
+// / shard.ServiceOption for the proxyctl-facing admin services. Zero
 // options always yields a working default; options are applied in order,
 // later options winning. New knobs are added as new With* functions, so
 // call sites never break.
+//
+// Proxy factories themselves share one contract, core.ProxyFactory:
+// New builds the client-side proxy from an imported reference, Export
+// wraps (or registers) the service side and contributes the reference
+// hint. Runtime.ExportVia(factory, svc, typeName) registers and exports
+// in one step. Factories with no server-side behavior embed
+// core.NopExport.
 //
 // # Observability
 //

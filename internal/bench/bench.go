@@ -9,6 +9,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/codec"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -82,8 +84,9 @@ func (c *Cluster) Close() {
 //	incr(k string) -> int64         (write)
 //	noop() -> ()                    (read; for null-invocation latency)
 //
-// It implements core.Service, and via Snapshot/Restore also
-// replica.StateMachine and migrate.Migratable.
+// It implements core.Service, via Snapshot/Restore also
+// replica.StateMachine and migrate.Migratable, and via
+// Keys/ExportKeys/ImportKeys/DropKeys also shard.Store.
 type KV struct {
 	mu sync.Mutex
 	m  map[string]int64
@@ -95,6 +98,15 @@ func NewKV() *KV { return &KV{m: make(map[string]int64)} }
 // KVReads lists the KV's cacheable/replicable read methods.
 func KVReads() []string { return []string{"get", "sum", "noop"} }
 
+// KVShardSpec declares the KV keyspace for sharding: get/put/incr route
+// by their key argument, mget/mput fan out one sub-invocation per key.
+func KVShardSpec() shard.Spec {
+	return shard.Spec{
+		SingleKey: []string{"get", "put", "incr"},
+		MultiKey:  map[string]string{"mget": "get", "mput": "put"},
+	}
+}
+
 // Invoke implements core.Service.
 func (s *KV) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
 	s.mu.Lock()
@@ -103,6 +115,9 @@ func (s *KV) Invoke(ctx context.Context, method string, args []any) ([]any, erro
 	case "noop":
 		return nil, nil
 	case "get":
+		if len(args) < 1 {
+			return nil, core.BadArgs(method, "want (key)")
+		}
 		k, _ := args[0].(string)
 		return []any{s.m[k]}, nil
 	case "sum":
@@ -112,11 +127,17 @@ func (s *KV) Invoke(ctx context.Context, method string, args []any) ([]any, erro
 		}
 		return []any{t}, nil
 	case "put":
+		if len(args) < 2 {
+			return nil, core.BadArgs(method, "want (key, value)")
+		}
 		k, _ := args[0].(string)
 		v, _ := args[1].(int64)
 		s.m[k] = v
 		return []any{v}, nil
 	case "incr":
+		if len(args) < 1 {
+			return nil, core.BadArgs(method, "want (key)")
+		}
 		k, _ := args[0].(string)
 		s.m[k]++
 		return []any{s.m[k]}, nil
@@ -152,4 +173,64 @@ func (s *KV) Get(k string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.m[k]
+}
+
+// Len reports how many keys the store holds.
+func (s *KV) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Keys implements the enumeration half of shard.Store.
+func (s *KV) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ExportKeys implements shard.Store: per-key handoff blobs.
+func (s *KV) ExportKeys(keys []string) (map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := s.m[k]; ok {
+			b, err := codec.Marshal(v)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = b
+		}
+	}
+	return out, nil
+}
+
+// ImportKeys implements shard.Store (idempotent: overwrites).
+func (s *KV) ImportKeys(kvs map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, b := range kvs {
+		var v int64
+		if err := codec.Unmarshal(b, &v); err != nil {
+			return fmt.Errorf("bench: import key %q: %w", k, err)
+		}
+		s.m[k] = v
+	}
+	return nil
+}
+
+// DropKeys implements shard.Store (idempotent).
+func (s *KV) DropKeys(keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.m, k)
+	}
+	return nil
 }

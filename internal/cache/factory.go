@@ -38,7 +38,7 @@ func WithAsyncInvalidation() FactoryOption {
 // Factory is the proxy factory for cached services. The *service side*
 // constructs it, declaring which methods are cacheable reads — the client
 // never needs to know the policy, the mode, or that caching happens at
-// all. Implements core.ProxyFactory and core.Exporter.
+// all. Implements core.ProxyFactory.
 type Factory struct {
 	reads    []string
 	mode     Mode
@@ -48,6 +48,8 @@ type Factory struct {
 	mu     sync.Mutex
 	coords map[wire.ObjAddr]*coordinator // by exported target, for stats
 }
+
+var _ core.ProxyFactory = (*Factory)(nil)
 
 // NewFactory builds a caching factory; readMethods lists the methods whose
 // results may be cached (everything else is treated as a write).
@@ -65,7 +67,8 @@ func NewFactory(readMethods []string, opts ...FactoryOption) *Factory {
 	return f
 }
 
-// Export implements core.Exporter: it sets up the coordinator, registers
+// Export implements the server half of core.ProxyFactory: it sets up
+// the coordinator, registers
 // the control object, and produces the private hint. The export's
 // capability token (if any) also guards the private read/write protocol.
 func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (core.Service, []byte, error) {

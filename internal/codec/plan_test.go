@@ -86,18 +86,18 @@ func planParityCases() []any {
 		math.Inf(-1),
 		"",
 		"hello, 世界",
-		[]byte(nil),            // exact []byte: TagBytes len 0, NOT TagNil
-		[]byte{},               // same bytes as above
-		[]byte{1, 2, 3},        //
-		planNamedBytes(nil),    // named byte slice: TagNil
-		planNamedBytes{4, 5},   //
-		planNamedString("ns"),  //
-		planNamedInt(-3),       //
-		planNamedFloat(1.25),   //
-		planNamedBool(true),    //
-		planNamedSlice{1, 2},   //
-		planNamedSlice(nil),    //
-		[]any{},                //
+		[]byte(nil),           // exact []byte: TagBytes len 0, NOT TagNil
+		[]byte{},              // same bytes as above
+		[]byte{1, 2, 3},       //
+		planNamedBytes(nil),   // named byte slice: TagNil
+		planNamedBytes{4, 5},  //
+		planNamedString("ns"), //
+		planNamedInt(-3),      //
+		planNamedFloat(1.25),  //
+		planNamedBool(true),   //
+		planNamedSlice{1, 2},  //
+		planNamedSlice(nil),   //
+		[]any{},               //
 		[]any{nil, int64(1), "x", []byte{9}},
 		[]string{"b", "a"},
 		[][]int64{{1}, {2, 3}},

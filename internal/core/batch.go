@@ -45,13 +45,17 @@ func WithBatchInterval(d time.Duration) BatchOption {
 // amortizing the wire cost across the batch; all other methods flush the
 // queue (preserving program order) and then behave like a stub. The
 // classic use is a log or metrics object whose append cost must not be a
-// round trip. Implements ProxyFactory; no Exporter side is needed —
-// batches ride a custom kind the standard server object understands.
+// round trip. Purely client-side — batches ride a custom kind the
+// standard server object understands — so NopExport supplies its Export
+// half.
 type BatchFactory struct {
+	NopExport
 	oneWay   map[string]bool
 	maxBatch int
 	interval time.Duration
 }
+
+var _ ProxyFactory = (*BatchFactory)(nil)
 
 // NewBatchFactory declares which methods may be batched (their results
 // are discarded; errors surface only as a failed flush).

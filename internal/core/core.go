@@ -56,23 +56,34 @@ type Proxy interface {
 	Close() error
 }
 
-// ProxyFactory creates the client-side proxy for a service type. The
-// factory is registered by the service (under its type name), which is how
-// the service — not the client — chooses its distribution strategy.
+// ProxyFactory is the complete distribution strategy for a service type:
+// one object that owns both halves of the proxy relationship. The factory
+// is registered by the service (under its type name), which is how the
+// service — not the client — chooses its strategy.
+//
+// New builds the client-side proxy when a reference of the factory's type
+// is imported.
+//
+// Export is the server side of the same strategy: it may wrap the service
+// with coordination logic (a cache coordinator tracking copies, a replica
+// primary ordering writes, a shard router) and produce the private hint
+// blob embedded in every exported reference. The partially-built reference
+// passed in carries the export's target address and capability token (its
+// Hint is filled from this call's return). Factories with no server side
+// return (nil, nil, nil): the service is exported unwrapped with a nil
+// hint (NopExport is that answer, ready to embed).
 type ProxyFactory interface {
 	New(rt *Runtime, ref codec.Ref) (Proxy, error)
+	Export(rt *Runtime, svc Service, ref codec.Ref) (wrapped Service, hint []byte, err error)
 }
 
-// Exporter is implemented by proxy factories that participate in the
-// server side of an export: wrapping the service with coordination logic
-// (e.g. a cache coordinator that tracks copies) and producing the private
-// Hint blob embedded in every exported reference. The partially-built
-// reference passed in carries the export's target address and capability
-// token (its Hint is filled from this call's return). Factories that
-// don't implement Exporter export with a nil hint and the unwrapped
-// service.
-type Exporter interface {
-	Export(rt *Runtime, svc Service, ref codec.Ref) (wrapped Service, hint []byte, err error)
+// NopExport is the Export half for purely client-side factories (stub,
+// batching): no wrapping, no hint. Embed it to satisfy ProxyFactory.
+type NopExport struct{}
+
+// Export implements the server half of ProxyFactory as a no-op.
+func (NopExport) Export(*Runtime, Service, codec.Ref) (Service, []byte, error) {
+	return nil, nil, nil
 }
 
 // Exportable is implemented by services that may be passed by reference in
@@ -134,6 +145,11 @@ const (
 	// a permanent verdict on the sender's authority, not the target's
 	// reachability, so it is never retried or failed over.
 	CodeFenced Code = 7
+	// CodeMisroute reports a single-key invocation delivered to a shard
+	// that does not own the key (the sender's routing table is stale).
+	// Unlike CodeUnavailable the object is healthy — the caller should
+	// refresh its table and re-route, not retry the same binding.
+	CodeMisroute Code = 8
 )
 
 // String names the code.
@@ -153,6 +169,8 @@ func (c Code) String() string {
 		return "denied"
 	case CodeFenced:
 		return "fenced"
+	case CodeMisroute:
+		return "misroute"
 	default:
 		return fmt.Sprintf("code(%d)", int64(c))
 	}

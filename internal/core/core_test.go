@@ -433,6 +433,10 @@ type factoryFunc func(rt *Runtime, ref codec.Ref) (Proxy, error)
 
 func (f factoryFunc) New(rt *Runtime, ref codec.Ref) (Proxy, error) { return f(rt, ref) }
 
+func (factoryFunc) Export(*Runtime, Service, codec.Ref) (Service, []byte, error) {
+	return nil, nil, nil
+}
+
 func TestStubFollowsForward(t *testing.T) {
 	w := newWorld(t, 3)
 	rtHome, rtNew, rtClient := w.runtimes[0], w.runtimes[1], w.runtimes[2]

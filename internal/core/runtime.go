@@ -304,9 +304,9 @@ func Protected() ExportOption {
 
 // Export makes svc reachable from other contexts under the given type
 // name, returning the reference to hand out. Exporting the same service
-// twice returns the original reference. The type's factory (if it
-// implements Exporter) may wrap the service with server-side coordination
-// logic and attach a private hint to the reference.
+// twice returns the original reference. The type's factory may wrap the
+// service with server-side coordination logic (its Export half) and
+// attach a private hint to the reference.
 func (rt *Runtime) Export(svc Service, typeName string, opts ...ExportOption) (codec.Ref, error) {
 	var cfg exportConfig
 	for _, o := range opts {
@@ -335,17 +335,15 @@ func (rt *Runtime) Export(svc Service, typeName string, opts ...ExportOption) (c
 
 	ref := codec.Ref{Target: target, Type: typeName, Cap: srv.cap}
 	if f, err := rt.factoryFor(typeName); err == nil {
-		if exp, ok := f.(Exporter); ok {
-			wrapped, hint, err := exp.Export(rt, svc, ref)
-			if err != nil {
-				rt.ktx.Unregister(id)
-				return codec.Ref{}, fmt.Errorf("core: export %q: %w", typeName, err)
-			}
-			if wrapped != nil {
-				srv.setService(wrapped)
-			}
-			ref.Hint = hint
+		wrapped, hint, err := f.Export(rt, svc, ref)
+		if err != nil {
+			rt.ktx.Unregister(id)
+			return codec.Ref{}, fmt.Errorf("core: export %q: %w", typeName, err)
 		}
+		if wrapped != nil {
+			srv.setService(wrapped)
+		}
+		ref.Hint = hint
 	}
 
 	rec := &exportRecord{ref: ref, svc: svc, server: srv}
@@ -362,6 +360,23 @@ func (rt *Runtime) Export(svc Service, typeName string, opts ...ExportOption) (c
 	rt.exports[id] = rec
 	rt.mu.Unlock()
 	return ref, nil
+}
+
+// ExportVia registers f as the factory for typeName and exports svc
+// through it, in one step. It is the deployment-side idiom for standing
+// up a service with a non-default strategy:
+//
+//	ref, err := rt.ExportVia(cacheFactory, kv, "KV")
+//
+// instead of the two-call RegisterProxyType + Export dance. Importing
+// runtimes still need the factory registered locally (Go cannot ship
+// proxy code at runtime — see RegisterProxyType).
+func (rt *Runtime) ExportVia(f ProxyFactory, svc Service, typeName string, opts ...ExportOption) (codec.Ref, error) {
+	if f == nil {
+		return codec.Ref{}, fmt.Errorf("core: ExportVia %q: nil factory", typeName)
+	}
+	rt.RegisterProxyType(typeName, f)
+	return rt.Export(svc, typeName, opts...)
 }
 
 // Unexport withdraws a service. In-flight invocations complete; new ones

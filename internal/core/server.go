@@ -82,8 +82,8 @@ func newServerObject(rt *Runtime, svc Service) *serverObject {
 // rpcServer exposes the kernel handler to register.
 func (so *serverObject) rpcServer() *rpc.Server { return so.srv }
 
-// setService swaps the served implementation (used by Exporter factories
-// that wrap the service with coordination logic).
+// setService swaps the served implementation (used by factories whose
+// Export half wraps the service with coordination logic).
 func (so *serverObject) setService(svc Service) {
 	so.mu.Lock()
 	defer so.mu.Unlock()

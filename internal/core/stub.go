@@ -19,8 +19,11 @@ import (
 // classic RPC stub code. Every invocation marshals its arguments, crosses
 // to the server under reliable request/reply, and unmarshals the results.
 // It is the runtime's default factory and the baseline every smart proxy
-// is measured against.
-type StubFactory struct{}
+// is measured against. Purely client-side: NopExport supplies its Export
+// half.
+type StubFactory struct{ NopExport }
+
+var _ ProxyFactory = StubFactory{}
 
 // New implements ProxyFactory.
 func (StubFactory) New(rt *Runtime, ref codec.Ref) (Proxy, error) {

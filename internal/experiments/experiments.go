@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E13 described
+// Package experiments implements the reproduction suite E1–E14 described
 // in EXPERIMENTS.md: each experiment builds its world on the simulated
 // network, runs the sweep, and renders the table or series the paper's
 // claims predict. cmd/proxybench runs them all; the root bench_test.go
@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"E11", "Batching-proxy amortization (extension)", E11BatchingAmortization},
 		{"E12", "Pub/sub fan-out (extension)", E12PubSubFanout},
 		{"E13", "Primary-crash recovery: failover gap and acked-write survival (extension)", E13Recovery},
+		{"E14", "Sharded keyspace write scaling with shard count (extension)", E14Sharding},
 	}
 }
 

@@ -31,8 +31,7 @@ func WithThreshold(n int) FactoryOption {
 // Factory is the migratory proxy factory: exported objects can be pulled
 // by their callers. The service side constructs it with the constructor
 // type name; every runtime that may send, receive, or call the object
-// registers the same factory. Implements core.ProxyFactory and
-// core.Exporter.
+// registers the same factory. Implements core.ProxyFactory.
 type Factory struct {
 	typeName  string
 	threshold int
@@ -40,6 +39,8 @@ type Factory struct {
 	mu    sync.Mutex
 	hosts map[*core.Runtime]*Host
 }
+
+var _ core.ProxyFactory = (*Factory)(nil)
 
 // NewFactory builds a migratory factory for objects constructed (at
 // receiving hosts) under typeName.
@@ -95,7 +96,8 @@ func decodeMigHint(src []byte) (migHint, error) {
 	return migHint{Mover: wire.ObjectID(mover), Threshold: int(thr)}, nil
 }
 
-// Export implements core.Exporter: it registers the mover control object
+// Export implements the server half of core.ProxyFactory: it registers
+// the mover control object
 // serving pull requests for this export.
 func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (core.Service, []byte, error) {
 	mig, ok := svc.(Migratable)

@@ -24,11 +24,19 @@ type Host struct {
 	received uint64
 }
 
+// HostOption configures a Host. None are defined yet; the parameter
+// exists so future knobs (admission quotas, arrival hooks) never break
+// call sites — see doc.go, constructor options.
+type HostOption func(*Host)
+
 // NewHost installs a migration host in rt's context.
-func NewHost(rt *core.Runtime) *Host {
+func NewHost(rt *core.Runtime, opts ...HostOption) *Host {
 	h := &Host{
 		rt:    rt,
 		ctors: make(map[string]func() Migratable),
+	}
+	for _, o := range opts {
+		o(h)
 	}
 	srv := rpc.NewServer(rpc.HandlerFunc(h.handleMove))
 	id := rt.Kernel().Register(srv)

@@ -16,8 +16,19 @@ type Client struct {
 	p core.Proxy
 }
 
+// ClientOption configures a Client. None are defined yet; the parameter
+// exists so future knobs (default TTLs, resolve caches) never break call
+// sites — see doc.go, constructor options.
+type ClientOption func(*Client)
+
 // NewClient wraps a proxy for a Directory.
-func NewClient(p core.Proxy) *Client { return &Client{p: p} }
+func NewClient(p core.Proxy, opts ...ClientOption) *Client {
+	c := &Client{p: p}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
 
 // Proxy exposes the wrapped proxy.
 func (c *Client) Proxy() core.Proxy { return c.p }

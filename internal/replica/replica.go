@@ -121,7 +121,7 @@ func WithName(name string) FactoryOption {
 // Factory is the replicated proxy factory. The service side constructs it
 // with the read-method set and a constructor for fresh replicas; every
 // runtime that imports the service registers the same factory.
-// Implements core.ProxyFactory and core.Exporter.
+// Implements core.ProxyFactory.
 type Factory struct {
 	reads          []string
 	ctor           func() StateMachine
@@ -131,6 +131,8 @@ type Factory struct {
 	snapEvery      uint64
 	name           string
 }
+
+var _ core.ProxyFactory = (*Factory)(nil)
 
 // NewFactory builds a replicating factory: readMethods are served from the
 // local copy; everything else is a write ordered by the primary. ctor
@@ -194,7 +196,8 @@ func decodeRepHint(src []byte) (repHint, error) {
 	return h, nil
 }
 
-// Export implements core.Exporter: it stands up the primary (sequencer +
+// Export implements the server half of core.ProxyFactory: it stands up
+// the primary (sequencer +
 // control object) for this service. If the factory's log store already
 // holds a previous incarnation's write-ahead log, the primary reassumes
 // the group: state is rebuilt from the last snapshot plus the logged

@@ -131,8 +131,19 @@ type Service struct {
 	rt *core.Runtime
 }
 
+// ServiceOption configures a Service. None are defined yet; the
+// parameter exists so future knobs never break call sites — see doc.go,
+// constructor options.
+type ServiceOption func(*Service)
+
 // NewService builds the status service for one runtime.
-func NewService(rt *core.Runtime) *Service { return &Service{rt: rt} }
+func NewService(rt *core.Runtime, opts ...ServiceOption) *Service {
+	s := &Service{rt: rt}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
 
 // Invoke dispatches the status methods.
 func (s *Service) Invoke(_ context.Context, method string, args []any) ([]any, error) {

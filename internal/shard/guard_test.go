@@ -1,0 +1,362 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// kvStore is the test keyspace: a string→int64 map implementing Store
+// and the replica state-machine surface.
+type kvStore struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newKVStore() *kvStore { return &kvStore{m: make(map[string]int64)} }
+
+func (s *kvStore) Invoke(_ context.Context, method string, args []any) ([]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch method {
+	case "get":
+		k, _ := args[0].(string)
+		return []any{s.m[k]}, nil
+	case "put":
+		k, _ := args[0].(string)
+		v, _ := args[1].(int64)
+		s.m[k] = v
+		return []any{v}, nil
+	case "fail":
+		// Fails only for "bad-" keys, so multi-key tests can exercise
+		// partial failure in one fan-out.
+		k, _ := args[0].(string)
+		if strings.HasPrefix(k, "bad-") {
+			return nil, core.Errorf(core.CodeApp, method, "induced failure for %q", k)
+		}
+		return []any{s.m[k]}, nil
+	default:
+		return nil, core.NoSuchMethod(method)
+	}
+}
+
+func (s *kvStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *kvStore) ExportKeys(keys []string) (map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := s.m[k]; ok {
+			b, err := codec.Marshal(v)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = b
+		}
+	}
+	return out, nil
+}
+
+func (s *kvStore) ImportKeys(kvs map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, b := range kvs {
+		var v int64
+		if err := codec.Unmarshal(b, &v); err != nil {
+			return err
+		}
+		s.m[k] = v
+	}
+	return nil
+}
+
+func (s *kvStore) DropKeys(keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.m, k)
+	}
+	return nil
+}
+
+func (s *kvStore) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return codec.Marshal(s.m)
+}
+
+func (s *kvStore) Restore(data []byte) error {
+	var m map[string]int64
+	if err := codec.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	return nil
+}
+
+func (s *kvStore) get(k string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+var testSpec = Spec{
+	SingleKey: []string{"get", "put", "fail"},
+	MultiKey:  map[string]string{"mget": "get", "mput": "put", "mfail": "fail"},
+}
+
+func invokeCode(t *testing.T, err error, want core.Code) {
+	t.Helper()
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error = %v, want InvokeError code %v", err, want)
+	}
+	if ie.Code != want {
+		t.Fatalf("code = %v, want %v (err: %v)", ie.Code, want, ie)
+	}
+}
+
+// ownedKey finds a key the ring assigns to member.
+func ownedKey(t *testing.T, r *Ring, member string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("ok-%d", i)
+		if r.Owner(k) == member {
+			return k
+		}
+	}
+	t.Fatal("no key found for member")
+	return ""
+}
+
+// notOwnedKey finds a key the ring assigns to someone else.
+func notOwnedKey(t *testing.T, r *Ring, member string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("nk-%d", i)
+		if r.Owner(k) != member {
+			return k
+		}
+	}
+	t.Fatal("every key belongs to the member")
+	return ""
+}
+
+func commitTable(t *testing.T, g *Guard, epoch uint64, members ...string) {
+	t.Helper()
+	ms := make([]any, len(members))
+	for i, m := range members {
+		ms[i] = m
+	}
+	if _, err := g.Invoke(context.Background(), methodTable, []any{int64(epoch), int64(16), ms}); err != nil {
+		t.Fatalf("commit table: %v", err)
+	}
+}
+
+func TestGuardEpochZeroAcceptsEverything(t *testing.T) {
+	g := NewGuard("m0", testSpec, newKVStore())
+	if _, err := g.Invoke(context.Background(), "put", []any{"anything", int64(1)}); err != nil {
+		t.Fatalf("pre-table write refused: %v", err)
+	}
+}
+
+func TestGuardMisrouteAndOwnership(t *testing.T) {
+	ctx := context.Background()
+	g := NewGuard("m0", testSpec, newKVStore())
+	commitTable(t, g, 1, "m0", "m1")
+	ring := NewRing([]string{"m0", "m1"}, 16)
+
+	mine := ownedKey(t, ring, "m0")
+	if _, err := g.Invoke(ctx, "put", []any{mine, int64(7)}); err != nil {
+		t.Fatalf("owned write refused: %v", err)
+	}
+	theirs := notOwnedKey(t, ring, "m0")
+	_, err := g.Invoke(ctx, "put", []any{theirs, int64(7)})
+	invokeCode(t, err, core.CodeMisroute)
+	_, err = g.Invoke(ctx, "get", []any{theirs})
+	invokeCode(t, err, core.CodeMisroute)
+}
+
+func TestGuardFreezeBlocksThenTableThaws(t *testing.T) {
+	ctx := context.Background()
+	g := NewGuard("m0", testSpec, newKVStore())
+	commitTable(t, g, 1, "m0")
+	ring := NewRing([]string{"m0"}, 16)
+	k := ownedKey(t, ring, "m0")
+	if _, err := g.Invoke(ctx, "put", []any{k, int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke(ctx, methodFreeze, []any{int64(2), []any{k}}); err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	_, err := g.Invoke(ctx, "put", []any{k, int64(2)})
+	invokeCode(t, err, core.CodeUnavailable)
+	// Commit (same member set, new epoch): thawed and owned again.
+	commitTable(t, g, 2, "m0")
+	if _, err := g.Invoke(ctx, "put", []any{k, int64(3)}); err != nil {
+		t.Fatalf("post-thaw write refused: %v", err)
+	}
+}
+
+func TestGuardEpochFencing(t *testing.T) {
+	ctx := context.Background()
+	g := NewGuard("m0", testSpec, newKVStore())
+	commitTable(t, g, 3, "m0")
+
+	// Stale and same-epoch protocol steps are fenced...
+	for _, epoch := range []int64{2, 3} {
+		_, err := g.Invoke(ctx, methodFreeze, []any{epoch, []any{"k"}})
+		invokeCode(t, err, core.CodeFenced)
+		_, err = g.Invoke(ctx, methodPull, []any{epoch, []any{"k"}})
+		invokeCode(t, err, core.CodeFenced)
+		_, err = g.Invoke(ctx, methodKeys, []any{epoch})
+		invokeCode(t, err, core.CodeFenced)
+		_, err = g.Invoke(ctx, methodPush, []any{epoch, map[string]any{}})
+		invokeCode(t, err, core.CodeFenced)
+	}
+	// ...a stale table is fenced, but a same-epoch re-commit is not
+	// (idempotent), and drop works at the committed epoch.
+	ms := []any{"m0"}
+	_, err := g.Invoke(ctx, methodTable, []any{int64(2), int64(16), ms})
+	invokeCode(t, err, core.CodeFenced)
+	if _, err := g.Invoke(ctx, methodTable, []any{int64(3), int64(16), ms}); err != nil {
+		t.Fatalf("idempotent re-commit refused: %v", err)
+	}
+	if _, err := g.Invoke(ctx, methodDrop, []any{int64(3), []any{"gone"}}); err != nil {
+		t.Fatalf("same-epoch drop refused: %v", err)
+	}
+	_, err = g.Invoke(ctx, methodDrop, []any{int64(2), []any{"gone"}})
+	invokeCode(t, err, core.CodeFenced)
+}
+
+func TestGuardHandoffRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	src := NewGuard("m0", testSpec, newKVStore())
+	dst := NewGuard("m1", testSpec, newKVStore())
+	commitTable(t, src, 1, "m0")
+	// Load the source at epoch 1 (it owns everything).
+	for i := 0; i < 20; i++ {
+		if _, err := src.Invoke(ctx, "put", []any{fmt.Sprintf("k%d", i), int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newRing := NewRing([]string{"m0", "m1"}, 16)
+	res, err := src.Invoke(ctx, methodKeys, []any{int64(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := resultKeyList(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := make([]any, 0)
+	for _, k := range held {
+		if newRing.Owner(k) != "m0" {
+			moved = append(moved, k)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("no keys to move — ring split failed")
+	}
+	if _, err := src.Invoke(ctx, methodFreeze, []any{int64(2), moved}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = src.Invoke(ctx, methodPull, []any{int64(2), moved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := resultKVMap(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != len(moved) {
+		t.Fatalf("pulled %d of %d moved keys", len(kvs), len(moved))
+	}
+	if _, err := dst.Invoke(ctx, methodPush, []any{int64(2), kvs}); err != nil {
+		t.Fatal(err)
+	}
+	commitTable(t, src, 2, "m0", "m1")
+	commitTable(t, dst, 2, "m0", "m1")
+	if _, err := src.Invoke(ctx, methodDrop, []any{int64(2), moved}); err != nil {
+		t.Fatal(err)
+	}
+	// Every moved key now lives at (only) the destination with its value.
+	for _, mk := range moved {
+		k := mk.(string)
+		res, err := dst.Invoke(ctx, "get", []any{k})
+		if err != nil {
+			t.Fatalf("get %q at new owner: %v", k, err)
+		}
+		if _, held := src.Inner().(*kvStore).get(k); held {
+			t.Errorf("moved key %q still held at the old owner", k)
+		}
+		var want int64
+		fmt.Sscanf(k, "k%d", &want)
+		if res[0] != want {
+			t.Errorf("moved key %q = %v, want %d", k, res[0], want)
+		}
+	}
+}
+
+func TestGuardSnapshotRestoreCarriesFencingState(t *testing.T) {
+	ctx := context.Background()
+	g := NewGuard("m0", testSpec, newKVStore())
+	commitTable(t, g, 4, "m0", "m1")
+	if _, err := g.Invoke(ctx, methodFreeze, []any{int64(5), []any{"frozen-k"}}); err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing([]string{"m0", "m1"}, 16)
+	k := ownedKey(t, ring, "m0")
+	if _, err := g.Invoke(ctx, "put", []any{k, int64(9)}); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGuard("m0", testSpec, newKVStore())
+	if err := g2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Epoch() != 4 {
+		t.Fatalf("restored epoch = %d, want 4", g2.Epoch())
+	}
+	// Data survived.
+	res, err := g2.Invoke(ctx, "get", []any{k})
+	if err != nil || res[0] != int64(9) {
+		t.Fatalf("restored get = %v, %v", res, err)
+	}
+	// Ownership discipline survived.
+	_, err = g2.Invoke(ctx, "put", []any{notOwnedKey(t, ring, "m0"), int64(1)})
+	invokeCode(t, err, core.CodeMisroute)
+	// The freeze survived.
+	_, err = g2.Invoke(ctx, "put", []any{"frozen-k", int64(1)})
+	invokeCode(t, err, core.CodeUnavailable)
+	// Old-epoch protocol steps stay fenced after restore.
+	_, err = g2.Invoke(ctx, methodKeys, []any{int64(4)})
+	invokeCode(t, err, core.CodeFenced)
+}

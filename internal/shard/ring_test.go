@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterminism(t *testing.T) {
+	cases := []struct {
+		name    string
+		members []string
+		vnodes  int
+	}{
+		{"single", []string{"m0"}, 16},
+		{"pair", []string{"m0", "m1"}, 64},
+		{"quad", []string{"m0", "m1", "m2", "m3"}, 64},
+		{"default-vnodes", []string{"a", "b", "c"}, 0},
+		{"unordered input", []string{"m2", "m0", "m1"}, 32},
+		{"duplicates", []string{"m0", "m0", "m1"}, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewRing(tc.members, tc.vnodes)
+			// Reversed input must yield the identical ring.
+			rev := append([]string(nil), tc.members...)
+			sort.Sort(sort.Reverse(sort.StringSlice(rev)))
+			b := NewRing(rev, tc.vnodes)
+			for _, k := range ringKeys(500) {
+				if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+					t.Fatalf("owner(%q) differs across identical rings: %q vs %q", k, ao, bo)
+				}
+			}
+			if got, want := len(a.Members()), uniqueCount(tc.members); got != want {
+				t.Errorf("member count = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func uniqueCount(ss []string) int {
+	seen := map[string]bool{}
+	for _, s := range ss {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+func TestRingEveryKeyOwned(t *testing.T) {
+	r := NewRing([]string{"m0", "m1", "m2"}, 64)
+	members := map[string]bool{"m0": true, "m1": true, "m2": true}
+	counts := map[string]int{}
+	for _, k := range ringKeys(3000) {
+		o := r.Owner(k)
+		if !members[o] {
+			t.Fatalf("owner(%q) = %q, not a member", k, o)
+		}
+		counts[o]++
+	}
+	// Virtual nodes keep the split roughly even: no member should hold
+	// more than half of a 3-way keyspace.
+	for m, c := range counts {
+		if c == 0 {
+			t.Errorf("member %s owns nothing", m)
+		}
+		if c > 1500 {
+			t.Errorf("member %s owns %d of 3000 keys — distribution collapsed", m, c)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property: adding or
+// removing one member moves only the keys that must move — every key
+// that stays put keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(2000)
+	cases := []struct {
+		name   string
+		before []string
+		after  []string
+	}{
+		{"add m2", []string{"m0", "m1"}, []string{"m0", "m1", "m2"}},
+		{"add m3", []string{"m0", "m1", "m2"}, []string{"m0", "m1", "m2", "m3"}},
+		{"remove m1", []string{"m0", "m1", "m2"}, []string{"m0", "m2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := NewRing(tc.before, 64)
+			after := NewRing(tc.after, 64)
+			afterSet := map[string]bool{}
+			for _, m := range tc.after {
+				afterSet[m] = true
+			}
+			moved := 0
+			for _, k := range keys {
+				ob, oa := before.Owner(k), after.Owner(k)
+				if ob == oa {
+					continue
+				}
+				moved++
+				// A key may only change owner for a structural reason: its
+				// old owner left, or it moved to a freshly added member.
+				if afterSet[ob] && before.Has(oa) {
+					t.Fatalf("key %q moved %q -> %q although both members exist in both rings", k, ob, oa)
+				}
+			}
+			// Expect roughly 1/len(after) of the keyspace to move on add
+			// (resp. 1/len(before) on remove); 2x slack for hash variance.
+			maxMoved := 2 * len(keys) / len(tc.after)
+			if len(tc.before) > len(tc.after) {
+				maxMoved = 2 * len(keys) / len(tc.before)
+			}
+			if moved == 0 {
+				t.Error("no keys moved — the membership change had no effect")
+			}
+			if moved > maxMoved {
+				t.Errorf("%d of %d keys moved, want <= %d", moved, len(keys), maxMoved)
+			}
+		})
+	}
+}
+
+// TestRingWraparound pins the circle's seam: a key hashing past the
+// highest point wraps to the first point.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing([]string{"m0", "m1"}, 8)
+	last := r.points[len(r.points)-1]
+	first := r.points[0]
+	// Find a key hashing strictly above the last ring point (the seam).
+	for i := 0; i < 1_000_000; i++ {
+		k := fmt.Sprintf("wrap-%d", i)
+		if hashKey(k) > last.h {
+			if got := r.Owner(k); got != first.member {
+				t.Fatalf("owner of seam key %q = %q, want first point's member %q", k, got, first.member)
+			}
+			return
+		}
+	}
+	t.Skip("no key found past the last ring point (hash space nearly saturated)")
+}
+
+func TestRingEmpty(t *testing.T) {
+	if o := NewRing(nil, 8).Owner("k"); o != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", o)
+	}
+	var r *Ring
+	if o := r.Owner("k"); o != "" {
+		t.Errorf("nil ring owner = %q, want \"\"", o)
+	}
+	if r.Has("m0") {
+		t.Error("nil ring claims membership")
+	}
+}

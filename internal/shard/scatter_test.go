@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestScatterGatherPartialFailureMerge(t *testing.T) {
+	call := func(_ context.Context, key string, subArgs []any) ([]any, error) {
+		if strings.HasPrefix(key, "bad-") {
+			return nil, core.Errorf(core.CodeUnavailable, "get", "no luck for %q", key)
+		}
+		return []any{"val:" + key}, nil
+	}
+	args := []any{
+		"a",
+		"bad-1",
+		[]any{"b", int64(7)}, // key vector: extra args ride along
+		"bad-2",
+		"c",
+	}
+	out, err := scatterGather(context.Background(), "mget", args, 2, call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(args) {
+		t.Fatalf("result length %d, want %d", len(out), len(args))
+	}
+	// Successful slots align with their arguments.
+	for i, want := range map[int]string{0: "val:a", 2: "val:b", 4: "val:c"} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %v, want %q", i, out[i], want)
+		}
+	}
+	// Failed slots carry KeyErrors naming their key, preserving the code.
+	for i, wantKey := range map[int]string{1: "bad-1", 3: "bad-2"} {
+		ke, ok := AsKeyError(out[i])
+		if !ok {
+			t.Fatalf("out[%d] = %T, want *KeyError", i, out[i])
+		}
+		if ke.Key != wantKey {
+			t.Errorf("out[%d].Key = %q, want %q", i, ke.Key, wantKey)
+		}
+		var ie *core.InvokeError
+		if !errors.As(ke, &ie) || ie.Code != core.CodeUnavailable {
+			t.Errorf("out[%d] does not unwrap to CodeUnavailable: %v", i, ke)
+		}
+	}
+}
+
+func TestScatterGatherBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	var inflight, peak atomic.Int64
+	call := func(_ context.Context, key string, _ []any) ([]any, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inflight.Add(-1)
+		return []any{key}, nil
+	}
+	args := make([]any, 40)
+	for i := range args {
+		args[i] = fmt.Sprintf("k%d", i)
+	}
+	if _, err := scatterGather(context.Background(), "mget", args, limit, call); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak in-flight sub-invocations = %d, want <= %d", p, limit)
+	}
+	if p := peak.Load(); p == 0 {
+		t.Error("no sub-invocations ran")
+	}
+}
+
+func TestScatterGatherBadArgs(t *testing.T) {
+	call := func(_ context.Context, key string, _ []any) ([]any, error) {
+		return []any{key}, nil
+	}
+	cases := []struct {
+		name string
+		args []any
+	}{
+		{"non-key argument", []any{int64(3)}},
+		{"empty key vector", []any{[]any{}}},
+		{"vector with non-string key", []any{[]any{int64(1), "x"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := scatterGather(context.Background(), "mput", tc.args, 4, call)
+			invokeCode(t, err, core.CodeBadArgs)
+		})
+	}
+}
+
+func TestScatterGatherEmptyResultSlot(t *testing.T) {
+	call := func(_ context.Context, _ string, _ []any) ([]any, error) {
+		return nil, nil
+	}
+	out, err := scatterGather(context.Background(), "mput", []any{"a", "b"}, 4, call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != nil {
+			t.Errorf("out[%d] = %v, want nil for empty sub-result", i, v)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package repro
+
+// Sharded-keyspace chaos: kill a shard owner's node in the middle of a
+// rebalance while a client drives writes through the sharded proxy. The
+// invariants under test are the ones DESIGN.md promises for replica-backed
+// shards: the rebalance eventually commits against the member group's
+// promoted primary, every acknowledged write stays readable through the
+// sharded proxy (and is provably durable in a surviving group member's
+// WAL), and deposed owners are fenced — a handoff step replayed at a
+// stale epoch is refused with CodeFenced instead of resurrecting old
+// ownership. Seeded like the rest of the suite: CHAOS_SEED=<n> replays
+// a failing schedule exactly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// chaosShardWorld is a chaos cluster running one sharded KV deployment
+// whose members are replica groups, so a shard survives its own
+// primary's crash:
+//
+//	node 1  router (shard control plane)
+//	node 2  member s0 primary     node 3  member s0 standby
+//	node 4  member s1 primary     node 5  member s1 standby
+//	node 6  client
+//
+// Every runtime registers every member's replica factory, so the router
+// and the client reach members through failover-aware replica proxies —
+// the layering the sharding design prescribes: the shard guard IS the
+// replicated state machine, and routing rides replication.
+type chaosShardWorld struct {
+	c      *chaosCluster
+	spec   shard.Spec
+	sf     *shard.Factory
+	router *shard.Router
+	ref    codec.Ref
+
+	storeMu sync.Mutex
+	stores  map[string]map[wire.Addr]*persist.MemStore // member -> node -> WAL
+}
+
+func newChaosShardWorld(t *testing.T) *chaosShardWorld {
+	t.Helper()
+	w := &chaosShardWorld{
+		spec:   bench.KVShardSpec(),
+		stores: make(map[string]map[wire.Addr]*persist.MemStore),
+	}
+	// Same rpc budget as the replica chaos suite: long enough to ride out
+	// a delivery round, short enough to fail conclusively on dead nodes.
+	w.c = newChaosCluster(t, 6,
+		[]rpc.ClientOption{rpc.WithRetryInterval(5 * time.Millisecond), rpc.WithMaxAttempts(60)})
+	w.sf = shard.NewFactory(w.spec, shard.WithName("chaoskv"))
+	w.router = shard.NewRouter(w.c.rts[0], w.sf)
+	ref, err := w.c.rts[0].ExportVia(w.sf, w.router, "ChaosShardedKV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ref = ref
+	w.c.rts[5].RegisterProxyType("ChaosShardedKV", shard.NewFactory(shard.Spec{}))
+	return w
+}
+
+// newMember builds one replica-backed shard member: the guard wrapping a
+// fresh KV is the group's state machine, exported on the primary's
+// runtime; the standby joins first so it is the deterministic successor.
+// The member's WAL stores are captured per node for the durability audit.
+func (w *chaosShardWorld) newMember(t *testing.T, name string, primary, standby int) codec.Ref {
+	t.Helper()
+	spec := w.spec
+	f := replica.NewFactory(bench.KVReads(),
+		func() replica.StateMachine { return shard.NewGuard(name, spec, bench.NewKV()) },
+		replica.WithDeliverTimeout(80*time.Millisecond),
+		replica.WithSyncInterval(25*time.Millisecond),
+		replica.WithSnapshotEvery(8),
+		replica.WithName("chaoskv-"+name),
+		replica.WithWALStore(func(node wire.Addr) persist.LogStore {
+			w.storeMu.Lock()
+			defer w.storeMu.Unlock()
+			byNode := w.stores[name]
+			if byNode == nil {
+				byNode = make(map[wire.Addr]*persist.MemStore)
+				w.stores[name] = byNode
+			}
+			if s, ok := byNode[node]; ok {
+				return s
+			}
+			s := persist.NewMemStore(nil)
+			byNode[node] = s
+			return s
+		}))
+	typeName := "ChaosShardKV." + name
+	for _, rt := range w.c.rts {
+		rt.RegisterProxyType(typeName, f)
+	}
+	ref, err := w.c.rts[primary].Export(shard.NewGuard(name, spec, bench.NewKV()), typeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.c.rts[standby].Import(ref); err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func (w *chaosShardWorld) admit(t *testing.T, name string, ref codec.Ref) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := w.router.AddMember(ctx, name, ref); err != nil {
+		t.Fatalf("admit %s: %v", name, err)
+	}
+}
+
+func (w *chaosShardWorld) proxy(t *testing.T) *shard.Proxy {
+	t.Helper()
+	p, err := w.c.rts[5].Import(w.ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := p.(*shard.Proxy)
+	if !ok {
+		t.Fatalf("client proxy is %T, want *shard.Proxy", p)
+	}
+	return sp
+}
+
+// walShardReconstruct rebuilds a member's guarded state from what its WAL
+// proves durable: last snapshot plus the logged suffix, replayed through
+// a fresh guard so ownership and fencing rules replay exactly as they
+// were accepted.
+func walShardReconstruct(t *testing.T, rt *core.Runtime, member string, spec shard.Spec, store persist.LogStore) *shard.Guard {
+	t.Helper()
+	wal, err := persist.OpenWAL(store)
+	if err != nil {
+		t.Fatalf("open %s wal for audit: %v", member, err)
+	}
+	g := shard.NewGuard(member, spec, bench.NewKV())
+	if _, _, state, ok := wal.LastSnapshot(); ok {
+		if err := g.Restore(state); err != nil {
+			t.Fatalf("restore %s wal snapshot: %v", member, err)
+		}
+	}
+	for _, r := range wal.Records() {
+		_, method, args, err := core.DecodeRequest(rt.Decoder(), r.Payload)
+		if err != nil {
+			t.Fatalf("%s wal record %d undecodable: %v", member, r.Seq, err)
+		}
+		if _, err := g.Invoke(context.Background(), method, args); err != nil {
+			t.Fatalf("%s wal replay of %q: %v", member, method, err)
+		}
+	}
+	return g
+}
+
+// TestChaosShardOwnerCrashMidRebalance admits a second shard and crashes
+// the first shard's primary node while the handoff is in flight. The
+// rebalance must land once the standby promotes, writes must resume and
+// spread across both shards, every acknowledged write must remain
+// readable through the sharded proxy and durable in a surviving WAL, and
+// when the deposed node returns, stale-epoch handoff steps are fenced.
+func TestChaosShardOwnerCrashMidRebalance(t *testing.T) {
+	seed := chaosSeed()
+	w := newChaosShardWorld(t)
+	s0 := w.newMember(t, "s0", 1, 2)
+	w.admit(t, "s0", s0)
+	p := w.proxy(t)
+	ctx := context.Background()
+
+	acked := make(map[string]int64)
+	var seq int64
+	write := func(budget time.Duration) bool {
+		seq++
+		key, val := fmt.Sprintf("w%d", seq), seq
+		wctx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		if _, err := p.Invoke(wctx, "put", key, val); err != nil {
+			return false
+		}
+		acked[key] = val
+		return true
+	}
+	for i := 0; i < 30; i++ {
+		if !write(5 * time.Second) {
+			t.Fatalf("healthy write %d failed", i)
+		}
+	}
+
+	// Admit the second member, crashing s0's primary mid-rebalance at a
+	// seeded offset.
+	s1 := w.newMember(t, "s1", 3, 4)
+	done := make(chan error, 1)
+	go func() {
+		actx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		done <- w.router.AddMember(actx, "s1", s1)
+	}()
+	time.Sleep(time.Duration(5+seed%40) * time.Millisecond)
+	w.c.net.Crash(2)
+
+	if err := <-done; err != nil {
+		// The crash beat the handoff. Each retry runs under a fresh
+		// epoch; it must commit once the standby promotes.
+		t.Logf("AddMember during crash: %v (retrying)", err)
+		chaosWaitFor(t, 45*time.Second, "rebalance to commit against the promoted primary", func() bool {
+			actx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			return w.router.AddMember(actx, "s1", s1) == nil
+		})
+	}
+	if got := w.router.Epoch(); got < 2 {
+		t.Fatalf("epoch after admitting s1 = %d, want >= 2", got)
+	}
+	if got := w.router.Members(); len(got) != 2 {
+		t.Fatalf("members after rebalance = %v, want [s0 s1]", got)
+	}
+
+	// Writes resume through the promoted primary and the new member.
+	chaosWaitFor(t, 30*time.Second, "writes to resume after the crash", func() bool {
+		return write(3 * time.Second)
+	})
+	for i := 0; i < 30; i++ {
+		chaosWaitFor(t, 15*time.Second, "post-rebalance write to ack", func() bool {
+			return write(3 * time.Second)
+		})
+	}
+
+	// Zero lost acked writes, end to end: every acknowledged put reads
+	// back at its value through the sharded proxy.
+	chaosWaitFor(t, 30*time.Second, "every acked write to be readable", func() bool {
+		for key, want := range acked {
+			rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			res, err := p.Invoke(rctx, "get", key)
+			cancel()
+			if err != nil || len(res) != 1 || res[0] != want {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Durability audit: reconstruct each shard's state from a surviving
+	// group node's WAL; together they must hold every acked write.
+	w.storeMu.Lock()
+	s0store := w.stores["s0"][w.c.rts[2].Addr()] // promoted standby
+	s1store := w.stores["s1"][w.c.rts[3].Addr()] // s1 primary
+	w.storeMu.Unlock()
+	if s0store == nil || s1store == nil {
+		t.Fatalf("missing WAL stores for audit (s0=%v s1=%v)", s0store != nil, s1store != nil)
+	}
+	g0 := walShardReconstruct(t, w.c.rts[2], "s0", w.spec, s0store)
+	g1 := walShardReconstruct(t, w.c.rts[3], "s1", w.spec, s1store)
+	kv0, kv1 := g0.Inner().(*bench.KV), g1.Inner().(*bench.KV)
+	for key, want := range acked {
+		if kv0.Get(key) != want && kv1.Get(key) != want {
+			t.Errorf("acked write %s=%d missing from every surviving WAL", key, want)
+		}
+	}
+
+	// The deposed node returns; a handoff step replayed at a stale epoch
+	// is fenced, not honored.
+	w.c.net.Restart(2)
+	mp, err := w.c.rts[5].Import(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	_, err = mp.Invoke(fctx, "shard.keys", int64(1))
+	if err == nil {
+		t.Fatal("stale-epoch shard.keys was accepted, want CodeFenced")
+	}
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) || ie.Code != core.CodeFenced {
+		t.Fatalf("stale-epoch shard.keys: got %v, want CodeFenced", err)
+	}
+
+	// And the returned zombie does not disturb the service.
+	chaosWaitFor(t, 30*time.Second, "writes to keep flowing after the zombie returns", func() bool {
+		return write(3 * time.Second)
+	})
+}
+
+// TestChaosShardDeadMemberForceRemove crashes a plain (unreplicated)
+// member's node and walks the two removal paths: safe removal refuses to
+// commit because the dead member cannot hand its ranges off, while forced
+// removal commits a shrunken table — surviving keys keep their values and
+// the dead member's keys read as zero through re-routed stale clients:
+// declared loss, never silent misdirection.
+func TestChaosShardDeadMemberForceRemove(t *testing.T) {
+	c := newChaosCluster(t, 5,
+		[]rpc.ClientOption{rpc.WithRetryInterval(5 * time.Millisecond), rpc.WithMaxAttempts(20)})
+	spec := bench.KVShardSpec()
+	sf := shard.NewFactory(spec, shard.WithName("chaos-plain"))
+	router := shard.NewRouter(c.rts[0], sf)
+	ctx := context.Background()
+	for i, name := range []string{"m0", "m1", "m2"} {
+		ref, err := c.rts[i+1].Export(shard.NewGuard(name, spec, bench.NewKV()), "ChaosPlainShard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		actx, cancel := context.WithTimeout(ctx, 20*time.Second)
+		err = router.AddMember(actx, name, ref)
+		cancel()
+		if err != nil {
+			t.Fatalf("admit %s: %v", name, err)
+		}
+	}
+	ref, err := c.rts[0].ExportVia(sf, router, "ChaosPlainShardedKV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rts[4].RegisterProxyType("ChaosPlainShardedKV", shard.NewFactory(shard.Spec{}))
+	pp, err := c.rts[4].Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pp.(*shard.Proxy)
+
+	oldRing := shard.NewRing([]string{"m0", "m1", "m2"}, shard.DefaultVirtualNodes)
+	acked := make(map[string]int64)
+	lost := 0
+	for i := 0; i < 60; i++ {
+		key, val := fmt.Sprintf("f%d", i), int64(i+1)
+		wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := p.Invoke(wctx, "put", key, val)
+		cancel()
+		if err != nil {
+			t.Fatalf("healthy write %s: %v", key, err)
+		}
+		acked[key] = val
+		if oldRing.Owner(key) == "m2" {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no keys landed on m2; ring distribution degenerate")
+	}
+
+	c.net.Crash(4) // m2's node
+
+	// Safe removal must refuse: the dead member cannot drain.
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = router.RemoveMember(rctx, "m2", false)
+	cancel()
+	if err == nil {
+		t.Fatal("non-force removal of a dead member succeeded, want refusal")
+	}
+	if got := router.Members(); len(got) != 3 {
+		t.Fatalf("failed removal changed membership: %v", got)
+	}
+
+	// Forced removal commits, declaring the dead member's ranges lost.
+	rctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+	err = router.RemoveMember(rctx, "m2", true)
+	cancel()
+	if err != nil {
+		t.Fatalf("forced removal: %v", err)
+	}
+	if got := router.Members(); len(got) != 2 {
+		t.Fatalf("members after forced removal = %v, want [m0 m1]", got)
+	}
+
+	// The stale client re-routes off the dead member: surviving keys keep
+	// their values, m2's keys read as zero.
+	chaosWaitFor(t, 30*time.Second, "stale client to converge on the shrunken table", func() bool {
+		for key, want := range acked {
+			if oldRing.Owner(key) == "m2" {
+				want = 0
+			}
+			rctx2, cancel2 := context.WithTimeout(ctx, 3*time.Second)
+			res, err2 := p.Invoke(rctx2, "get", key)
+			cancel2()
+			if err2 != nil || len(res) != 1 || res[0] != want {
+				return false
+			}
+		}
+		return true
+	})
+}
