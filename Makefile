@@ -4,14 +4,18 @@ GO ?= go
 
 # make cover fails if any of these packages drop below this (percent).
 COVER_MIN ?= 80
-COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard
+COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard ./internal/overload
 
 # Seeds make chaos replays; override to explore: make chaos CHAOS_SEEDS="7 8 9"
 CHAOS_SEEDS ?= 1 2 3
 
-.PHONY: all build test race vet lint bench bench-short chaos cover experiments examples clean
+# Seeds make stress replays; the overload suite is cheaper than chaos so it
+# runs more seeds by default.
+STRESS_SEEDS ?= 1 2
 
-all: vet lint test race chaos bench-short build
+.PHONY: all build test race vet lint bench bench-short chaos stress cover experiments examples clean
+
+all: vet lint test race chaos stress bench-short build
 
 # Fast-path gate: the allocation-budget tests (bypass must be 0 allocs/op,
 # stub and cache at or under their enforced ceilings) plus a one-iteration
@@ -36,6 +40,15 @@ chaos:
 	@for seed in $(CHAOS_SEEDS); do \
 		echo "chaos seed $$seed"; \
 		CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaos' . || exit 1; \
+	done
+
+# Seeded overload suite: drives deployments past capacity and through
+# partitions, asserting shedding, retry-budget, and hedging invariants from
+# registry metrics. Replay a failing seed: CHAOS_SEED=<n> go test -race -run TestStress .
+stress:
+	@for seed in $(STRESS_SEEDS); do \
+		echo "stress seed $$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestStress' . || exit 1; \
 	done
 
 build:

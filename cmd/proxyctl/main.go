@@ -19,6 +19,9 @@
 //	trace <id>                    render one trace tree (hex id from traces)
 //	health                        print the daemon's failure-detector view
 //	                              of its peers (alive/suspect/dead)
+//	overload                      print the daemon's admission-controller
+//	                              status: learned limit, inflight, queue
+//	                              depth, shed counters
 //	group                         print the daemon's replica groups:
 //	                              role, epoch, primary, and per-member
 //	                              applied sequence numbers
@@ -182,6 +185,16 @@ func main() {
 			log.Fatalf("resolve services/health (daemon too old?): %v", err)
 		}
 		text, err := core.Call1[string](ctx, p, "nodes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+	case "overload":
+		p, err := client.Resolve(ctx, rt, "services/overload")
+		if err != nil {
+			log.Fatalf("resolve services/overload (daemon too old?): %v", err)
+		}
+		text, err := core.Call1[string](ctx, p, "status")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -60,8 +60,10 @@ import (
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/persist"
 	"repro/internal/replica"
+	"repro/internal/rpc"
 	"repro/internal/shard"
 	"repro/internal/wire"
 )
@@ -80,6 +82,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer liveness probe interval (0 = passive detection only)")
 	dispatchLimit := flag.Int("dispatch-limit", kernel.DefaultDispatchLimit, "max concurrent request handlers per node before the kernel pump applies backpressure")
+	overloadOn := flag.Bool("overload", false, "adaptive admission control: learned concurrency limit + queue-deadline shedding, status bound at services/overload (proxyctl overload)")
+	overloadQueue := flag.Duration("overload-queue", 0, "admission queue deadline — queued requests older than this are shed (0 = overload package default)")
+	retryBudget := flag.Float64("retry-budget", 0, "per-destination retry-token ratio for this daemon's outbound calls (0.1 caps retries near 10% of fresh calls; 0 = unlimited retransmission)")
+	hedgeDelay := flag.Duration("hedge", 0, "hedge idempotent reads: race a second attempt to an alternate binding after this delay floor, adapting up to observed p95 (0 = off)")
 	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
 	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /traces text dumps")
 	flag.Parse()
@@ -92,9 +98,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
+	observer := obs.NewObserver()
 	var nodeOpts []kernel.NodeOption
 	if *dispatchLimit != kernel.DefaultDispatchLimit {
 		nodeOpts = append(nodeOpts, kernel.WithDispatchLimit(*dispatchLimit))
+	}
+	var adm *overload.Controller
+	if *overloadOn {
+		adm = overload.NewController(overload.Config{QueueDeadline: *overloadQueue}, observer.Registry, "")
+		nodeOpts = append(nodeOpts, kernel.WithAdmission(adm))
 	}
 	if *traceFrames {
 		nodeOpts = append(nodeOpts, kernel.WithTrace(func(dir kernel.TraceDirection, f *wire.Frame) {
@@ -107,7 +119,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("context: %v", err)
 	}
-	observer := obs.NewObserver()
 
 	// The failure detector watches every configured peer and shares its
 	// evidence with the runtime: probe verdicts and invocation outcomes
@@ -120,7 +131,15 @@ func main() {
 		monitor.Watch(id)
 	}
 
-	rt := core.NewRuntime(ktx, core.WithObserver(observer), core.WithHealth(monitor))
+	rtOpts := []core.RuntimeOption{core.WithObserver(observer), core.WithHealth(monitor)}
+	if *retryBudget > 0 {
+		rtOpts = append(rtOpts, core.WithClient(rpc.NewClient(ktx,
+			rpc.WithObserver(observer), rpc.WithRetryBudget(*retryBudget, 0))))
+	}
+	if *hedgeDelay > 0 {
+		rtOpts = append(rtOpts, core.WithHedging(core.HedgeConfig{MinDelay: *hedgeDelay}))
+	}
+	rt := core.NewRuntime(ktx, rtOpts...)
 	// Fast-path health gauges: pool hit rates and allocs/op show up in
 	// `proxyctl stats` next to the service counters.
 	obs.RegisterFastPathMetrics(observer.Registry, rt.InvokeCount)
@@ -171,6 +190,15 @@ func main() {
 		log.Fatalf("export shard status: %v", err)
 	}
 	dir.Bind("services/shard", shardRef, 0)
+
+	// And the admission-controller view: limit, inflight, queue depth and
+	// shed counters (proxyctl overload). Exported even with -overload off,
+	// so the verb reports "disabled" instead of failing to resolve.
+	overloadRef, err := rt.Export(overload.NewService(adm), overload.TypeName)
+	if err != nil {
+		log.Fatalf("export overload status: %v", err)
+	}
+	dir.Bind("services/overload", overloadRef, 0)
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()

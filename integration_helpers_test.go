@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/netsim"
@@ -13,4 +15,28 @@ func kernelNodeForTest(t *testing.T, ep netsim.Endpoint) *kernel.Node {
 	node := kernel.NewNode(ep)
 	t.Cleanup(func() { node.Close() })
 	return node
+}
+
+// leakCheck fails the test if the goroutine count has not returned near
+// its pre-test baseline once all cleanups have run. Call it FIRST in the
+// test body: t.Cleanup is LIFO, so the check runs after every node,
+// network, and runtime registered later has been torn down. The +5
+// allowance covers the runtime's own background goroutines (GC, timer
+// wheel) starting up mid-test.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+5 {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after teardown\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
 }

@@ -4,10 +4,19 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/overload"
+	"repro/internal/rpc"
+	"repro/internal/wire"
 )
 
 // The machine-readable benchmark report behind `proxybench -json`: a
@@ -112,6 +121,21 @@ func BuildReport(date string, latency time.Duration, ops int, seed int64) (*Repo
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows, cacheRows...)
+	overloadRows, err := measureOverload(latency, ops, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, overloadRows...)
+	goodput, err := measureGoodput(latency, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, goodput)
+	hedgeRows, err := measureHedge(latency, ops, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, hedgeRows...)
 	return rep, nil
 }
 
@@ -217,4 +241,343 @@ func measureCache(latency time.Duration, ops int, seed int64) ([]ReportRow, erro
 	// Writes flush the cache; the next report run re-warms, but within
 	// this run the read row was measured against a warm cache.
 	return []ReportRow{read, write}, nil
+}
+
+// measureOverload is the E15 scenario: the cost of a remote invocation
+// through the admission controller with capacity to spare, next to the
+// cost of a shed — the round trip that comes back as pushback when the
+// node is saturated. The shed row is the price a client pays to LEARN the
+// node is overloaded; it must stay in the same ballpark as an admitted
+// call (one round trip, no queueing, no retransmit), or backpressure
+// itself becomes the overload.
+func measureOverload(latency time.Duration, ops int, seed int64) ([]ReportRow, error) {
+	net := netsim.New(netOpts(latency, seed)...)
+	defer net.Close()
+	reg := obs.NewRegistry()
+	// Limit 1, queue 1: one parked call holds the slot, a second parks in
+	// the queue (the far-off deadline keeps it there), and from then on
+	// every normal-priority arrival sheds immediately.
+	adm := overload.NewController(overload.Config{
+		MinLimit: 1, MaxLimit: 1, InitialLimit: 1,
+		QueueLimit: 1, QueueDeadline: time.Hour,
+	}, reg, "bench.")
+	mk := func(id wire.NodeID, opts ...kernel.NodeOption) (*core.Runtime, *kernel.Node, error) {
+		ep, err := net.Attach(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		node := kernel.NewNode(ep, opts...)
+		ktx, err := node.NewContext()
+		if err != nil {
+			node.Close()
+			return nil, nil, err
+		}
+		return core.NewRuntime(ktx), node, nil
+	}
+	server, srvNode, err := mk(1, kernel.WithAdmission(adm))
+	if err != nil {
+		return nil, err
+	}
+	defer srvNode.Close()
+	client, cliNode, err := mk(2)
+	if err != nil {
+		return nil, err
+	}
+	defer cliNode.Close()
+
+	park := &parkSvc{release: make(chan struct{}), started: make(chan struct{}, 2)}
+	ref, err := server.Export(park, "KV")
+	if err != nil {
+		return nil, err
+	}
+	p, err := client.Import(ref)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// Admitted: the slot is free, every call goes straight through.
+	admitted, err := measure("E15", "admitted", ops, func() error {
+		_, err := p.Invoke(ctx, "noop")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Saturate: one call holds the slot (its handler starts), a second
+	// parks in the admission queue (its handler never runs — observe it
+	// through the controller's queue depth instead).
+	errs := make(chan error, 2)
+	go func() {
+		_, err := p.Invoke(ctx, "park")
+		errs <- err
+	}()
+	<-park.started
+	go func() {
+		_, err := p.Invoke(ctx, "park")
+		errs <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); adm.Status().Queued == 0; {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("E15 fixture: queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shed, err := measure("E15", "shed-pushback", ops, func() error {
+		if _, err := p.Invoke(ctx, "noop"); !core.IsOverload(err) {
+			return fmt.Errorf("expected pushback, got %v", err)
+		}
+		return nil
+	})
+	close(park.release)
+	for i := 0; i < 2; i++ {
+		// The queued call's own retransmissions can meet the full queue
+		// and come back as pushback — that IS the mechanism under test,
+		// so it is a legitimate way for a parked call to end.
+		if perr := <-errs; perr != nil && !core.IsOverload(perr) && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []ReportRow{admitted, shed}, nil
+}
+
+// measureGoodput is E15's headline number in per-op form: useful work
+// per second at 2x offered load against a pinned admission limit,
+// reported as ns per SUCCESSFUL op so the report's deltas track goodput
+// PR over PR (smaller = more goodput). Quantiles are zero — the row
+// measures throughput, not a latency distribution.
+func measureGoodput(latency time.Duration, seed int64) (ReportRow, error) {
+	row := ReportRow{Experiment: "E15", Case: "goodput-2x"}
+	net := netsim.New(netOpts(latency, seed)...)
+	defer net.Close()
+	const limit = 4
+	const serviceTime = 2 * time.Millisecond
+	adm := overload.NewController(overload.Config{
+		MinLimit: limit, MaxLimit: limit, InitialLimit: limit,
+		QueueLimit: 2 * limit, QueueDeadline: 2 * serviceTime,
+	}, obs.NewRegistry(), "bench.")
+	world, err := newOverloadPair(net, adm, &busyService{d: serviceTime})
+	if err != nil {
+		return row, err
+	}
+	defer world.close()
+
+	var ok atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2*limit; i++ { // 2x the slots the server has
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := world.p.Invoke(context.Background(), "work"); err == nil {
+					ok.Add(1)
+				} else {
+					time.Sleep(serviceTime / 2) // honor the pushback
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ok.Load() == 0 {
+		return row, fmt.Errorf("E15 goodput: no successful ops at 2x load")
+	}
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ok.Load())
+	return row, nil
+}
+
+// measureHedge is E15's tail-latency pair: the same sporadically-slow
+// read workload through a plain client and a hedging one, so the
+// report's p99 column carries the hedge win PR over PR.
+func measureHedge(latency time.Duration, ops int, seed int64) ([]ReportRow, error) {
+	net := netsim.New(netOpts(latency, seed)...)
+	defer net.Close()
+	const slowFor = 20 * time.Millisecond
+	var nodes []*kernel.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	mk := func(id wire.NodeID, opts ...core.RuntimeOption) (*core.Runtime, error) {
+		ep, err := net.Attach(id)
+		if err != nil {
+			return nil, err
+		}
+		node := kernel.NewNode(ep)
+		nodes = append(nodes, node)
+		ktx, err := node.NewContext()
+		if err != nil {
+			return nil, err
+		}
+		opts = append([]core.RuntimeOption{core.WithClient(rpc.NewClient(ktx,
+			rpc.WithRetryInterval(100*time.Millisecond), rpc.WithMaxAttempts(5)))}, opts...)
+		return core.NewRuntime(ktx, opts...), nil
+	}
+	primary, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	alternate, err := mk(2)
+	if err != nil {
+		return nil, err
+	}
+	plainRT, err := mk(3)
+	if err != nil {
+		return nil, err
+	}
+	hedgedRT, err := mk(4, core.WithHedging(core.HedgeConfig{
+		MinDelay: 2 * time.Millisecond, MaxDelay: 5 * time.Millisecond}))
+	if err != nil {
+		return nil, err
+	}
+	ref1, err := primary.Export(&tailService{slowFor: slowFor}, "KV")
+	if err != nil {
+		return nil, err
+	}
+	ref2, err := alternate.Export(&tailService{}, "KV")
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	run := func(name string, rt *core.Runtime, hedge bool) (ReportRow, error) {
+		p, err := rt.Import(ref1)
+		if err != nil {
+			return ReportRow{}, err
+		}
+		if hedge {
+			rt.RegisterIdempotent("KV", "get")
+			p.(*core.Stub).SetAlternates([]codec.Ref{ref1, ref2})
+		}
+		return measure("E15", name, ops, func() error {
+			_, err := p.Invoke(ctx, "get")
+			return err
+		})
+	}
+	plain, err := run("plain-read", plainRT, false)
+	if err != nil {
+		return nil, err
+	}
+	hedged, err := run("hedged-read", hedgedRT, true)
+	if err != nil {
+		return nil, err
+	}
+	return []ReportRow{plain, hedged}, nil
+}
+
+// overloadPair is a two-node world whose server sits behind an admission
+// controller.
+type overloadPair struct {
+	p       core.Proxy
+	srvNode *kernel.Node
+	cliNode *kernel.Node
+}
+
+func newOverloadPair(net *netsim.Network, adm *overload.Controller, svc core.Service) (*overloadPair, error) {
+	w := &overloadPair{}
+	mk := func(id wire.NodeID, opts ...kernel.NodeOption) (*core.Runtime, *kernel.Node, error) {
+		ep, err := net.Attach(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		node := kernel.NewNode(ep, opts...)
+		ktx, err := node.NewContext()
+		if err != nil {
+			node.Close()
+			return nil, nil, err
+		}
+		return core.NewRuntime(ktx, core.WithClient(rpc.NewClient(ktx,
+			rpc.WithRetryInterval(100*time.Millisecond)))), node, nil
+	}
+	server, srvNode, err := mk(1, kernel.WithAdmission(adm))
+	if err != nil {
+		return nil, err
+	}
+	w.srvNode = srvNode
+	client, cliNode, err := mk(2)
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	w.cliNode = cliNode
+	ref, err := server.Export(svc, "KV")
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	if w.p, err = client.Import(ref); err != nil {
+		w.close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *overloadPair) close() {
+	if w.srvNode != nil {
+		_ = w.srvNode.Close()
+	}
+	if w.cliNode != nil {
+		_ = w.cliNode.Close()
+	}
+}
+
+// busyService burns a fixed service time per call.
+type busyService struct{ d time.Duration }
+
+func (s *busyService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	select {
+	case <-time.After(s.d):
+		return []any{true}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// tailService answers instantly except every 10th call, which stalls.
+type tailService struct {
+	n       atomic.Uint64
+	slowFor time.Duration
+}
+
+func (s *tailService) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if s.slowFor > 0 && s.n.Add(1)%10 == 0 {
+		select {
+		case <-time.After(s.slowFor):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return []any{int64(1)}, nil
+}
+
+// parkSvc answers noop instantly and parks park() until released.
+type parkSvc struct {
+	release chan struct{}
+	started chan struct{}
+}
+
+func (s *parkSvc) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if method == "park" {
+		s.started <- struct{}{}
+		select {
+		case <-s.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return []any{true}, nil
 }

@@ -45,13 +45,17 @@ const (
 
 // hint is the private bootstrap data embedded in exported references:
 // where the coordinator's control object lives, the mode, the lease TTL,
-// and which methods are cacheable reads. Only this package produces or
-// parses it.
+// which methods are cacheable reads, and the brownout staleness window.
+// Only this package produces or parses it. StaleWindow is appended after
+// the read list so hints from pre-brownout exporters decode with a zero
+// window (brownout off) and pre-brownout importers ignore the trailing
+// bytes — the same tolerance every payload header relies on.
 type hint struct {
-	Ctrl     wire.ObjectID
-	Mode     Mode
-	LeaseTTL time.Duration
-	Reads    []string
+	Ctrl        wire.ObjectID
+	Mode        Mode
+	LeaseTTL    time.Duration
+	Reads       []string
+	StaleWindow time.Duration
 }
 
 func (h *hint) encode() []byte {
@@ -62,7 +66,7 @@ func (h *hint) encode() []byte {
 	for _, r := range h.Reads {
 		buf = wire.AppendString(buf, r)
 	}
-	return buf
+	return wire.AppendUvarint(buf, uint64(h.StaleWindow))
 }
 
 func decodeHint(src []byte) (hint, error) {
@@ -100,6 +104,13 @@ func decodeHint(src []byte) (hint, error) {
 		}
 		src = src[n:]
 		h.Reads = append(h.Reads, s)
+	}
+	if len(src) > 0 {
+		sw, _, err := wire.Uvarint(src)
+		if err != nil {
+			return h, err
+		}
+		h.StaleWindow = time.Duration(sw)
 	}
 	return h, nil
 }

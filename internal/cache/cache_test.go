@@ -456,19 +456,30 @@ func TestRegisterObservesPresentedVersion(t *testing.T) {
 }
 
 func TestHintRoundTrip(t *testing.T) {
-	in := hint{Ctrl: 42, Mode: ModeLease, LeaseTTL: 250 * time.Millisecond, Reads: []string{"a", "b", "c"}}
+	in := hint{Ctrl: 42, Mode: ModeLease, LeaseTTL: 250 * time.Millisecond,
+		Reads: []string{"a", "b", "c"}, StaleWindow: 3 * time.Second}
 	out, err := decodeHint(in.encode())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Ctrl != in.Ctrl || out.Mode != in.Mode || out.LeaseTTL != in.LeaseTTL ||
-		len(out.Reads) != 3 || out.Reads[2] != "c" {
+		len(out.Reads) != 3 || out.Reads[2] != "c" || out.StaleWindow != in.StaleWindow {
 		t.Errorf("round-trip = %+v", out)
 	}
-	// Truncations must error, not panic.
+	// StaleWindow is a trailing field for compatibility: a hint encoded by
+	// a pre-brownout exporter (nothing after the read list) must decode
+	// with a zero window, and every other truncation must error, not panic.
 	buf := in.encode()
+	oldLen := len(buf) - len(wire.AppendUvarint(nil, uint64(in.StaleWindow)))
 	for i := 0; i < len(buf); i++ {
-		if _, err := decodeHint(buf[:i]); err == nil {
+		got, err := decodeHint(buf[:i])
+		if i == oldLen {
+			if err != nil || got.StaleWindow != 0 {
+				t.Errorf("pre-brownout hint: err=%v StaleWindow=%v, want nil/0", err, got.StaleWindow)
+			}
+			continue
+		}
+		if err == nil {
 			t.Errorf("decodeHint accepted %d-byte prefix", i)
 		}
 	}

@@ -28,6 +28,22 @@ func WithLeaseTTL(ttl time.Duration) FactoryOption {
 	}
 }
 
+// WithStaleWindow enables brownout degradation: when the coordinator
+// sheds a read under overload (CodeOverload), proxies serve the cached
+// result instead — even an invalidated or lease-expired one — as long
+// as it is younger than the window. Staleness stays bounded: entries
+// older than the window are never served and never retained. Zero
+// (the default) disables serve-stale entirely. Like every cache policy
+// knob this is the *service's* choice; clients cannot tell a degraded
+// read from a fresh one except by the degraded span in the trace.
+func WithStaleWindow(d time.Duration) FactoryOption {
+	return func(f *Factory) {
+		if d > 0 {
+			f.staleWindow = d
+		}
+	}
+}
+
 // WithAsyncInvalidation makes callback-mode writes return without waiting
 // for sharer acknowledgements (faster writes, a window of staleness) — an
 // ablation knob for experiment E10.
@@ -40,10 +56,11 @@ func WithAsyncInvalidation() FactoryOption {
 // never needs to know the policy, the mode, or that caching happens at
 // all. Implements core.ProxyFactory.
 type Factory struct {
-	reads    []string
-	mode     Mode
-	leaseTTL time.Duration
-	syncInv  bool
+	reads       []string
+	mode        Mode
+	leaseTTL    time.Duration
+	syncInv     bool
+	staleWindow time.Duration
 
 	mu     sync.Mutex
 	coords map[wire.ObjAddr]*coordinator // by exported target, for stats
@@ -80,7 +97,7 @@ func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (cor
 	co := newCoordinator(rt, svc, isRead, f.mode, f.syncInv, ref.Target)
 	co.cap = ref.Cap
 	ctrlID := rt.Kernel().Register(co.kernelHandler())
-	h := hint{Ctrl: ctrlID, Mode: f.mode, LeaseTTL: f.leaseTTL, Reads: f.reads}
+	h := hint{Ctrl: ctrlID, Mode: f.mode, LeaseTTL: f.leaseTTL, Reads: f.reads, StaleWindow: f.staleWindow}
 
 	f.mu.Lock()
 	f.coords[ref.Target] = co

@@ -18,6 +18,7 @@ type ProxyStats struct {
 	Misses        uint64
 	Writes        uint64
 	Invalidations uint64
+	Stale         uint64 // brownout serves (degraded reads under overload)
 }
 
 // Proxy is the caching client-side representative. It keeps a result cache
@@ -45,6 +46,7 @@ type Proxy struct {
 	misses *obs.Counter
 	writes *obs.Counter
 	invs   *obs.Counter
+	stale  *obs.Counter // brownout serves (degraded reads)
 }
 
 type cacheEntry struct {
@@ -72,6 +74,7 @@ func newProxy(rt *core.Runtime, ref codec.Ref, h hint) (*Proxy, error) {
 	p.misses = reg.Counter(scope + "misses")
 	p.writes = reg.Counter(scope + "writes")
 	p.invs = reg.Counter(scope + "invalidations")
+	p.stale = reg.Counter(scope + "stale")
 	if h.Mode == ModeCallback {
 		// Install the callback object and join the sharer set. The
 		// version in the reply seeds our view.
@@ -106,7 +109,7 @@ func (p *Proxy) handleInvalidate(ktx *kernel.Context, f *wire.Frame) {
 		if v > p.version {
 			p.version = v
 		}
-		p.entries = make(map[string]cacheEntry)
+		p.flushLocked()
 		p.mu.Unlock()
 		p.invs.Inc()
 	}
@@ -159,9 +162,28 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 }
 
 // readThrough fetches a read from the coordinator and fills the cache.
+// When the coordinator sheds the read under overload and the service
+// configured a staleness window, the proxy degrades instead of failing:
+// it serves the retained (stale) entry, bounded by the window, and
+// records the degradation as a span so traces show which answers were
+// brownout serves.
 func (p *Proxy) readThrough(ctx context.Context, method string, payload []byte) ([]any, error) {
 	reply, err := p.coordCall(ctx, kindRead, payload)
 	if err != nil {
+		if core.IsOverload(err) {
+			if results, ok := p.staleResult(payload); ok {
+				p.stale.Inc()
+				if sc, traced := obs.SpanFromContext(ctx); traced {
+					tr := p.rt.Tracer()
+					tr.Record(obs.Span{
+						Trace: sc.Trace, ID: tr.NewSpanID(), Parent: sc.Span,
+						Name: "degraded:" + method, Where: p.rt.Where(),
+						Start: p.now(),
+					})
+				}
+				return results, nil
+			}
+		}
 		return nil, core.RemoteToInvokeError(method, err)
 	}
 	version, results, err := decodeVersioned(p.rt.Decoder(), reply)
@@ -194,19 +216,56 @@ func (p *Proxy) cachedResult(payload []byte) ([]any, bool) {
 	if !ok {
 		return nil, false
 	}
+	var expired bool
 	switch p.h.Mode {
 	case ModeCallback:
-		if e.version != p.version {
-			delete(p.entries, string(payload))
-			return nil, false
-		}
+		expired = e.version != p.version
 	case ModeLease:
-		if p.now().Sub(e.filled) >= p.h.LeaseTTL {
+		expired = p.now().Sub(e.filled) >= p.h.LeaseTTL
+	}
+	if expired {
+		// A stale entry is still brownout material while it is younger
+		// than the staleness window; beyond it (or with brownout off)
+		// it is dead weight.
+		if p.h.StaleWindow <= 0 || p.now().Sub(e.filled) >= p.h.StaleWindow {
 			delete(p.entries, string(payload))
-			return nil, false
 		}
+		return nil, false
 	}
 	return e.results, true
+}
+
+// staleResult reports the retained entry for a read the coordinator just
+// shed, if brownout is configured and the entry is within the staleness
+// window. Freshness is irrelevant here — the normal path already missed.
+func (p *Proxy) staleResult(payload []byte) ([]any, bool) {
+	if p.h.StaleWindow <= 0 {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[string(payload)]
+	if !ok || p.now().Sub(e.filled) >= p.h.StaleWindow {
+		return nil, false
+	}
+	return e.results, true
+}
+
+// flushLocked invalidates the whole cache. Without a staleness window
+// that means dropping every entry; with one, entries young enough to
+// serve during a brownout are retained — they are version- or
+// lease-stale, so the normal read path will never return them.
+func (p *Proxy) flushLocked() {
+	if p.h.StaleWindow <= 0 {
+		p.entries = make(map[string]cacheEntry)
+		return
+	}
+	cutoff := p.now().Add(-p.h.StaleWindow)
+	for k, e := range p.entries {
+		if e.filled.Before(cutoff) {
+			delete(p.entries, k)
+		}
+	}
 }
 
 // fill stores a read result unless the world moved on while the read was
@@ -224,11 +283,11 @@ func (p *Proxy) fill(payload []byte, version uint64, results []any) {
 			// The read observed a version we haven't been told about yet;
 			// adopt it and drop anything older.
 			p.version = version
-			p.entries = make(map[string]cacheEntry)
+			p.flushLocked()
 		}
 		// The map assignment copies payload into a real key string, so the
 		// caller is free to recycle its buffer afterwards.
-		p.entries[string(payload)] = cacheEntry{results: results, version: version}
+		p.entries[string(payload)] = cacheEntry{results: results, version: version, filled: p.now()}
 	case ModeLease:
 		p.entries[string(payload)] = cacheEntry{results: results, filled: p.now()}
 	}
@@ -252,6 +311,8 @@ func (p *Proxy) writeThrough(ctx context.Context, method string, payload []byte)
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
 	// Our own copy is stale now; flush and adopt the post-write version.
+	// This is a full drop, not flushLocked: retaining entries we ourselves
+	// just overwrote would let a brownout violate read-your-writes.
 	p.mu.Lock()
 	if version > p.version {
 		p.version = version
@@ -271,6 +332,7 @@ func (p *Proxy) Stats() ProxyStats {
 		Misses:        p.misses.Load(),
 		Writes:        p.writes.Load(),
 		Invalidations: p.invs.Load(),
+		Stale:         p.stale.Load(),
 	}
 }
 

@@ -150,6 +150,14 @@ const (
 	// Unlike CodeUnavailable the object is healthy — the caller should
 	// refresh its table and re-route, not retry the same binding.
 	CodeMisroute Code = 8
+	// CodeOverload reports a request shed by the destination's admission
+	// controller before it reached the service: the node is up but
+	// saturated, and the invocation provably never executed. The caller
+	// should back off (the error text carries the node's retry-after
+	// hint), fail over, or degrade (a cache proxy serves stale within
+	// its staleness window). Unlike CodeUnavailable this is a fast,
+	// deliberate refusal, not a timeout.
+	CodeOverload Code = 9
 )
 
 // String names the code.
@@ -171,6 +179,8 @@ func (c Code) String() string {
 		return "fenced"
 	case CodeMisroute:
 		return "misroute"
+	case CodeOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("code(%d)", int64(c))
 	}

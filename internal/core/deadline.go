@@ -44,10 +44,14 @@ func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
 }
 
 // AppendCtxHeaders prefixes dst with every header the ctx implies: the
-// remaining deadline budget (if the ctx has a deadline) and the trace
-// span (if the ctx carries one). This is what proxies call when building
-// a request payload.
+// request's priority class (if the ctx carries a non-normal one, via
+// WithPriority), the remaining deadline budget (if the ctx has a
+// deadline) and the trace span (if the ctx carries one). This is what
+// proxies call when building a request payload. The priority header goes
+// first: the receiving kernel classifies a frame for admission by
+// peeking at payload[0] only.
 func AppendCtxHeaders(dst []byte, ctx context.Context) []byte {
+	dst = wire.AppendPriorityHeader(dst, PriorityFrom(ctx))
 	if dl, ok := ctx.Deadline(); ok {
 		dst = AppendDeadlineHeader(dst, time.Until(dl))
 	}
@@ -55,12 +59,18 @@ func AppendCtxHeaders(dst []byte, ctx context.Context) []byte {
 	return obs.AppendSpanHeader(dst, sc)
 }
 
-// SplitHeaders strips any combination of deadline and trace headers from
-// the front of a request payload, in either order, returning what each
-// carried (zero values when absent) and the bare request body.
+// SplitHeaders strips any combination of priority, deadline, and trace
+// headers from the front of a request payload, in any order, returning
+// what the deadline and trace headers carried (zero values when absent)
+// and the bare request body. The priority header was consumed by the
+// kernel's admission decision; servers above it have no use for it.
 func SplitHeaders(payload []byte) (sc obs.SpanContext, budget time.Duration, body []byte) {
 	body = payload
 	for {
+		if _, rest := wire.SplitPriorityHeader(body); len(rest) != len(body) {
+			body = rest
+			continue
+		}
 		if b, rest := SplitDeadlineHeader(body); len(rest) != len(body) {
 			budget, body = b, rest
 			continue
@@ -81,6 +91,30 @@ func ApplyBudget(ctx context.Context, budget time.Duration) (context.Context, co
 		return ctx, func() {}
 	}
 	return context.WithTimeout(ctx, budget)
+}
+
+// priCtxKey marks a ctx with the admission-priority class its
+// invocations travel in.
+type priCtxKey struct{}
+
+// WithPriority marks every invocation under ctx with an admission
+// priority class: the request payload carries it in a leading priority
+// header (wire.PriorityMagic), and overloaded servers shed low before
+// normal and never shed high. System traffic the mesh depends on —
+// replica syncs, shard rebalance steps — stamps wire.PriorityHigh;
+// bulk best-effort work may stamp wire.PriorityLow.
+func WithPriority(ctx context.Context, p wire.Priority) context.Context {
+	if p == wire.PriorityNormal {
+		return ctx
+	}
+	return context.WithValue(ctx, priCtxKey{}, p)
+}
+
+// PriorityFrom reports the admission class ctx was marked with
+// (wire.PriorityNormal when unmarked).
+func PriorityFrom(ctx context.Context) wire.Priority {
+	p, _ := ctx.Value(priCtxKey{}).(wire.Priority)
+	return p
 }
 
 // idemCtxKey marks a ctx whose invocations the caller declares idempotent,

@@ -194,11 +194,20 @@ func DecodeInvokeError(payload []byte) *InvokeError {
 }
 
 // RemoteToInvokeError converts a transport-level error from a call into
-// the error the proxy returns to its client: remote KindError payloads are
-// decoded; everything else is wrapped as CodeUnavailable.
+// the error the proxy returns to its client: overload pushback becomes
+// CodeOverload (the payload is a retry-after hint, not an InvokeError
+// struct), other remote KindError payloads are decoded; everything else
+// is wrapped as CodeUnavailable.
 func RemoteToInvokeError(method string, err error) error {
 	var re *kernel.RemoteError
 	if errors.As(err, &re) {
+		if re.Pushback {
+			return &InvokeError{
+				Code:   CodeOverload,
+				Method: method,
+				Msg:    fmt.Sprintf("%s shed the request; retry after %s", re.From, re.RetryAfter),
+			}
+		}
 		ie := DecodeInvokeError(re.Payload)
 		if ie.Method == "" {
 			ie.Method = method
@@ -206,6 +215,21 @@ func RemoteToInvokeError(method string, err error) error {
 		return ie
 	}
 	return &InvokeError{Code: CodeUnavailable, Method: method, Msg: err.Error()}
+}
+
+// IsOverload reports whether err is an overload shed — either the raw
+// transport form (a pushback RemoteError) or the decoded proxy form (an
+// InvokeError with CodeOverload). Degradation policies key on this:
+// cache proxies serve stale within their staleness window, shard
+// scatter-gather surfaces the key without re-routing (the owner is
+// right, just saturated).
+func IsOverload(err error) bool {
+	var re *kernel.RemoteError
+	if errors.As(err, &re) {
+		return re.Pushback
+	}
+	var ie *InvokeError
+	return errors.As(err, &ie) && ie.Code == CodeOverload
 }
 
 // ForwardPayload is the payload of a KindForward response: the new

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/health"
+	"repro/internal/kernel"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// TestRetryBudgetFailureIsBreakerEvidenceOnce pins the breaker ×
+// retry-budget interplay: a call that dies on ErrRetryBudget (it wraps
+// ErrTooManyRetries) counts as exactly ONE transport failure toward the
+// breaker — with threshold 3, the breaker must still be closed after two
+// budget-denied calls and open only after the third. Double-counting
+// (the isNodeFailure branch AND the probe fallback both reporting) would
+// open it after two.
+func TestRetryBudgetFailureIsBreakerEvidenceOnce(t *testing.T) {
+	w := newFaultWorld(t, 2,
+		[]rpc.ClientOption{rpc.WithRetryInterval(2 * time.Millisecond), rpc.WithMaxAttempts(10),
+			rpc.WithRetryBudget(0.001, 0.5)}, // bucket can never reach a whole token
+		WithBreakerConfig(health.BreakerConfig{Threshold: 3, Cooldown: 30 * time.Millisecond}))
+	server, client := w.runtimes[0], w.runtimes[1]
+	ref, err := server.Export(&counter{}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := client.Breakers().For(ref.Target.Addr.Node)
+
+	w.net.Crash(1)
+	for i := 1; i <= 2; i++ {
+		if _, err := p.Invoke(context.Background(), "get"); err == nil {
+			t.Fatal("call to crashed node succeeded")
+		}
+		if st := br.State(); st != health.BreakerClosed {
+			t.Fatalf("breaker %v after %d budget-denied calls, want closed until threshold 3", st, i)
+		}
+	}
+	if _, err := p.Invoke(context.Background(), "get"); err == nil {
+		t.Fatal("call to crashed node succeeded")
+	}
+	if st := br.State(); st != health.BreakerOpen {
+		t.Fatalf("breaker %v after 3 failures, want open", st)
+	}
+}
+
+// TestBudgetExhaustedProbeDoesNotWedgeRecovery drives the half-open
+// interplay: while the breaker cools down, the destination's retry
+// budget stays empty, so each probe dies fast on ErrRetryBudget. That
+// must re-open the breaker (one failure, no wedge in half-open) — and
+// once the node is back, the next probe's FIRST transmission succeeds
+// without touching the budget, closing the breaker.
+func TestBudgetExhaustedProbeDoesNotWedgeRecovery(t *testing.T) {
+	w := newFaultWorld(t, 2,
+		[]rpc.ClientOption{rpc.WithRetryInterval(2 * time.Millisecond), rpc.WithMaxAttempts(10),
+			rpc.WithRetryBudget(0.001, 0.5)},
+		WithBreakerConfig(health.BreakerConfig{Threshold: 1, Cooldown: 20 * time.Millisecond}))
+	server, client := w.runtimes[0], w.runtimes[1]
+	ref, err := server.Export(&counter{}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Import(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := client.Breakers().For(ref.Target.Addr.Node)
+
+	w.net.Crash(1)
+	if _, err := p.Invoke(context.Background(), "get"); err == nil {
+		t.Fatal("call to crashed node succeeded")
+	}
+	if st := br.State(); st != health.BreakerOpen {
+		t.Fatalf("breaker %v after failure, want open", st)
+	}
+
+	// A budget-denied probe must snap the breaker back to open — not
+	// leave it half-open awaiting evidence that cannot come.
+	time.Sleep(30 * time.Millisecond)
+	if _, err := p.Invoke(context.Background(), "get"); err == nil {
+		t.Fatal("probe against crashed node succeeded")
+	}
+	if st := br.State(); st != health.BreakerOpen {
+		t.Fatalf("breaker %v after failed probe, want open again", st)
+	}
+
+	// Node restarts; the empty budget must not block recovery, because a
+	// probe that succeeds on its first transmission never spends a token.
+	w.net.Restart(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := p.Invoke(context.Background(), "get"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered: exhausted budget wedged the probe path")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := br.State(); st != health.BreakerClosed {
+		t.Errorf("breaker %v after recovery, want closed", st)
+	}
+}
+
+// slowSvc answers get() with its marker after a fixed service time.
+type slowSvc struct {
+	d      time.Duration
+	marker int64
+}
+
+func (s *slowSvc) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	select {
+	case <-time.After(s.d):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return []any{s.marker}, nil
+}
+
+func TestHedgedReadRacesAlternate(t *testing.T) {
+	// Patient client: retransmissions must outlast the slow primary's
+	// 400ms service time so the non-hedged path can complete.
+	w := newFaultWorld(t, 3,
+		[]rpc.ClientOption{rpc.WithRetryInterval(50 * time.Millisecond), rpc.WithMaxAttempts(20)},
+		WithHedging(HedgeConfig{MinDelay: 5 * time.Millisecond}))
+	primary, backup, client := w.runtimes[0], w.runtimes[1], w.runtimes[2]
+	ref1, err := primary.Export(&slowSvc{d: 400 * time.Millisecond, marker: 1}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := backup.Export(&slowSvc{d: 0, marker: 2}, "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.RegisterIdempotent("Counter", "get")
+	p, err := client.Import(ref1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := p.(*Stub)
+	stub.SetAlternates([]codec.Ref{ref1, ref2})
+
+	// The cold tracker's delay is the 5ms floor: the hedge fires long
+	// before the 400ms primary answers, and the fast alternate wins.
+	start := time.Now()
+	res, err := stub.Invoke(context.Background(), "get")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged invoke: %v", err)
+	}
+	if res[0].(int64) != 2 {
+		t.Errorf("result = %v, want the alternate's marker 2", res[0])
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("hedged read took %v; the hedge never fired", elapsed)
+	}
+	scope := "core[" + client.Addr().String() + "]."
+	reg := client.Observer().Registry
+	if reg.Counter(scope+"hedge.launches").Load() == 0 {
+		t.Error("no hedge launch recorded")
+	}
+	if reg.Counter(scope+"hedge.wins").Load() == 0 {
+		t.Error("no hedge win recorded")
+	}
+	// The win must NOT rebind the stub: the primary is slow, not down.
+	if stub.Ref().Target != ref1.Target {
+		t.Error("hedge win rebound the stub away from the primary")
+	}
+
+	// A method nobody declared idempotent is never hedged: it waits out
+	// the slow primary.
+	start = time.Now()
+	if _, err := stub.Invoke(context.Background(), "put"); err != nil {
+		t.Fatalf("non-idempotent invoke: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 350*time.Millisecond {
+		t.Errorf("non-idempotent call returned in %v; it must not hedge", elapsed)
+	}
+}
+
+// TestOverloadPushbackIsNotBreakerEvidence pins the other half of the
+// evidence contract: a pushback (shed) response is an ANSWER — the node
+// is alive, just busy — so it must never trip the breaker, however many
+// arrive.
+func TestOverloadPushbackIsNotBreakerEvidence(t *testing.T) {
+	w := newFaultWorld(t, 2, fastClient(),
+		WithBreakerConfig(health.BreakerConfig{Threshold: 1, Cooldown: time.Minute}))
+	client := w.runtimes[1]
+
+	// Synthesize pushback the way an overloaded kernel answers: the
+	// server context replies KindError + FlagPushback below the proxy
+	// layer, via a raw frame handler on the server's kernel context.
+	srvKtx := w.runtimes[0].Kernel()
+	obj := srvKtx.Register(kernel.HandlerFunc(func(ktx *kernel.Context, f *wire.Frame) {
+		resp := wire.GetFrame()
+		resp.Kind = wire.KindError
+		resp.Flags = wire.FlagResponse | wire.FlagPushback
+		resp.ReqID = f.ReqID
+		resp.Dst = f.Src
+		resp.Object = wire.KernelObject
+		resp.Payload = wire.AppendPushback(resp.Payload[:0], 15*time.Millisecond)
+		_ = ktx.Send(resp)
+		resp.Release()
+	}))
+	dst := wire.ObjAddr{Addr: srvKtx.Addr(), Object: obj}
+
+	br := client.Breakers().For(dst.Addr.Node)
+	for i := 0; i < 5; i++ {
+		_, err := client.GuardedCall(context.Background(), dst, wire.KindRequest, []byte("x"))
+		var re *kernel.RemoteError
+		if !errors.As(err, &re) || !re.Pushback {
+			t.Fatalf("err = %v, want pushback RemoteError", err)
+		}
+		if re.RetryAfter != 15*time.Millisecond {
+			t.Errorf("retry-after = %v, want 15ms", re.RetryAfter)
+		}
+		if !IsOverload(err) {
+			t.Error("IsOverload missed a pushback error")
+		}
+	}
+	if st := br.State(); st != health.BreakerClosed {
+		t.Errorf("breaker %v after 5 pushbacks, want closed (overload is an answer, not a crash)", st)
+	}
+}

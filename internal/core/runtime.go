@@ -12,6 +12,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -82,6 +83,9 @@ type Runtime struct {
 	breakers   *health.BreakerSet
 	monitor    *health.Monitor // optional (WithHealth)
 
+	hedgeCfg *HedgeConfig // optional (WithHedging)
+	hedge    *hedgeState  // built in NewRuntime when hedgeCfg is set
+
 	defaultFactory    ProxyFactory
 	defaultFactorySet bool
 
@@ -128,6 +132,13 @@ func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
 	rt.serveCalls = rt.observer.Registry.Counter(scope + "serve.calls")
 	rt.circuitRejects = rt.observer.Registry.Counter(scope + "circuit.rejects")
 	rt.breakers = health.NewBreakerSet(rt.breakerCfg, rt.observer.Registry, scope)
+	if rt.hedgeCfg != nil {
+		rt.hedge = &hedgeState{
+			tracker:  overload.NewDelayTracker(rt.hedgeCfg.MinDelay, rt.hedgeCfg.MaxDelay),
+			launches: rt.observer.Registry.Counter(scope + "hedge.launches"),
+			wins:     rt.observer.Registry.Counter(scope + "hedge.wins"),
+		}
+	}
 	if rt.client == nil {
 		rt.client = rpc.NewClient(ktx, rpc.WithObserver(rt.observer))
 	}

@@ -130,6 +130,15 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 		return nil, &InvokeError{Code: CodeInternal, Method: method, Msg: err.Error()}
 	}
 
+	// Hedged reads (WithHedging): an idempotent invocation with a known
+	// alternate races a delayed second attempt instead of walking the
+	// sequential failover loop — see hedge.go.
+	if s.rt.hedge != nil && s.isIdempotent(ctx, method) {
+		if ref, alt, ok := s.hedgePair(); ok {
+			return s.invokeHedged(ctx, method, lowered, ref, alt)
+		}
+	}
+
 	// The failover loop: try the current binding; on a redirectable
 	// failure, move to the next untried alternate (or one rebinder
 	// lookup) and go again. Tried targets are remembered so a stale
@@ -256,11 +265,14 @@ func classifyFailure(err error) failoverClass {
 	var re *kernel.RemoteError
 	if errors.As(err, &re) {
 		// A no-route answer (wire.FlagNoRoute) is what a restarted (or
-		// wrong) node's kernel says when the export is not there: the
-		// invocation provably did not run. Anything else — including
-		// application errors whose text happens to resemble the kernel's —
-		// is a real answer from the service.
-		if re.NoRoute {
+		// wrong) node's kernel says when the export is not there, and an
+		// overload pushback (wire.FlagPushback) means the admission
+		// controller shed the frame before dispatch: either way the
+		// invocation provably did not run, so redirecting it cannot
+		// double-execute anything. Anything else — including application
+		// errors whose text happens to resemble the kernel's — is a real
+		// answer from the service.
+		if re.NoRoute || re.Pushback {
 			return foNotSent
 		}
 		return foNone

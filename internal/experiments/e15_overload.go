@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/overload"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// E15Overload measures graceful degradation. Part one sweeps offered load
+// from half capacity to 4x against a server behind a pinned admission
+// limit: the expected shape is goodput that rises to capacity and then
+// STAYS there — excess arrivals are shed with pushback instead of
+// queueing everyone into timeouts, so the useful-work line is flat past
+// the knee rather than collapsing. Part two measures hedged reads against
+// a sporadically slow primary: the plain client's p99 sits at the stall,
+// the hedged client's p99 collapses to the fast alternate's latency while
+// the median stays untouched.
+func E15Overload(w io.Writer, cfg Config) error {
+	header(w, "E15", "overload shedding and hedged tail latency")
+
+	const limit = 4
+	const serviceTime = 2 * time.Millisecond
+	tab := bench.Table{Headers: []string{"offered", "ok", "shed", "timeout", "goodput", "of capacity"}}
+	for _, mult := range []int{1, 2, 4, 8} { // workers = mult*limit/2 → 0.5x..4x
+		workers := mult * limit / 2
+		ok, shed, timeouts, elapsed, mean, err := e15LoadTrial(cfg, limit, serviceTime, workers)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		goodput := float64(ok) / elapsed.Seconds()
+		// Capacity from the server's own measured handler latency, so the
+		// denominator includes scheduler overshoot, not the nominal sleep.
+		capacity := float64(limit) / mean.Seconds()
+		tab.Add(fmt.Sprintf("%.1fx", float64(mult)/2), ok, shed, timeouts,
+			fmt.Sprintf("%.0f ops/s", goodput), fmt.Sprintf("%.0f%%", 100*goodput/capacity))
+	}
+	tab.Print(w)
+	fmt.Fprintln(w, "(pinned admission limit; past the knee the server sheds with pushback,")
+	fmt.Fprintln(w, " so goodput holds at capacity instead of drowning in queued timeouts)")
+
+	plain, hedged, launches, err := e15HedgeTrial(cfg)
+	if err != nil {
+		return fmt.Errorf("hedge trial: %w", err)
+	}
+	ht := bench.Table{Headers: []string{"client", "p50", "p99"}}
+	ht.Add("plain", plain.P50.Round(time.Millisecond), plain.P99.Round(time.Millisecond))
+	ht.Add("hedged", hedged.P50.Round(time.Millisecond), hedged.P99.Round(time.Millisecond))
+	ht.Print(w)
+	fmt.Fprintf(w, "(primary stalls every 10th read; %d hedges raced the alternate —\n", launches)
+	fmt.Fprintln(w, " the tail collapses to the alternate's latency, the median is untouched)")
+	return nil
+}
+
+// e15Svc burns a fixed service time per call.
+type e15Svc struct{ d time.Duration }
+
+func (s *e15Svc) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	select {
+	case <-time.After(s.d):
+		return []any{true}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func e15LoadTrial(cfg Config, limit int, serviceTime time.Duration, workers int) (ok, shed, timeouts uint64, elapsed time.Duration, mean time.Duration, err error) {
+	net := netsim.New(cfg.netOpts()...)
+	defer net.Close()
+	reg := obs.NewRegistry()
+	mk := func(id wire.NodeID, opts ...kernel.NodeOption) (*core.Runtime, *kernel.Node, error) {
+		ep, aerr := net.Attach(id)
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+		node := kernel.NewNode(ep, opts...)
+		ktx, cerr := node.NewContext()
+		if cerr != nil {
+			node.Close()
+			return nil, nil, cerr
+		}
+		return core.NewRuntime(ktx, core.WithClient(rpc.NewClient(ktx,
+			rpc.WithRetryInterval(100*time.Millisecond)))), node, nil
+	}
+	adm := overload.NewController(overload.Config{
+		MinLimit: limit, MaxLimit: limit, InitialLimit: limit,
+		QueueLimit: 2 * limit, QueueDeadline: 2 * serviceTime,
+	}, reg, "e15.")
+	server, srvNode, err := mk(1, kernel.WithAdmission(adm))
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer srvNode.Close()
+	client, cliNode, err := mk(2)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer cliNode.Close()
+
+	ref, err := server.Export(&e15Svc{d: serviceTime}, "Busy")
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	p, err := client.Import(ref)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+
+	var okN, shedN, toN atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				_, cerr := p.Invoke(ctx, "work")
+				cancel()
+				switch {
+				case cerr == nil:
+					okN.Add(1)
+				case core.IsOverload(cerr):
+					shedN.Add(1)
+					time.Sleep(serviceTime / 2)
+				case errors.Is(cerr, context.DeadlineExceeded):
+					toN.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	elapsed = time.Since(start)
+	mean = reg.Histogram("e15.overload.latency").Snapshot().Mean
+	if mean <= 0 {
+		mean = serviceTime
+	}
+	return okN.Load(), shedN.Load(), toN.Load(), elapsed, mean, nil
+}
+
+// e15Tail answers instantly except every 10th call, which stalls.
+type e15Tail struct {
+	n       atomic.Uint64
+	slowFor time.Duration
+}
+
+func (s *e15Tail) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if s.slowFor > 0 && s.n.Add(1)%10 == 0 {
+		select {
+		case <-time.After(s.slowFor):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return []any{int64(1)}, nil
+}
+
+func e15HedgeTrial(cfg Config) (plain, hedged bench.Summary, launches uint64, err error) {
+	const calls = 120
+	const slowFor = 40 * time.Millisecond
+	net := netsim.New(cfg.netOpts()...)
+	defer net.Close()
+	obsv := obs.NewObserver()
+	var nodes []*kernel.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	mk := func(id wire.NodeID, opts ...core.RuntimeOption) (*core.Runtime, error) {
+		ep, aerr := net.Attach(id)
+		if aerr != nil {
+			return nil, aerr
+		}
+		node := kernel.NewNode(ep)
+		nodes = append(nodes, node)
+		ktx, cerr := node.NewContext()
+		if cerr != nil {
+			return nil, cerr
+		}
+		opts = append([]core.RuntimeOption{core.WithObserver(obsv),
+			core.WithClient(rpc.NewClient(ktx, rpc.WithRetryInterval(100*time.Millisecond),
+				rpc.WithMaxAttempts(5), rpc.WithObserver(obsv)))}, opts...)
+		return core.NewRuntime(ktx, opts...), nil
+	}
+	primary, err := mk(1)
+	if err != nil {
+		return plain, hedged, 0, err
+	}
+	alternate, err := mk(2)
+	if err != nil {
+		return plain, hedged, 0, err
+	}
+	plainRT, err := mk(3)
+	if err != nil {
+		return plain, hedged, 0, err
+	}
+	hedgedRT, err := mk(4, core.WithHedging(core.HedgeConfig{
+		MinDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond}))
+	if err != nil {
+		return plain, hedged, 0, err
+	}
+
+	ref1, err := primary.Export(&e15Tail{slowFor: slowFor}, "Tail")
+	if err != nil {
+		return plain, hedged, 0, err
+	}
+	ref2, err := alternate.Export(&e15Tail{}, "Tail")
+	if err != nil {
+		return plain, hedged, 0, err
+	}
+
+	run := func(rt *core.Runtime, hedge bool) (bench.Summary, error) {
+		p, ierr := rt.Import(ref1)
+		if ierr != nil {
+			return bench.Summary{}, ierr
+		}
+		if hedge {
+			rt.RegisterIdempotent("Tail", "get")
+			p.(*core.Stub).SetAlternates([]codec.Ref{ref1, ref2})
+		}
+		var t bench.Timer
+		for i := 0; i < calls; i++ {
+			start := time.Now()
+			if _, cerr := p.Invoke(context.Background(), "get"); cerr != nil {
+				return bench.Summary{}, cerr
+			}
+			t.Record(time.Since(start))
+		}
+		return t.Summary(), nil
+	}
+	if plain, err = run(plainRT, false); err != nil {
+		return plain, hedged, 0, err
+	}
+	if hedged, err = run(hedgedRT, true); err != nil {
+		return plain, hedged, 0, err
+	}
+	scope := "core[" + hedgedRT.Addr().String() + "]."
+	launches = uint64(obsv.Registry.Counter(scope + "hedge.launches").Load())
+	return plain, hedged, launches, nil
+}

@@ -282,6 +282,10 @@ func (s *Sequencer) Deliver(ctx context.Context, epoch, seq uint64, payload []by
 	if err != nil {
 		return fmt.Errorf("group: encode deliver: %w", err)
 	}
+	// Deliveries are the mesh's own traffic: a member whose admission
+	// controller shed them under user load would stall the group and get
+	// itself evicted. The priority header exempts them from shedding.
+	msg = append(wire.AppendPriorityHeader(make([]byte, 0, 2+len(msg)), wire.PriorityHigh), msg...)
 	var wg sync.WaitGroup
 	var failedMu sync.Mutex
 	var failed []wire.ObjAddr
@@ -500,7 +504,8 @@ func (m *Member) handleDeliver(req *rpc.Request) (wire.Kind, []byte, []byte) {
 		}
 		return 0, nil, core.EncodeInvokeError("", core.Errorf(core.CodeInternal, "", "group: unexpected kind %v", req.Kind))
 	}
-	vals, err := codec.DecodeArgs(req.Frame.Payload)
+	_, body := wire.SplitPriorityHeader(req.Frame.Payload)
+	vals, err := codec.DecodeArgs(body)
 	if err != nil || len(vals) != 3 {
 		return 0, nil, core.EncodeInvokeError("deliver", core.Errorf(core.CodeBadArgs, "deliver", "malformed delivery"))
 	}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/wire"
 )
 
@@ -50,11 +52,40 @@ type RemoteError struct {
 	// the request provably never executed, so callers may safely redirect
 	// it to an alternate binding.
 	NoRoute bool
+	// Pushback reports that the answering kernel's admission controller
+	// shed the request before it reached a service (the response carried
+	// wire.FlagPushback): the request provably never executed, and the
+	// sender should wait RetryAfter (a hint; zero when the payload
+	// carried none) before offering more load.
+	Pushback bool
+	// RetryAfter is the overloaded node's retry-after hint (only
+	// meaningful when Pushback is set).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string {
+	if e.Pushback {
+		return fmt.Sprintf("kernel: overload pushback from %s (retry after %s)", e.From, e.RetryAfter)
+	}
 	return fmt.Sprintf("kernel: remote error from %s (%d bytes)", e.From, len(e.Payload))
+}
+
+// RemoteErrorFrom builds the RemoteError for a KindError response frame,
+// decoding the kernel-level flags it carried (FlagNoRoute, FlagPushback
+// and its retry-after payload). The rpc layer shares it so both call
+// paths classify kernel-level responses identically.
+func RemoteErrorFrom(resp *wire.Frame) *RemoteError {
+	re := &RemoteError{
+		From:    resp.Src,
+		Payload: resp.Payload,
+		NoRoute: resp.Flags&wire.FlagNoRoute != 0,
+	}
+	if resp.Flags&wire.FlagPushback != 0 {
+		re.Pushback = true
+		re.RetryAfter = wire.DecodePushback(resp.Payload)
+	}
+	return re
 }
 
 // NodeOption configures a Node.
@@ -78,6 +109,25 @@ func WithDispatchLimit(n int) NodeOption {
 			nd.sem = make(chan struct{}, n)
 		}
 	}
+}
+
+// WithAdmission replaces the fixed dispatch semaphore with an adaptive
+// admission controller (internal/overload): sheddable inbound requests
+// — KindRequest and service-private custom kinds — are admitted up to a
+// concurrency limit learned from observed handler latency, queued
+// briefly when the limit saturates, and shed with a pushback response
+// (KindError + wire.FlagPushback carrying a retry-after hint) when they
+// would wait past the queue deadline. Shed requests therefore fail fast
+// at the sender instead of timing out. Priority classes ride an optional
+// payload header (wire.PriorityMagic): high-priority traffic (replica
+// syncs, rebalance steps) bypasses shedding, low-priority traffic sheds
+// first. System kinds below KindCustom (membership, invalidations,
+// leases, migration) are always treated as high priority — shedding
+// coordination traffic would break coherence to save microseconds — and
+// responses complete pending calls directly, exempt as ever. Pings are
+// answered below admission entirely.
+func WithAdmission(c *overload.Controller) NodeOption {
+	return func(nd *Node) { nd.adm = c }
 }
 
 // TraceDirection labels a traced frame's direction relative to this node.
@@ -116,6 +166,7 @@ func WithTrace(fn func(dir TraceDirection, f *wire.Frame)) NodeOption {
 type Node struct {
 	ep    netsim.Endpoint
 	sem   chan struct{}
+	adm   *overload.Controller
 	trace func(TraceDirection, *wire.Frame)
 
 	mu       sync.Mutex
@@ -399,6 +450,16 @@ func (c *Context) dispatch(f *wire.Frame) {
 		}
 		return
 	}
+	if ac := c.node.adm; ac != nil {
+		// Adaptive admission (WithAdmission): the controller decides —
+		// run now, queue briefly, or shed with pushback. The pump never
+		// blocks; overload turns into fast failures instead of
+		// backpressure-then-timeout.
+		ac.Submit(admissionClass(f),
+			func() { h.HandleFrame(c, f) },
+			func(retryAfter time.Duration) { c.replyOverload(f, retryAfter) })
+		return
+	}
 	select {
 	case c.node.sem <- struct{}{}:
 	case <-c.node.done:
@@ -412,6 +473,36 @@ func (c *Context) dispatch(f *wire.Frame) {
 func (c *Context) runHandler(h Handler, f *wire.Frame) {
 	defer func() { <-c.node.sem }()
 	h.HandleFrame(c, f)
+}
+
+// admissionClass grades an inbound request for the admission controller.
+// Invocations (KindRequest) and service-private custom kinds carry their
+// class in an optional leading priority header; headerless payloads are
+// normal. System kinds below KindCustom are coordination traffic —
+// invalidations, leases, membership, migration — and are never shed.
+func admissionClass(f *wire.Frame) wire.Priority {
+	if f.Kind == wire.KindRequest || f.Kind >= wire.KindCustom {
+		return wire.PeekPriority(f.Payload)
+	}
+	return wire.PriorityHigh
+}
+
+// replyOverload answers a shed request with a pushback error so the
+// sender fails fast; the payload carries the retry-after hint. One-way
+// and unsourced frames are dropped silently — nobody awaits them.
+func (c *Context) replyOverload(f *wire.Frame, retryAfter time.Duration) {
+	if f.Flags&wire.FlagOneWay != 0 || f.Src.IsZero() {
+		return
+	}
+	resp := wire.GetFrame()
+	resp.Kind = wire.KindError
+	resp.Flags = wire.FlagResponse | wire.FlagPushback
+	resp.ReqID = f.ReqID
+	resp.Dst = f.Src
+	resp.Object = wire.KernelObject
+	resp.Payload = wire.AppendPushback(resp.Payload[:0], retryAfter)
+	_ = c.Send(resp)
+	resp.Release()
 }
 
 // NextReqID allocates a request id unique within this context.
@@ -488,11 +579,7 @@ func (c *Context) Call(ctx context.Context, dst wire.Addr, obj wire.ObjectID, ki
 			return nil, ErrClosed
 		}
 		if resp.Kind == wire.KindError {
-			return nil, &RemoteError{
-				From:    resp.Src,
-				Payload: resp.Payload,
-				NoRoute: resp.Flags&wire.FlagNoRoute != 0,
-			}
+			return nil, RemoteErrorFrom(resp)
 		}
 		return resp, nil
 	case <-ctx.Done():

@@ -1,0 +1,85 @@
+package overload
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Budget is a per-destination retry budget: a token bucket that caps
+// the ratio of retransmissions to fresh calls. Every fresh call deposits
+// Ratio tokens toward its destination; every retransmission spends one
+// whole token. With the default ratio of 0.1 a client can therefore
+// sustain at most ~10% retries — enough to ride out sporadic loss, not
+// enough to turn an outage into a retry storm (the Burst allowance
+// covers short blips). Safe for concurrent use.
+type Budget struct {
+	ratio float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[wire.NodeID]*bucket
+}
+
+type bucket struct{ tokens float64 }
+
+// DefaultRetryRatio is the conventional retry budget: one retry per ten
+// fresh calls.
+const DefaultRetryRatio = 0.1
+
+// DefaultRetryBurst is the default bucket capacity: how many retries a
+// destination's budget holds when full.
+const DefaultRetryBurst = 10
+
+// NewBudget builds a budget. Non-positive ratio or burst select the
+// defaults. Buckets start full, so a fresh destination can absorb a
+// burst of loss immediately.
+func NewBudget(ratio, burst float64) *Budget {
+	if ratio <= 0 {
+		ratio = DefaultRetryRatio
+	}
+	if burst <= 0 {
+		burst = DefaultRetryBurst
+	}
+	return &Budget{ratio: ratio, burst: burst, buckets: make(map[wire.NodeID]*bucket)}
+}
+
+func (b *Budget) bucketFor(n wire.NodeID) *bucket {
+	bk, ok := b.buckets[n]
+	if !ok {
+		bk = &bucket{tokens: b.burst}
+		b.buckets[n] = bk
+	}
+	return bk
+}
+
+// Deposit credits the destination's budget for one fresh call.
+func (b *Budget) Deposit(n wire.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.bucketFor(n)
+	bk.tokens += b.ratio
+	if bk.tokens > b.burst {
+		bk.tokens = b.burst
+	}
+}
+
+// Spend takes one token for a retransmission toward the destination,
+// reporting false (and taking nothing) when the budget is exhausted.
+func (b *Budget) Spend(n wire.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.bucketFor(n)
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}
+
+// Tokens reports the destination's current balance (tests, status).
+func (b *Budget) Tokens(n wire.NodeID) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bucketFor(n).tokens
+}

@@ -1,0 +1,70 @@
+package overload
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DelayTracker decides when a hedged second attempt is worth sending: it
+// tracks observed call latencies and answers their p95 (bounded below
+// and above), so a hedge fires only when the first attempt has already
+// taken longer than 95% of calls do. The p95 is recomputed lazily every
+// refreshEvery observations and cached — Delay is called on the hot path
+// of every hedged invocation. Safe for concurrent use; must not be
+// copied after first use.
+type DelayTracker struct {
+	floor time.Duration
+	cap   time.Duration
+
+	hist     obs.Histogram
+	sinceRef atomic.Uint64 // observations since the last refresh
+	cached   atomic.Int64  // cached delay in nanoseconds
+}
+
+// refreshEvery is how many observations may accumulate before the
+// cached p95 is recomputed.
+const refreshEvery = 32
+
+// NewDelayTracker builds a tracker whose delay is clamped to
+// [floor, cap]. Until enough latencies have been observed the delay is
+// the floor — hedging too eagerly on a cold cache is the safe failure
+// mode only when the floor is meaningful, so pick one (e.g. 1ms).
+func NewDelayTracker(floor, cap time.Duration) *DelayTracker {
+	if floor <= 0 {
+		floor = time.Millisecond
+	}
+	if cap <= 0 || cap < floor {
+		cap = 100 * floor
+	}
+	t := &DelayTracker{floor: floor, cap: cap}
+	t.cached.Store(int64(floor))
+	return t
+}
+
+// Observe records one completed call's latency.
+func (t *DelayTracker) Observe(d time.Duration) {
+	t.hist.Observe(d)
+	if t.sinceRef.Add(1) >= refreshEvery {
+		t.sinceRef.Store(0)
+		t.refresh()
+	}
+}
+
+func (t *DelayTracker) refresh() {
+	p95 := t.hist.Snapshot().P95
+	if p95 < t.floor {
+		p95 = t.floor
+	}
+	if p95 > t.cap {
+		p95 = t.cap
+	}
+	t.cached.Store(int64(p95))
+}
+
+// Delay reports how long to wait before hedging: the cached p95 of
+// observed latencies, clamped to [floor, cap].
+func (t *DelayTracker) Delay() time.Duration {
+	return time.Duration(t.cached.Load())
+}

@@ -1,0 +1,446 @@
+package overload
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// fakeClock drives the controller's queue deadline and latency window
+// deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// block is a handler that parks until released, so tests control when
+// slots free up.
+type block struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func newBlock() *block {
+	return &block{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (b *block) run() {
+	close(b.started)
+	<-b.release
+}
+
+func TestControllerAdmitsUnderLimit(t *testing.T) {
+	c := NewController(Config{MinLimit: 2, MaxLimit: 2, InitialLimit: 2}, nil, "")
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		c.Submit(wire.PriorityNormal, func() { done <- struct{}{} }, nil)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("request was not admitted")
+		}
+	}
+	if got := c.Status().Admitted; got != 2 {
+		t.Errorf("admitted = %d, want 2", got)
+	}
+	if shed := c.Shed(); shed != 0 {
+		t.Errorf("shed = %d, want 0", shed)
+	}
+}
+
+func TestControllerQueuesThenRunsOnRelease(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1, QueueDeadline: time.Minute}, nil, "")
+	b := newBlock()
+	c.Submit(wire.PriorityNormal, b.run, nil)
+	<-b.started
+
+	done := make(chan struct{})
+	c.Submit(wire.PriorityNormal, func() { close(done) }, func(time.Duration) {
+		t.Error("queued request was shed")
+	})
+	if got := c.Status().Queued; got != 1 {
+		t.Fatalf("queued = %d, want 1", got)
+	}
+	close(b.release) // slot frees; the queued request must drain and run
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("queued request never ran")
+	}
+	if st := c.Status(); st.QueuedIn != 1 || st.Admitted != 2 {
+		t.Errorf("status = %+v, want QueuedIn 1, Admitted 2", st)
+	}
+}
+
+func TestControllerShedsQueueFullWithHint(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1,
+		QueueLimit: 1, QueueDeadline: time.Minute, RetryAfter: 10 * time.Millisecond}, nil, "")
+	b := newBlock()
+	c.Submit(wire.PriorityNormal, b.run, nil)
+	<-b.started
+	c.Submit(wire.PriorityNormal, func() {}, nil) // fills the queue
+
+	var hint time.Duration
+	shed := make(chan struct{})
+	c.Submit(wire.PriorityNormal, func() { t.Error("overflow request ran") },
+		func(retryAfter time.Duration) { hint = retryAfter; close(shed) })
+	select {
+	case <-shed:
+	case <-time.After(time.Second):
+		t.Fatal("overflow request was not shed")
+	}
+	if hint < 10*time.Millisecond {
+		t.Errorf("retry-after hint = %s, want >= base 10ms", hint)
+	}
+	if got := c.shedFull.Load(); got != 1 {
+		t.Errorf("shed.full = %d, want 1", got)
+	}
+	close(b.release)
+}
+
+func TestControllerNormalEvictsQueuedLow(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1,
+		QueueLimit: 1, QueueDeadline: time.Minute}, nil, "")
+	b := newBlock()
+	c.Submit(wire.PriorityNormal, b.run, nil)
+	<-b.started
+
+	lowShed := make(chan struct{})
+	c.Submit(wire.PriorityLow, func() { t.Error("evicted low request ran") },
+		func(time.Duration) { close(lowShed) })
+	// A normal arrival against a full queue makes room by evicting the
+	// queued low request rather than shedding itself.
+	c.Submit(wire.PriorityNormal, func() {}, func(time.Duration) {
+		t.Error("normal request was shed instead of queued")
+	})
+	select {
+	case <-lowShed:
+	case <-time.After(time.Second):
+		t.Fatal("low-priority request was not evicted")
+	}
+	if got := c.shedEvict.Load(); got != 1 {
+		t.Errorf("shed.evicted = %d, want 1", got)
+	}
+	close(b.release)
+}
+
+func TestControllerHighPriorityBypassesFullQueue(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1,
+		QueueLimit: 1, QueueDeadline: time.Minute}, nil, "")
+	b := newBlock()
+	c.Submit(wire.PriorityNormal, b.run, nil)
+	<-b.started
+	c.Submit(wire.PriorityNormal, func() {}, nil) // queue full
+
+	done := make(chan struct{})
+	c.Submit(wire.PriorityHigh, func() { close(done) }, func(time.Duration) {
+		t.Error("high-priority request was shed")
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("high-priority request did not bypass the limit")
+	}
+	if got := c.Status().Bypass; got != 1 {
+		t.Errorf("bypass = %d, want 1", got)
+	}
+	close(b.release)
+}
+
+func TestControllerShedsExpiredQueueHeads(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1,
+		QueueDeadline: 5 * time.Millisecond, now: clk.now}, nil, "")
+	b := newBlock()
+	c.Submit(wire.PriorityNormal, b.run, nil)
+	<-b.started
+
+	shed := make(chan struct{})
+	c.Submit(wire.PriorityNormal, func() { t.Error("expired request ran") },
+		func(time.Duration) { close(shed) })
+	// The queued request's sojourn exceeds the deadline before a slot
+	// frees: at drain time it must be shed even though a slot is open.
+	clk.advance(10 * time.Millisecond)
+	close(b.release)
+	select {
+	case <-shed:
+	case <-time.After(time.Second):
+		t.Fatal("expired request was not shed at drain")
+	}
+	if got := c.shedLate.Load(); got != 1 {
+		t.Errorf("shed.late = %d, want 1", got)
+	}
+}
+
+// runSerial pushes one request through the controller with the given
+// simulated service time and waits for its completion.
+func runSerial(t *testing.T, c *Controller, clk *fakeClock, dur time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	c.Submit(wire.PriorityNormal, func() {
+		clk.advance(dur)
+		close(done)
+	}, func(time.Duration) { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("request did not complete")
+	}
+}
+
+func TestControllerAIMDDecreaseOnLatencyGrowth(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{MinLimit: 1, MaxLimit: 64, InitialLimit: 16, Window: 4,
+		Tolerance: 2.0, QueueDeadline: time.Millisecond, now: clk.now}
+	c := NewController(cfg, nil, "")
+	// First window: 1ms service time establishes the baseline.
+	for i := 0; i < 4; i++ {
+		runSerial(t, c, clk, time.Millisecond)
+	}
+	start := c.Limit()
+	// Next windows: latency far beyond baseline*tolerance+deadline must
+	// cut the limit multiplicatively.
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 4; i++ {
+			runSerial(t, c, clk, 50*time.Millisecond)
+		}
+	}
+	if got := c.Limit(); got >= start {
+		t.Errorf("limit = %d after latency growth, want < %d", got, start)
+	}
+}
+
+func TestControllerAdditiveIncreaseWhenSaturated(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{MinLimit: 1, MaxLimit: 64, InitialLimit: 1, Window: 2,
+		Tolerance: 2.0, QueueDeadline: time.Hour, now: clk.now}
+	c := NewController(cfg, nil, "")
+	start := c.Limit()
+
+	// Saturate: with limit 1 busy, a second submit queues (marking the
+	// window saturated), then both complete with flat latency.
+	for w := 0; w < 3; w++ {
+		b := newBlock()
+		c.Submit(wire.PriorityNormal, b.run, nil)
+		<-b.started
+		done := make(chan struct{})
+		c.Submit(wire.PriorityNormal, func() { close(done) }, nil)
+		close(b.release)
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("queued request never ran")
+		}
+	}
+	if got := c.Limit(); got <= start {
+		t.Errorf("limit = %d after saturated flat-latency windows, want > %d", got, start)
+	}
+}
+
+func TestControllerNoStarvationInvariant(t *testing.T) {
+	// Hammer a small controller from many goroutines; every request must
+	// resolve (run or shed) — nothing may be left queued forever.
+	c := NewController(Config{MinLimit: 2, MaxLimit: 4, InitialLimit: 2,
+		QueueLimit: 8, QueueDeadline: 50 * time.Millisecond}, nil, "")
+	const n = 200
+	var resolved atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		pri := wire.PriorityNormal
+		if i%3 == 0 {
+			pri = wire.PriorityLow
+		}
+		go c.Submit(pri,
+			func() { resolved.Add(1); wg.Done() },
+			func(time.Duration) { resolved.Add(1); wg.Done() })
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d requests resolved", resolved.Load(), n)
+	}
+	// Slot release trails the run callback; give the drain a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d after drain, want 0", c.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHintScalesWithQueuePressure(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1,
+		RetryAfter: 10 * time.Millisecond}, nil, "")
+	c.mu.Lock()
+	base := c.hintLocked()
+	c.queued = 5
+	loaded := c.hintLocked()
+	c.queued = 10000
+	capped := c.hintLocked()
+	c.mu.Unlock()
+	if base != 10*time.Millisecond {
+		t.Errorf("base hint = %s, want 10ms", base)
+	}
+	if loaded <= base {
+		t.Errorf("loaded hint = %s, want > %s", loaded, base)
+	}
+	if capped != 100*time.Millisecond {
+		t.Errorf("capped hint = %s, want 10x base", capped)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MinLimit != 4 || cfg.MaxLimit != 1024 || cfg.InitialLimit != 64 ||
+		cfg.QueueLimit != 256 || cfg.QueueDeadline != 5*time.Millisecond ||
+		cfg.Window != 64 || cfg.Tolerance != 2.0 || cfg.RetryAfter != 10*time.Millisecond {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Inverted bounds are repaired, not accepted.
+	cfg = Config{MinLimit: 100, MaxLimit: 10, InitialLimit: 5000}.withDefaults()
+	if cfg.MaxLimit != 100 || cfg.InitialLimit != 100 {
+		t.Errorf("clamped = %+v", cfg)
+	}
+}
+
+func TestBudgetSpendAndDeposit(t *testing.T) {
+	b := NewBudget(0.5, 2)
+	n := wire.NodeID(7)
+	// Starts full: burst retries available immediately.
+	if !b.Spend(n) || !b.Spend(n) {
+		t.Fatal("full bucket refused a retry")
+	}
+	if b.Spend(n) {
+		t.Fatal("empty bucket allowed a retry")
+	}
+	// Two fresh calls at ratio 0.5 earn one retry back.
+	b.Deposit(n)
+	b.Deposit(n)
+	if !b.Spend(n) {
+		t.Fatal("replenished bucket refused a retry")
+	}
+	// Deposits cap at burst.
+	for i := 0; i < 100; i++ {
+		b.Deposit(n)
+	}
+	if got := b.Tokens(n); got != 2 {
+		t.Errorf("tokens = %v, want capped at burst 2", got)
+	}
+}
+
+func TestBudgetPerDestinationIsolation(t *testing.T) {
+	b := NewBudget(0, 0) // defaults
+	a, z := wire.NodeID(1), wire.NodeID(2)
+	for i := 0; i < DefaultRetryBurst; i++ {
+		if !b.Spend(a) {
+			t.Fatalf("spend %d against fresh bucket failed", i)
+		}
+	}
+	if b.Spend(a) {
+		t.Error("exhausted destination allowed a retry")
+	}
+	if !b.Spend(z) {
+		t.Error("exhausting one destination drained another")
+	}
+}
+
+func TestDelayTrackerTracksP95(t *testing.T) {
+	tr := NewDelayTracker(time.Millisecond, time.Second)
+	if got := tr.Delay(); got != time.Millisecond {
+		t.Errorf("cold delay = %s, want floor", got)
+	}
+	for i := 0; i < 2*refreshEvery; i++ {
+		tr.Observe(20 * time.Millisecond)
+	}
+	got := tr.Delay()
+	if got < time.Millisecond || got > time.Second {
+		t.Fatalf("delay = %s escaped [floor, cap]", got)
+	}
+	if got < 10*time.Millisecond {
+		t.Errorf("delay = %s, want near observed 20ms", got)
+	}
+}
+
+func TestDelayTrackerClamps(t *testing.T) {
+	tr := NewDelayTracker(10*time.Millisecond, 50*time.Millisecond)
+	for i := 0; i < refreshEvery; i++ {
+		tr.Observe(time.Microsecond) // far below floor
+	}
+	if got := tr.Delay(); got != 10*time.Millisecond {
+		t.Errorf("delay = %s, want clamped to floor", got)
+	}
+	for i := 0; i < 4*refreshEvery; i++ {
+		tr.Observe(10 * time.Second) // far above cap
+	}
+	if got := tr.Delay(); got != 50*time.Millisecond {
+		t.Errorf("delay = %s, want clamped to cap", got)
+	}
+	// Bad bounds select defaults.
+	tr = NewDelayTracker(0, 0)
+	if tr.floor != time.Millisecond || tr.cap != 100*time.Millisecond {
+		t.Errorf("default bounds = %s/%s", tr.floor, tr.cap)
+	}
+}
+
+func TestServiceStatus(t *testing.T) {
+	svc := NewService(nil)
+	res, err := svc.Invoke(nil, "status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res[0].(string), "disabled") {
+		t.Errorf("nil-controller status = %q", res[0])
+	}
+
+	reg := obs.NewRegistry()
+	c := NewController(Config{InitialLimit: 8, MinLimit: 8, MaxLimit: 8}, reg, "")
+	done := make(chan struct{})
+	c.Submit(wire.PriorityHigh, func() { close(done) }, nil)
+	<-done
+	svc = NewService(c)
+	res, err = svc.Invoke(nil, "status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res[0].(string)
+	for _, want := range []string{"(adaptive)", "bypass", "shed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("status text missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := svc.Invoke(nil, "nope", nil); err == nil {
+		t.Error("unknown method did not error")
+	}
+	// The controller's metrics landed in the provided registry under the
+	// overload scope.
+	if reg.Counter("overload.bypass").Load() != 1 {
+		t.Error("bypass counter not published to registry")
+	}
+}

@@ -1,0 +1,83 @@
+package overload
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TypeName is the proxy type the overload status service exports under.
+// Like obs.Service and health.Service it has no custom factory:
+// importers reach it through plain stubs.
+const TypeName = "overload.Service"
+
+// Status is a point-in-time view of a controller.
+type Status struct {
+	Limit    int
+	Inflight int
+	Queued   int
+	Admitted uint64
+	Bypass   uint64
+	QueuedIn uint64
+	ShedFull uint64
+	ShedLate uint64
+	Evicted  uint64
+	Baseline time.Duration
+}
+
+// Status snapshots the controller.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	limit, inflight, queued, baseline := int(c.limit), c.inflight, c.queued, c.baseline
+	c.mu.Unlock()
+	return Status{
+		Limit:    limit,
+		Inflight: inflight,
+		Queued:   queued,
+		Admitted: c.admitted.Load(),
+		Bypass:   c.bypass.Load(),
+		QueuedIn: c.enqueued.Load(),
+		ShedFull: c.shedFull.Load(),
+		ShedLate: c.shedLate.Load(),
+		Evicted:  c.shedEvict.Load(),
+		Baseline: baseline,
+	}
+}
+
+// Service exposes a Controller over the ordinary invocation conventions
+// so proxyctl (or any remote client) can ask a daemon how its admission
+// control is doing. It implements core.Service structurally (overload
+// sits below core).
+//
+// Methods:
+//
+//	status() -> text summary of the controller's limit, queue, and sheds
+type Service struct {
+	c *Controller
+}
+
+// NewService wraps a controller for export.
+func NewService(c *Controller) *Service { return &Service{c: c} }
+
+// Invoke dispatches the overload methods.
+func (s *Service) Invoke(_ context.Context, method string, _ []any) ([]any, error) {
+	switch method {
+	case "status":
+		if s.c == nil {
+			return []any{"overload: admission control disabled (-overload to enable)\n"}, nil
+		}
+		st := s.c.Status()
+		var b strings.Builder
+		fmt.Fprintf(&b, "limit     %d (adaptive)\n", st.Limit)
+		fmt.Fprintf(&b, "inflight  %d\n", st.Inflight)
+		fmt.Fprintf(&b, "queued    %d\n", st.Queued)
+		fmt.Fprintf(&b, "baseline  %s\n", st.Baseline.Round(time.Microsecond))
+		fmt.Fprintf(&b, "admitted  %d (+%d high-priority bypass, %d via queue)\n", st.Admitted, st.Bypass, st.QueuedIn)
+		fmt.Fprintf(&b, "shed      %d (%d queue-full, %d past-deadline, %d evicted)\n",
+			st.ShedFull+st.ShedLate+st.Evicted, st.ShedFull, st.ShedLate, st.Evicted)
+		return []any{b.String()}, nil
+	default:
+		return nil, fmt.Errorf("overload: unknown method %q", method)
+	}
+}

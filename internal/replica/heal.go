@@ -93,7 +93,10 @@ func (p *Proxy) syncOnce() error {
 	p.mu.Unlock()
 	applied := p.appliedSeq.Load()
 
-	req := wire.AppendObjAddr(nil, member.Self())
+	// Sync probes are repair traffic: shedding them under load would turn
+	// congestion into spurious elections. The priority header exempts them.
+	req := wire.AppendPriorityHeader(nil, wire.PriorityHigh)
+	req = wire.AppendObjAddr(req, member.Self())
 	req = wire.AppendUvarint(req, stateEpoch)
 	req = wire.AppendUvarint(req, applied)
 

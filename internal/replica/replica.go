@@ -465,7 +465,7 @@ const (
 // every cross-epoch rejoin, where the member's tail may have diverged at
 // the old epoch's end — gets a full snapshot.
 func (p *primary) handleSync(req *rpc.Request) (wire.Kind, []byte, []byte) {
-	payload := req.Frame.Payload
+	_, payload := wire.SplitPriorityHeader(req.Frame.Payload)
 	member, n, err := wire.DecodeObjAddr(payload)
 	if err != nil {
 		return 0, nil, core.EncodeInvokeError("sync", err)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/wire"
 )
 
@@ -27,6 +28,20 @@ var (
 	// ErrTooManyRetries reports that every transmission attempt went
 	// unanswered within the caller's deadline budget.
 	ErrTooManyRetries = errors.New("rpc: retries exhausted")
+	// ErrRetryBudget reports that a retransmission was due but the
+	// destination's retry budget (WithRetryBudget) was exhausted: the
+	// call fails instead of joining a retry storm. It wraps
+	// ErrTooManyRetries so failure classification (breakers, failover)
+	// treats both the same way — the request went unanswered and may
+	// or may not have executed.
+	ErrRetryBudget = fmt.Errorf("%w (retry budget exhausted)", ErrTooManyRetries)
+	// ErrDeadlineBudget reports that the next scheduled retransmission
+	// would fire after the caller's ctx deadline: there is no point
+	// sleeping toward a wait we cannot complete, so the call fails fast
+	// with the retry error instead of burning the remaining budget
+	// asleep (a failover-capable caller can spend it on an alternate).
+	// It wraps ErrTooManyRetries for the same classification reasons.
+	ErrDeadlineBudget = fmt.Errorf("%w (backoff exceeds deadline budget)", ErrTooManyRetries)
 )
 
 // ClientOption configures a Client.
@@ -93,6 +108,19 @@ func WithObserver(o *obs.Observer) ClientOption {
 	}
 }
 
+// WithRetryBudget caps this client's retransmission ratio per
+// destination node: every fresh call deposits ratio tokens, every
+// retransmission spends one, and a retransmission due with an empty
+// bucket fails the call with ErrRetryBudget instead of transmitting.
+// Non-positive arguments select the defaults (ratio 0.1, burst 10).
+// Budgets are off by default: protocols that deliberately ride out long
+// outages with sustained retransmission (replica repair, chaos
+// harnesses) must keep them off, and deployments that want storm
+// protection opt in (proxyd -overload does).
+func WithRetryBudget(ratio, burst float64) ClientOption {
+	return func(c *Client) { c.budget = overload.NewBudget(ratio, burst) }
+}
+
 // ClientStats counts client activity (read with Stats). It is a snapshot
 // of the client's counters in the obs registry, kept as a struct so
 // existing callers and tests read it unchanged.
@@ -115,14 +143,18 @@ type Client struct {
 	intervalSet   bool
 	backoffSet    bool
 
+	budget *overload.Budget // nil unless WithRetryBudget
+
 	obs   *obs.Observer
 	where string
 	// Registry-backed counters, resolved once at construction. Names are
 	// scoped by the client's context address so clients sharing a cluster
 	// registry stay distinguishable.
-	calls       *obs.Counter
-	retransmits *obs.Counter
-	failures    *obs.Counter
+	calls        *obs.Counter
+	retransmits  *obs.Counter
+	failures     *obs.Counter
+	budgetDenied *obs.Counter
+	deadlineFast *obs.Counter
 }
 
 // NewClient builds a client over a kernel context. The default retry
@@ -156,6 +188,8 @@ func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
 	c.calls = c.obs.Registry.Counter(scope + "calls")
 	c.retransmits = c.obs.Registry.Counter(scope + "retransmits")
 	c.failures = c.obs.Registry.Counter(scope + "failures")
+	c.budgetDenied = c.obs.Registry.Counter(scope + "budget.denied")
+	c.deadlineFast = c.obs.Registry.Counter(scope + "deadline.fastfail")
 	return c
 }
 
@@ -226,6 +260,9 @@ func (c *Client) Call(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, pay
 // response kind itself is meaningful, as in private proxy protocols).
 func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind, payload []byte) (*wire.Frame, error) {
 	c.calls.Inc()
+	if c.budget != nil {
+		c.budget.Deposit(dst.Addr.Node)
+	}
 	id, ch, err := c.ktx.NewPending()
 	if err != nil {
 		return nil, err
@@ -273,11 +310,7 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 			}
 			if resp.Kind == wire.KindError {
 				rec.end(attempts, "remote error")
-				return nil, &kernel.RemoteError{
-					From:    resp.Src,
-					Payload: resp.Payload,
-					NoRoute: resp.Flags&wire.FlagNoRoute != 0,
-				}
+				return nil, kernel.RemoteErrorFrom(resp)
 			}
 			rec.end(attempts, "")
 			return resp, nil
@@ -291,11 +324,40 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 				rec.end(attempts, ErrTooManyRetries.Error())
 				return nil, ErrTooManyRetries
 			}
+			// The next wait this retry would schedule (backoff applied).
+			next := interval
+			if c.backoffFactor > 1 {
+				next = time.Duration(float64(next) * c.backoffFactor)
+				if c.backoffMax > 0 && next > c.backoffMax {
+					next = c.backoffMax
+				}
+			}
+			wait := c.sleepFor(next)
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+				// The retry's backoff delay exceeds the remaining deadline
+				// budget: scheduling it means sleeping straight into the
+				// deadline. Fail fast with the retry error instead — a
+				// failover-capable caller can spend what budget remains on
+				// an alternate binding rather than on a doomed sleep.
+				c.deadlineFast.Inc()
+				c.failures.Inc()
+				rec.end(attempts, ErrDeadlineBudget.Error())
+				return nil, ErrDeadlineBudget
+			}
+			if c.budget != nil && !c.budget.Spend(dst.Addr.Node) {
+				// Retransmission due, but this destination's retry budget
+				// is spent: failing here is what keeps a fleet of clients
+				// from amplifying an outage into a retry storm.
+				c.budgetDenied.Inc()
+				c.failures.Inc()
+				rec.end(attempts, ErrRetryBudget.Error())
+				return nil, ErrRetryBudget
+			}
 			rec.end(attempts, "no reply (retransmitting)")
 			attempts++
 			c.retransmits.Inc()
 			req.Flags |= wire.FlagRetransmit
-			if len(payload) > 0 && payload[0] == wire.DeadlineMagic {
+			if wire.HasDeadlineHeader(payload) {
 				// The payload opens with a deadline-budget header encoded
 				// when the call began; the budget has been shrinking while
 				// we waited. Re-encode what actually remains so the server
@@ -309,13 +371,8 @@ func (c *Client) CallFrame(ctx context.Context, dst wire.ObjAddr, kind wire.Kind
 				rec.end(attempts, err.Error())
 				return nil, err
 			}
-			if c.backoffFactor > 1 {
-				interval = time.Duration(float64(interval) * c.backoffFactor)
-				if c.backoffMax > 0 && interval > c.backoffMax {
-					interval = c.backoffMax
-				}
-			}
-			timer.Reset(c.sleepFor(interval))
+			interval = next
+			timer.Reset(wait)
 		}
 	}
 }

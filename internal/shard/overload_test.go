@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// evidenceWorld is a deployment whose client runtime has a fast rpc
+// client and a tunable breaker, so scatter-gather failure evidence is
+// observable without waiting out default retry policies.
+type evidenceWorld struct {
+	net         *netsim.Network
+	router      *Router
+	client      *core.Runtime
+	ref         codec.Ref
+	memberNodes map[string]wire.NodeID
+}
+
+func newEvidenceWorld(t *testing.T, stores map[string]Store, cliOpts []rpc.ClientOption, rtOpts ...core.RuntimeOption) *evidenceWorld {
+	t.Helper()
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	w := &evidenceWorld{net: net, memberNodes: make(map[string]wire.NodeID)}
+	next := wire.NodeID(1)
+	mk := func(cli []rpc.ClientOption, opts ...core.RuntimeOption) *core.Runtime {
+		ep, err := net.Attach(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next++
+		node := kernel.NewNode(ep)
+		t.Cleanup(func() { node.Close() })
+		ktx, err := node.NewContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cli != nil {
+			opts = append([]core.RuntimeOption{core.WithClient(rpc.NewClient(ktx, cli...))}, opts...)
+		}
+		return core.NewRuntime(ktx, opts...)
+	}
+	factory := NewFactory(testSpec, WithName("kv"))
+	routerRT := mk(nil)
+	w.router = NewRouter(routerRT, factory)
+	for name, st := range stores {
+		rt := mk(nil)
+		w.memberNodes[name] = rt.Addr().Node
+		ref, err := rt.Export(NewGuard(name, testSpec, st), "KVMember")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := w.router.AddMember(ctx, name, ref); err != nil {
+			t.Fatalf("add member %s: %v", name, err)
+		}
+		cancel()
+	}
+	ref, err := routerRT.ExportVia(factory, w.router, "ShardedKV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ref = ref
+	w.client = mk(cliOpts, rtOpts...)
+	w.client.RegisterProxyType("ShardedKV", NewFactory(Spec{}))
+	return w
+}
+
+// keysOwnedBy returns n distinct keys the proxy's fetched ring assigns
+// to the named member.
+func keysOwnedBy(t *testing.T, p *Proxy, member string, n int) []string {
+	t.Helper()
+	ring, _, err := p.table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; len(keys) < n && i < 10000; i++ {
+		k := "k" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if ring.Owner(k) == member {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("found only %d keys owned by %s", len(keys), member)
+	}
+	return keys
+}
+
+// TestScatterFailureFeedsBreakerEvidence pins the satellite contract:
+// per-key scatter-gather failures travel through GuardedCall exactly
+// like single-key routing, so a dead member's failures trip the shared
+// per-node breaker — and the surviving member keeps serving its keys.
+func TestScatterFailureFeedsBreakerEvidence(t *testing.T) {
+	w := newEvidenceWorld(t,
+		map[string]Store{"m0": newKVStore(), "m1": newKVStore()},
+		[]rpc.ClientOption{rpc.WithRetryInterval(2 * time.Millisecond), rpc.WithMaxAttempts(3)},
+		core.WithBreakerConfig(health.BreakerConfig{Threshold: 2, Cooldown: time.Minute}))
+	p, err := w.client.Import(w.ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := p.(*Proxy)
+	dead := keysOwnedBy(t, sp, "m0", 3)
+	alive := keysOwnedBy(t, sp, "m1", 3)
+	for i, k := range append(append([]string{}, dead...), alive...) {
+		if _, err := sp.Invoke(context.Background(), "put", k, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w.net.Crash(w.memberNodes["m0"])
+	args := make([]any, 0, len(dead)+len(alive))
+	for _, k := range append(append([]string{}, dead...), alive...) {
+		args = append(args, k)
+	}
+	out, err := sp.Invoke(context.Background(), "mget", args...)
+	if err != nil {
+		t.Fatalf("scatter: %v", err)
+	}
+	for i := range dead {
+		if _, ok := AsKeyError(out[i]); !ok {
+			t.Errorf("dead-member slot %d = %v, want KeyError", i, out[i])
+		}
+	}
+	for i := range alive {
+		slot := out[len(dead)+i]
+		if v, ok := slot.(int64); !ok || v != int64(len(dead)+i) {
+			t.Errorf("alive-member slot = %v, want %d", slot, len(dead)+i)
+		}
+	}
+	// The evidence reached the shared breaker: the dead member's node is
+	// tripped, the survivor's untouched.
+	if st := w.client.Breakers().For(w.memberNodes["m0"]).State(); st != health.BreakerOpen {
+		t.Errorf("dead member breaker = %v, want open (scatter failures must count)", st)
+	}
+	if st := w.client.Breakers().For(w.memberNodes["m1"]).State(); st != health.BreakerClosed {
+		t.Errorf("alive member breaker = %v, want closed", st)
+	}
+}
+
+// sheddingStore wraps kvStore, answering get("shed-*") with CodeOverload
+// the way a brownout-mode member would.
+type sheddingStore struct{ *kvStore }
+
+func (s sheddingStore) Invoke(ctx context.Context, method string, args []any) ([]any, error) {
+	if method == "get" {
+		if k, _ := args[0].(string); strings.HasPrefix(k, "shed-") {
+			return nil, core.Errorf(core.CodeOverload, method, "shard test: member shedding")
+		}
+	}
+	return s.kvStore.Invoke(ctx, method, args)
+}
+
+// TestScatterOverloadSurfacesKeyErrorImmediately pins per-key brownout:
+// a member's CodeOverload answer is not a routing problem, so the proxy
+// must surface it as that key's KeyError at once — no table refetch, no
+// re-route backoff spinning.
+func TestScatterOverloadSurfacesKeyErrorImmediately(t *testing.T) {
+	w := newEvidenceWorld(t,
+		map[string]Store{"m0": sheddingStore{newKVStore()}},
+		[]rpc.ClientOption{rpc.WithRetryInterval(5 * time.Millisecond), rpc.WithMaxAttempts(8)})
+	p, err := w.client.Import(w.ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := p.(*Proxy)
+	if _, err := sp.Invoke(context.Background(), "put", "ok-1", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	out, err := sp.Invoke(context.Background(), "mget", "shed-a", "ok-1", "shed-b")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("scatter: %v", err)
+	}
+	for _, i := range []int{0, 2} {
+		ke, ok := AsKeyError(out[i])
+		if !ok {
+			t.Fatalf("slot %d = %v, want KeyError", i, out[i])
+		}
+		var ie *core.InvokeError
+		if !errors.As(ke.Err, &ie) || ie.Code != core.CodeOverload {
+			t.Errorf("slot %d error = %v, want CodeOverload preserved", i, ke.Err)
+		}
+	}
+	if v, ok := out[1].(int64); !ok || v != 7 {
+		t.Errorf("healthy slot = %v, want 7", out[1])
+	}
+	// An answered overload is final for this invocation: with re-route
+	// attempts the fan-out would burn ~300ms of routeBackoff.
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("overloaded scatter took %v; the proxy re-routed shed keys", elapsed)
+	}
+	if _, mis := sp.Stats(); mis != 0 {
+		t.Errorf("misroutes = %d, want 0", mis)
+	}
+}

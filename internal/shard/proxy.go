@@ -170,9 +170,11 @@ func (p *Proxy) table(ctx context.Context) (*Ring, map[string]codec.Ref, error) 
 }
 
 // refreshTable fetches the current table from the router's control
-// object.
+// object. The fetch travels high-priority: re-routing around a shed
+// (or misrouted) key needs the table, so shedding table fetches behind
+// the load that caused them would wedge recovery.
 func (p *Proxy) refreshTable(ctx context.Context) error {
-	f, err := p.rt.GuardedCall(ctx, p.ctrl, kindTable, nil)
+	f, err := p.rt.GuardedCall(ctx, p.ctrl, kindTable, wire.AppendPriorityHeader(nil, wire.PriorityHigh))
 	if err != nil {
 		return core.RemoteToInvokeError("shard.table", err)
 	}

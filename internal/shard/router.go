@@ -146,7 +146,12 @@ func (r *Router) Rebalance(ctx context.Context) error {
 func (r *Router) rebalanceRetries(ctx context.Context, force bool) error {
 	r.rebalanceMu.Lock()
 	defer r.rebalanceMu.Unlock()
+	// Handoff steps are what un-hotspots an overloaded member; shedding
+	// them behind the very user traffic they relieve would deadlock the
+	// rebalance. Every member invocation below rides the high class.
+	ctx = core.WithPriority(ctx, wire.PriorityHigh)
 	var err error
+	var floor uint64
 	for attempt := 0; attempt < rebalanceAttempts; attempt++ {
 		if attempt > 0 {
 			select {
@@ -155,9 +160,14 @@ func (r *Router) rebalanceRetries(ctx context.Context, force bool) error {
 			case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
 			}
 		}
-		if err = r.rebalanceOnce(ctx, force); err == nil {
+		var target uint64
+		if target, err = r.rebalanceOnce(ctx, floor, force); err == nil {
 			return nil
 		}
+		// The failed attempt may have committed its epoch at some members
+		// before dying; re-proposing the same epoch would be fenced there
+		// forever. The next attempt must go strictly above it.
+		floor = target
 		r.rebalFails.Inc()
 	}
 	return fmt.Errorf("shard: rebalance failed after %d attempts: %w", rebalanceAttempts, err)
@@ -168,9 +178,12 @@ func (r *Router) rebalanceRetries(ctx context.Context, force bool) error {
 // every guard on the old table (moved ranges possibly frozen — the next
 // attempt's fresh epoch re-freezes and supersedes them); the commit
 // itself is idempotent per guard.
-func (r *Router) rebalanceOnce(ctx context.Context, force bool) error {
+func (r *Router) rebalanceOnce(ctx context.Context, floor uint64, force bool) (uint64, error) {
 	r.mu.Lock()
 	target := r.epoch + 1
+	if target <= floor {
+		target = floor + 1
+	}
 	desired := make(map[string]codec.Ref, len(r.members))
 	for n, ref := range r.members {
 		desired[n] = ref
@@ -188,7 +201,7 @@ func (r *Router) rebalanceOnce(ctx context.Context, force bool) error {
 	if err == nil {
 		r.rebalances.Inc()
 	}
-	return err
+	return target, err
 }
 
 func (r *Router) rebalanceAttempt(ctx context.Context, target uint64, desired, retired map[string]codec.Ref, oldRing *Ring, force bool) error {
@@ -345,6 +358,7 @@ func (r *Router) handoffFrom(ctx context.Context, target uint64, src string, src
 func (r *Router) dropLater(src string, srcRef codec.Ref, target uint64, moved []any) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	ctx = core.WithPriority(ctx, wire.PriorityHigh)
 	_, _ = r.invokeMember(ctx, src, srcRef, methodDrop, int64(target), moved)
 }
 

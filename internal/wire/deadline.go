@@ -38,22 +38,40 @@ func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
 	return time.Duration(ns), payload[1+n:]
 }
 
+// HasDeadlineHeader reports whether the payload opens with a deadline
+// header — directly, or right behind a priority header (senders that
+// stamp a priority write it first so the kernel can peek it; the
+// deadline header follows).
+func HasDeadlineHeader(payload []byte) bool {
+	if len(payload) >= 2 && payload[0] == PriorityMagic {
+		payload = payload[2:]
+	}
+	return len(payload) > 0 && payload[0] == DeadlineMagic
+}
+
 // RewriteDeadlineHeader replaces a leading deadline header with one
-// carrying budget, leaving everything after it untouched. Payloads that
-// do not start with a deadline header come back unchanged. A non-positive
-// budget is clamped to one nanosecond rather than dropped: a headerless
-// payload would read as "no deadline", the opposite of an expired one.
+// carrying budget, leaving everything around it untouched (a priority
+// header in front of it is preserved byte-for-byte). Payloads without a
+// leading deadline header come back unchanged. A non-positive budget is
+// clamped to one nanosecond rather than dropped: a headerless payload
+// would read as "no deadline", the opposite of an expired one.
 func RewriteDeadlineHeader(payload []byte, budget time.Duration) []byte {
-	if len(payload) == 0 || payload[0] != DeadlineMagic {
+	var prefix []byte
+	body := payload
+	if len(body) >= 2 && body[0] == PriorityMagic {
+		prefix, body = body[:2], body[2:]
+	}
+	if len(body) == 0 || body[0] != DeadlineMagic {
 		return payload
 	}
-	_, rest := SplitDeadlineHeader(payload)
-	if len(rest) == len(payload) {
+	_, rest := SplitDeadlineHeader(body)
+	if len(rest) == len(body) {
 		return payload // malformed header: leave it alone
 	}
 	if budget <= 0 {
 		budget = time.Nanosecond
 	}
-	out := AppendDeadlineHeader(make([]byte, 0, len(payload)), budget)
+	out := append(make([]byte, 0, len(payload)), prefix...)
+	out = AppendDeadlineHeader(out, budget)
 	return append(out, rest...)
 }

@@ -100,6 +100,12 @@ const (
 	// redirecting the call cannot double-execute anything. Only kernels
 	// set it; application error responses must not.
 	FlagNoRoute
+	// FlagPushback marks a KindError response emitted by the receiving
+	// kernel's admission controller: the node is overloaded and shed the
+	// request before it reached a service, so the invocation provably
+	// never executed. The payload carries a retry-after hint (see
+	// AppendPushback). Like FlagNoRoute, only kernels set it.
+	FlagPushback
 )
 
 // Frame is the unit of transmission. Payload is opaque to every layer

@@ -1,0 +1,105 @@
+package wire
+
+import "time"
+
+// Priority header and pushback payload. Both belong to the overload
+// machinery: the priority header lets a sender declare which class its
+// request travels in, and the pushback payload is what an overloaded
+// kernel answers shed requests with. The primitives live here (like the
+// deadline header in deadline.go) because the kernel below core must
+// read the one and write the other without understanding payloads.
+
+// Priority classifies a request for admission control. The zero value is
+// PriorityNormal, so headerless payloads from pre-priority peers are
+// admitted exactly like before.
+type Priority uint8
+
+// Priority classes.
+const (
+	// PriorityNormal is ordinary user traffic: admitted up to the
+	// adaptive concurrency limit, queued briefly, shed under overload.
+	PriorityNormal Priority = 0
+	// PriorityHigh is system traffic the mesh cannot live without —
+	// rebalance steps, replica syncs — which is never shed behind user
+	// calls (health pings are answered below admission entirely).
+	PriorityHigh Priority = 1
+	// PriorityLow is best-effort traffic (bulk scans, prefetch): first
+	// to be shed, evicted from the queue to make room for normal calls.
+	PriorityLow Priority = 2
+)
+
+// String names the priority class.
+func (p Priority) String() string {
+	switch p {
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	default:
+		return "priority(?)"
+	}
+}
+
+// PriorityMagic introduces the optional priority header: [magic, class
+// byte]. It follows the convention of the trace (0xF5) and deadline
+// (0xF6) headers — codec tags occupy 1..13, so any leading byte ≥ 0xF0
+// is unambiguously a header, and headerless payloads decode unchanged.
+//
+// Senders that stamp a priority write this header FIRST (before the
+// deadline and trace headers): the receiving kernel classifies a frame
+// by peeking only at payload[0], without knowing the other headers'
+// shapes. A payload whose priority header is buried deeper still decodes
+// correctly above the kernel but is admitted as PriorityNormal.
+const PriorityMagic = 0xF7
+
+// AppendPriorityHeader prefixes dst with a priority header. Normal
+// priority appends nothing — the default needs no bytes on the wire.
+func AppendPriorityHeader(dst []byte, p Priority) []byte {
+	if p == PriorityNormal {
+		return dst
+	}
+	return append(dst, PriorityMagic, byte(p))
+}
+
+// SplitPriorityHeader strips a leading priority header, returning the
+// class it carried (PriorityNormal if absent) and the rest of the
+// payload.
+func SplitPriorityHeader(payload []byte) (Priority, []byte) {
+	if len(payload) < 2 || payload[0] != PriorityMagic {
+		return PriorityNormal, payload
+	}
+	return Priority(payload[1]), payload[2:]
+}
+
+// PeekPriority classifies a request payload for admission without
+// consuming anything: the class of a leading priority header, or
+// PriorityNormal for headerless (or differently-headed) payloads.
+func PeekPriority(payload []byte) Priority {
+	if len(payload) >= 2 && payload[0] == PriorityMagic {
+		return Priority(payload[1])
+	}
+	return PriorityNormal
+}
+
+// AppendPushback builds the payload of a FlagPushback error response:
+// [uvarint retry-after nanoseconds]. The hint is advisory — a client in
+// a hurry may fail over instead of waiting — but a cooperating client
+// that waits at least this long gives the queue time to drain.
+func AppendPushback(dst []byte, retryAfter time.Duration) []byte {
+	if retryAfter < 0 {
+		retryAfter = 0
+	}
+	return AppendUvarint(dst, uint64(retryAfter))
+}
+
+// DecodePushback parses a FlagPushback payload's retry-after hint.
+// Malformed or empty payloads yield zero (no hint).
+func DecodePushback(payload []byte) time.Duration {
+	ns, _, err := Uvarint(payload)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPriorityHeaderRoundTrip(t *testing.T) {
+	body := []byte("payload")
+	for _, pri := range []Priority{PriorityHigh, PriorityLow} {
+		p := append(AppendPriorityHeader(nil, pri), body...)
+		got, rest := SplitPriorityHeader(p)
+		if got != pri || !bytes.Equal(rest, body) {
+			t.Errorf("split(%s) = (%s, %q)", pri, got, rest)
+		}
+		if peeked := PeekPriority(p); peeked != pri {
+			t.Errorf("peek(%s) = %s", pri, peeked)
+		}
+	}
+	// Normal priority is the default and writes nothing on the wire.
+	if got := AppendPriorityHeader(nil, PriorityNormal); len(got) != 0 {
+		t.Errorf("normal priority encoded %d bytes", len(got))
+	}
+}
+
+// TestPriorityHeaderlessPeers pins the compatibility contract: payloads
+// from peers that predate the priority header — including ones that look
+// almost like a header — classify as PriorityNormal and pass through
+// SplitPriorityHeader untouched.
+func TestPriorityHeaderlessPeers(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"codec body", []byte{0x01, 0x02, 0x03}},
+		{"deadline header first", append(AppendDeadlineHeader(nil, time.Second), 0x01)},
+		{"bare magic, truncated", []byte{PriorityMagic}},
+		{"magic mid-payload", []byte{0x05, PriorityMagic, 0x01}},
+	}
+	for _, tc := range cases {
+		if got := PeekPriority(tc.payload); got != PriorityNormal {
+			t.Errorf("%s: peek = %s, want normal", tc.name, got)
+		}
+		pri, rest := SplitPriorityHeader(tc.payload)
+		if pri != PriorityNormal || !bytes.Equal(rest, tc.payload) {
+			t.Errorf("%s: split = (%s, %q), want untouched", tc.name, pri, rest)
+		}
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	for pri, want := range map[Priority]string{
+		PriorityNormal: "normal",
+		PriorityHigh:   "high",
+		PriorityLow:    "low",
+		Priority(9):    "priority(?)",
+	} {
+		if got := pri.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", pri, got, want)
+		}
+	}
+}
+
+// TestDeadlineBehindPriority covers the header ordering contract: the
+// priority header travels first, and the deadline helpers must see
+// through it.
+func TestDeadlineBehindPriority(t *testing.T) {
+	body := []byte("body")
+	p := AppendPriorityHeader(nil, PriorityHigh)
+	p = AppendDeadlineHeader(p, time.Second)
+	p = append(p, body...)
+
+	if !HasDeadlineHeader(p) {
+		t.Fatal("deadline header behind priority header not detected")
+	}
+	if HasDeadlineHeader(AppendPriorityHeader(nil, PriorityLow)) {
+		t.Error("priority-only payload claims a deadline header")
+	}
+
+	out := RewriteDeadlineHeader(p, 100*time.Millisecond)
+	pri, rest := SplitPriorityHeader(out)
+	if pri != PriorityHigh {
+		t.Fatalf("rewrite dropped the priority header: %s", pri)
+	}
+	budget, rest := SplitDeadlineHeader(rest)
+	if budget != 100*time.Millisecond || !bytes.Equal(rest, body) {
+		t.Fatalf("rewrite behind priority = (%v, %q)", budget, rest)
+	}
+}
+
+func TestPushbackRoundTrip(t *testing.T) {
+	p := AppendPushback(nil, 25*time.Millisecond)
+	if got := DecodePushback(p); got != 25*time.Millisecond {
+		t.Errorf("decode = %s, want 25ms", got)
+	}
+	// Negative hints clamp to zero; malformed and empty payloads read as
+	// "no hint" rather than failing.
+	if got := DecodePushback(AppendPushback(nil, -time.Second)); got != 0 {
+		t.Errorf("negative hint decoded as %s", got)
+	}
+	if got := DecodePushback(nil); got != 0 {
+		t.Errorf("empty payload decoded as %s", got)
+	}
+	if got := DecodePushback([]byte{0x80}); got != 0 {
+		t.Errorf("truncated varint decoded as %s", got)
+	}
+}
