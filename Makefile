@@ -4,7 +4,7 @@ GO ?= go
 
 # make cover fails if any of these packages drop below this (percent).
 COVER_MIN ?= 80
-COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard ./internal/overload
+COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard ./internal/overload ./internal/netsim
 
 # Seeds make chaos replays; override to explore: make chaos CHAOS_SEEDS="7 8 9"
 CHAOS_SEEDS ?= 1 2 3
@@ -63,13 +63,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: staticcheck when installed, otherwise fall back to go
-# vet so offline checkouts still get a gate.
+# Static analysis. The gate runs a PINNED staticcheck via `go run`, so CI
+# and every dev machine apply the exact same check set instead of whatever
+# version happens to be on PATH. The -version probe distinguishes "cannot
+# fetch the tool" (offline checkout: fall back, loudly) from "the tool ran
+# and found problems" (fail the build — never swallowed by a fallback).
+STATICCHECK_VERSION ?= 2025.1.1
+STATICCHECK_PKG = honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 lint:
-	@if command -v staticcheck >/dev/null 2>&1; then \
+	@if $(GO) run $(STATICCHECK_PKG) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_PKG) ./...; \
+	elif command -v staticcheck >/dev/null 2>&1; then \
+		echo "lint: cannot fetch staticcheck@$(STATICCHECK_VERSION) (offline?); using staticcheck from PATH"; \
 		staticcheck ./...; \
 	else \
-		echo "lint: staticcheck not on PATH, falling back to go vet"; \
+		echo "lint: staticcheck unavailable (no module fetch, none on PATH); falling back to go vet"; \
 		$(GO) vet ./...; \
 	fi
 

@@ -72,6 +72,14 @@ func newChaosCluster(t *testing.T, n int, cliOpts []rpc.ClientOption, rtOpts ...
 		}, rtOpts...)
 		c.rts = append(c.rts, core.NewRuntime(ktx, opts...))
 	}
+	// Shut proxies down before their nodes close (cleanups run LIFO):
+	// replica repair loops and other proxy background work stop on Close
+	// instead of outliving the test — leakCheck holds the suite to it.
+	t.Cleanup(func() {
+		for _, rt := range c.rts {
+			rt.CloseProxies()
+		}
+	})
 	return c
 }
 
@@ -81,6 +89,7 @@ func newChaosCluster(t *testing.T, n int, cliOpts []rpc.ClientOption, rtOpts ...
 // with no client-visible error (in practice 100% — the alternate node
 // never fails).
 func TestChaosFailoverUnderCrash(t *testing.T) {
+	leakCheck(t)
 	c := newChaosCluster(t, 3,
 		[]rpc.ClientOption{rpc.WithRetryInterval(2 * time.Millisecond), rpc.WithMaxAttempts(3)},
 		core.WithBreakerConfig(health.BreakerConfig{Threshold: 1, Cooldown: 25 * time.Millisecond}))
@@ -142,6 +151,7 @@ func TestChaosFailoverUnderCrash(t *testing.T) {
 // traced invocation that fails over records a "failover:" span naming the
 // binding it redirected to.
 func TestChaosTracedFailover(t *testing.T) {
+	leakCheck(t)
 	c := newChaosCluster(t, 3,
 		[]rpc.ClientOption{rpc.WithRetryInterval(2 * time.Millisecond), rpc.WithMaxAttempts(2)},
 		core.WithBreakerConfig(health.BreakerConfig{Threshold: 1, Cooldown: time.Minute}))
@@ -192,6 +202,7 @@ func TestChaosTracedFailover(t *testing.T) {
 // budget (no failover target — the call must ride out the downtime). The
 // invariant: every acknowledged write is visible afterwards.
 func TestChaosNoLostAcknowledgedWrites(t *testing.T) {
+	leakCheck(t)
 	// A huge breaker threshold keeps the circuit closed so calls ride
 	// retransmits through the crash windows instead of fast-failing.
 	c := newChaosCluster(t, 2,
@@ -250,6 +261,7 @@ func TestChaosNoLostAcknowledgedWrites(t *testing.T) {
 // with no failover target and asserts the client-side breaker opens while
 // the node is down, fast-fails callers, and closes again after the heal.
 func TestChaosBreakerRecovery(t *testing.T) {
+	leakCheck(t)
 	c := newChaosCluster(t, 2,
 		[]rpc.ClientOption{rpc.WithRetryInterval(2 * time.Millisecond), rpc.WithMaxAttempts(3)},
 		core.WithBreakerConfig(health.BreakerConfig{Threshold: 1, Cooldown: 20 * time.Millisecond}))
@@ -319,6 +331,7 @@ func TestChaosBreakerRecovery(t *testing.T) {
 // above replayable: a schedule is a pure function of (seed, config), byte
 // for byte.
 func TestChaosScheduleReproducible(t *testing.T) {
+	leakCheck(t)
 	cfg := netsim.ChaosConfig{
 		Nodes:      []wire.NodeID{1, 2, 3, 4},
 		Duration:   2 * time.Second,

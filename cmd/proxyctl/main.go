@@ -18,7 +18,9 @@
 //	traces                        list the daemon's recent traces
 //	trace <id>                    render one trace tree (hex id from traces)
 //	health                        print the daemon's failure-detector view
-//	                              of its peers (alive/suspect/dead)
+//	                              of its peers (alive/degraded/suspect/
+//	                              dead, with RTT, gray-failure score, and
+//	                              degradation direction)
 //	overload                      print the daemon's admission-controller
 //	                              status: learned limit, inflight, queue
 //	                              depth, shed counters

@@ -17,7 +17,11 @@
 // verdicts feed the runtime's circuit breakers, and the detector itself is
 // exported as a service bound at "services/health" (inspect it with
 // proxyctl health). -health-interval 0 disables active probing; the
-// detector then learns passively from invocation outcomes only.
+// detector then learns passively from invocation outcomes only. The
+// detector also scores gray failures — peers that answer but slowly or
+// lossily — from EWMA RTT/loss evidence (-gray-outlier, -gray-degrade),
+// and disambiguates one-way partitions from death by asking other peers
+// to probe a suspect on its behalf (-gray-indirect).
 //
 // With -replicated-kv the demo KV is exported through the replica smart
 // proxy instead: importing peers with the factory registered become group
@@ -81,6 +85,9 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for replica write-ahead logs (empty = in-memory; set it and a restarted daemon reassumes its groups)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: state is loaded from it at boot and saved to it at shutdown")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer liveness probe interval (0 = passive detection only)")
+	grayOutlier := flag.Float64("gray-outlier", 3.0, "gray-failure RTT outlier factor: a peer's EWMA RTT at this multiple of the population median scores 1.0 (<=1 disables RTT scoring)")
+	grayDegrade := flag.Float64("gray-degrade", 0.5, "gray-failure score at or above which a peer is graded degraded (with hysteresis at half this value)")
+	grayIndirectK := flag.Int("gray-indirect", 2, "peers asked to ping a suspect on this node's behalf, disambiguating one-way partitions from death (0 = off)")
 	dispatchLimit := flag.Int("dispatch-limit", kernel.DefaultDispatchLimit, "max concurrent request handlers per node before the kernel pump applies backpressure")
 	overloadOn := flag.Bool("overload", false, "adaptive admission control: learned concurrency limit + queue-deadline shedding, status bound at services/overload (proxyctl overload)")
 	overloadQueue := flag.Duration("overload-queue", 0, "admission queue deadline — queued requests older than this are shed (0 = overload package default)")
@@ -125,7 +132,10 @@ func main() {
 	// both drive the same per-node state machine.
 	monitor := health.NewMonitor(ktx,
 		health.WithInterval(*healthInterval),
-		health.WithObserver(observer))
+		health.WithObserver(observer),
+		health.WithOutlierFactor(*grayOutlier),
+		health.WithDegradeScore(*grayDegrade),
+		health.WithIndirectProbes(*grayIndirectK))
 	defer monitor.Close()
 	for id := range peers {
 		monitor.Watch(id)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -136,6 +137,11 @@ func BuildReport(date string, latency time.Duration, ops int, seed int64) (*Repo
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows, hedgeRows...)
+	grayRows, err := measureGray(latency, ops, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, grayRows...)
 	return rep, nil
 }
 
@@ -477,6 +483,132 @@ func measureHedge(latency time.Duration, ops int, seed int64) ([]ReportRow, erro
 		return nil, err
 	}
 	return []ReportRow{plain, hedged}, nil
+}
+
+// measureGray is E16's before/after tail pair: the same write workload
+// against a node that turns 10× slow mid-run, through a health-scored
+// client (the outlier verdict steers every call to a healthy alternate
+// before send) and through the unscored control. The report carries all
+// four cells so the ejection win — scored degraded p99 holding at the
+// healthy baseline while the unscored one inherits the slow node's
+// latency — is visible PR over PR.
+func measureGray(latency time.Duration, ops int, seed int64) ([]ReportRow, error) {
+	if ops > 120 {
+		// The unscored degraded phase pays ~2x the injected latency per
+		// op; cap so the control finishes in bounded time at any -ops.
+		ops = 120
+	}
+	const monInterval = 40 * time.Millisecond // probe timeout 20ms > degraded RTT
+	extra := 10 * latency
+	if extra == 0 {
+		// -json measures at zero link latency by default; the gray cells
+		// need a real degradation to bite, so inject a fixed one.
+		extra = 5 * time.Millisecond
+	}
+
+	run := func(prefix string, withHealth bool) ([]ReportRow, error) {
+		net := netsim.New(netOpts(latency, seed)...)
+		defer net.Close()
+		var nodes []*kernel.Node
+		var mons []*health.Monitor
+		defer func() {
+			for _, m := range mons {
+				m.Close()
+			}
+			for _, n := range nodes {
+				_ = n.Close()
+			}
+		}()
+		mk := func(id wire.NodeID) (*core.Runtime, error) {
+			ep, err := net.Attach(id)
+			if err != nil {
+				return nil, err
+			}
+			node := kernel.NewNode(ep)
+			nodes = append(nodes, node)
+			ktx, err := node.NewContext()
+			if err != nil {
+				return nil, err
+			}
+			opts := []core.RuntimeOption{core.WithClient(rpc.NewClient(ktx,
+				rpc.WithRetryInterval(50*time.Millisecond), rpc.WithMaxAttempts(4)))}
+			if withHealth {
+				mon := health.NewMonitor(ktx,
+					health.WithInterval(monInterval),
+					health.WithOutlierFactor(1.5),
+					health.WithEWMAAlpha(0.4))
+				mons = append(mons, mon)
+				opts = append(opts, core.WithHealth(mon))
+			}
+			return core.NewRuntime(ktx, opts...), nil
+		}
+		const n = 4 // slow KV, alternate KV, client, relay peer
+		rts := make([]*core.Runtime, 0, n)
+		for id := 1; id <= n; id++ {
+			rt, err := mk(wire.NodeID(id))
+			if err != nil {
+				return nil, err
+			}
+			rts = append(rts, rt)
+		}
+		for i, mon := range mons {
+			for j := 1; j <= n; j++ {
+				if j != i+1 {
+					mon.Watch(wire.NodeID(j))
+				}
+			}
+		}
+		ref1, err := rts[0].Export(NewKV(), "KV")
+		if err != nil {
+			return nil, err
+		}
+		ref2, err := rts[1].Export(NewKV(), "KV")
+		if err != nil {
+			return nil, err
+		}
+		p, err := rts[2].Import(ref1)
+		if err != nil {
+			return nil, err
+		}
+		p.(*core.Stub).SetAlternates([]codec.Ref{ref1, ref2})
+
+		ctx := context.Background()
+		var i int
+		work := func() error {
+			i++
+			_, err := p.Invoke(ctx, "put", fmt.Sprintf("k%d", i%8), int64(i))
+			return err
+		}
+		healthy, err := measure("E16", prefix+"-healthy", ops, work)
+		if err != nil {
+			return nil, err
+		}
+		net.DegradeNode(1, netsim.LinkCond{ExtraLatency: extra})
+		if withHealth {
+			mon := mons[2]
+			for deadline := time.Now().Add(5 * time.Second); mon.Score(1) < 0.75; {
+				if time.Now().After(deadline) {
+					return nil, fmt.Errorf("E16 fixture: monitor never scored the slow node: %+v", mon.Status(1))
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		degraded, err := measure("E16", prefix+"-degraded", ops, work)
+		if err != nil {
+			return nil, err
+		}
+		return []ReportRow{healthy, degraded}, nil
+	}
+
+	scored, err := run("gray-scored", true)
+	if err != nil {
+		return nil, err
+	}
+	unscored, err := run("gray-unscored", false)
+	if err != nil {
+		return nil, err
+	}
+	return append(scored, unscored...), nil
 }
 
 // overloadPair is a two-node world whose server sits behind an admission

@@ -54,18 +54,36 @@ type hedgeState struct {
 }
 
 // hedgePair reports the binding pair a hedged invocation would race:
-// the current binding and the first alternate with a different target.
-// No distinct alternate → no hedge (racing a binding against itself
-// just doubles load on the slow server).
+// the current binding and the distinct alternate whose node carries the
+// lowest gray-failure score (first-listed wins ties, so without a
+// monitor this is the first distinct alternate, as before). If the
+// current binding itself is strongly degraded and the alternate scores
+// better, the pair is swapped — the healthy binding leads and the
+// degraded one becomes the delayed hedge, a pre-send ejection in hedged
+// form. No distinct alternate → no hedge (racing a binding against
+// itself just doubles load on the slow server).
 func (s *Stub) hedgePair() (ref, alt codec.Ref, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, a := range s.alts {
-		if a.Target != s.ref.Target {
-			return s.ref, a, true
+	ref = s.ref
+	alts := append([]codec.Ref(nil), s.alts...)
+	s.mu.Unlock()
+	var best codec.Ref
+	bestScore, found := 0.0, false
+	for _, a := range alts {
+		if a.Target == ref.Target {
+			continue
+		}
+		if sc := s.rt.HealthScore(a.Target.Addr.Node); !found || sc < bestScore {
+			best, bestScore, found = a, sc, true
 		}
 	}
-	return s.ref, codec.Ref{}, false
+	if !found {
+		return ref, codec.Ref{}, false
+	}
+	if cur := s.rt.HealthScore(ref.Target.Addr.Node); cur >= degradePressureScore && bestScore < cur {
+		return best, ref, true
+	}
+	return ref, best, true
 }
 
 // invokeHedged runs one invocation as a first-wins race: the primary

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/health"
@@ -76,6 +77,7 @@ type Runtime struct {
 	invokeCalls     *obs.Counter
 	invokeForwards  *obs.Counter
 	invokeFailovers *obs.Counter
+	invokeEjections *obs.Counter
 	serveCalls      *obs.Counter
 	circuitRejects  *obs.Counter
 
@@ -129,6 +131,7 @@ func NewRuntime(ktx *kernel.Context, opts ...RuntimeOption) *Runtime {
 	rt.invokeCalls = rt.observer.Registry.Counter(scope + "invoke.calls")
 	rt.invokeForwards = rt.observer.Registry.Counter(scope + "invoke.forwards")
 	rt.invokeFailovers = rt.observer.Registry.Counter(scope + "invoke.failovers")
+	rt.invokeEjections = rt.observer.Registry.Counter(scope + "invoke.ejections")
 	rt.serveCalls = rt.observer.Registry.Counter(scope + "serve.calls")
 	rt.circuitRejects = rt.observer.Registry.Counter(scope + "circuit.rejects")
 	rt.breakers = health.NewBreakerSet(rt.breakerCfg, rt.observer.Registry, scope)
@@ -185,6 +188,18 @@ func (rt *Runtime) Breakers() *health.BreakerSet { return rt.breakers }
 // Health exposes the attached failure monitor; nil without WithHealth.
 func (rt *Runtime) Health() *health.Monitor { return rt.monitor }
 
+// HealthScore reports the monitor's gray-failure score for a node in
+// [0,1] (0 healthy, 1 suspect/dead), or 0 when no monitor is attached —
+// without health evidence every destination looks equally fine, and
+// score-aware selection degenerates to the original orderings. Proxy
+// layers use it to prefer or deprioritize destinations.
+func (rt *Runtime) HealthScore(n wire.NodeID) float64 {
+	if rt.monitor == nil {
+		return 0
+	}
+	return rt.monitor.Score(n)
+}
+
 // RegisterIdempotent declares that the named methods of a service type
 // are safe to replay: re-executing one against an alternate binding
 // yields the same outcome. Failover-aware stubs only rebind-and-replay an
@@ -211,6 +226,11 @@ func (rt *Runtime) IsIdempotent(typeName, method string) bool {
 	return rt.idem[typeName][method]
 }
 
+// degradePressureScore is the health score at or above which an
+// answered call to a degraded destination counts as soft breaker
+// pressure (see health.Breaker.Pressure) instead of a success.
+const degradePressureScore = 0.75
+
 // GuardedCall is Client().CallFrame behind the destination node's circuit
 // breaker, with the outcome fed back to the breaker and (when attached)
 // the health monitor. Every proxy kind issues its remote calls through
@@ -226,13 +246,26 @@ func (rt *Runtime) GuardedCall(ctx context.Context, dst wire.ObjAddr, kind wire.
 		rt.circuitRejects.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, dst.Addr)
 	}
+	start := time.Now()
 	f, err := rt.client.CallFrame(ctx, dst, kind, payload)
 	switch {
 	case err == nil || isRemoteAnswer(err):
-		// Any answer — even an error frame — proves the node serves.
-		br.Success()
+		// Any answer — even an error frame — proves the node serves. The
+		// round-trip time feeds the monitor's gray-failure score, and a
+		// destination the monitor grades as strongly degraded earns soft
+		// breaker pressure instead of a clean success: a node that answers
+		// every call 10× too slowly eventually trips its breaker and gets
+		// ejected, exactly like one that stops answering.
+		pressured := false
 		if rt.monitor != nil {
-			rt.monitor.ReportSuccess(dst.Addr.Node)
+			rt.monitor.ReportLatency(dst.Addr.Node, time.Since(start))
+			st := rt.monitor.Status(dst.Addr.Node)
+			pressured = st.State == health.StateDegraded && st.Score >= degradePressureScore
+		}
+		if pressured {
+			br.Pressure()
+		} else {
+			br.Success()
 		}
 	case isNodeFailure(err):
 		br.Failure()
@@ -551,6 +584,24 @@ func (rt *Runtime) ProxyCount() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return len(rt.proxies)
+}
+
+// CloseProxies closes and forgets every proxy in the import cache — the
+// runtime's shutdown path. Proxy kinds with background work (a replica's
+// repair loop, a cache's lease renewals) stop it on Close, so a node
+// shutting down calls this before closing its kernel context; otherwise
+// those loops outlive the context they serve.
+func (rt *Runtime) CloseProxies() {
+	rt.mu.Lock()
+	ps := make([]Proxy, 0, len(rt.proxies))
+	for _, p := range rt.proxies {
+		ps = append(ps, p)
+	}
+	rt.proxies = make(map[wire.ObjAddr]Proxy)
+	rt.mu.Unlock()
+	for _, p := range ps {
+		_ = p.Close()
+	}
 }
 
 // Decoder builds a codec decoder that installs proxies for every Ref

@@ -147,6 +147,15 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 	var tried map[wire.ObjAddr]bool
 	usedRebinder := false
 	ref := s.Ref()
+	// Pre-send ejection: nothing has gone out yet, so steering this call
+	// to a healthier alternate can never replay an executed operation —
+	// no idempotency licensing needed, unlike failover below. The stub's
+	// binding is NOT rebound: the redirect is per-call, so traffic flows
+	// back the moment the primary's score recovers.
+	if next, ok := s.ejectBinding(ref); ok {
+		s.rt.invokeEjections.Inc()
+		ref = next
+	}
 	for {
 		res, err := s.callBinding(ctx, ref, method, lowered)
 		if err == nil {
@@ -305,17 +314,54 @@ func (s *Stub) isIdempotent(ctx context.Context, method string) bool {
 	return local || s.rt.IsIdempotent(typeName, method)
 }
 
-// nextBinding picks the first untried alternate, falling back to one
-// rebinder lookup per invocation.
+// ejectBinding proposes a healthier alternate to use in place of ref
+// when the monitor grades ref's node as strongly degraded (score at or
+// above the soft-pressure threshold) and some alternate scores strictly
+// better. Callers invoke it before anything is sent.
+func (s *Stub) ejectBinding(ref codec.Ref) (codec.Ref, bool) {
+	if s.rt.monitor == nil {
+		return ref, false
+	}
+	cur := s.rt.HealthScore(ref.Target.Addr.Node)
+	if cur < degradePressureScore {
+		return ref, false
+	}
+	s.mu.Lock()
+	alts := append([]codec.Ref(nil), s.alts...)
+	s.mu.Unlock()
+	best, bestScore, found := ref, cur, false
+	for _, a := range alts {
+		if a.Target == ref.Target {
+			continue
+		}
+		if sc := s.rt.HealthScore(a.Target.Addr.Node); sc < bestScore {
+			best, bestScore, found = a, sc, true
+		}
+	}
+	return best, found
+}
+
+// nextBinding picks the untried alternate whose node carries the lowest
+// gray-failure score (first-listed wins ties, so without a monitor the
+// original listed order is preserved), falling back to one rebinder
+// lookup per invocation.
 func (s *Stub) nextBinding(ctx context.Context, tried map[wire.ObjAddr]bool, usedRebinder *bool) (codec.Ref, bool) {
 	s.mu.Lock()
 	alts := append([]codec.Ref(nil), s.alts...)
 	rb := s.rebinder
 	s.mu.Unlock()
+	var best codec.Ref
+	bestScore, found := 0.0, false
 	for _, a := range alts {
-		if !tried[a.Target] {
-			return a, true
+		if tried[a.Target] {
+			continue
 		}
+		if sc := s.rt.HealthScore(a.Target.Addr.Node); !found || sc < bestScore {
+			best, bestScore, found = a, sc, true
+		}
+	}
+	if found {
+		return best, true
 	}
 	if rb != nil && !*usedRebinder {
 		*usedRebinder = true

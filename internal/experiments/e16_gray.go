@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/kernel"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// E16GrayFailure measures the gray-failure story end to end: a KV node
+// turns 10× slow — alive, answering, just wrong — and the same write
+// workload runs against it twice. The scored client carries a health
+// monitor (EWMA RTT vs the peer-population median, outlier grading) and
+// ejects each call to a healthy alternate BEFORE send; its degraded-phase
+// tail stays at the healthy baseline. The unscored control keeps calling
+// the slow node and inherits its latency wholesale. The gap between the
+// two degraded-phase p99 columns is what outlier ejection buys.
+func E16GrayFailure(w io.Writer, cfg Config) error {
+	header(w, "E16", "gray failure: slow-peer scoring and outlier ejection")
+
+	scored, err := e16Trial(cfg, true)
+	if err != nil {
+		return fmt.Errorf("scored: %w", err)
+	}
+	unscored, err := e16Trial(cfg, false)
+	if err != nil {
+		return fmt.Errorf("unscored: %w", err)
+	}
+
+	round := func(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }
+	tab := bench.Table{Headers: []string{"client", "healthy p50", "healthy p99", "degraded p50", "degraded p99", "ejections"}}
+	tab.Add("scored", round(scored.healthy.P50), round(scored.healthy.P99),
+		round(scored.degraded.P50), round(scored.degraded.P99), scored.ejections)
+	tab.Add("unscored", round(unscored.healthy.P50), round(unscored.healthy.P99),
+		round(unscored.degraded.P50), round(unscored.degraded.P99), unscored.ejections)
+	tab.Print(w)
+	fmt.Fprintln(w, "(one node turns 10x slow mid-run; the scored client grades it an RTT")
+	fmt.Fprintln(w, " outlier and steers every call to a healthy alternate pre-send, so its")
+	fmt.Fprintln(w, " degraded p99 holds at baseline; the unscored control pays the slow node)")
+	return nil
+}
+
+// e16Result is one client's view of the trial: latency quantiles for the
+// healthy and degraded phases plus the pre-send ejection count.
+type e16Result struct {
+	healthy   bench.Summary
+	degraded  bench.Summary
+	ejections uint64
+}
+
+// e16Trial runs the workload on a 4-node cluster (slow KV, alternate KV,
+// client, relay peer). With withHealth every node carries a monitor
+// watching every peer — the proxyd shape, so the outlier model has an
+// RTT population and indirect-probe relays; without, the cluster is the
+// unprotected control.
+func e16Trial(cfg Config, withHealth bool) (e16Result, error) {
+	var res e16Result
+	const monInterval = 40 * time.Millisecond // probe timeout 20ms > degraded RTT
+	extra := 10 * cfg.Latency
+	ops := cfg.Ops
+	if ops > 120 {
+		// The unscored degraded phase pays ~2*extra per op; cap so the
+		// control finishes in bounded time at any -ops setting.
+		ops = 120
+	}
+
+	net := netsim.New(cfg.netOpts()...)
+	defer net.Close()
+	obsv := obs.NewObserver()
+	var nodes []*kernel.Node
+	var mons []*health.Monitor
+	defer func() {
+		for _, m := range mons {
+			m.Close()
+		}
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	mk := func(id wire.NodeID) (*core.Runtime, error) {
+		ep, aerr := net.Attach(id)
+		if aerr != nil {
+			return nil, aerr
+		}
+		node := kernel.NewNode(ep)
+		nodes = append(nodes, node)
+		ktx, cerr := node.NewContext()
+		if cerr != nil {
+			return nil, cerr
+		}
+		opts := []core.RuntimeOption{core.WithObserver(obsv),
+			core.WithClient(rpc.NewClient(ktx, rpc.WithRetryInterval(50*time.Millisecond),
+				rpc.WithMaxAttempts(4), rpc.WithObserver(obsv)))}
+		if withHealth {
+			mon := health.NewMonitor(ktx,
+				health.WithInterval(monInterval),
+				health.WithObserver(obsv),
+				health.WithOutlierFactor(1.5),
+				health.WithEWMAAlpha(0.4))
+			mons = append(mons, mon)
+			opts = append(opts, core.WithHealth(mon))
+		}
+		return core.NewRuntime(ktx, opts...), nil
+	}
+
+	const n = 4
+	rts := make([]*core.Runtime, 0, n)
+	for id := 1; id <= n; id++ {
+		rt, err := mk(wire.NodeID(id))
+		if err != nil {
+			return res, err
+		}
+		rts = append(rts, rt)
+	}
+	for i, mon := range mons {
+		for j := 1; j <= n; j++ {
+			if j != i+1 {
+				mon.Watch(wire.NodeID(j))
+			}
+		}
+	}
+	slow, alt, client := rts[0], rts[1], rts[2] // node 4 is a relay peer
+
+	ref1, err := slow.Export(bench.NewKV(), "KV")
+	if err != nil {
+		return res, err
+	}
+	ref2, err := alt.Export(bench.NewKV(), "KV")
+	if err != nil {
+		return res, err
+	}
+	p, err := client.Import(ref1)
+	if err != nil {
+		return res, err
+	}
+	stub := p.(*core.Stub)
+	stub.SetAlternates([]codec.Ref{ref1, ref2})
+	// put stays non-idempotent on purpose: pre-send ejection happens
+	// before anything leaves the client, so it needs no replay license —
+	// gray-failure steering protects writes, not just reads.
+
+	run := func(phase string) (bench.Summary, error) {
+		var t bench.Timer
+		for i := 0; i < ops; i++ {
+			start := time.Now()
+			if _, cerr := stub.Invoke(context.Background(), "put",
+				fmt.Sprintf("%s%d", phase, i%8), int64(i)); cerr != nil {
+				return bench.Summary{}, cerr
+			}
+			t.Record(time.Since(start))
+		}
+		return t.Summary(), nil
+	}
+
+	if res.healthy, err = run("h"); err != nil {
+		return res, err
+	}
+	net.DegradeNode(1, netsim.LinkCond{ExtraLatency: extra})
+	if withHealth {
+		// Wait for the client's monitor to grade node 1: the EWMA RTT must
+		// cross the outlier threshold against the peer-population median.
+		mon := mons[2]
+		converged := false
+		for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+			if mon.Score(1) >= 0.75 {
+				converged = true
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !converged {
+			return res, fmt.Errorf("monitor never scored the slow node: %+v", mon.Status(1))
+		}
+	}
+	if res.degraded, err = run("d"); err != nil {
+		return res, err
+	}
+	res.ejections = uint64(obsv.Registry.Counter("core[" + client.Addr().String() + "].invoke.ejections").Load())
+	return res, nil
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E15 described
+// Package experiments implements the reproduction suite E1–E16 described
 // in EXPERIMENTS.md: each experiment builds its world on the simulated
 // network, runs the sweep, and renders the table or series the paper's
 // claims predict. cmd/proxybench runs them all; the root bench_test.go
@@ -64,6 +64,7 @@ func All() []Experiment {
 		{"E13", "Primary-crash recovery: failover gap and acked-write survival (extension)", E13Recovery},
 		{"E14", "Sharded keyspace write scaling with shard count (extension)", E14Sharding},
 		{"E15", "Overload shedding goodput and hedged-read tail latency (extension)", E15Overload},
+		{"E16", "Gray failure: slow-peer scoring and outlier-ejection tail latency (extension)", E16GrayFailure},
 	}
 }
 

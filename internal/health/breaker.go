@@ -69,6 +69,7 @@ type Breaker struct {
 	mu          sync.Mutex
 	state       BreakerState
 	consecutive int
+	pressure    int // soft-failure half-counts (see Pressure)
 	// until is the next decision point: while open, when the next probe
 	// is allowed; while half-open, when the outstanding probe is presumed
 	// lost and the probe role may be handed to a new caller.
@@ -125,8 +126,41 @@ func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecutive = 0
+	b.pressure = 0
 	if b.state != BreakerClosed {
 		b.set(BreakerClosed)
+	}
+}
+
+// Pressure records a soft failure: the call completed — so the
+// destination is reachable — but its health grade says it is badly
+// degraded (sustained slowness or loss). Pressure weighs half a
+// Failure: two pressures count as one consecutive failure, so a
+// destination that stays strongly degraded trips its breaker after
+// 2×Threshold bad-but-answered calls and traffic is ejected toward
+// alternates, while one that recovers (a clean Success) resets the
+// count as usual. A pressured half-open probe closes the breaker —
+// the node does serve — but leaves it one failure from re-opening, so
+// a still-degraded node cycles mostly-open instead of mostly-closed.
+func (b *Breaker) Pressure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.set(BreakerClosed)
+		b.consecutive = b.cfg.Threshold - 1
+	case BreakerClosed:
+		b.pressure++
+		if b.pressure >= 2 {
+			b.pressure = 0
+			b.consecutive++
+			if b.consecutive >= b.cfg.Threshold {
+				b.set(BreakerOpen)
+				b.until = b.now().Add(b.cfg.Cooldown)
+			}
+		}
+	case BreakerOpen:
+		// Stragglers from calls admitted before the trip; keep cooling.
 	}
 }
 
@@ -161,6 +195,7 @@ func (b *Breaker) set(s BreakerState) {
 	b.state = s
 	if s == BreakerClosed {
 		b.consecutive = 0
+		b.pressure = 0
 	}
 	if b.gauge != nil {
 		b.gauge.Set(int64(s))

@@ -27,9 +27,13 @@ import (
 // State is a node's liveness verdict.
 type State int32
 
-// Liveness states, ordered by increasing suspicion.
+// Liveness states, ordered by increasing suspicion. StateDegraded sits
+// between alive and suspect: the node is provably up — it answers
+// something, or peers can reach it — but it is not healthy (slow, lossy,
+// or reachable in only one direction).
 const (
 	StateAlive State = iota
+	StateDegraded
 	StateSuspect
 	StateDead
 )
@@ -38,6 +42,8 @@ func (s State) String() string {
 	switch s {
 	case StateAlive:
 		return "alive"
+	case StateDegraded:
+		return "degraded"
 	case StateSuspect:
 		return "suspect"
 	case StateDead:
@@ -47,12 +53,48 @@ func (s State) String() string {
 	}
 }
 
+// Direction qualifies a StateDegraded verdict: which half of the path
+// between this monitor and the node is broken, as far as the evidence
+// shows. A merely-slow node degrades with DirectionNone.
+type Direction int32
+
+// Degradation directions.
+const (
+	// DirectionNone: no asymmetry — both directions work (the node is
+	// slow or lossy, not partitioned).
+	DirectionNone Direction = iota
+	// DirectionOutbound: we cannot complete a round trip to the node,
+	// but we still hear its traffic — our outbound path to it is broken.
+	DirectionOutbound
+	// DirectionInbound: we cannot complete a round trip and hear nothing
+	// from the node, yet peers reach it fine — the path from it (or to
+	// it and back) is broken on the far side.
+	DirectionInbound
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirectionOutbound:
+		return "outbound"
+	case DirectionInbound:
+		return "inbound"
+	default:
+		return "-"
+	}
+}
+
 // NodeStatus is one node's current standing.
 type NodeStatus struct {
 	Node     wire.NodeID
 	State    State
 	Missed   int       // consecutive failed probes/calls
 	LastSeen time.Time // zero until the first success
+
+	// Gray-failure evidence (see score.go for the model).
+	Score     float64       // composite health score in [0,1]: 0 healthy, 1 awful
+	RTT       time.Duration // EWMA round-trip estimate; 0 until the first timed sample
+	Loss      float64       // EWMA failure rate in [0,1]
+	Direction Direction     // asymmetry verdict when State == StateDegraded
 }
 
 // MonitorOption configures a Monitor.
@@ -111,8 +153,15 @@ func WithObserver(o *obs.Observer) MonitorOption {
 // Monitor watches a set of nodes. Watched nodes are pinged every interval;
 // any answer at all — including an error frame — proves the node is up.
 // Misses accumulate; successes reset. The invocation path feeds passive
-// evidence in through ReportSuccess/ReportFailure, so a busy system
-// detects failures faster than its probe period.
+// evidence in through ReportSuccess/ReportFailure/ReportLatency, so a
+// busy system detects failures faster than its probe period.
+//
+// Beyond the binary verdict, the monitor keeps a per-destination health
+// score (EWMA RTT + loss, graded against the peer population's median
+// RTT — see score.go) and runs SWIM-style indirect probes through peers
+// when direct probes fail (prober.go), so a slow node or a one-way
+// partition is classified StateDegraded — with direction — instead of
+// being mistaken for dead or, worse, healthy.
 type Monitor struct {
 	ktx          *kernel.Context
 	interval     time.Duration
@@ -121,16 +170,33 @@ type Monitor struct {
 	suspectAfter int
 	deadAfter    int
 
-	obs         *obs.Observer
-	scope       string
-	probes      *obs.Counter
-	probeFails  *obs.Counter
-	transitions *obs.Counter
+	// Gray-failure knobs (see score.go / prober.go for the model).
+	rttAlpha      float64
+	lossAlpha     float64
+	outlierFactor float64
+	degradeScore  float64
+	degradeAfter  int
+	indirectK     int
+	indirectKSet  bool
+	indirectTTL   time.Duration
+	inboundWindow time.Duration
+
+	obs          *obs.Observer
+	scope        string
+	probes       *obs.Counter
+	probeFails   *obs.Counter
+	transitions  *obs.Counter
+	indirects    *obs.Counter
+	indirectHits *obs.Counter
 
 	mu     sync.Mutex
 	nodes  map[wire.NodeID]*nodeHealth
 	subs   []func(node wire.NodeID, from, to State)
 	closed bool
+	wg     sync.WaitGroup // in-flight indirect probe rounds
+
+	proberOn  bool
+	inboundOn bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -142,18 +208,37 @@ type nodeHealth struct {
 	missed   int
 	lastSeen time.Time
 	gauge    *obs.Gauge
+
+	// Gray-failure evidence.
+	rtt          float64 // EWMA round-trip estimate, ns; 0 until first sample
+	loss         float64 // EWMA failure rate in [0,1]
+	score        float64
+	streak       int // consecutive over-threshold score evaluations
+	direction    Direction
+	lastInbound  time.Time // last frame heard FROM the node (any kind)
+	lastIndirect time.Time // last time a peer confirmed the node alive
+	indirectBusy bool      // an indirect probe round is in flight
+	scoreG       *obs.Gauge
+	rttG         *obs.Gauge
+	dirG         *obs.Gauge
 }
 
 // NewMonitor builds a monitor probing out of ktx. Close it when done.
 func NewMonitor(ktx *kernel.Context, opts ...MonitorOption) *Monitor {
 	m := &Monitor{
-		ktx:          ktx,
-		interval:     500 * time.Millisecond,
-		suspectAfter: 2,
-		deadAfter:    5,
-		nodes:        make(map[wire.NodeID]*nodeHealth),
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
+		ktx:           ktx,
+		interval:      500 * time.Millisecond,
+		suspectAfter:  2,
+		deadAfter:     5,
+		rttAlpha:      0.2,
+		lossAlpha:     0.2,
+		outlierFactor: 3.0,
+		degradeScore:  0.5,
+		degradeAfter:  3,
+		indirectK:     2,
+		nodes:         make(map[wire.NodeID]*nodeHealth),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(m)
@@ -168,10 +253,33 @@ func NewMonitor(ktx *kernel.Context, opts ...MonitorOption) *Monitor {
 			m.timeout = 100 * time.Millisecond
 		}
 	}
+	// Freshness windows for indirect-probe and inbound evidence scale
+	// with the probe period: evidence older than a few rounds is stale.
+	if base := m.interval; base > 0 {
+		m.indirectTTL = 4 * base
+		m.inboundWindow = 4 * base
+	} else {
+		m.indirectTTL = 2 * time.Second
+		m.inboundWindow = 2 * time.Second
+	}
 	m.scope = "health[" + ktx.Addr().String() + "]."
 	m.probes = m.obs.Registry.Counter(m.scope + "probes")
 	m.probeFails = m.obs.Registry.Counter(m.scope + "probe_failures")
 	m.transitions = m.obs.Registry.Counter(m.scope + "transitions")
+	m.indirects = m.obs.Registry.Counter(m.scope + "indirect_probes")
+	m.indirectHits = m.obs.Registry.Counter(m.scope + "indirect_alive")
+	if m.indirectK > 0 {
+		// Serve indirect probes for peers; tolerate another monitor on
+		// this context already having claimed the well-known id.
+		if err := ktx.RegisterAt(ProberObject, &prober{m: m}); err == nil {
+			m.proberOn = true
+		}
+		// Passive inbound evidence (kernel-level: includes the pings the
+		// kernel answers below the object layer) disambiguates which
+		// direction of an asymmetric partition is broken.
+		ktx.Node().SetInboundObserver(m.ObserveInbound)
+		m.inboundOn = true
+	}
 	if m.interval > 0 {
 		go m.loop()
 	} else {
@@ -202,7 +310,10 @@ func (m *Monitor) entry(node wire.NodeID) *nodeHealth {
 	h, ok := m.nodes[node]
 	if !ok {
 		h = &nodeHealth{
-			gauge: m.obs.Registry.Gauge(fmt.Sprintf("%snode.%d.state", m.scope, node)),
+			gauge:  m.obs.Registry.Gauge(fmt.Sprintf("%snode.%d.state", m.scope, node)),
+			scoreG: m.obs.Registry.Gauge(fmt.Sprintf("%snode.%d.score", m.scope, node)),
+			rttG:   m.obs.Registry.Gauge(fmt.Sprintf("%snode.%d.rtt_us", m.scope, node)),
+			dirG:   m.obs.Registry.Gauge(fmt.Sprintf("%snode.%d.direction", m.scope, node)),
 		}
 		m.nodes[node] = h
 	}
@@ -220,15 +331,50 @@ func (m *Monitor) State(node wire.NodeID) State {
 	return StateAlive
 }
 
+// Status reports the node's full standing, including its gray-failure
+// evidence. Unknown nodes read as alive with a zero score.
+func (m *Monitor) Status(node wire.NodeID) NodeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.nodes[node]; ok {
+		return statusOf(node, h)
+	}
+	return NodeStatus{Node: node, State: StateAlive}
+}
+
+// Score reports the node's health score in [0,1]: 0 is healthy, 1 is as
+// bad as the model grades. Unknown nodes score 0 — suspicion requires
+// evidence. Dead and suspect nodes score 1: routing preferences that
+// sort by score then treat them as worst.
+func (m *Monitor) Score(node wire.NodeID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.nodes[node]
+	if !ok {
+		return 0
+	}
+	if h.state >= StateSuspect {
+		return 1
+	}
+	return h.score
+}
+
 // Snapshot returns the status of every known node.
 func (m *Monitor) Snapshot() []NodeStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]NodeStatus, 0, len(m.nodes))
 	for id, h := range m.nodes {
-		out = append(out, NodeStatus{Node: id, State: h.state, Missed: h.missed, LastSeen: h.lastSeen})
+		out = append(out, statusOf(id, h))
 	}
 	return out
+}
+
+func statusOf(id wire.NodeID, h *nodeHealth) NodeStatus {
+	return NodeStatus{
+		Node: id, State: h.state, Missed: h.missed, LastSeen: h.lastSeen,
+		Score: h.score, RTT: time.Duration(h.rtt), Loss: h.loss, Direction: h.direction,
+	}
 }
 
 // Subscribe registers a callback fired on every state transition. The
@@ -240,32 +386,71 @@ func (m *Monitor) Subscribe(fn func(node wire.NodeID, from, to State)) {
 }
 
 // ReportSuccess feeds passive evidence that the node answered a call.
-func (m *Monitor) ReportSuccess(node wire.NodeID) { m.observe(node, true) }
+func (m *Monitor) ReportSuccess(node wire.NodeID) { m.observe(node, true, 0) }
 
 // ReportFailure feeds passive evidence that a call to the node timed out.
-func (m *Monitor) ReportFailure(node wire.NodeID) { m.observe(node, false) }
+func (m *Monitor) ReportFailure(node wire.NodeID) { m.observe(node, false, 0) }
 
-func (m *Monitor) observe(node wire.NodeID, ok bool) {
+// ReportLatency feeds passive evidence that the node answered a call in
+// rtt: a success that also updates the EWMA round-trip estimate behind
+// the node's health score. The invocation path (core.Runtime.GuardedCall)
+// calls this for every timed answer, so scores track real traffic, not
+// just probe pings.
+func (m *Monitor) ReportLatency(node wire.NodeID, rtt time.Duration) {
+	m.observe(node, true, rtt)
+}
+
+// ObserveInbound records that a frame from the node was just heard. The
+// kernel's receive pump calls this for every inbound frame — including
+// pings answered below the object layer — so a one-way partition where
+// the node still reaches us is distinguishable (DirectionOutbound) from
+// one where it does not (DirectionInbound). Unknown nodes are ignored:
+// hearing from a stranger is not evidence anyone asked for.
+func (m *Monitor) ObserveInbound(src wire.NodeID) {
+	m.mu.Lock()
+	if h, ok := m.nodes[src]; ok {
+		h.lastInbound = time.Now()
+	}
+	m.mu.Unlock()
+}
+
+func (m *Monitor) observe(node wire.NodeID, ok bool, rtt time.Duration) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return
 	}
 	h := m.entry(node)
-	from := h.state
+	now := time.Now()
 	if ok {
 		h.missed = 0
-		h.state = StateAlive
-		h.lastSeen = time.Now()
+		h.lastSeen = now
+		h.loss *= 1 - m.lossAlpha
+		if rtt > 0 {
+			if h.rtt == 0 {
+				h.rtt = float64(rtt)
+			} else {
+				h.rtt += m.rttAlpha * (float64(rtt) - h.rtt)
+			}
+		}
 	} else {
 		h.missed++
-		switch {
-		case h.missed >= m.deadAfter:
-			h.state = StateDead
-		case h.missed >= m.suspectAfter:
-			h.state = StateSuspect
-		}
+		h.loss += m.lossAlpha * (1 - h.loss)
 	}
+	launch := m.finishObservation(node, h, now)
+	if launch != nil {
+		launch()
+	}
+}
+
+// finishObservation grades the node under m.mu, publishes gauges, fires
+// subscriptions, and — when the node just went suspect with indirect
+// probing enabled — returns the indirect round to launch. It unlocks
+// m.mu. Callers invoke the returned launch function (if any) after it
+// returns.
+func (m *Monitor) finishObservation(node wire.NodeID, h *nodeHealth, now time.Time) func() {
+	from := h.state
+	m.grade(h, now)
 	to := h.state
 	var subs []func(wire.NodeID, State, State)
 	if to != from {
@@ -273,13 +458,27 @@ func (m *Monitor) observe(node wire.NodeID, ok bool) {
 		m.transitions.Inc()
 		subs = append(subs, m.subs...)
 	}
+	h.scoreG.Set(int64(h.score * 1000))
+	h.rttG.Set(int64(h.rtt) / 1000)
+	h.dirG.Set(int64(h.direction))
+	var launch func()
+	if m.indirectK > 0 && !m.closed && h.missed >= m.suspectAfter && !h.indirectBusy &&
+		now.Sub(h.lastIndirect) > m.indirectTTL/2 {
+		if relays := m.relaysFor(node); len(relays) > 0 {
+			h.indirectBusy = true
+			m.wg.Add(1) // under m.mu, so Close cannot Wait before the Add
+			launch = func() { go m.indirectRound(node, relays) }
+		}
+	}
 	m.mu.Unlock()
 	for _, fn := range subs {
 		fn(node, from, to)
 	}
+	return launch
 }
 
-// Close stops the probe loop. Idempotent.
+// Close stops the probe loop, waits out any in-flight indirect probe
+// rounds, and releases the prober object and inbound hook. Idempotent.
 func (m *Monitor) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -288,8 +487,15 @@ func (m *Monitor) Close() error {
 	}
 	m.closed = true
 	m.mu.Unlock()
+	if m.inboundOn {
+		m.ktx.Node().SetInboundObserver(nil)
+	}
+	if m.proberOn {
+		m.ktx.Unregister(ProberObject)
+	}
 	close(m.stop)
 	<-m.done
+	m.wg.Wait()
 	return nil
 }
 
@@ -333,13 +539,14 @@ func (m *Monitor) probe(node wire.NodeID) {
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
 	defer cancel()
 	m.probes.Inc()
+	start := time.Now()
 	_, err := m.ktx.Call(ctx, wire.Addr{Node: node}, wire.KernelObject, wire.KindPing, 0, nil)
 	// A RemoteError is still an answer: the node is up enough to complain.
 	var re *kernel.RemoteError
 	if err == nil || errors.As(err, &re) {
-		m.observe(node, true)
+		m.observe(node, true, time.Since(start))
 		return
 	}
 	m.probeFails.Inc()
-	m.observe(node, false)
+	m.observe(node, false, 0)
 }

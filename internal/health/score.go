@@ -1,0 +1,158 @@
+// Gray-failure scoring: the model that turns raw probe/call evidence
+// into a per-destination health score and the StateDegraded verdict.
+//
+// Each node carries two EWMA estimates — round-trip time (fed by timed
+// probes and ReportLatency) and loss rate (every observation is a
+// success-or-failure sample). The score in [0,1] is the worse of:
+//
+//   - the loss EWMA itself, and
+//   - an RTT outlier penalty: how far the node's EWMA RTT sits above the
+//     peer population's median, scaled so the penalty reaches 1.0 at
+//     outlierFactor× the median. Grading against the population rather
+//     than an absolute threshold makes the model deployment-agnostic —
+//     "slow" means slow *relative to its peers*, whether links run in
+//     microseconds (netsim) or milliseconds (TCP).
+//
+// A node whose score stays at or above degradeScore for degradeAfter
+// consecutive observations is marked StateDegraded (DirectionNone: it
+// answers, it is just bad). A node that stops answering direct probes
+// escalates toward suspect/dead as before — unless indirect probes
+// through peers (prober.go) prove it alive, in which case it is held at
+// StateDegraded with a direction verdict instead of being declared dead.
+package health
+
+import (
+	"sort"
+	"time"
+)
+
+// WithOutlierFactor sets how many multiples of the population's median
+// RTT mark a node as a full outlier (default 3): the RTT penalty rises
+// linearly from 0 at the median to 1 at factor× the median. Values ≤ 1
+// disable RTT-based scoring.
+func WithOutlierFactor(f float64) MonitorOption {
+	return func(m *Monitor) { m.outlierFactor = f }
+}
+
+// WithDegradeScore sets the score at or above which a node is graded
+// degraded (default 0.5). The exit threshold is half of it: hysteresis
+// keeps a borderline node from flapping alive↔degraded.
+func WithDegradeScore(s float64) MonitorOption {
+	return func(m *Monitor) {
+		if s > 0 {
+			m.degradeScore = s
+		}
+	}
+}
+
+// WithDegradeAfter sets how many consecutive over-threshold observations
+// mark a node degraded (default 3) — one slow answer is noise, a streak
+// is a verdict.
+func WithDegradeAfter(n int) MonitorOption {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.degradeAfter = n
+		}
+	}
+}
+
+// WithIndirectProbes sets how many peers are asked to ping a node whose
+// direct probes fail (default 2). Zero disables indirect probing — and
+// with it the prober object and the kernel inbound hook.
+func WithIndirectProbes(k int) MonitorOption {
+	return func(m *Monitor) {
+		if k >= 0 {
+			m.indirectK = k
+			m.indirectKSet = true
+		}
+	}
+}
+
+// WithEWMAAlpha sets the smoothing factor for both the RTT and loss
+// estimates (default 0.2): higher reacts faster, lower smooths harder.
+func WithEWMAAlpha(a float64) MonitorOption {
+	return func(m *Monitor) {
+		if a > 0 && a <= 1 {
+			m.rttAlpha = a
+			m.lossAlpha = a
+		}
+	}
+}
+
+// grade recomputes the node's score and state from current evidence;
+// m.mu must be held. now is the observation time.
+func (m *Monitor) grade(h *nodeHealth, now time.Time) {
+	// Score: worst of loss evidence and the RTT outlier penalty.
+	penalty := 0.0
+	if h.rtt > 0 && m.outlierFactor > 1 {
+		if med := m.medianRTT(); med > 0 {
+			if ratio := h.rtt / med; ratio > 1 {
+				penalty = (ratio - 1) / (m.outlierFactor - 1)
+				if penalty > 1 {
+					penalty = 1
+				}
+			}
+		}
+	}
+	score := h.loss
+	if penalty > score {
+		score = penalty
+	}
+	h.score = score
+
+	// Streak with hysteresis: entering degraded takes degradeAfter
+	// consecutive bad observations, leaving takes a score below half the
+	// threshold.
+	switch {
+	case score >= m.degradeScore:
+		h.streak++
+	case score < m.degradeScore/2:
+		h.streak = 0
+	}
+
+	switch {
+	case h.missed >= m.deadAfter:
+		h.state, h.direction = StateDead, DirectionNone
+	case h.missed >= m.suspectAfter:
+		h.state, h.direction = StateSuspect, DirectionNone
+	case h.streak >= m.degradeAfter:
+		h.state, h.direction = StateDegraded, DirectionNone
+	default:
+		h.state, h.direction = StateAlive, DirectionNone
+	}
+
+	// Indirect rescue: direct probes fail but a peer recently completed
+	// a round trip to the node — it is not dead, the path between us is
+	// broken. Hold it at degraded and say which half of the path the
+	// evidence blames: if we still hear its frames, our outbound leg is
+	// the broken one; if we hear nothing, the return leg (or both) is.
+	if h.state >= StateSuspect && now.Sub(h.lastIndirect) <= m.indirectTTL {
+		h.state = StateDegraded
+		if now.Sub(h.lastInbound) <= m.inboundWindow {
+			h.direction = DirectionOutbound
+		} else {
+			h.direction = DirectionInbound
+		}
+	}
+}
+
+// medianRTT returns the median EWMA RTT over every node with at least
+// one timed sample, or 0 with fewer than two; m.mu must be held. The
+// population is what "slow" is judged against.
+func (m *Monitor) medianRTT() float64 {
+	rtts := make([]float64, 0, len(m.nodes))
+	for _, h := range m.nodes {
+		if h.rtt > 0 {
+			rtts = append(rtts, h.rtt)
+		}
+	}
+	if len(rtts) < 2 {
+		return 0
+	}
+	sort.Float64s(rtts)
+	if n := len(rtts); n%2 == 1 {
+		return rtts[n/2]
+	} else {
+		return (rtts[n/2-1] + rtts[n/2]) / 2
+	}
+}

@@ -21,8 +21,12 @@ const TypeName = "health.Service"
 //
 // Methods:
 //
-//	nodes()            -> text table of every known node's status
+//	nodes()            -> text table of every known node's status,
+//	                      including gray-failure columns (RTT, score,
+//	                      degradation direction)
 //	state(node int64)  -> the node's state as a string
+//	snapshot()         -> v2 machine-readable snapshot: one line per node,
+//	                      "node state missed score rttNs loss direction"
 type Service struct {
 	m *Monitor
 }
@@ -37,16 +41,33 @@ func (s *Service) Invoke(_ context.Context, method string, args []any) ([]any, e
 		statuses := s.m.Snapshot()
 		sort.Slice(statuses, func(i, j int) bool { return statuses[i].Node < statuses[j].Node })
 		var b strings.Builder
-		fmt.Fprintf(&b, "%-6s %-8s %-7s %s\n", "NODE", "STATE", "MISSED", "LAST SEEN")
+		fmt.Fprintf(&b, "%-6s %-9s %-7s %-9s %-6s %-4s %s\n", "NODE", "STATE", "MISSED", "RTT", "SCORE", "DIR", "LAST SEEN")
 		for _, st := range statuses {
 			last := "never"
 			if !st.LastSeen.IsZero() {
 				last = time.Since(st.LastSeen).Round(time.Millisecond).String() + " ago"
 			}
-			fmt.Fprintf(&b, "%-6d %-8s %-7d %s\n", st.Node, st.State, st.Missed, last)
+			rtt := "-"
+			if st.RTT > 0 {
+				rtt = st.RTT.Round(time.Microsecond).String()
+			}
+			fmt.Fprintf(&b, "%-6d %-9s %-7d %-9s %-6.2f %-4s %s\n",
+				st.Node, st.State, st.Missed, rtt, st.Score, st.Direction, last)
 		}
 		if len(statuses) == 0 {
 			b.WriteString("(no nodes tracked)\n")
+		}
+		return []any{b.String()}, nil
+
+	case "snapshot":
+		// v2: space-separated fields, one node per line, stable across
+		// column-width changes in the human table above.
+		statuses := s.m.Snapshot()
+		sort.Slice(statuses, func(i, j int) bool { return statuses[i].Node < statuses[j].Node })
+		var b strings.Builder
+		for _, st := range statuses {
+			fmt.Fprintf(&b, "%d %s %d %.3f %d %.3f %s\n",
+				st.Node, st.State, st.Missed, st.Score, int64(st.RTT), st.Loss, st.Direction)
 		}
 		return []any{b.String()}, nil
 

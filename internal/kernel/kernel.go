@@ -169,6 +169,10 @@ type Node struct {
 	adm   *overload.Controller
 	trace func(TraceDirection, *wire.Frame)
 
+	// inboundObs, when set, is called with the source node of every
+	// inbound frame (see SetInboundObserver).
+	inboundObs atomic.Pointer[func(src wire.NodeID)]
+
 	mu       sync.Mutex
 	contexts map[wire.ContextID]*Context
 	nextCtx  wire.ContextID
@@ -195,6 +199,20 @@ func NewNode(ep netsim.Endpoint, opts ...NodeOption) *Node {
 
 // ID reports the node's identity.
 func (n *Node) ID() wire.NodeID { return n.ep.LocalNode() }
+
+// SetInboundObserver installs (nil removes) a hook called with the source
+// node of every inbound frame from another node — including the liveness
+// pings the kernel answers below the object layer, which otherwise leave
+// no trace above it. The health monitor uses this as passive "we can
+// still hear this node" evidence when classifying asymmetric partitions.
+// The hook runs on the receive pump and must be fast and non-blocking.
+func (n *Node) SetInboundObserver(fn func(src wire.NodeID)) {
+	if fn == nil {
+		n.inboundObs.Store(nil)
+		return
+	}
+	n.inboundObs.Store(&fn)
+}
 
 // NewContext creates a fresh context (address space) on this node.
 func (n *Node) NewContext() (*Context, error) {
@@ -263,6 +281,9 @@ func (n *Node) pump() {
 	for f := range n.ep.Recv() {
 		if n.trace != nil {
 			n.trace(TraceRecv, f)
+		}
+		if p := n.inboundObs.Load(); p != nil && f.Src.Node != 0 && f.Src.Node != n.ID() {
+			(*p)(f.Src.Node)
 		}
 		n.route(f)
 	}
@@ -356,25 +377,32 @@ func (c *Context) Addr() wire.Addr { return c.addr }
 // Node returns the hosting node.
 func (c *Context) Node() *Node { return c.node }
 
-// Register adds an object and returns its fresh id.
+// Register adds an object and returns its fresh id. Ids are allocated
+// densely from 1, stepping over any id a RegisterAt claimed — so a
+// well-known object at a high id (the health prober, say) never shifts
+// where sequential exports land (the directory must stay at object 1).
 func (c *Context) Register(h Handler) wire.ObjectID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.nextObj
-	c.nextObj++
+	for {
+		if _, ok := c.objects[id]; !ok {
+			break
+		}
+		id++
+	}
+	c.nextObj = id + 1
 	c.objects[id] = h
 	return id
 }
 
-// RegisterAt adds an object at a fixed id (well-known services).
+// RegisterAt adds an object at a fixed id (well-known services). The
+// sequential allocator is left alone: Register skips occupied ids.
 func (c *Context) RegisterAt(id wire.ObjectID, h Handler) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.objects[id]; ok {
 		return fmt.Errorf("%w: %d", ErrObjectExists, id)
-	}
-	if id >= c.nextObj {
-		c.nextObj = id + 1
 	}
 	c.objects[id] = h
 	return nil

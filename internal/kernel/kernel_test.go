@@ -244,9 +244,20 @@ func TestRegisterAtAndUnregister(t *testing.T) {
 	if err := c1.RegisterAt(100, echoHandler{}); !errors.Is(err, ErrObjectExists) {
 		t.Errorf("duplicate RegisterAt = %v", err)
 	}
-	// Fresh ids must not collide with fixed ones.
-	if id := c1.Register(echoHandler{}); id <= 100 {
-		t.Errorf("Register after RegisterAt(100) returned %d", id)
+	// Fresh ids must not collide with fixed ones, and a high fixed id
+	// must not shift where sequential allocation lands: well-known
+	// registrations (the health prober at 0x48454C50) would otherwise
+	// push the directory off its well-known object 1.
+	if id := c1.Register(echoHandler{}); id == 100 {
+		t.Errorf("Register collided with RegisterAt(100)")
+	} else if id != 1 {
+		t.Errorf("first Register after RegisterAt(100) = %d, want 1", id)
+	}
+	// And when the allocator walks into the fixed id, it steps over it.
+	for i := 0; i < 101; i++ {
+		if id := c1.Register(echoHandler{}); id == 100 {
+			t.Fatalf("Register handed out the fixed id 100")
+		}
 	}
 	if _, ok := c1.Lookup(100); !ok {
 		t.Error("Lookup(100) failed")

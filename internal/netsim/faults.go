@@ -22,11 +22,16 @@ type FaultKind uint8
 
 // The fault kinds a schedule can script.
 const (
-	FaultCrash     FaultKind = iota + 1 // take node A down
-	FaultRestart                        // bring node A back (new incarnation)
-	FaultPartition                      // cut A↔B both ways
-	FaultHeal                           // undo a partition of A↔B
-	FaultLink                           // replace the A↔B link config (both directions)
+	FaultCrash           FaultKind = iota + 1 // take node A down
+	FaultRestart                              // bring node A back (new incarnation)
+	FaultPartition                            // cut A↔B both ways
+	FaultHeal                                 // undo a partition of A↔B (any direction)
+	FaultLink                                 // replace the A↔B link config (both directions)
+	FaultPartitionOneWay                      // cut A→B only (gray: asymmetric partition)
+	FaultDegrade                              // layer Cond on the A↔B link (gray: slow/lossy/corrupting)
+	FaultRestore                              // clear degradation on A↔B
+	FaultDegradeNode                          // layer Cond on every link touching A (gray: one slow machine)
+	FaultRestoreNode                          // clear node-wide degradation of A
 )
 
 func (k FaultKind) String() string {
@@ -41,28 +46,47 @@ func (k FaultKind) String() string {
 		return "heal"
 	case FaultLink:
 		return "link"
+	case FaultPartitionOneWay:
+		return "partition-oneway"
+	case FaultDegrade:
+		return "degrade"
+	case FaultRestore:
+		return "restore"
+	case FaultDegradeNode:
+		return "degrade-node"
+	case FaultRestoreNode:
+		return "restore-node"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(k))
 	}
 }
 
 // FaultEvent is one scripted fault. At is the virtual offset from the start
-// of the run. B is unused for crash/restart; Link is used only by
-// FaultLink.
+// of the run. B is unused for crash/restart and the node-wide kinds; Link
+// is used only by FaultLink; Cond only by FaultDegrade/FaultDegradeNode.
 type FaultEvent struct {
 	At   time.Duration
 	Kind FaultKind
 	A, B wire.NodeID
 	Link LinkConfig
+	Cond LinkCond
 }
 
 func (e FaultEvent) String() string {
 	switch e.Kind {
-	case FaultCrash, FaultRestart:
+	case FaultCrash, FaultRestart, FaultRestoreNode:
 		return fmt.Sprintf("%8s %s node=%d", e.At, e.Kind, e.A)
 	case FaultLink:
 		return fmt.Sprintf("%8s %s %d<->%d lat=%s jit=%s loss=%.3f",
 			e.At, e.Kind, e.A, e.B, e.Link.Latency, e.Link.Jitter, e.Link.LossRate)
+	case FaultPartitionOneWay:
+		return fmt.Sprintf("%8s %s %d->%d", e.At, e.Kind, e.A, e.B)
+	case FaultDegrade:
+		return fmt.Sprintf("%8s %s %d<->%d +lat=%s +jit=%s loss=%.3f corrupt=%.3f",
+			e.At, e.Kind, e.A, e.B, e.Cond.ExtraLatency, e.Cond.ExtraJitter, e.Cond.LossRate, e.Cond.CorruptRate)
+	case FaultDegradeNode:
+		return fmt.Sprintf("%8s %s node=%d +lat=%s +jit=%s loss=%.3f corrupt=%.3f",
+			e.At, e.Kind, e.A, e.Cond.ExtraLatency, e.Cond.ExtraJitter, e.Cond.LossRate, e.Cond.CorruptRate)
 	default:
 		return fmt.Sprintf("%8s %s %d<->%d", e.At, e.Kind, e.A, e.B)
 	}
@@ -106,6 +130,16 @@ func (e FaultEvent) Apply(n *Network) {
 	case FaultLink:
 		n.SetLink(e.A, e.B, e.Link)
 		n.SetLink(e.B, e.A, e.Link)
+	case FaultPartitionOneWay:
+		n.PartitionOneWay(e.A, e.B)
+	case FaultDegrade:
+		n.Degrade(e.A, e.B, e.Cond)
+	case FaultRestore:
+		n.Restore(e.A, e.B)
+	case FaultDegradeNode:
+		n.DegradeNode(e.A, e.Cond)
+	case FaultRestoreNode:
+		n.RestoreNode(e.A)
 	}
 }
 
@@ -173,6 +207,20 @@ type ChaosConfig struct {
 	FlapLink         LinkConfig
 	RestoreLink      LinkConfig
 	MinFlap, MaxFlap time.Duration
+	// OneWayCuts is how many asymmetric partition+heal pairs to script:
+	// traffic A→B drops (B→A stays clean) for uniformly [MinCut, MaxCut].
+	OneWayCuts int
+	// Degrades is how many gray degradation+restore pairs to script: the
+	// pair's link gains DegradeCond for uniformly [MinDegrade, MaxDegrade].
+	Degrades               int
+	DegradeCond            LinkCond
+	MinDegrade, MaxDegrade time.Duration
+	// SlowNodes is how many node-wide degradation+restore pairs to
+	// script: one node's every link gains SlowCond for uniformly
+	// [MinSlow, MaxSlow] — the classic gray "one slow machine".
+	SlowNodes        int
+	SlowCond         LinkCond
+	MinSlow, MaxSlow time.Duration
 }
 
 // GenSchedule derives a fault schedule from a seed. The same seed and
@@ -224,6 +272,32 @@ func GenSchedule(seed int64, cfg ChaosConfig) *FaultSchedule {
 		s.Events = append(s.Events,
 			FaultEvent{At: at, Kind: FaultLink, A: a, B: b, Link: cfg.FlapLink},
 			FaultEvent{At: at + flap, Kind: FaultLink, A: a, B: b, Link: cfg.RestoreLink})
+	}
+	// Gray fault kinds draw after the crash/partition/flap loops, so a
+	// config without them generates byte-identical schedules to before.
+	for i := 0; i < cfg.OneWayCuts; i++ {
+		at := dur(0, cfg.Duration)
+		cut := dur(cfg.MinCut, cfg.MaxCut)
+		a, b := pair()
+		s.Events = append(s.Events,
+			FaultEvent{At: at, Kind: FaultPartitionOneWay, A: a, B: b},
+			FaultEvent{At: at + cut, Kind: FaultHeal, A: a, B: b})
+	}
+	for i := 0; i < cfg.Degrades; i++ {
+		at := dur(0, cfg.Duration)
+		span := dur(cfg.MinDegrade, cfg.MaxDegrade)
+		a, b := pair()
+		s.Events = append(s.Events,
+			FaultEvent{At: at, Kind: FaultDegrade, A: a, B: b, Cond: cfg.DegradeCond},
+			FaultEvent{At: at + span, Kind: FaultRestore, A: a, B: b})
+	}
+	for i := 0; i < cfg.SlowNodes; i++ {
+		at := dur(0, cfg.Duration)
+		span := dur(cfg.MinSlow, cfg.MaxSlow)
+		a := node()
+		s.Events = append(s.Events,
+			FaultEvent{At: at, Kind: FaultDegradeNode, A: a, Cond: cfg.SlowCond},
+			FaultEvent{At: at + span, Kind: FaultRestoreNode, A: a})
 	}
 	return s
 }

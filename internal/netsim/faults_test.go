@@ -3,6 +3,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -196,5 +197,243 @@ func TestFaultRunStop(t *testing.T) {
 	}
 	if n.Crashed(1) {
 		t.Error("stopped schedule still applied its event")
+	}
+}
+
+// TestFaultKindsApplyThroughSchedule drives EVERY FaultKind through
+// FaultSchedule.Run against a live two-node network and asserts each
+// one's observable effect — delivery blocked or restored in the right
+// direction(s), and the matching Stats counter moving. This is the
+// contract chaos suites script against; a kind that Run forgot to
+// dispatch would silently turn its chaos test into a no-fault run.
+func TestFaultKindsApplyThroughSchedule(t *testing.T) {
+	drop := LinkCond{LossRate: 1}
+
+	// arrives sends one probe frame and reports whether it is delivered.
+	// The network is zero-latency, so a delivered frame shows up almost
+	// immediately; 100ms of silence is a confident verdict of "blocked".
+	arrives := func(t *testing.T, from Endpoint, src, dst wire.NodeID, to Endpoint) bool {
+		t.Helper()
+		if err := from.Send(frameTo(src, dst, "probe")); err != nil {
+			return false
+		}
+		select {
+		case <-to.Recv():
+			return true
+		case <-time.After(100 * time.Millisecond):
+			return false
+		}
+	}
+
+	cases := []struct {
+		name   string
+		events []FaultEvent
+		check  func(t *testing.T, n *Network, ep1, ep2 Endpoint)
+	}{
+		{"crash", []FaultEvent{
+			{Kind: FaultCrash, A: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if !n.Crashed(2) {
+				t.Fatal("node 2 not crashed")
+			}
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("frame delivered to crashed node")
+			}
+			if n.Snapshot().Crashed == 0 {
+				t.Error("Stats.Crashed did not move")
+			}
+		}},
+		{"restart", []FaultEvent{
+			{Kind: FaultCrash, A: 2},
+			{Kind: FaultRestart, A: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if n.Crashed(2) {
+				t.Fatal("node 2 still crashed after restart")
+			}
+			if inc := n.Incarnation(2); inc != 2 {
+				t.Errorf("incarnation = %d, want 2", inc)
+			}
+			if !arrives(t, ep1, 1, 2, ep2) {
+				t.Error("no delivery after restart")
+			}
+		}},
+		{"partition", []FaultEvent{
+			{Kind: FaultPartition, A: 1, B: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 delivered across partition")
+			}
+			if arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 delivered across partition")
+			}
+			if n.Snapshot().Partition == 0 {
+				t.Error("Stats.Partition did not move")
+			}
+		}},
+		{"heal", []FaultEvent{
+			{Kind: FaultPartition, A: 1, B: 2},
+			{Kind: FaultHeal, A: 1, B: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if !arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 blocked after heal")
+			}
+			if !arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 blocked after heal")
+			}
+		}},
+		{"link", []FaultEvent{
+			{Kind: FaultLink, A: 1, B: 2, Link: LinkConfig{LossRate: 1}},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 delivered on a 100%-loss link")
+			}
+			if arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 delivered on a 100%-loss link")
+			}
+			if n.Snapshot().Lost == 0 {
+				t.Error("Stats.Lost did not move")
+			}
+		}},
+		{"partition-oneway", []FaultEvent{
+			{Kind: FaultPartitionOneWay, A: 1, B: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 delivered across one-way cut")
+			}
+			if !arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 blocked — the cut was supposed to be asymmetric")
+			}
+		}},
+		{"degrade", []FaultEvent{
+			{Kind: FaultDegrade, A: 1, B: 2, Cond: drop},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 delivered through 100%-loss degradation")
+			}
+			if arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 delivered through 100%-loss degradation")
+			}
+			if n.Snapshot().Lost == 0 {
+				t.Error("Stats.Lost did not move")
+			}
+		}},
+		{"degrade-corrupt", []FaultEvent{
+			{Kind: FaultDegrade, A: 1, B: 2, Cond: LinkCond{CorruptRate: 1}},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("corrupted frame delivered — CRC should have rejected it")
+			}
+			if n.Snapshot().Corrupted == 0 {
+				t.Error("Stats.Corrupted did not move")
+			}
+		}},
+		{"restore", []FaultEvent{
+			{Kind: FaultDegrade, A: 1, B: 2, Cond: drop},
+			{Kind: FaultRestore, A: 1, B: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if !arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 blocked after restore")
+			}
+			if !arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 blocked after restore")
+			}
+		}},
+		{"degrade-node", []FaultEvent{
+			{Kind: FaultDegradeNode, A: 2, Cond: drop},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			// A node-wide condition rides every link the node touches, as
+			// source or destination.
+			if arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 delivered to the slow node")
+			}
+			if arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 delivered from the slow node")
+			}
+		}},
+		{"restore-node", []FaultEvent{
+			{Kind: FaultDegradeNode, A: 2, Cond: drop},
+			{Kind: FaultRestoreNode, A: 2},
+		}, func(t *testing.T, n *Network, ep1, ep2 Endpoint) {
+			if !arrives(t, ep1, 1, 2, ep2) {
+				t.Error("1->2 blocked after restore-node")
+			}
+			if !arrives(t, ep2, 2, 1, ep1) {
+				t.Error("2->1 blocked after restore-node")
+			}
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := New()
+			defer n.Close()
+			ep1, err := n.Attach(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ep2, err := n.Attach(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := (&FaultSchedule{Events: tc.events}).Run(n)
+			run.Wait()
+			tc.check(t, n, ep1, ep2)
+		})
+	}
+}
+
+// TestGenScheduleGrayReproducible extends the reproducibility contract
+// to the gray fault kinds: a config that scripts one-way cuts, link
+// degradations, and slow nodes renders byte-identically for the same
+// seed, differs across seeds, and actually contains every gray kind.
+// It also pins the byte-compatibility rule: adding zero gray counts to
+// a legacy config must not change the generated schedule (the gray
+// loops draw from the RNG strictly after the original loops).
+func TestGenScheduleGrayReproducible(t *testing.T) {
+	legacy := ChaosConfig{
+		Nodes:      []wire.NodeID{1, 2, 3},
+		Duration:   100 * time.Millisecond,
+		Crashes:    2,
+		MinDown:    10 * time.Millisecond,
+		MaxDown:    40 * time.Millisecond,
+		Partitions: 1,
+		MinCut:     5 * time.Millisecond,
+		MaxCut:     20 * time.Millisecond,
+	}
+	gray := legacy
+	gray.OneWayCuts = 2
+	gray.Degrades = 2
+	gray.DegradeCond = LinkCond{ExtraLatency: 2 * time.Millisecond, LossRate: 0.1}
+	gray.MinDegrade, gray.MaxDegrade = 5*time.Millisecond, 25*time.Millisecond
+	gray.SlowNodes = 1
+	gray.SlowCond = LinkCond{ExtraLatency: 10 * time.Millisecond}
+	gray.MinSlow, gray.MaxSlow = 10*time.Millisecond, 30*time.Millisecond
+
+	a := GenSchedule(42, gray).String()
+	if b := GenSchedule(42, gray).String(); a != b {
+		t.Errorf("same seed, different gray schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := GenSchedule(43, gray).String(); c == a {
+		t.Error("different seeds produced identical gray schedules")
+	}
+	for _, kind := range []string{"partition-oneway", "degrade ", "degrade-node", "restore ", "restore-node"} {
+		if !strings.Contains(a, kind) {
+			t.Errorf("generated schedule missing %q events:\n%s", kind, a)
+		}
+	}
+	// Byte compatibility: the gray loops must not perturb the draws the
+	// legacy kinds make, so a gray-free config generates exactly what it
+	// did before the gray kinds existed.
+	if la, ga := GenSchedule(42, legacy).String(), a; strings.HasPrefix(ga, la) == false {
+		// Events render sorted by offset, so prefix equality is not
+		// guaranteed; compare against a gray config with zero counts
+		// instead, which must be byte-identical.
+		_ = la
+	}
+	zeroGray := legacy
+	zeroGray.DegradeCond = gray.DegradeCond // condition fields without counts draw nothing
+	zeroGray.SlowCond = gray.SlowCond
+	if la, za := GenSchedule(42, legacy).String(), GenSchedule(42, zeroGray).String(); la != za {
+		t.Errorf("zero gray counts changed the schedule:\n%s\nvs\n%s", la, za)
 	}
 }

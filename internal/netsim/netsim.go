@@ -69,6 +69,30 @@ func (lc LinkConfig) delay(size int, rng func(int64) int64, rfloat func() float6
 	return d, true
 }
 
+// LinkCond is a gray-failure condition layered ON TOP of a link's base
+// LinkConfig: extra delay, extra loss, and byte corruption added to an
+// otherwise-healthy link. Unlike SetLink, degradation composes with the
+// base link and is removed with Restore, so a "slow but alive" node is
+// scripted without knowing (or clobbering) the underlying link settings.
+type LinkCond struct {
+	// ExtraLatency is added to every frame's one-way delay.
+	ExtraLatency time.Duration
+	// ExtraJitter adds a further uniform random delay in [0, ExtraJitter).
+	ExtraJitter time.Duration
+	// LossRate drops frames with this additional probability in [0, 1).
+	LossRate float64
+	// CorruptRate garbles one byte of the frame's encoding with this
+	// probability in [0, 1). A garbled frame travels the wire but fails
+	// the receiver's CRC check and is discarded there (Stats.Corrupted),
+	// so to the sender corruption looks exactly like loss.
+	CorruptRate float64
+}
+
+// IsZero reports whether the condition degrades nothing.
+func (c LinkCond) IsZero() bool {
+	return c.ExtraLatency == 0 && c.ExtraJitter == 0 && c.LossRate == 0 && c.CorruptRate == 0
+}
+
 // Stats counts network activity. All counters are cumulative.
 type Stats struct {
 	Sent       uint64 // frames accepted by Send
@@ -77,6 +101,7 @@ type Stats struct {
 	Partition  uint64 // frames dropped by a partition
 	Overrun    uint64 // frames dropped because the receiver queue was full
 	Crashed    uint64 // frames dropped because the destination node was down
+	Corrupted  uint64 // frames garbled in flight and rejected by the receiver's CRC
 	BytesMoved uint64 // payload+header bytes of delivered frames
 }
 
@@ -121,6 +146,8 @@ type Network struct {
 	endpoints    map[wire.NodeID]*simEndpoint
 	links        map[[2]wire.NodeID]LinkConfig
 	partitioned  map[[2]wire.NodeID]bool
+	degraded     map[[2]wire.NodeID]LinkCond
+	nodeCond     map[wire.NodeID]LinkCond
 	crashed      map[wire.NodeID]bool
 	incarnations map[wire.NodeID]uint64
 	queues       map[[2]wire.NodeID]*linkQueue
@@ -137,6 +164,8 @@ func New(opts ...NetworkOption) *Network {
 		endpoints:    make(map[wire.NodeID]*simEndpoint),
 		links:        make(map[[2]wire.NodeID]LinkConfig),
 		partitioned:  make(map[[2]wire.NodeID]bool),
+		degraded:     make(map[[2]wire.NodeID]LinkCond),
+		nodeCond:     make(map[wire.NodeID]LinkCond),
 		crashed:      make(map[wire.NodeID]bool),
 		incarnations: make(map[wire.NodeID]uint64),
 		queues:       make(map[[2]wire.NodeID]*linkQueue),
@@ -244,12 +273,66 @@ func (n *Network) Partition(a, b wire.NodeID) {
 	n.partitioned[[2]wire.NodeID{b, a}] = true
 }
 
-// Heal removes a partition between a and b.
+// PartitionOneWay blocks traffic from→to only: frames the other way still
+// deliver. This is the asymmetric (gray) partition — from's calls to to
+// all time out while to can keep talking to from — until Heal(from, to)
+// removes it. A one-way cut on top of an existing two-way partition
+// narrows nothing; Heal always clears both directions.
+func (n *Network) PartitionOneWay(from, to wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[[2]wire.NodeID{from, to}] = true
+}
+
+// Heal removes a partition between a and b (either or both directions).
 func (n *Network) Heal(a, b wire.NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.partitioned, [2]wire.NodeID{a, b})
 	delete(n.partitioned, [2]wire.NodeID{b, a})
+}
+
+// Degrade layers a gray-failure condition on the a↔b link, both
+// directions, on top of whatever the base link config is. Calling it
+// again replaces the previous condition; Restore removes it.
+func (n *Network) Degrade(a, b wire.NodeID, cond LinkCond) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degraded[[2]wire.NodeID{a, b}] = cond
+	n.degraded[[2]wire.NodeID{b, a}] = cond
+}
+
+// DegradeOneWay layers a condition on the directed from→to link only —
+// the asymmetric half of the gray-failure model (slow or lossy in one
+// direction, clean in the other).
+func (n *Network) DegradeOneWay(from, to wire.NodeID, cond LinkCond) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degraded[[2]wire.NodeID{from, to}] = cond
+}
+
+// Restore clears any degradation on the a↔b link (both directions).
+func (n *Network) Restore(a, b wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.degraded, [2]wire.NodeID{a, b})
+	delete(n.degraded, [2]wire.NodeID{b, a})
+}
+
+// DegradeNode layers a condition on every link touching the node, in
+// both directions — the "one slow machine" scenario: every peer sees the
+// node's traffic degrade without any per-pair scripting.
+func (n *Network) DegradeNode(node wire.NodeID, cond LinkCond) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodeCond[node] = cond
+}
+
+// RestoreNode clears a node-wide degradation.
+func (n *Network) RestoreNode(node wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodeCond, node)
 }
 
 // Snapshot returns the current counters.
@@ -321,8 +404,61 @@ func (n *Network) send(from wire.NodeID, f *wire.Frame) error {
 		n.mu.Unlock()
 		return nil
 	}
+	// Layer gray-failure conditions on top of the base link: the directed
+	// pair's degradation plus any node-wide condition at either end. Each
+	// applies its own loss/corruption draw and delay penalty.
+	corrupt := false
+	for _, cond := range [3]LinkCond{
+		n.degraded[[2]wire.NodeID{from, f.Dst.Node}],
+		n.nodeCond[from],
+		n.nodeCond[f.Dst.Node],
+	} {
+		if cond.IsZero() {
+			continue
+		}
+		if cond.LossRate > 0 && n.rng.Float64() < cond.LossRate {
+			n.stats.Lost++
+			n.mu.Unlock()
+			return nil
+		}
+		if cond.CorruptRate > 0 && n.rng.Float64() < cond.CorruptRate {
+			corrupt = true
+		}
+		delay += cond.ExtraLatency
+		if cond.ExtraJitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(cond.ExtraJitter)))
+		}
+	}
+	var flipByte, flipBit int
+	if corrupt {
+		flipByte = n.rng.Intn(f.EncodedLen())
+		flipBit = n.rng.Intn(8)
+	}
 	q := n.queueFor(from, f.Dst.Node)
 	n.mu.Unlock()
+
+	if corrupt {
+		// Garble the frame exactly as a receiver would see it: encode,
+		// flip one bit in flight, re-parse. The CRC trailer rejects the
+		// damage (any single-bit error is detected), so the frame is
+		// counted and dropped here — to the sender this is loss, and the
+		// rpc layer's retransmission is what heals it. Decode is still
+		// attempted so a framing bug that silently accepted a garbled
+		// frame would surface as a delivery, not stay hidden.
+		buf, err := f.Encode(make([]byte, 0, f.EncodedLen()))
+		if err == nil {
+			buf[flipByte] ^= 1 << flipBit
+			g, _, err := wire.Decode(buf)
+			if err != nil {
+				n.mu.Lock()
+				n.stats.Corrupted++
+				n.mu.Unlock()
+				return nil
+			}
+			q.enqueue(dst, &g, delay)
+			return nil
+		}
+	}
 
 	// The frame survived the drop models: clone now so the network owns
 	// its copy and the sender's (possibly pooled) frame is free again.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/group"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/persist"
 	"repro/internal/rpc"
@@ -40,6 +41,16 @@ import (
 // treated as primary death.
 const electThreshold = 3
 
+// demoteThreshold is how many consecutive successful sync rounds with
+// the primary's node graded strongly degraded (score ≥ demoteScore)
+// escalate to a demotion election. Syncs succeeding means the primary
+// is alive — this is the gray-failure path, where "alive but 10× slow"
+// must not hold the group's write latency hostage indefinitely.
+const (
+	demoteThreshold = 3
+	demoteScore     = 0.75
+)
+
 // healLoop runs until Close.
 func (p *Proxy) healLoop() {
 	t := time.NewTicker(p.f.syncInterval)
@@ -66,6 +77,7 @@ func (p *Proxy) healTick() {
 		p.mu.Lock()
 		p.failures = 0
 		p.mu.Unlock()
+		p.checkDegradedPrimary()
 		return
 	}
 	p.mu.Lock()
@@ -183,6 +195,46 @@ func decodeSyncReply(payload []byte) (mode byte, epoch, curSeq uint64, blob, vie
 		return 0, 0, 0, nil, nil, err
 	}
 	return mode, epoch, curSeq, blob, payload[n:], nil
+}
+
+// checkDegradedPrimary escalates a live-but-degraded primary to a
+// demotion election. The evidence is the health monitor's gray-failure
+// verdict on the primary's node, sustained across demoteThreshold
+// consecutive sync rounds; the action is gated on this proxy being the
+// synchronized successor (view head, stateEpoch == epoch), so exactly
+// the member that can safely promote acts. Safety is the same as for
+// crash promotion: the primary acks a write only after delivery reaches
+// every member, so the successor's copy holds every acked write, and
+// the new sequencer's epoch+1 fences anything the demoted primary still
+// tries to deliver.
+func (p *Proxy) checkDegradedPrimary() {
+	mon := p.rt.Health()
+	if mon == nil {
+		return
+	}
+	p.mu.Lock()
+	primNode := p.ctrl.Addr.Node
+	successor := len(p.view) > 0 && p.view[0] == p.member.Self()
+	synced := p.stateEpoch == p.epoch
+	p.mu.Unlock()
+
+	st := mon.Status(primNode)
+	bad := st.State == health.StateDegraded && st.Score >= demoteScore
+	p.mu.Lock()
+	if !bad {
+		p.degraded = 0
+		p.mu.Unlock()
+		return
+	}
+	p.degraded++
+	over := p.degraded >= demoteThreshold
+	if over {
+		p.degraded = 0 // one election per sustained episode
+	}
+	p.mu.Unlock()
+	if over && successor && synced {
+		p.elect()
+	}
 }
 
 // deadEvidence reports whether a probe failure conclusively means the

@@ -56,6 +56,10 @@ type Proxy struct {
 	// crossing a threshold is treated as primary-death evidence even when
 	// no single error is conclusive.
 	failures int
+	// degraded counts consecutive *successful* sync rounds during which
+	// the health monitor graded the primary's node strongly degraded —
+	// the gray-failure analogue of failures (see checkDegradedPrimary).
+	degraded int
 
 	localReads atomic.Uint64
 	writesSent atomic.Uint64

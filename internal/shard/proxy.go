@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,7 +87,7 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 	if single, ok := p.spec.singleFor(method); ok {
 		p.scatterCalls.Inc()
 		ctx, finish := p.rt.Tracer().StartChild(ctx, "shard:scatter:"+method, p.rt.Where())
-		res, err := scatterGather(ctx, method, args, p.limit, func(ctx context.Context, key string, subArgs []any) ([]any, error) {
+		res, err := scatterGather(ctx, method, args, p.limit, p.ownerScore, func(ctx context.Context, key string, subArgs []any) ([]any, error) {
 			return p.routeKey(ctx, single, key, subArgs)
 		})
 		p.fanout.Observe(time.Duration(len(args)))
@@ -147,6 +148,23 @@ func (p *Proxy) routeKey(ctx context.Context, method, key string, args []any) ([
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// ownerScore ranks a key for scatter launch order by its owner node's
+// gray-failure score (0 when the table is not yet cached — the fetch
+// inside routeKey sorts that out).
+func (p *Proxy) ownerScore(key string) float64 {
+	p.mu.Lock()
+	ring, members := p.ring, p.members
+	p.mu.Unlock()
+	if ring == nil {
+		return 0
+	}
+	ref, ok := members[ring.Owner(key)]
+	if !ok {
+		return 0
+	}
+	return p.rt.HealthScore(ref.Target.Addr.Node)
 }
 
 // table returns the cached routing table, fetching it on first use.
@@ -292,7 +310,15 @@ func isMisroute(err error) bool {
 // key), at most limit in flight. The result vector aligns with the
 // arguments; a failed key's slot carries a *KeyError while the others
 // still carry their results.
-func scatterGather(ctx context.Context, method string, args []any, limit int, call func(ctx context.Context, key string, subArgs []any) ([]any, error)) ([]any, error) {
+//
+// rank (optional) orders the launches: keys are started lowest-rank
+// first (stably, so equal ranks keep argument order). Shard layers pass
+// the owner node's gray-failure score, so keys owned by degraded
+// members launch last — a slow owner's sub-calls cannot occupy every
+// concurrency slot and stall the healthy keys queued behind them. The
+// result vector still aligns with the arguments regardless of launch
+// order.
+func scatterGather(ctx context.Context, method string, args []any, limit int, rank func(key string) float64, call func(ctx context.Context, key string, subArgs []any) ([]any, error)) ([]any, error) {
 	type entry struct {
 		key  string
 		args []any
@@ -318,10 +344,22 @@ func scatterGather(ctx context.Context, method string, args []any, limit int, ca
 	if limit <= 0 {
 		limit = 8
 	}
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	if rank != nil {
+		ranks := make([]float64, len(entries))
+		for i, e := range entries {
+			ranks[i] = rank(e.key)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+	}
 	out := make([]any, len(entries))
 	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
-	for i, e := range entries {
+	for _, i := range order {
+		e := entries[i]
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, e entry) {

@@ -501,7 +501,7 @@ func (r *Router) routeKeyLocked(ctx context.Context, method, key string, args []
 }
 
 func (r *Router) scatterFacade(ctx context.Context, method, single string, args []any) ([]any, error) {
-	out, err := scatterGather(ctx, method, args, r.f.scatterLimit, func(ctx context.Context, key string, subArgs []any) ([]any, error) {
+	out, err := scatterGather(ctx, method, args, r.f.scatterLimit, r.ownerScore, func(ctx context.Context, key string, subArgs []any) ([]any, error) {
 		return r.routeKey(ctx, single, key, subArgs)
 	})
 	if err != nil {
@@ -515,6 +515,20 @@ func (r *Router) scatterFacade(ctx context.Context, method, single string, args 
 		}
 	}
 	return out, nil
+}
+
+// ownerScore ranks a key for scatter launch order by its owner node's
+// gray-failure score.
+func (r *Router) ownerScore(key string) float64 {
+	_, ring, members := r.table()
+	if ring == nil {
+		return 0
+	}
+	ref, ok := members[ring.Owner(key)]
+	if !ok {
+		return 0
+	}
+	return r.rt.HealthScore(ref.Target.Addr.Node)
 }
 
 // handleTable serves kindTable fetches from shard proxies.

@@ -26,7 +26,7 @@ func TestScatterGatherPartialFailureMerge(t *testing.T) {
 		"bad-2",
 		"c",
 	}
-	out, err := scatterGather(context.Background(), "mget", args, 2, call)
+	out, err := scatterGather(context.Background(), "mget", args, 2, nil, call)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestScatterGatherBoundedConcurrency(t *testing.T) {
 	for i := range args {
 		args[i] = fmt.Sprintf("k%d", i)
 	}
-	if _, err := scatterGather(context.Background(), "mget", args, limit, call); err != nil {
+	if _, err := scatterGather(context.Background(), "mget", args, limit, nil, call); err != nil {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > limit {
@@ -99,7 +99,7 @@ func TestScatterGatherBadArgs(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := scatterGather(context.Background(), "mput", tc.args, 4, call)
+			_, err := scatterGather(context.Background(), "mput", tc.args, 4, nil, call)
 			invokeCode(t, err, core.CodeBadArgs)
 		})
 	}
@@ -109,7 +109,7 @@ func TestScatterGatherEmptyResultSlot(t *testing.T) {
 	call := func(_ context.Context, _ string, _ []any) ([]any, error) {
 		return nil, nil
 	}
-	out, err := scatterGather(context.Background(), "mput", []any{"a", "b"}, 4, call)
+	out, err := scatterGather(context.Background(), "mput", []any{"a", "b"}, 4, nil, call)
 	if err != nil {
 		t.Fatal(err)
 	}

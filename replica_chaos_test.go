@@ -187,6 +187,7 @@ func chaosWaitFor(t *testing.T, d time.Duration, what string, cond func() bool) 
 // delivery — a late client that joined the zombie is bounced with
 // CodeFenced and re-routes to the new primary.
 func TestChaosPrimaryPromotion(t *testing.T) {
+	leakCheck(t)
 	seed := chaosSeed()
 	w := newChaosRepWorld(t, 4)
 	ctx := context.Background()
@@ -295,6 +296,7 @@ func TestChaosPrimaryPromotion(t *testing.T) {
 // writes throughout (eviction, not wedging) and the restarted member
 // rejoins through its repair loop and converges to the same state.
 func TestChaosReplicaCrashRejoin(t *testing.T) {
+	leakCheck(t)
 	seed := chaosSeed()
 	w := newChaosRepWorld(t, 3)
 	ctx := context.Background()

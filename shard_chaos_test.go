@@ -173,6 +173,7 @@ func walShardReconstruct(t *testing.T, rt *core.Runtime, member string, spec sha
 // readable through the sharded proxy and durable in a surviving WAL, and
 // when the deposed node returns, stale-epoch handoff steps are fenced.
 func TestChaosShardOwnerCrashMidRebalance(t *testing.T) {
+	leakCheck(t)
 	seed := chaosSeed()
 	w := newChaosShardWorld(t)
 	s0 := w.newMember(t, "s0", 1, 2)
@@ -301,6 +302,7 @@ func TestChaosShardOwnerCrashMidRebalance(t *testing.T) {
 // the dead member's keys read as zero through re-routed stale clients:
 // declared loss, never silent misdirection.
 func TestChaosShardDeadMemberForceRemove(t *testing.T) {
+	leakCheck(t)
 	c := newChaosCluster(t, 5,
 		[]rpc.ClientOption{rpc.WithRetryInterval(5 * time.Millisecond), rpc.WithMaxAttempts(20)})
 	spec := bench.KVShardSpec()
