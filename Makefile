@@ -13,7 +13,7 @@ CHAOS_SEEDS ?= 1 2 3
 # runs more seeds by default.
 STRESS_SEEDS ?= 1 2
 
-.PHONY: all build test race vet lint bench bench-short chaos stress cover experiments examples clean
+.PHONY: all build test race vet lint bench bench-short bench-gate chaos stress cover experiments examples clean
 
 all: vet lint test race chaos stress bench-short build
 
@@ -23,6 +23,15 @@ all: vet lint test race chaos stress bench-short build
 bench-short:
 	$(GO) test -count=1 -run 'TestAllocBudget' .
 	$(GO) run ./cmd/proxybench -only E1 -ops 25
+
+# Regression gate: measures the fast-path rows and fails if any ns/op
+# regressed >10% against the newest committed BENCH_*.json. Deliberately
+# not part of `make all` — wall-clock noise on shared machines makes it
+# advisory locally; run it (or CI runs it) before cutting a perf-sensitive
+# change. Tune with: make bench-gate GATE_THRESHOLD=0.15
+GATE_THRESHOLD ?= 0.10
+bench-gate:
+	$(GO) run ./cmd/proxybench -gate -gate-threshold $(GATE_THRESHOLD)
 
 cover:
 	@for pkg in $(COVER_PKGS); do \

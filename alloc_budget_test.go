@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // Allocation budgets for the invocation fast path. These are enforced
@@ -124,6 +125,75 @@ func TestAllocBudgetCachedRead(t *testing.T) {
 	if allocs > budget {
 		t.Errorf("warm cached read allocates %.1f/op, budget is %.0f", allocs, budget)
 	}
+}
+
+// TestAllocBudgetTrainAssemble holds train assembly to zero allocations
+// once the destination buffer has grown: AppendTrainMember must encode in
+// place, because the coalescer calls it on every staged frame while
+// holding the destination queue's lock.
+func TestAllocBudgetTrainAssemble(t *testing.T) {
+	if bench.RaceEnabled {
+		t.Skip("alloc budgets are meaningless under -race (detector allocations are counted)")
+	}
+	f := &wire.Frame{
+		Kind:    wire.KindRequest,
+		ReqID:   1,
+		Src:     wire.Addr{Node: 1, Context: 1},
+		Dst:     wire.Addr{Node: 2, Context: 1},
+		Object:  7,
+		Payload: []byte("train-member-payload"),
+	}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		for i := 0; i < 8; i++ {
+			var err error
+			if buf, err = wire.AppendTrainMember(buf, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("assembling an 8-member train allocates %.1f/train, budget is 0", allocs)
+	}
+}
+
+// TestAllocBudgetTrainUnpack holds the receive-side walk to one
+// allocation per train: ForEachTrainMember hoists a single Frame out of
+// the member loop and member payloads alias the train payload, so fill
+// count must not multiply garbage on the kernel pump.
+func TestAllocBudgetTrainUnpack(t *testing.T) {
+	if bench.RaceEnabled {
+		t.Skip("alloc budgets are meaningless under -race (detector allocations are counted)")
+	}
+	f := &wire.Frame{
+		Kind:    wire.KindRequest,
+		Src:     wire.Addr{Node: 1, Context: 1},
+		Dst:     wire.Addr{Node: 2, Context: 1},
+		Object:  7,
+		Payload: []byte("train-member-payload"),
+	}
+	var payload []byte
+	for i := 0; i < 8; i++ {
+		f.ReqID = uint64(i + 1)
+		var err error
+		if payload, err = wire.AppendTrainMember(payload, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen int
+	allocs := testing.AllocsPerRun(200, func() {
+		members, rejected, err := wire.ForEachTrainMember(payload, func(m *wire.Frame) {
+			seen += int(m.ReqID)
+		})
+		if err != nil || rejected != 0 || members != 8 {
+			t.Fatalf("walk = (%d, %d, %v)", members, rejected, err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("unpacking an 8-member train allocates %.1f/train, budget is 1 (the hoisted Frame)", allocs)
+	}
+	_ = seen
 }
 
 var _ core.Proxy = (*cache.Proxy)(nil)

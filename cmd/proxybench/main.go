@@ -4,6 +4,7 @@
 // Usage:
 //
 //	proxybench [-only E2,E5] [-latency 500us] [-ops 400] [-seed 1] [-json]
+//	proxybench -gate [-gate-threshold 0.10]
 //
 // With -json, instead of the experiment tables it measures the invocation
 // fast path (the E1 ladder and E2's cache cells) with latency quantiles
@@ -13,6 +14,12 @@
 // baseline AND against the newest committed BENCH_*.json, so deltas chain
 // report-over-report rather than always measuring from the original
 // baseline.
+//
+// With -gate, it measures the same rows, compares them against the newest
+// committed BENCH_*.json only, writes nothing, and exits nonzero if any
+// row's ns/op regressed by more than -gate-threshold (default 10%) — the
+// CI hook that keeps fast-path budgets from eroding one "small" PR at a
+// time.
 //
 // Absolute numbers depend on the host; the *shapes* (who wins, where
 // crossovers fall) are what the suite reproduces.
@@ -38,7 +45,17 @@ func main() {
 	ops := flag.Int("ops", 400, "operations per measurement")
 	seed := flag.Int64("seed", 1, "workload and network seed")
 	jsonOut := flag.Bool("json", false, "measure the fast path and write BENCH_<date>.json instead of running the experiment tables")
+	gate := flag.Bool("gate", false, "measure the fast path and fail (exit 1) on regression against the newest committed BENCH_*.json; writes nothing")
+	gateThreshold := flag.Float64("gate-threshold", 0.10, "fractional ns/op regression tolerated per row before -gate fails")
 	flag.Parse()
+
+	if *gate {
+		if err := runGate(*ops, *seed, *gateThreshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut {
 		// The embedded baseline was recorded at zero link latency (the
@@ -84,6 +101,54 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// runGate measures the fast path rows and fails if any regressed past the
+// threshold against the newest committed report. It writes no file: the
+// gate is a check, not a record, so a red run leaves nothing behind that a
+// later -json run would chain against.
+func runGate(ops int, seed int64, threshold float64) error {
+	prev, prevName, err := newestPriorReport("")
+	if err != nil {
+		return err
+	}
+	if prev == nil {
+		// Nothing committed yet: the gate passes vacuously but says so,
+		// because a silently green gate with no reference would hide the
+		// misconfiguration.
+		fmt.Println("proxybench -gate: no committed BENCH_*.json to gate against; passing")
+		return nil
+	}
+	rep, err := bench.BuildReport("gate", 0, ops, seed)
+	if err != nil {
+		return fmt.Errorf("proxybench -gate: %w", err)
+	}
+	ref := map[string]bench.ReportRow{}
+	for _, b := range prev.Rows {
+		ref[b.Experiment+"/"+b.Case] = b
+	}
+	fmt.Printf("proxybench -gate: vs %s, threshold %.0f%%\n", prevName, threshold*100)
+	failed := 0
+	for _, r := range rep.Rows {
+		b, ok := ref[r.Experiment+"/"+r.Case]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-18s %8.1f ns/op (was %8.1f, %+6.1f%%)  %s\n",
+			r.Experiment+"/"+r.Case, r.NsPerOp, b.NsPerOp, delta*100, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("proxybench -gate: %d row(s) regressed more than %.0f%% vs %s",
+			failed, threshold*100, prevName)
+	}
+	fmt.Println("proxybench -gate: pass")
+	return nil
 }
 
 // writeJSONReport measures the fast path and writes the dated report.

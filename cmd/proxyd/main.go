@@ -31,6 +31,12 @@
 // them. Every daemon also exports a replica status service bound at
 // "services/replica" (inspect it with proxyctl group).
 //
+// Outbound frames to the same destination coalesce into train frames
+// under fan-in (-trains, on by default; -train-frames/-train-bytes bound
+// each train). The capability is learned per peer from frame flags, so a
+// mixed deployment with pre-train daemons degrades to frame-at-a-time
+// toward them with no configuration.
+//
 // With -sharded-kv the demo KV is exported through the sharding smart
 // proxy: its keyspace is consistent-hashed across -shard-members local
 // member shards, clients with the factory registered route each key
@@ -93,6 +99,9 @@ func main() {
 	overloadQueue := flag.Duration("overload-queue", 0, "admission queue deadline — queued requests older than this are shed (0 = overload package default)")
 	retryBudget := flag.Float64("retry-budget", 0, "per-destination retry-token ratio for this daemon's outbound calls (0.1 caps retries near 10% of fresh calls; 0 = unlimited retransmission)")
 	hedgeDelay := flag.Duration("hedge", 0, "hedge idempotent reads: race a second attempt to an alternate binding after this delay floor, adapting up to observed p95 (0 = off)")
+	trains := flag.Bool("trains", true, "coalesce same-destination frames into trains under fan-in (peers fall back automatically if they don't speak trains)")
+	trainFrames := flag.Int("train-frames", 0, "max members per train (0 = wire package default)")
+	trainBytes := flag.Int("train-bytes", 0, "max member payload bytes per train (0 = wire package default)")
 	traceFrames := flag.Bool("trace", false, "log every frame sent and received")
 	httpAddr := flag.String("http", "", "optional HTTP listen address serving /metrics and /traces text dumps")
 	flag.Parse()
@@ -104,6 +113,21 @@ func main() {
 	ep, err := netsim.ListenTCP(wire.NodeID(*nodeID), *listen, peers)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	// Train coalescing wraps the endpoint below the kernel: outbound
+	// same-destination frames pack into container frames under fan-in,
+	// and the kernel pump learns which peers can unpack them from the
+	// capability bit on their frames. The node owns the wrapper — its
+	// Close drains the flushers before the TCP endpoint goes away.
+	var kernelEP netsim.Endpoint = ep
+	var coalescer *wire.Coalescer
+	if *trains {
+		ce := netsim.Coalesce(ep, wire.CoalescerConfig{
+			MaxFrames: *trainFrames,
+			MaxBytes:  *trainBytes,
+		})
+		coalescer = ce.Coalescer()
+		kernelEP = ce
 	}
 	observer := obs.NewObserver()
 	var nodeOpts []kernel.NodeOption
@@ -120,7 +144,7 @@ func main() {
 			log.Printf("%s %s", dir, f)
 		}))
 	}
-	node := kernel.NewNode(ep, nodeOpts...)
+	node := kernel.NewNode(kernelEP, nodeOpts...)
 	defer node.Close()
 	ktx, err := node.NewContext()
 	if err != nil {
@@ -153,6 +177,9 @@ func main() {
 	// Fast-path health gauges: pool hit rates and allocs/op show up in
 	// `proxyctl stats` next to the service counters.
 	obs.RegisterFastPathMetrics(observer.Registry, rt.InvokeCount)
+	// Train gauges: fill, inline/staged split, and the unpack counters
+	// (send-side ones only when -trains is on; coalescer may be nil).
+	obs.RegisterTrainMetrics(observer.Registry, coalescer)
 
 	// The directory must land at the well-known object id, so it is the
 	// first export in this context.

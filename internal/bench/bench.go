@@ -29,17 +29,37 @@ type Cluster struct {
 	Net      *netsim.Network
 	Obs      *obs.Observer
 	Runtimes []*core.Runtime
-	nodes    []*kernel.Node
+	// Coalesced holds each node's train-coalescing endpoint wrapper when
+	// the cluster was built with NewCoalescedCluster (nil otherwise);
+	// index i belongs to node i+1.
+	Coalesced []*netsim.CoalescedEndpoint
+	nodes     []*kernel.Node
 }
 
 // NewCluster builds a cluster of n runtimes.
 func NewCluster(n int, opts ...netsim.NetworkOption) (*Cluster, error) {
+	return newCluster(n, false, opts...)
+}
+
+// NewCoalescedCluster builds a cluster whose node endpoints coalesce
+// same-destination frames into trains (netsim.Coalesce) — the fixture for
+// measuring the train path against the plain NewCluster baseline.
+func NewCoalescedCluster(n int, opts ...netsim.NetworkOption) (*Cluster, error) {
+	return newCluster(n, true, opts...)
+}
+
+func newCluster(n int, coalesce bool, opts ...netsim.NetworkOption) (*Cluster, error) {
 	c := &Cluster{Net: netsim.New(opts...), Obs: obs.NewObserver()}
 	for i := 0; i < n; i++ {
 		ep, err := c.Net.Attach(wire.NodeID(i + 1))
 		if err != nil {
 			c.Close()
 			return nil, err
+		}
+		if coalesce {
+			ce := netsim.Coalesce(ep, wire.CoalescerConfig{})
+			c.Coalesced = append(c.Coalesced, ce)
+			ep = ce
 		}
 		node := kernel.NewNode(ep)
 		c.nodes = append(c.nodes, node)

@@ -142,7 +142,142 @@ func BuildReport(date string, latency time.Duration, ops int, seed int64) (*Repo
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows, grayRows...)
+	trainRows, err := measureTrains(latency, ops, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, trainRows...)
 	return rep, nil
+}
+
+// measureTrains is E17's fan-in pair: eight concurrent callers on one
+// same-node cross-context KV, once over plain endpoints and once over
+// coalescing ones, plus the train path's lone-caller cell (the bounded
+// tax a single client pays for the staging machinery). Fan-in rows are
+// throughput measurements — ns/op is wall clock over total ops and the
+// quantiles pool every caller's per-op latencies — because trains only
+// exist where calls overlap.
+func measureTrains(latency time.Duration, ops int, seed int64) ([]ReportRow, error) {
+	const fanin = 8
+	run := func(name string, coalesce bool, callers int) (ReportRow, error) {
+		row := ReportRow{Experiment: "E17", Case: name}
+		build := NewCluster
+		if coalesce {
+			build = NewCoalescedCluster
+		}
+		c, err := build(1, netOpts(latency, seed)...)
+		if err != nil {
+			return row, err
+		}
+		defer c.Close()
+		ctx := context.Background()
+		ref, err := c.RT(0).Export(NewKV(), "KV")
+		if err != nil {
+			return row, err
+		}
+		client, err := c.NewContextRuntime(0)
+		if err != nil {
+			return row, err
+		}
+		proxies := make([]core.Proxy, callers)
+		for i := range proxies {
+			if proxies[i], err = client.Import(ref); err != nil {
+				return row, err
+			}
+		}
+		// Constant total work at any fan-in, scaled up 4× from the serial
+		// rows: concurrent cells need a longer window before scheduler
+		// noise stops dominating the wall clock.
+		perCaller := ops * 4 * fanin / callers
+		work := func(p core.Proxy, samples *[]time.Duration) error {
+			for i := 0; i < perCaller; i++ {
+				opStart := time.Now()
+				if _, err := p.Invoke(ctx, "noop"); err != nil {
+					return err
+				}
+				*samples = append(*samples, time.Since(opStart))
+			}
+			return nil
+		}
+		// Warm in the measured shape so the coalescer's load detector has
+		// latched (or declined to) before the clock starts.
+		var warm sync.WaitGroup
+		warmErr := make(chan error, callers)
+		for _, p := range proxies {
+			warm.Add(1)
+			go func(p core.Proxy) {
+				defer warm.Done()
+				for i := 0; i < 50; i++ {
+					if _, err := p.Invoke(ctx, "noop"); err != nil {
+						warmErr <- err
+						return
+					}
+				}
+			}(p)
+		}
+		warm.Wait()
+		close(warmErr)
+		for err := range warmErr {
+			return row, err
+		}
+
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		sampleSets := make([][]time.Duration, callers)
+		errs := make(chan error, callers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i, p := range proxies {
+			wg.Add(1)
+			go func(i int, p core.Proxy) {
+				defer wg.Done()
+				sampleSets[i] = make([]time.Duration, 0, perCaller)
+				if err := work(p, &sampleSets[i]); err != nil {
+					errs <- err
+				}
+			}(i, p)
+		}
+		wg.Wait()
+		total := time.Since(start)
+		runtime.ReadMemStats(&after)
+		close(errs)
+		for err := range errs {
+			return row, err
+		}
+
+		var t Timer
+		for _, s := range sampleSets {
+			t.samples = append(t.samples, s...)
+		}
+		s := t.Summary()
+		n := callers * perCaller
+		row.NsPerOp = float64(total.Nanoseconds()) / float64(n)
+		row.P50Ns = s.P50.Nanoseconds()
+		row.P95Ns = s.P95.Nanoseconds()
+		row.P99Ns = s.P99.Nanoseconds()
+		row.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+		row.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+		return row, nil
+	}
+
+	var rows []ReportRow
+	for _, m := range []struct {
+		name     string
+		coalesce bool
+		callers  int
+	}{
+		{"plain-fanin8", false, fanin},
+		{"train-fanin8", true, fanin},
+		{"train-fanin1", true, 1},
+	} {
+		row, err := run(m.name, m.coalesce, m.callers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func netOpts(latency time.Duration, seed int64) []netsim.NetworkOption {

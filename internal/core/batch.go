@@ -76,13 +76,15 @@ func NewBatchFactory(oneWayMethods []string, opts ...BatchOption) *BatchFactory 
 
 // New implements ProxyFactory.
 func (f *BatchFactory) New(rt *Runtime, ref codec.Ref) (Proxy, error) {
-	return &BatchProxy{
+	p := &BatchProxy{
 		rt:       rt,
 		stub:     NewStub(rt, ref),
 		oneWay:   f.oneWay,
 		maxBatch: f.maxBatch,
 		interval: f.interval,
-	}, nil
+	}
+	p.bgCtx, p.bgCancel = context.WithCancel(context.Background())
+	return p, nil
 }
 
 // BatchProxy queues one-way invocations and flushes them in one frame.
@@ -92,6 +94,14 @@ type BatchProxy struct {
 	oneWay   map[string]bool
 	maxBatch int
 	interval time.Duration
+
+	// bgCtx parents every interval-triggered background flush; Close
+	// cancels it so a flush stuck on a dead server unblocks immediately,
+	// and bg counts armed timers so Close can wait for the flusher
+	// goroutine to actually exit rather than orphaning it.
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
+	bg       sync.WaitGroup
 
 	mu      sync.Mutex
 	queue   [][]byte
@@ -128,9 +138,12 @@ func (p *BatchProxy) Invoke(ctx context.Context, method string, args ...any) ([]
 	p.queued++
 	full := len(p.queue) >= p.maxBatch
 	if !full && p.timer == nil && p.interval > 0 {
+		p.bg.Add(1)
 		p.timer = time.AfterFunc(p.interval, func() {
-			// Background flush: best effort, bounded by the interval.
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer p.bg.Done()
+			// Background flush: best effort, bounded by the timeout and
+			// cut short by Close via bgCtx.
+			ctx, cancel := context.WithTimeout(p.bgCtx, 10*time.Second)
 			defer cancel()
 			_ = p.Flush(ctx)
 		})
@@ -147,10 +160,7 @@ func (p *BatchProxy) Invoke(ctx context.Context, method string, args ...any) ([]
 // server to acknowledge executing them all.
 func (p *BatchProxy) Flush(ctx context.Context) error {
 	p.mu.Lock()
-	if p.timer != nil {
-		p.timer.Stop()
-		p.timer = nil
-	}
+	p.disarmTimer()
 	batch := p.queue
 	p.queue = nil
 	if len(batch) > 0 {
@@ -192,18 +202,33 @@ func (p *BatchProxy) Stats() (queued, flushes uint64) {
 // Ref implements Proxy.
 func (p *BatchProxy) Ref() codec.Ref { return p.stub.Ref() }
 
-// Close flushes what remains and shuts the proxy down.
+// disarmTimer stops a pending interval flush. Called with p.mu held. If
+// Stop wins the race the timer's function will never run, so its WaitGroup
+// slot is released here; if it loses, the function is already running and
+// releases the slot itself.
+func (p *BatchProxy) disarmTimer() {
+	if p.timer == nil {
+		return
+	}
+	if p.timer.Stop() {
+		p.bg.Done()
+	}
+	p.timer = nil
+}
+
+// Close flushes what remains and shuts the proxy down. Any in-flight
+// interval flush is cancelled and waited for, so no flusher goroutine
+// outlives Close.
 func (p *BatchProxy) Close() error {
+	p.mu.Lock()
+	p.closed = true // no new invocations, no new timers
+	p.disarmTimer()
+	p.mu.Unlock()
+	p.bgCancel()
+	p.bg.Wait()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err := p.Flush(ctx)
-	p.mu.Lock()
-	p.closed = true
-	if p.timer != nil {
-		p.timer.Stop()
-		p.timer = nil
-	}
-	p.mu.Unlock()
 	if cerr := p.stub.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// E17FrameTrains measures transparent per-destination coalescing on the
+// hottest placement the ladder exposes: same-node cross-context
+// invocations, where every call pays full wire cost (header, CRC, a
+// simulated send) but no propagation delay hides it. As concurrent callers
+// fan in on one destination, the coalescer packs their frames into
+// KindTrain containers and one send carries the lot; the frames-per-op
+// column is the simulated analogue of syscalls-per-op on a real socket.
+// Expected shape: at fan-in 1 the train path tracks the plain path (a lone
+// frame is never delayed), and from fan-in ~8 up trains fill, the
+// frames-per-op ratio drops well below 1, and throughput pulls ahead.
+func E17FrameTrains(w io.Writer, cfg Config) error {
+	header(w, "E17", "frame-train coalescing under fan-in")
+	fanins := []int{1, 2, 4, 8, 16}
+	tab := bench.Table{Headers: []string{
+		"fan-in", "plain ops/s", "train ops/s", "speedup",
+		"plain frames/op", "train frames/op", "avg fill",
+	}}
+	var plainP50, trainP50 time.Duration
+	for _, n := range fanins {
+		plain, train, err := e17MedianPair(cfg, n)
+		if err != nil {
+			return fmt.Errorf("fan-in %d: %w", n, err)
+		}
+		if n == 1 {
+			plainP50, trainP50 = plain.p50, train.p50
+		}
+		tab.Add(n,
+			fmt.Sprintf("%.0f", plain.tput),
+			fmt.Sprintf("%.0f", train.tput),
+			fmt.Sprintf("%.2fx", train.tput/plain.tput),
+			fmt.Sprintf("%.2f", plain.framesPerOp),
+			fmt.Sprintf("%.2f", train.framesPerOp),
+			fmt.Sprintf("%.1f", train.fill),
+		)
+	}
+	tab.Print(w)
+	fmt.Fprintf(w, "(single-caller p50: plain %v, train %v; frames/op counts request+reply)\n",
+		plainP50, trainP50)
+	return nil
+}
+
+type e17Result struct {
+	tput        float64
+	framesPerOp float64
+	p50         time.Duration
+	fill        float64
+}
+
+// e17MedianPair measures each fan-in as three adjacent (plain, train)
+// pairs and keeps the pair with the median speedup. Pairing matters more
+// than repetition here: on a shared machine the available CPU swings far
+// more between measurement windows than the effect under test, so a
+// plain run and a train run taken minutes apart compare machine states,
+// not transports. Back-to-back pairs see (nearly) the same state, and
+// the median pair is robust to one descheduled window in either
+// direction.
+func e17MedianPair(cfg Config, fanin int) (plain, train e17Result, err error) {
+	type pair struct{ plain, train e17Result }
+	pairs := make([]pair, 0, 3)
+	for i := 0; i < 3; i++ {
+		p, err := e17Run(cfg, fanin, false)
+		if err != nil {
+			return e17Result{}, e17Result{}, err
+		}
+		tr, err := e17Run(cfg, fanin, true)
+		if err != nil {
+			return e17Result{}, e17Result{}, err
+		}
+		pairs = append(pairs, pair{p, tr})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		return pairs[i].train.tput/pairs[i].plain.tput < pairs[j].train.tput/pairs[j].plain.tput
+	})
+	return pairs[1].plain, pairs[1].train, nil
+}
+
+func e17Run(cfg Config, fanin int, coalesce bool) (e17Result, error) {
+	build := bench.NewCluster
+	if coalesce {
+		build = bench.NewCoalescedCluster
+	}
+	c, err := build(1, cfg.netOpts()...)
+	if err != nil {
+		return e17Result{}, err
+	}
+	defer c.Close()
+
+	ref, err := c.RT(0).Export(bench.NewKV(), "KV")
+	if err != nil {
+		return e17Result{}, err
+	}
+	client, err := c.NewContextRuntime(0)
+	if err != nil {
+		return e17Result{}, err
+	}
+	proxies := make([]core.Proxy, fanin)
+	for i := range proxies {
+		if proxies[i], err = client.Import(ref); err != nil {
+			return e17Result{}, err
+		}
+	}
+
+	ctx := context.Background()
+	// Warm up in the measured pattern — all callers concurrent — so pools
+	// fill and the coalescer's load detector reaches its steady state
+	// before timing starts.
+	var warm sync.WaitGroup
+	warmErrs := make(chan error, fanin)
+	for _, p := range proxies {
+		warm.Add(1)
+		go func(p core.Proxy) {
+			defer warm.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := p.Invoke(ctx, "noop"); err != nil {
+					warmErrs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	warm.Wait()
+	close(warmErrs)
+	for err := range warmErrs {
+		return e17Result{}, err
+	}
+
+	// Constant total work per measurement keeps the timing window the
+	// same at every fan-in.
+	ops := cfg.Ops * 128 / fanin
+	before := c.Net.Snapshot().Sent
+	var timer bench.Timer // sampled only at fan-in 1, where it is cheap and meaningful
+	var wg sync.WaitGroup
+	errs := make(chan error, fanin)
+	start := time.Now()
+	for _, p := range proxies {
+		wg.Add(1)
+		go func(p core.Proxy) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if fanin == 1 {
+					opStart := time.Now()
+					_, err := p.Invoke(ctx, "noop")
+					timer.Record(time.Since(opStart))
+					if err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if _, err := p.Invoke(ctx, "noop"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return e17Result{}, err
+	}
+
+	total := fanin * ops
+	res := e17Result{
+		tput:        float64(total) / elapsed.Seconds(),
+		framesPerOp: float64(c.Net.Snapshot().Sent-before) / float64(total),
+		p50:         timer.Summary().P50,
+	}
+	if coalesce && len(c.Coalesced) > 0 {
+		res.fill = c.Coalesced[0].Coalescer().Stats().AvgFill()
+	}
+	return res, nil
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E16 described
+// Package experiments implements the reproduction suite E1–E17 described
 // in EXPERIMENTS.md: each experiment builds its world on the simulated
 // network, runs the sweep, and renders the table or series the paper's
 // claims predict. cmd/proxybench runs them all; the root bench_test.go
@@ -65,6 +65,7 @@ func All() []Experiment {
 		{"E14", "Sharded keyspace write scaling with shard count (extension)", E14Sharding},
 		{"E15", "Overload shedding goodput and hedged-read tail latency (extension)", E15Overload},
 		{"E16", "Gray failure: slow-peer scoring and outlier-ejection tail latency (extension)", E16GrayFailure},
+		{"E17", "Frame-train coalescing: cross-context throughput under fan-in (extension)", E17FrameTrains},
 	}
 }
 

@@ -162,12 +162,23 @@ func WithTrace(fn func(dir TraceDirection, f *wire.Frame)) NodeOption {
 	return func(nd *Node) { nd.trace = fn }
 }
 
+// trainCapMarker is implemented by endpoints that coalesce outbound
+// frames into trains (netsim.CoalescedEndpoint) and need to learn which
+// peers can unpack them. The kernel feeds it from the receive pump: any
+// inbound frame advertising wire.FlagTrains proves its sender decodes
+// trains too (the capability bit rides on every frame a coalescing peer
+// sends, pings and acks included).
+type trainCapMarker interface {
+	MarkTrainCapable(wire.NodeID)
+}
+
 // Node hosts contexts on one endpoint and pumps inbound frames to them.
 type Node struct {
-	ep    netsim.Endpoint
-	sem   chan struct{}
-	adm   *overload.Controller
-	trace func(TraceDirection, *wire.Frame)
+	ep      netsim.Endpoint
+	capMark trainCapMarker
+	sem     chan struct{}
+	adm     *overload.Controller
+	trace   func(TraceDirection, *wire.Frame)
 
 	// inboundObs, when set, is called with the source node of every
 	// inbound frame (see SetInboundObserver).
@@ -193,6 +204,7 @@ func NewNode(ep netsim.Endpoint, opts ...NodeOption) *Node {
 	for _, o := range opts {
 		o(n)
 	}
+	n.capMark, _ = ep.(trainCapMarker)
 	go n.pump()
 	return n
 }
@@ -278,18 +290,42 @@ func (n *Node) Close() error {
 
 func (n *Node) pump() {
 	defer close(n.done)
+	local := n.ID()
 	for f := range n.ep.Recv() {
 		if n.trace != nil {
 			n.trace(TraceRecv, f)
 		}
-		if p := n.inboundObs.Load(); p != nil && f.Src.Node != 0 && f.Src.Node != n.ID() {
-			(*p)(f.Src.Node)
+		if f.Src.Node != 0 && f.Src.Node != local {
+			if p := n.inboundObs.Load(); p != nil {
+				(*p)(f.Src.Node)
+			}
+			if n.capMark != nil && f.Flags&wire.FlagTrains != 0 {
+				n.capMark.MarkTrainCapable(f.Src.Node)
+			}
 		}
 		n.route(f)
 	}
 }
 
 func (n *Node) route(f *wire.Frame) {
+	// Frame trains are unpacked here, below the object layer: each member
+	// is routed as if it had arrived alone, so member requests fan out
+	// onto the ordinary dispatch machinery (parallel handler goroutines)
+	// and member responses complete the sharded pending table directly.
+	// Members alias the train's payload, which is safe because inbound
+	// frames are never pooled; a member that fails its own CRC is dropped
+	// by the walk (counted in wire.ReadTrainStats) without affecting its
+	// neighbors, and a train with damaged framing loses only its tail.
+	if f.Kind == wire.KindTrain {
+		_, _, _ = wire.ForEachTrainMember(f.Payload, func(m *wire.Frame) {
+			g := *m
+			if n.trace != nil {
+				n.trace(TraceRecv, &g)
+			}
+			n.route(&g)
+		})
+		return
+	}
 	// Liveness probes are answered by the kernel itself, whatever context
 	// they name: a ping asks "is this node up", not "is this object up".
 	// The health monitor (internal/health) relies on this.

@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// TestRouteTrainDispatchesMembers feeds the kernel a hand-built train and
+// checks that each member request is dispatched as if it had arrived alone,
+// with a corrupt member dropped without taking down its neighbors.
+func TestRouteTrainDispatchesMembers(t *testing.T) {
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	ep1, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := NewNode(ep1)
+	t.Cleanup(func() { n1.Close() })
+	srv, err := n1.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := srv.Register(echoHandler{})
+
+	// A raw endpoint plays a train-capable sender: no kernel on node 3,
+	// so replies land directly on its Recv channel.
+	ep3, err := net.Attach(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep3.Close() })
+
+	member := func(id uint64, payload string) *wire.Frame {
+		return &wire.Frame{
+			Kind:    wire.KindRequest,
+			ReqID:   id,
+			Src:     wire.Addr{Node: 3, Context: 9},
+			Dst:     srv.Addr(),
+			Object:  obj,
+			Payload: []byte(payload),
+		}
+	}
+	var payload []byte
+	for i, text := range []string{"first", "second", "third"} {
+		payload, err = wire.AppendTrainMember(payload, member(uint64(i+1), text))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the middle member's payload bytes: its own CRC rejects it at
+	// unpack, and only it.
+	len1, p1, _ := wire.Uvarint(payload)
+	rest := payload[p1+int(len1):] // second member's length prefix
+	len2, p2, _ := wire.Uvarint(rest)
+	secondMember := rest[p2 : p2+int(len2)]
+	secondMember[len(secondMember)-6] ^= 0x40 // inside "second", ahead of the CRC
+
+	train := &wire.Frame{
+		Kind:    wire.KindTrain,
+		Flags:   wire.FlagOneWay | wire.FlagTrains,
+		Src:     wire.Addr{Node: 3},
+		Dst:     wire.Addr{Node: 1},
+		Object:  wire.KernelObject,
+		Payload: payload,
+	}
+	if err := ep3.Send(train); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[uint64]string{}
+	deadline := time.After(5 * time.Second)
+	for len(got) < 2 {
+		select {
+		case f, ok := <-ep3.Recv():
+			if !ok {
+				t.Fatal("endpoint closed early")
+			}
+			if f.Kind != wire.KindReply {
+				t.Fatalf("unexpected %v", f)
+			}
+			got[f.ReqID] = string(f.Payload)
+		case <-deadline:
+			t.Fatalf("timed out with replies %v", got)
+		}
+	}
+	if got[1] != "first" || got[3] != "third" {
+		t.Fatalf("replies = %v, want echoes for members 1 and 3", got)
+	}
+	// The corrupt middle member must never produce a reply.
+	select {
+	case f := <-ep3.Recv():
+		t.Fatalf("corrupt member answered: %v", f)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestPumpLearnsTrainCapability checks the kernel half of the capability
+// exchange: a node with a coalescing endpoint marks a peer train-capable
+// when any inbound frame from it advertises FlagTrains — here the ack a
+// kernel sends back for a liveness ping — and learns nothing from frames
+// that don't carry the bit.
+func TestPumpLearnsTrainCapability(t *testing.T) {
+	net := netsim.New()
+	t.Cleanup(net.Close)
+	ep1, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce1 := netsim.Coalesce(ep1, wire.CoalescerConfig{})
+	n1 := NewNode(ce1)
+	t.Cleanup(func() { n1.Close() })
+	ep2, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce2 := netsim.Coalesce(ep2, wire.CoalescerConfig{})
+	n2 := NewNode(ce2)
+	t.Cleanup(func() { n2.Close() })
+	ctx1, err := n1.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ce1.Coalescer().Capable(2) || ce2.Coalescer().Capable(1) {
+		t.Fatal("peers marked capable before any exchange")
+	}
+
+	// Node 1 pings node 2: the ping advertises FlagTrains, so node 2's
+	// pump learns about node 1; the kernel ack comes back through node
+	// 2's coalescing endpoint, advertises the bit too, and node 1's pump
+	// learns about node 2. One liveness exchange, both directions learned.
+	ping := &wire.Frame{Kind: wire.KindPing, ReqID: 77, Dst: wire.Addr{Node: 2}}
+	if err := ctx1.Send(ping); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !(ce1.Coalescer().Capable(2) && ce2.Coalescer().Capable(1)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("capability not learned: 1-knows-2=%v 2-knows-1=%v",
+				ce1.Coalescer().Capable(2), ce2.Coalescer().Capable(1))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"repro/internal/wire"
+)
+
+// CoalescedEndpoint wraps an Endpoint with a per-destination frame-train
+// coalescer (wire.Coalescer). Outbound frames advertise FlagTrains and,
+// once a destination has advertised it back, concurrent frames to that
+// destination ride in KindTrain container frames. Inbound frames pass
+// through untouched — the kernel, not the transport, unpacks trains and
+// learns peer capability from the FlagTrains bit (via MarkTrainCapable),
+// so the receive path costs nothing extra here.
+type CoalescedEndpoint struct {
+	inner Endpoint
+	co    *wire.Coalescer
+}
+
+// Coalesce wraps ep with train coalescing. The wrapper marks its own node
+// train-capable immediately (loopback and cross-context traffic never
+// needs a capability exchange); remote destinations are learned by the
+// kernel from the first inbound frame carrying wire.FlagTrains — in a
+// healthy cluster that's the first ping/ack exchange.
+func Coalesce(ep Endpoint, cfg wire.CoalescerConfig) *CoalescedEndpoint {
+	ce := &CoalescedEndpoint{
+		inner: ep,
+		co:    wire.NewCoalescer(ep.LocalNode(), ep.Send, cfg),
+	}
+	ce.co.MarkCapable(ep.LocalNode())
+	return ce
+}
+
+// Send advertises the train capability on f and hands it to the coalescer,
+// which either forwards it frame-at-a-time or packs it into a train. The
+// frame's bytes are copied before Send returns, preserving the transports'
+// ownership contract.
+func (ce *CoalescedEndpoint) Send(f *wire.Frame) error {
+	f.Flags |= wire.FlagTrains
+	return ce.co.Send(f)
+}
+
+// Recv returns the wrapped endpoint's inbound channel unchanged.
+func (ce *CoalescedEndpoint) Recv() <-chan *wire.Frame { return ce.inner.Recv() }
+
+// LocalNode reports the wrapped endpoint's node.
+func (ce *CoalescedEndpoint) LocalNode() wire.NodeID { return ce.inner.LocalNode() }
+
+// MarkTrainCapable records that node unpacks trains. The kernel calls this
+// when an inbound frame from node advertises wire.FlagTrains.
+func (ce *CoalescedEndpoint) MarkTrainCapable(node wire.NodeID) {
+	ce.co.MarkCapable(node)
+}
+
+// Close flushes and stops the coalescer's flushers, then closes the
+// wrapped endpoint.
+func (ce *CoalescedEndpoint) Close() error {
+	ce.co.Close()
+	return ce.inner.Close()
+}
+
+// Coalescer exposes the underlying coalescer for stats and capability
+// control (tests, obs registration, proxyd knobs).
+func (ce *CoalescedEndpoint) Coalescer() *wire.Coalescer { return ce.co }

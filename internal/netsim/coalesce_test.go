@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func recvOne(t *testing.T, ch <-chan *wire.Frame) *wire.Frame {
+	t.Helper()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for frame")
+	}
+	return nil
+}
+
+func TestCoalescedEndpointAdvertisesAndMarksCapability(t *testing.T) {
+	net := New()
+	defer net.Close()
+	epA, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceA := Coalesce(epA, wire.CoalescerConfig{})
+	ceB := Coalesce(epB, wire.CoalescerConfig{})
+	defer ceB.Close()
+
+	// A node is born knowing its own transport unpacks trains (loopback
+	// and cross-context traffic needs no handshake)…
+	if !ceA.Coalescer().Capable(1) {
+		t.Error("local node not marked capable at construction")
+	}
+	// …but must not assume anything about a peer it has never heard from.
+	if ceA.Coalescer().Capable(2) {
+		t.Error("peer marked capable before any exchange")
+	}
+
+	// Every outbound frame advertises FlagTrains; the kernel on the far
+	// side feeds MarkTrainCapable from it. The transport itself forwards
+	// inbound frames untouched.
+	ping := &wire.Frame{Kind: wire.KindPing, ReqID: 1, Src: wire.Addr{Node: 1}, Dst: wire.Addr{Node: 2}}
+	if err := ceA.Send(ping); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, ceB.Recv())
+	if got.Kind != wire.KindPing || got.Flags&wire.FlagTrains == 0 {
+		t.Fatalf("B received %v flags=%04x, want ping advertising FlagTrains", got.Kind, got.Flags)
+	}
+
+	// MarkTrainCapable is the kernel's hook; after it, A is fair game for
+	// trains from B.
+	ceB.MarkTrainCapable(1)
+	if !ceB.Coalescer().Capable(1) {
+		t.Error("MarkTrainCapable did not stick")
+	}
+
+	// Close must stop the coalescer and close the endpoint's channel.
+	ceA.Close()
+	select {
+	case _, ok := <-ceA.Recv():
+		if ok {
+			t.Error("frame after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv channel did not close")
+	}
+}
+
+func TestCoalescedEndpointLegacyPeerStaysFrameAtATime(t *testing.T) {
+	net := New()
+	defer net.Close()
+	epA, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epLegacy, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epLegacy.Close()
+	ceA := Coalesce(epA, wire.CoalescerConfig{})
+	defer ceA.Close()
+
+	// The legacy peer answers without FlagTrains — A must never mark it
+	// capable, and everything A sends it stays an ordinary frame.
+	for i := 0; i < 3; i++ {
+		f := &wire.Frame{Kind: wire.KindRequest, ReqID: uint64(i), Src: wire.Addr{Node: 1, Context: 1}, Dst: wire.Addr{Node: 2, Context: 1}, Object: 5}
+		if err := ceA.Send(f); err != nil {
+			t.Fatal(err)
+		}
+		got := recvOne(t, epLegacy.Recv())
+		if got.Kind == wire.KindTrain {
+			t.Fatal("legacy peer received a train")
+		}
+		reply := &wire.Frame{Kind: wire.KindReply, Flags: wire.FlagResponse, ReqID: got.ReqID, Src: got.Dst, Dst: got.Src}
+		if err := epLegacy.Send(reply); err != nil {
+			t.Fatal(err)
+		}
+		recvOne(t, ceA.Recv())
+	}
+	if ceA.Coalescer().Capable(2) {
+		t.Error("legacy peer marked train-capable")
+	}
+	if st := ceA.Coalescer().Stats(); st.TrainsSent != 0 || st.DirectSends != 3 {
+		t.Errorf("stats = %+v, want 3 direct sends and no trains", st)
+	}
+}

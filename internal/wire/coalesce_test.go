@@ -1,0 +1,328 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// alwaysStage forces staged mode from the first send: every gap counts as
+// a burst and a burst of one is enough to enter.
+func alwaysStage() CoalescerConfig {
+	return CoalescerConfig{BurstGap: time.Hour, EnterBurst: 1}
+}
+
+// gateSend is a send func whose first call blocks until released, so a
+// test can pin the flusher mid-send and pile frames up behind it
+// deterministically.
+type gateSend struct {
+	mu      sync.Mutex
+	sent    []Frame
+	block   chan struct{}
+	blocked chan struct{}
+	once    sync.Once
+}
+
+func newGateSend() *gateSend {
+	return &gateSend{block: make(chan struct{}), blocked: make(chan struct{})}
+}
+
+func (g *gateSend) send(f *Frame) error {
+	first := false
+	g.once.Do(func() { first = true })
+	if first {
+		close(g.blocked)
+		<-g.block
+	}
+	g.mu.Lock()
+	g.sent = append(g.sent, f.Clone())
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *gateSend) frames() []Frame {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Frame(nil), g.sent...)
+}
+
+func TestCoalescerPassthroughWhenNotCapable(t *testing.T) {
+	var sent []Frame
+	co := NewCoalescer(1, func(f *Frame) error {
+		sent = append(sent, f.Clone())
+		return nil
+	}, CoalescerConfig{})
+	defer co.Close()
+	f := trainMember(0)
+	if err := co.Send(&f); err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 1 || sent[0].Kind != KindRequest {
+		t.Fatalf("expected 1 untouched frame, got %v", sent)
+	}
+	st := co.Stats()
+	if st.DirectSends != 1 || st.TrainsSent != 0 || st.StagedFrames != 0 {
+		t.Fatalf("stats = %+v, want pure passthrough", st)
+	}
+}
+
+func TestCoalescerInlineWhenIdle(t *testing.T) {
+	sendErr := errors.New("transport down")
+	var sent []Frame
+	fail := false
+	co := NewCoalescer(1, func(f *Frame) error {
+		if fail {
+			return sendErr
+		}
+		sent = append(sent, f.Clone())
+		return nil
+	}, CoalescerConfig{})
+	defer co.Close()
+	co.MarkCapable(3)
+	if !co.Capable(3) {
+		t.Fatal("MarkCapable did not stick")
+	}
+
+	// Sends spaced wider than the burst gap never build a burst: every
+	// one goes inline, immediately, and the transport's error surfaces
+	// to the caller.
+	for i := 0; i < 5; i++ {
+		f := trainMember(i)
+		if err := co.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	fail = true
+	f := trainMember(9)
+	if err := co.Send(&f); !errors.Is(err, sendErr) {
+		t.Fatalf("inline send error = %v, want %v", err, sendErr)
+	}
+	for _, g := range sent {
+		if g.Kind == KindTrain {
+			t.Fatalf("idle sender produced a train: %+v", g)
+		}
+	}
+	st := co.Stats()
+	if st.InlineSends != 6 || st.StagedFrames != 0 || st.TrainsSent != 0 {
+		t.Fatalf("stats = %+v, want 6 inline sends and nothing staged", st)
+	}
+}
+
+func TestCoalescerStagesBehindFlusher(t *testing.T) {
+	gate := newGateSend()
+	co := NewCoalescer(1, gate.send, alwaysStage())
+	co.MarkCapable(3)
+
+	// First staged frame wakes the flusher, which drains it alone — an
+	// unwrapped solo send — and sticks in the gated transport.
+	first := trainMember(0)
+	if err := co.Send(&first); err != nil {
+		t.Fatal(err)
+	}
+	<-gate.blocked
+
+	// These pile up behind the pinned flusher; they must stage and
+	// return without waiting for the transport.
+	const staged = 6
+	for i := 1; i <= staged; i++ {
+		f := trainMember(i)
+		if err := co.Send(&f); err != nil {
+			t.Fatalf("staged send %d: %v", i, err)
+		}
+	}
+	close(gate.block)
+	co.Close() // waits for the flusher's final drain
+
+	frames := gate.frames()
+	if len(frames) != 2 {
+		t.Fatalf("transport saw %d frames, want 2 (solo + one train): %v", len(frames), frames)
+	}
+	if frames[0].Kind != KindRequest || frames[0].ReqID != first.ReqID {
+		t.Fatalf("first frame is not the unwrapped solo member: %+v", frames[0])
+	}
+	tf := frames[1]
+	if tf.Kind != KindTrain || tf.Dst.Node != 3 || tf.Src.Node != 1 || tf.Object != KernelObject {
+		t.Fatalf("second frame is not a well-addressed train: %+v", tf)
+	}
+	if tf.Flags&FlagTrains == 0 || tf.Flags&FlagOneWay == 0 {
+		t.Fatalf("train flags = %04x, want FlagOneWay|FlagTrains set", tf.Flags)
+	}
+	var ids []uint64
+	members, rejected, err := ForEachTrainMember(tf.Payload, func(m *Frame) {
+		ids = append(ids, m.ReqID)
+	})
+	if err != nil || rejected != 0 || members != staged {
+		t.Fatalf("train unpack: members=%d rejected=%d err=%v", members, rejected, err)
+	}
+	for i, id := range ids {
+		if want := uint64(100 + i + 1); id != want {
+			t.Fatalf("member %d reqID = %d, want %d (staging order preserved)", i, id, want)
+		}
+	}
+	st := co.Stats()
+	if st.StagedFrames != staged+1 || st.SoloFlushes != 1 || st.TrainsSent != 1 ||
+		st.TrainFrames != staged || st.FlushDrain != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.AvgFill(); got != float64(staged) {
+		t.Fatalf("AvgFill = %v, want %d", got, staged)
+	}
+}
+
+func TestCoalescerSplitsAtMaxFrames(t *testing.T) {
+	gate := newGateSend()
+	cfg := alwaysStage()
+	cfg.MaxFrames = 3
+	co := NewCoalescer(1, gate.send, cfg)
+	co.MarkCapable(3)
+
+	first := trainMember(0)
+	if err := co.Send(&first); err != nil {
+		t.Fatal(err)
+	}
+	<-gate.blocked
+	for i := 1; i <= 7; i++ {
+		f := trainMember(i)
+		if err := co.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate.block)
+	co.Close()
+
+	// 7 members at cap 3 chunk as 3+3+1; the final single-member chunk is
+	// unwrapped, so the transport sees solo, train(3), train(3), solo.
+	var trains, carried, solos int
+	for i, f := range gate.frames() {
+		if i == 0 {
+			continue // the pinned solo
+		}
+		switch f.Kind {
+		case KindTrain:
+			members, rejected, err := ForEachTrainMember(f.Payload, func(m *Frame) {})
+			if err != nil || rejected != 0 {
+				t.Fatalf("unpack: rejected=%d err=%v", rejected, err)
+			}
+			if members > 3 {
+				t.Fatalf("train carries %d members, cap is 3", members)
+			}
+			trains++
+			carried += members
+		case KindRequest:
+			solos++
+		default:
+			t.Fatalf("unexpected frame kind %v", f.Kind)
+		}
+	}
+	if trains != 2 || carried != 6 || solos != 1 {
+		t.Fatalf("got %d trains carrying %d + %d solos, want 2 trains carrying 6 + 1 solo", trains, carried, solos)
+	}
+	if st := co.Stats(); st.FlushFull != 2 || st.FlushDrain != 0 || st.SoloFlushes != 2 {
+		t.Fatalf("flush reasons = full:%d drain:%d solo:%d, want 2/0/2", st.FlushFull, st.FlushDrain, st.SoloFlushes)
+	}
+}
+
+func TestCoalescerAdaptiveModeSwitch(t *testing.T) {
+	var mu sync.Mutex
+	var sent []Frame
+	co := NewCoalescer(1, func(f *Frame) error {
+		mu.Lock()
+		sent = append(sent, f.Clone())
+		mu.Unlock()
+		return nil
+	}, CoalescerConfig{})
+	co.MarkCapable(3)
+
+	// A tight send loop is one long burst: after EnterBurst back-to-back
+	// sends the destination must flip to staged mode and start handing
+	// frames to the flusher.
+	const total = 400
+	for i := 0; i < total; i++ {
+		f := trainMember(i)
+		if err := co.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	co.Close()
+
+	st := co.Stats()
+	if st.StagedFrames == 0 {
+		t.Fatalf("stats = %+v: tight loop never tripped staged mode", st)
+	}
+	if st.InlineSends == 0 {
+		t.Fatalf("stats = %+v: first sends should have been inline", st)
+	}
+	// Every frame must come out exactly once: inline, solo, or in a train.
+	mu.Lock()
+	defer mu.Unlock()
+	delivered := 0
+	for i := range sent {
+		if sent[i].Kind == KindTrain {
+			members, rejected, err := ForEachTrainMember(sent[i].Payload, func(*Frame) {})
+			if err != nil || rejected != 0 {
+				t.Fatalf("unpack: rejected=%d err=%v", rejected, err)
+			}
+			delivered += members
+		} else {
+			delivered++
+		}
+	}
+	if delivered != total {
+		t.Fatalf("delivered %d frames, want %d", delivered, total)
+	}
+	if st.InlineSends+st.StagedFrames != total {
+		t.Fatalf("stats = %+v: inline+staged != %d", st, total)
+	}
+}
+
+func TestCoalescerUrgentAndOversizedBypass(t *testing.T) {
+	var sent []Frame
+	co := NewCoalescer(1, func(f *Frame) error {
+		sent = append(sent, f.Clone())
+		return nil
+	}, CoalescerConfig{MaxBytes: 128})
+	defer co.Close()
+	co.MarkCapable(3)
+
+	urgent := trainMember(0)
+	urgent.Flags |= FlagUrgent
+	if err := co.Send(&urgent); err != nil {
+		t.Fatal(err)
+	}
+	big := trainMember(1)
+	big.Payload = make([]byte, 256)
+	if err := co.Send(&big); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sent {
+		if f.Kind == KindTrain {
+			t.Fatalf("urgent/oversized frame rode a train: %+v", f)
+		}
+	}
+	if st := co.Stats(); st.DirectSends != 2 {
+		t.Fatalf("DirectSends = %d, want 2", st.DirectSends)
+	}
+}
+
+func TestCoalescerCloseIsIdempotentAndSendsPassThrough(t *testing.T) {
+	var sent []Frame
+	co := NewCoalescer(1, func(f *Frame) error {
+		sent = append(sent, f.Clone())
+		return nil
+	}, alwaysStage())
+	co.MarkCapable(3)
+	co.Close()
+	co.Close()
+	f := trainMember(0)
+	if err := co.Send(&f); err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 1 || sent[0].Kind != KindRequest {
+		t.Fatalf("post-Close send not inline: %v", sent)
+	}
+	if st := co.Stats(); st.DirectSends != 1 || st.StagedFrames != 0 {
+		t.Fatalf("stats = %+v, want direct passthrough after Close", st)
+	}
+}

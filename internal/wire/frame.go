@@ -44,6 +44,13 @@ const (
 	KindGroup
 	// KindPage carries DSM page traffic.
 	KindPage
+	// KindTrain is a container frame: its payload is a sequence of
+	// length-prefixed member frames bound for the same destination node,
+	// coalesced by the sender's transport so one header/CRC/send covers
+	// the whole train (see train.go). The receiving kernel unpacks it
+	// below the object layer; it is only ever sent to nodes that have
+	// advertised FlagTrains.
+	KindTrain
 
 	// KindCustom is the first kind available to service-private protocols.
 	// A service may use KindCustom+i for its own message types; the system
@@ -66,6 +73,7 @@ var kindNames = map[Kind]string{
 	KindName:       "name",
 	KindGroup:      "group",
 	KindPage:       "page",
+	KindTrain:      "train",
 }
 
 // String names the kind; custom kinds render as "custom+N".
@@ -106,6 +114,13 @@ const (
 	// never executed. The payload carries a retry-after hint (see
 	// AppendPushback). Like FlagNoRoute, only kernels set it.
 	FlagPushback
+	// FlagTrains advertises that the sending node's transport coalesces
+	// and unpacks frame trains (KindTrain). A train-capable transport
+	// sets it on every outbound frame — pings and their acks included —
+	// and caches it per source node on receipt; trains are only ever
+	// sent to destinations that have advertised it, so legacy peers keep
+	// today's frame-at-a-time exchange.
+	FlagTrains
 )
 
 // Frame is the unit of transmission. Payload is opaque to every layer
@@ -126,7 +141,11 @@ type Frame struct {
 //	srcNode(4) srcCtx(4) dstNode(4) dstCtx(4) object(8)
 //	payloadLen(4) payload(…) crc32(4)
 //
-// The CRC covers header and payload.
+// The CRC covers header and payload — except for KindTrain, where it
+// covers the header only: a train's payload is a sequence of fully-encoded
+// member frames that each carry their own CRC, so double-checksumming would
+// cost a second pass over the bytes and, worse, make one corrupt member
+// reject the entire train instead of just that member.
 const (
 	frameMagic   uint16 = 0x5059 // "PY"
 	frameVersion byte   = 1
@@ -171,7 +190,11 @@ func (f *Frame) Encode(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(hdr[38:], uint32(len(f.Payload)))
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, f.Payload...)
-	crc := crc32.Checksum(dst[start:], crcTable)
+	crcEnd := len(dst)
+	if f.Kind == KindTrain {
+		crcEnd = start + headerLen
+	}
+	crc := crc32.Checksum(dst[start:crcEnd], crcTable)
 	var tr [trailerLen]byte
 	binary.BigEndian.PutUint32(tr[:], crc)
 	return append(dst, tr[:]...), nil
@@ -198,7 +221,11 @@ func Decode(src []byte) (Frame, int, error) {
 		return Frame{}, 0, ErrShortBuffer
 	}
 	want := binary.BigEndian.Uint32(src[headerLen+plen:])
-	if crc32.Checksum(src[:headerLen+plen], crcTable) != want {
+	crcEnd := headerLen + plen
+	if Kind(src[3]) == KindTrain {
+		crcEnd = headerLen
+	}
+	if crc32.Checksum(src[:crcEnd], crcTable) != want {
 		return Frame{}, 0, ErrBadCRC
 	}
 	f := Frame{

@@ -69,6 +69,82 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeTrain drives the train-payload walker with arbitrary bytes.
+// The walker sits directly on the network path (the kernel feeds it every
+// inbound KindTrain payload), so its contract under hostile input is the
+// same as Decode's: never panic, never deliver a member that is not a
+// fully valid frame, and account for every byte either as a delivered
+// member, a rejected member, or a framing loss that ends the walk. Run
+// with e.g.
+//
+//	go test -fuzz=FuzzDecodeTrain -fuzztime=30s ./internal/wire
+func FuzzDecodeTrain(f *testing.F) {
+	// A valid 3-member train.
+	member := func(i int) Frame {
+		return Frame{
+			Kind:    KindRequest,
+			ReqID:   uint64(i),
+			Src:     Addr{Node: 1, Context: 2},
+			Dst:     Addr{Node: 3, Context: 4},
+			Object:  ObjectID(i),
+			Payload: []byte("member payload"),
+		}
+	}
+	var good []byte
+	for i := 0; i < 3; i++ {
+		m := member(i)
+		var err error
+		if good, err = AppendTrainMember(good, &m); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(good)
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x20 // damage somewhere in the middle member
+	f.Add(flipped)
+	prefix := append([]byte(nil), good...)
+	prefix[0] = 0xff // first length prefix becomes a continuation byte
+	f.Add(prefix)
+	f.Add(good[:len(good)-5]) // truncated final member
+	nested := Frame{Kind: KindTrain, Dst: Addr{Node: 3}, Payload: good}
+	forged := AppendUvarint(nil, uint64(nested.EncodedLen()))
+	var err error
+	if forged, err = nested.Encode(forged); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(forged)
+	f.Add([]byte{})
+	f.Add([]byte{0x00}) // zero-length member
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var delivered int
+		members, rejected, err := ForEachTrainMember(data, func(m *Frame) {
+			delivered++
+			if m.Kind == KindTrain {
+				t.Fatal("nested train delivered")
+			}
+			// A delivered member must be a complete valid frame: it
+			// re-encodes without error to its own exact length.
+			out, eerr := m.Encode(make([]byte, 0, m.EncodedLen()))
+			if eerr != nil {
+				t.Fatalf("delivered member does not re-encode: %v", eerr)
+			}
+			if len(out) != m.EncodedLen() || len(out) > len(data) {
+				t.Fatalf("delivered member has bogus size %d (train is %d)", len(out), len(data))
+			}
+		})
+		if members != delivered {
+			t.Fatalf("reported %d members, delivered %d", members, delivered)
+		}
+		if err != nil && err != ErrTrainCorrupt {
+			t.Fatalf("unexpected walk error: %v", err)
+		}
+		if err == ErrTrainCorrupt && rejected == 0 {
+			t.Fatal("framing loss reported without a rejected count")
+		}
+	})
+}
+
 // TestDecodeFrameBitFlips is the exhaustive deterministic form of the
 // fuzz property: EVERY single-bit flip of a valid encoding must be
 // rejected. This is the guarantee netsim's corruption injection and the

@@ -1,0 +1,129 @@
+// Frame trains: one container frame carrying many member frames bound for
+// the same destination node.
+//
+// A train's payload is a repeated sequence of
+//
+//	[uvarint memberLen][memberLen bytes: one fully-encoded member frame]
+//
+// Each member is a complete frame — header, payload, and its own CRC — so
+// unpacking is plain Decode and a corrupt member invalidates only itself.
+// The outer train frame's CRC covers its header only (see frame.go); the
+// length prefixes let the receiver resynchronize past a member whose bytes
+// were damaged in flight.
+//
+// Trains never nest: a member must not itself be KindTrain. That keeps
+// unpacking non-recursive and bounds the work a single inbound frame can
+// demand.
+package wire
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Train sizing defaults. A train flushes (and a new one starts) when it
+// reaches either limit; both are small enough that a train never strays
+// near MaxPayload and a stalled flush never holds more than a socket
+// buffer's worth of traffic.
+const (
+	// DefaultTrainFrames caps how many member frames ride in one train.
+	DefaultTrainFrames = 32
+	// DefaultTrainBytes caps a train's payload size.
+	DefaultTrainBytes = 64 << 10
+)
+
+// Train errors.
+var (
+	// ErrTrainNested rejects a KindTrain member inside a train.
+	ErrTrainNested = errors.New("wire: train member must not be a train")
+	// ErrTrainCorrupt reports a train payload whose framing (the length
+	// prefixes) is damaged, so the remaining members cannot be recovered.
+	ErrTrainCorrupt = errors.New("wire: train payload framing corrupt")
+)
+
+// AppendTrainMember appends one length-prefixed encoded member frame to a
+// train payload under construction and returns the extended slice. The
+// frame's bytes are fully copied into dst, so the caller may release or
+// reuse f as soon as this returns.
+func AppendTrainMember(dst []byte, f *Frame) ([]byte, error) {
+	if f.Kind == KindTrain {
+		return dst, ErrTrainNested
+	}
+	dst = AppendUvarint(dst, uint64(f.EncodedLen()))
+	return f.Encode(dst)
+}
+
+// TrainMemberLen reports how many payload bytes AppendTrainMember will add
+// for f: the encoded frame plus its length prefix.
+func TrainMemberLen(f *Frame) int {
+	n := f.EncodedLen()
+	return UvarintLen(uint64(n)) + n
+}
+
+var (
+	trainsUnpacked  atomic.Uint64
+	membersUnpacked atomic.Uint64
+	membersRejected atomic.Uint64
+)
+
+// ForEachTrainMember walks a train payload, invoking fn once per member
+// frame that decodes cleanly. The *Frame passed to fn is reused across
+// members (the walk costs one frame header however long the train), and
+// its Payload aliases the train payload; fn must copy anything it retains
+// past its own return.
+//
+// A member that fails its own CRC (or otherwise fails to decode) is skipped
+// using its length prefix and counted in rejected — the rest of the train
+// still delivers. A damaged length prefix loses framing for everything that
+// follows; that aborts the walk with ErrTrainCorrupt. The return reports
+// members delivered and members rejected.
+func ForEachTrainMember(payload []byte, fn func(m *Frame)) (members, rejected int, err error) {
+	var m Frame
+	for len(payload) > 0 {
+		mlen, n, uerr := Uvarint(payload)
+		if uerr != nil {
+			membersRejected.Add(1)
+			return members, rejected + 1, ErrTrainCorrupt
+		}
+		payload = payload[n:]
+		if mlen == 0 || mlen > uint64(len(payload)) {
+			membersRejected.Add(1)
+			return members, rejected + 1, ErrTrainCorrupt
+		}
+		chunk := payload[:mlen]
+		payload = payload[mlen:]
+		var consumed int
+		var derr error
+		m, consumed, derr = Decode(chunk)
+		if derr != nil || consumed != int(mlen) || m.Kind == KindTrain {
+			rejected++
+			membersRejected.Add(1)
+			continue
+		}
+		members++
+		membersUnpacked.Add(1)
+		fn(&m)
+	}
+	trainsUnpacked.Add(1)
+	return members, rejected, nil
+}
+
+// TrainStats is a snapshot of the process-wide train unpack counters.
+type TrainStats struct {
+	// TrainsUnpacked counts train payloads walked to completion.
+	TrainsUnpacked uint64
+	// MembersUnpacked counts member frames delivered from trains.
+	MembersUnpacked uint64
+	// MembersRejected counts members dropped for a bad CRC, a decode
+	// error, nesting, or damaged framing.
+	MembersRejected uint64
+}
+
+// ReadTrainStats snapshots the global train unpack counters.
+func ReadTrainStats() TrainStats {
+	return TrainStats{
+		TrainsUnpacked:  trainsUnpacked.Load(),
+		MembersUnpacked: membersUnpacked.Load(),
+		MembersRejected: membersRejected.Load(),
+	}
+}

@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func trainMember(i int) Frame {
+	return Frame{
+		Kind:    KindRequest,
+		ReqID:   uint64(100 + i),
+		Src:     Addr{Node: 1, Context: ContextID(i)},
+		Dst:     Addr{Node: 3, Context: 4},
+		Object:  ObjectID(7 + i),
+		Payload: []byte{byte(i), byte(i + 1), byte(i + 2)},
+	}
+}
+
+func buildTrain(t *testing.T, n int) ([]byte, []Frame) {
+	t.Helper()
+	var payload []byte
+	var members []Frame
+	for i := 0; i < n; i++ {
+		m := trainMember(i)
+		var err error
+		payload, err = AppendTrainMember(payload, &m)
+		if err != nil {
+			t.Fatalf("AppendTrainMember(%d): %v", i, err)
+		}
+		members = append(members, m)
+	}
+	return payload, members
+}
+
+func TestTrainRoundTrip(t *testing.T) {
+	payload, want := buildTrain(t, 5)
+	var got []Frame
+	members, rejected, err := ForEachTrainMember(payload, func(m *Frame) {
+		got = append(got, m.Clone())
+	})
+	if err != nil || rejected != 0 {
+		t.Fatalf("walk: members=%d rejected=%d err=%v", members, rejected, err)
+	}
+	if members != len(want) || len(got) != len(want) {
+		t.Fatalf("delivered %d members, want %d", members, len(want))
+	}
+	for i := range want {
+		if got[i].ReqID != want[i].ReqID || got[i].Object != want[i].Object ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Errorf("member %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrainFrameRoundTrip(t *testing.T) {
+	// A train rides inside an ordinary frame whose CRC covers the header
+	// only; the container must round-trip through Encode/Decode.
+	payload, _ := buildTrain(t, 3)
+	tf := Frame{
+		Kind:    KindTrain,
+		Flags:   FlagOneWay | FlagTrains,
+		Src:     Addr{Node: 1},
+		Dst:     Addr{Node: 3},
+		Object:  KernelObject,
+		Payload: payload,
+	}
+	buf, err := tf.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("Decode: n=%d err=%v", n, err)
+	}
+	if got.Kind != KindTrain || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("container mismatch: %+v", &got)
+	}
+}
+
+// memberOffsets returns the byte range of each member's encoded frame
+// (excluding its length prefix) within the train payload.
+func memberOffsets(t *testing.T, payload []byte) [][2]int {
+	t.Helper()
+	var offs [][2]int
+	pos := 0
+	for pos < len(payload) {
+		mlen, n, err := Uvarint(payload[pos:])
+		if err != nil {
+			t.Fatalf("framing at %d: %v", pos, err)
+		}
+		offs = append(offs, [2]int{pos + n, pos + n + int(mlen)})
+		pos += n + int(mlen)
+	}
+	return offs
+}
+
+func TestTrainCorruptMemberRejectsOnlyMember(t *testing.T) {
+	const total = 5
+	base, want := buildTrain(t, total)
+	offs := memberOffsets(t, base)
+
+	cases := []struct {
+		name   string
+		victim int
+		mutate func(member []byte) // member is the victim's encoded bytes
+	}{
+		{"payload bit flip", 1, func(m []byte) { m[headerLen] ^= 0x40 }},
+		{"crc bit flip", 2, func(m []byte) { m[len(m)-1] ^= 0x01 }},
+		{"header reqid flip", 3, func(m []byte) { m[6] ^= 0x80 }},
+		{"bad magic", 0, func(m []byte) { m[0] ^= 0xff }},
+		{"bad version", 4, func(m []byte) { m[2] ^= 0x02 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload := append([]byte(nil), base...)
+			tc.mutate(payload[offs[tc.victim][0]:offs[tc.victim][1]])
+
+			var got []uint64
+			members, rejected, err := ForEachTrainMember(payload, func(m *Frame) {
+				got = append(got, m.ReqID)
+			})
+			if err != nil {
+				t.Fatalf("framing must survive member corruption, got %v", err)
+			}
+			if rejected != 1 || members != total-1 {
+				t.Fatalf("members=%d rejected=%d, want %d/1", members, rejected, total-1)
+			}
+			for i, w := range want {
+				if i == tc.victim {
+					continue
+				}
+				found := false
+				for _, id := range got {
+					if id == w.ReqID {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("surviving member %d (reqID %d) was not delivered", i, w.ReqID)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainDamagedFramingLosesTail(t *testing.T) {
+	payload, _ := buildTrain(t, 4)
+	offs := memberOffsets(t, payload)
+	// Blow up the third member's length prefix: members 0 and 1 deliver,
+	// framing is lost from member 2 on.
+	payload[offs[2][0]-1] = 0xff // length prefix is the byte(s) before the member
+
+	members, _, err := ForEachTrainMember(payload, func(m *Frame) {})
+	if err != ErrTrainCorrupt {
+		t.Fatalf("err = %v, want ErrTrainCorrupt", err)
+	}
+	if members != 2 {
+		t.Fatalf("delivered %d members before framing loss, want 2", members)
+	}
+}
+
+func TestTrainRejectsNestedTrain(t *testing.T) {
+	inner, _ := buildTrain(t, 1)
+	nested := Frame{Kind: KindTrain, Dst: Addr{Node: 3}, Payload: inner}
+	if _, err := AppendTrainMember(nil, &nested); err != ErrTrainNested {
+		t.Fatalf("AppendTrainMember(train) err = %v, want ErrTrainNested", err)
+	}
+
+	// A hand-forged nested train on the wire must be rejected at unpack.
+	var payload []byte
+	payload = AppendUvarint(payload, uint64(nested.EncodedLen()))
+	var err error
+	payload, err = nested.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainMember(0)
+	payload, err = AppendTrainMember(payload, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, rejected, err := ForEachTrainMember(payload, func(m *Frame) {
+		if m.Kind == KindTrain {
+			t.Error("nested train delivered")
+		}
+	})
+	if err != nil || members != 1 || rejected != 1 {
+		t.Fatalf("members=%d rejected=%d err=%v, want 1/1/nil", members, rejected, err)
+	}
+}
+
+func TestTrainTruncatedPayload(t *testing.T) {
+	payload, _ := buildTrain(t, 3)
+	for cut := 1; cut < 12; cut++ {
+		trunc := payload[:len(payload)-cut]
+		if _, _, err := ForEachTrainMember(trunc, func(m *Frame) {}); err != ErrTrainCorrupt {
+			t.Fatalf("cut %d: err = %v, want ErrTrainCorrupt", cut, err)
+		}
+	}
+	// Empty payload is a legal (if pointless) train.
+	if members, rejected, err := ForEachTrainMember(nil, func(m *Frame) {}); err != nil || members != 0 || rejected != 0 {
+		t.Fatalf("empty train: members=%d rejected=%d err=%v", members, rejected, err)
+	}
+}
+
+func TestTrainMemberLen(t *testing.T) {
+	m := trainMember(0)
+	payload, err := AppendTrainMember(nil, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TrainMemberLen(&m); got != len(payload) {
+		t.Fatalf("TrainMemberLen = %d, appended %d bytes", got, len(payload))
+	}
+}
