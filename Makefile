@@ -4,7 +4,7 @@ GO ?= go
 
 # make cover fails if any of these packages drop below this (percent).
 COVER_MIN ?= 80
-COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard ./internal/overload ./internal/netsim
+COVER_PKGS ?= ./internal/obs ./internal/health ./internal/replica ./internal/group ./internal/codec ./internal/shard ./internal/overload ./internal/netsim ./internal/session
 
 # Seeds make chaos replays; override to explore: make chaos CHAOS_SEEDS="7 8 9"
 CHAOS_SEEDS ?= 1 2 3
@@ -13,9 +13,18 @@ CHAOS_SEEDS ?= 1 2 3
 # runs more seeds by default.
 STRESS_SEEDS ?= 1 2
 
-.PHONY: all build test race vet lint bench bench-short bench-gate chaos stress cover experiments examples clean
+.PHONY: all build test race vet lint bench bench-short bench-gate chaos stress cover fuzz-short experiments examples clean
 
-all: vet lint test race chaos stress bench-short build
+all: vet lint test race chaos stress bench-short fuzz-short build
+
+# Fuzz regression gate: replays every committed corpus entry (and the
+# in-test seeds) through the fuzz targets without generating new inputs —
+# `-run '^Fuzz'` without `-fuzz` is Go's corpus-regression mode. Cheap
+# enough to ride in `make all`; grow the corpora with e.g.
+# go test -fuzz=FuzzPayloadHeaders -fuzztime=30s ./internal/wire
+FUZZ_PKGS ?= ./internal/wire ./internal/obs
+fuzz-short:
+	$(GO) test -count=1 -run '^Fuzz' $(FUZZ_PKGS)
 
 # Fast-path gate: the allocation-budget tests (bypass must be 0 allocs/op,
 # stub and cache at or under their enforced ceilings) plus a one-iteration

@@ -1,4 +1,4 @@
-// Proxybench runs the reproduction suite E1–E16 (see EXPERIMENTS.md) and
+// Proxybench runs the reproduction suite E1–E18 (see EXPERIMENTS.md) and
 // prints each experiment's table or series.
 //
 // Usage:

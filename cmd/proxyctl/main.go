@@ -27,6 +27,9 @@
 //	group                         print the daemon's replica groups:
 //	                              role, epoch, primary, and per-member
 //	                              applied sequence numbers
+//	sessions                      print the daemon's exactly-once dedup
+//	                              table: live sessions, cached replies,
+//	                              replay/expired/eviction counters
 //	shard status                  print the daemon's sharded deployments:
 //	                              table epoch, members, keys per shard
 //	shard add <shard> <member> <ref>
@@ -189,32 +192,13 @@ func main() {
 		if *traceInvoke {
 			printMergedTrace(ctx, rt, client, observer, root)
 		}
-	case "health":
-		p, err := client.Resolve(ctx, rt, "services/health")
+	case "health", "overload", "group", "sessions":
+		sv := statusVerbs[cmd]
+		p, err := client.Resolve(ctx, rt, sv.name)
 		if err != nil {
-			log.Fatalf("resolve services/health (daemon too old?): %v", err)
+			log.Fatalf("resolve %s (daemon too old?): %v", sv.name, err)
 		}
-		text, err := core.Call1[string](ctx, p, "nodes")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(text)
-	case "overload":
-		p, err := client.Resolve(ctx, rt, "services/overload")
-		if err != nil {
-			log.Fatalf("resolve services/overload (daemon too old?): %v", err)
-		}
-		text, err := core.Call1[string](ctx, p, "status")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(text)
-	case "group":
-		p, err := client.Resolve(ctx, rt, "services/replica")
-		if err != nil {
-			log.Fatalf("resolve services/replica (daemon too old?): %v", err)
-		}
-		text, err := core.Call1[string](ctx, p, "groups")
+		text, err := core.Call1[string](ctx, p, sv.method)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -283,6 +267,17 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// statusVerbs maps the plain status commands onto the daemon service each
+// renders: the directory name the service is bound at, and the method
+// returning its formatted status text. The verbs share one code path in
+// main; keeping the mapping as data keeps it testable without a cluster.
+var statusVerbs = map[string]struct{ name, method string }{
+	"health":   {name: "services/health", method: "nodes"},
+	"overload": {name: "services/overload", method: "status"},
+	"group":    {name: "services/replica", method: "groups"},
+	"sessions": {name: "services/session", method: "sessions"},
 }
 
 // obsCall resolves the daemon's observability service from the directory

@@ -55,6 +55,32 @@ func TestParseArgs(t *testing.T) {
 	}
 }
 
+func TestStatusVerbs(t *testing.T) {
+	tests := []struct {
+		verb   string
+		name   string
+		method string
+	}{
+		{verb: "health", name: "services/health", method: "nodes"},
+		{verb: "overload", name: "services/overload", method: "status"},
+		{verb: "group", name: "services/replica", method: "groups"},
+		{verb: "sessions", name: "services/session", method: "sessions"},
+	}
+	for _, tt := range tests {
+		sv, ok := statusVerbs[tt.verb]
+		if !ok {
+			t.Errorf("statusVerbs[%q] missing", tt.verb)
+			continue
+		}
+		if sv.name != tt.name || sv.method != tt.method {
+			t.Errorf("statusVerbs[%q] = %+v, want {%s %s}", tt.verb, sv, tt.name, tt.method)
+		}
+	}
+	if len(statusVerbs) != len(tests) {
+		t.Errorf("statusVerbs has %d entries, tests cover %d", len(statusVerbs), len(tests))
+	}
+}
+
 func TestParsePeers(t *testing.T) {
 	got, err := parsePeers("1=a:1, 2=b:2")
 	if err != nil {

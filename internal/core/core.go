@@ -158,6 +158,14 @@ const (
 	// its staleness window). Unlike CodeUnavailable this is a fast,
 	// deliberate refusal, not a timeout.
 	CodeOverload Code = 9
+	// CodeSessionExpired reports a session-stamped retry that arrived
+	// after the server's dedup table evicted the session: whether the
+	// original invocation executed is unknowable, so the server refuses
+	// to re-apply and the caller must fail loudly (surface the error,
+	// never fail over — an alternate binding knows even less). The value
+	// is mirrored by internal/session.ExpiredPayload, which cannot
+	// import this package.
+	CodeSessionExpired Code = 10
 )
 
 // String names the code.
@@ -181,6 +189,8 @@ func (c Code) String() string {
 		return "misroute"
 	case CodeOverload:
 		return "overload"
+	case CodeSessionExpired:
+		return "session-expired"
 	default:
 		return fmt.Sprintf("code(%d)", int64(c))
 	}

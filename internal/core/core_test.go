@@ -11,6 +11,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/kernel"
 	"repro/internal/netsim"
+	"repro/internal/session"
 	"repro/internal/wire"
 )
 
@@ -582,6 +583,20 @@ func TestInvokeErrorEncodingRoundTrip(t *testing.T) {
 	out = DecodeInvokeError([]byte("no such context"))
 	if out.Code != CodeInternal || out.Msg != "no such context" {
 		t.Errorf("foreign payload = %+v", out)
+	}
+}
+
+// TestExpiredPayloadPinsCode pins the cross-package constant: the session
+// package preencodes its expired-retry reply with a literal code value
+// (it cannot import core — core imports it), so this test is what keeps
+// that literal and CodeSessionExpired from drifting apart.
+func TestExpiredPayloadPinsCode(t *testing.T) {
+	ie := DecodeInvokeError(session.ExpiredPayload())
+	if ie.Code != CodeSessionExpired {
+		t.Fatalf("session.ExpiredPayload decodes to code %v, want %v (update the literal in session/blob.go)", ie.Code, CodeSessionExpired)
+	}
+	if ie.Msg == "" {
+		t.Fatal("expired payload lost its message")
 	}
 }
 

@@ -45,13 +45,18 @@ func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
 
 // AppendCtxHeaders prefixes dst with every header the ctx implies: the
 // request's priority class (if the ctx carries a non-normal one, via
-// WithPriority), the remaining deadline budget (if the ctx has a
+// WithPriority), the session identity (if the ctx carries one, via
+// ContextWithSession), the remaining deadline budget (if the ctx has a
 // deadline) and the trace span (if the ctx carries one). This is what
 // proxies call when building a request payload. The priority header goes
 // first: the receiving kernel classifies a frame for admission by
-// peeking at payload[0] only.
+// peeking at payload[0] only. The session header precedes the deadline
+// header so the rpc layer's per-retransmit deadline rewrite never has to
+// move it.
 func AppendCtxHeaders(dst []byte, ctx context.Context) []byte {
 	dst = wire.AppendPriorityHeader(dst, PriorityFrom(ctx))
+	sid, seq := SessionFromContext(ctx)
+	dst = wire.AppendSessionHeader(dst, sid, seq)
 	if dl, ok := ctx.Deadline(); ok {
 		dst = AppendDeadlineHeader(dst, time.Until(dl))
 	}
@@ -59,15 +64,21 @@ func AppendCtxHeaders(dst []byte, ctx context.Context) []byte {
 	return obs.AppendSpanHeader(dst, sc)
 }
 
-// SplitHeaders strips any combination of priority, deadline, and trace
-// headers from the front of a request payload, in any order, returning
-// what the deadline and trace headers carried (zero values when absent)
-// and the bare request body. The priority header was consumed by the
-// kernel's admission decision; servers above it have no use for it.
+// SplitHeaders strips any combination of priority, session, deadline,
+// and trace headers from the front of a request payload, in any order,
+// returning what the deadline and trace headers carried (zero values
+// when absent) and the bare request body. The priority header was
+// consumed by the kernel's admission decision, and the session header by
+// its dedup consult (wire.PeekSession); servers above them recover the
+// session identity from ctx, not the payload.
 func SplitHeaders(payload []byte) (sc obs.SpanContext, budget time.Duration, body []byte) {
 	body = payload
 	for {
 		if _, rest := wire.SplitPriorityHeader(body); len(rest) != len(body) {
+			body = rest
+			continue
+		}
+		if _, _, rest := wire.SplitSessionHeader(body); len(rest) != len(body) {
 			body = rest
 			continue
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/rpc"
+	"repro/internal/session"
 	"repro/internal/wire"
 )
 
@@ -87,6 +88,8 @@ type Runtime struct {
 
 	hedgeCfg *HedgeConfig // optional (WithHedging)
 	hedge    *hedgeState  // built in NewRuntime when hedgeCfg is set
+
+	sessions *session.Minter // optional (WithSessions)
 
 	defaultFactory    ProxyFactory
 	defaultFactorySet bool

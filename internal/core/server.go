@@ -113,6 +113,12 @@ func (so *serverObject) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 	}
 	so.rt.serveCalls.Inc()
 	ctx := so.callerContext(req.From)
+	if sid, seq, ok := wire.PeekSession(req.Frame.Payload); ok {
+		// Recover the exactly-once identity the stub stamped, so layers
+		// the service forwards through (replica write path, shard guard)
+		// keep it attached to their inner calls.
+		ctx = ContextWithSession(ctx, sid, seq)
+	}
 	// The request carried the client's remaining budget: expire our ctx
 	// when theirs does, so abandoned work cancels instead of completing
 	// into the void.

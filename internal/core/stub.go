@@ -139,6 +139,23 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 		}
 	}
 
+	// Session stamping (WithSessions): non-idempotent invocations get one
+	// exactly-once identity, allocated HERE — before the failover loop —
+	// so every retransmission and every alternate binding presents the
+	// same (sid, seq) and a dedup-aware server recognizes the replay.
+	// Idempotent methods stay unstamped: replaying them is harmless by
+	// declaration, so caching their replies would be pure overhead. A ctx
+	// already stamped (a layer above forwarding one logical invocation)
+	// keeps its identity.
+	sessioned := false
+	if sid, _ := SessionFromContext(ctx); sid != 0 {
+		sessioned = true
+	} else if s.rt.sessions != nil && !s.isIdempotent(ctx, method) {
+		sid, seq := s.rt.sessions.Next()
+		ctx = ContextWithSession(ctx, sid, seq)
+		sessioned = true
+	}
+
 	// The failover loop: try the current binding; on a redirectable
 	// failure, move to the next untried alternate (or one rebinder
 	// lookup) and go again. Tried targets are remembered so a stale
@@ -166,7 +183,12 @@ func (s *Stub) invoke(ctx context.Context, method string, args []any) ([]any, er
 			return nil, stubError(method, err)
 		}
 		class := classifyFailure(err)
-		if class == foNone || (class == foMaybeSent && !s.isIdempotent(ctx, method)) {
+		// A maybe-sent failure is replayable when the method is idempotent
+		// (re-execution is harmless) OR the call carries a session identity
+		// (the server's dedup table suppresses re-execution). The licensing
+		// gate thus retires for session-stamped calls; it survives only as
+		// the skip-the-stamp optimization above.
+		if class == foNone || (class == foMaybeSent && !sessioned && !s.isIdempotent(ctx, method)) {
 			return nil, stubError(method, err)
 		}
 		if tried == nil {

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E17 described
+// Package experiments implements the reproduction suite E1–E18 described
 // in EXPERIMENTS.md: each experiment builds its world on the simulated
 // network, runs the sweep, and renders the table or series the paper's
 // claims predict. cmd/proxybench runs them all; the root bench_test.go
@@ -66,6 +66,7 @@ func All() []Experiment {
 		{"E15", "Overload shedding goodput and hedged-read tail latency (extension)", E15Overload},
 		{"E16", "Gray failure: slow-peer scoring and outlier-ejection tail latency (extension)", E16GrayFailure},
 		{"E17", "Frame-train coalescing: cross-context throughput under fan-in (extension)", E17FrameTrains},
+		{"E18", "Exactly-once sessions: dedup-hit latency and failover duplicate audit (extension)", E18Sessions},
 	}
 }
 

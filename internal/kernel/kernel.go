@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/overload"
+	"repro/internal/session"
 	"repro/internal/wire"
 )
 
@@ -162,6 +163,21 @@ func WithTrace(fn func(dir TraceDirection, f *wire.Frame)) NodeOption {
 	return func(nd *Node) { nd.trace = fn }
 }
 
+// WithSessions installs a per-session dedup table consulted below the
+// object layer: a session-stamped request (the 0xF8 payload header)
+// whose (session, seq) already executed is answered from the cached
+// reply without dispatching a handler; one still executing is dropped
+// (the original will answer the retransmitting client); one whose
+// session the table evicted is refused with the session-expired error.
+// Requests without the header pass through untouched, so the table
+// costs unstamped traffic one nil check. Replies sent through
+// Context.Respond/RespondError are recorded automatically; kernel-level
+// no-route and pushback responses bypass recording by construction
+// (they prove the invocation never ran — a retry SHOULD execute).
+func WithSessions(tab *session.Table) NodeOption {
+	return func(nd *Node) { nd.sessions = tab }
+}
+
 // trainCapMarker is implemented by endpoints that coalesce outbound
 // frames into trains (netsim.CoalescedEndpoint) and need to learn which
 // peers can unpack them. The kernel feeds it from the receive pump: any
@@ -174,11 +190,12 @@ type trainCapMarker interface {
 
 // Node hosts contexts on one endpoint and pumps inbound frames to them.
 type Node struct {
-	ep      netsim.Endpoint
-	capMark trainCapMarker
-	sem     chan struct{}
-	adm     *overload.Controller
-	trace   func(TraceDirection, *wire.Frame)
+	ep       netsim.Endpoint
+	capMark  trainCapMarker
+	sem      chan struct{}
+	adm      *overload.Controller
+	trace    func(TraceDirection, *wire.Frame)
+	sessions *session.Table
 
 	// inboundObs, when set, is called with the source node of every
 	// inbound frame (see SetInboundObserver).
@@ -211,6 +228,12 @@ func NewNode(ep netsim.Endpoint, opts ...NodeOption) *Node {
 
 // ID reports the node's identity.
 func (n *Node) ID() wire.NodeID { return n.ep.LocalNode() }
+
+// SessionTable exposes the node's exactly-once dedup table; nil without
+// WithSessions. Shared with layers that own their own dedup scope (the
+// replicated-object primary, the shard guard) and with the stats service
+// that reports occupancy.
+func (n *Node) SessionTable() *session.Table { return n.sessions }
 
 // SetInboundObserver installs (nil removes) a hook called with the source
 // node of every inbound frame from another node — including the liveness
@@ -514,14 +537,51 @@ func (c *Context) dispatch(f *wire.Frame) {
 		}
 		return
 	}
+	// Exactly-once dedup (WithSessions): consulted after the object
+	// lookup — a missing object must answer no-route so failover knows
+	// the request never ran — and before admission, so a replay is
+	// answered from cache even on a saturated node. Only session-stamped
+	// requests take this path; the common unstamped case costs one nil
+	// check and one leading-byte peek.
+	var sessSID, sessSeq uint64
+	sessionBegun := false
+	if tab := c.node.sessions; tab != nil && f.Flags&wire.FlagOneWay == 0 &&
+		(f.Kind == wire.KindRequest || f.Kind >= wire.KindCustom) {
+		if sid, seq, ok := wire.PeekSession(f.Payload); ok {
+			switch verdict, ent := tab.Begin(sid, seq); verdict {
+			case session.Replay:
+				c.replayCached(f, ent)
+				return
+			case session.InFlight:
+				// The original execution will answer; the client keeps
+				// retransmitting under the same identity until it does.
+				return
+			case session.Expired:
+				c.replyExpired(f)
+				return
+			default: // Fresh: marked in flight; Respond/RespondError commit it.
+				sessSID, sessSeq, sessionBegun = sid, seq, true
+			}
+		}
+	}
 	if ac := c.node.adm; ac != nil {
 		// Adaptive admission (WithAdmission): the controller decides —
 		// run now, queue briefly, or shed with pushback. The pump never
 		// blocks; overload turns into fast failures instead of
 		// backpressure-then-timeout.
+		shed := func(retryAfter time.Duration) { c.replyOverload(f, retryAfter) }
+		if sessionBegun {
+			// A shed request never executed: release the in-flight mark so
+			// the client's retry is Fresh, not stuck behind a ghost.
+			tab := c.node.sessions
+			shed = func(retryAfter time.Duration) {
+				tab.Abort(sessSID, sessSeq)
+				c.replyOverload(f, retryAfter)
+			}
+		}
 		ac.Submit(admissionClass(f),
 			func() { h.HandleFrame(c, f) },
-			func(retryAfter time.Duration) { c.replyOverload(f, retryAfter) })
+			shed)
 		return
 	}
 	select {
@@ -532,6 +592,65 @@ func (c *Context) dispatch(f *wire.Frame) {
 	// Plain method-value goroutine launch: unlike a closure this does not
 	// allocate a capture environment per dispatched frame.
 	go c.runHandler(h, f)
+}
+
+// replayCached answers a deduplicated retransmission from the session
+// table's cached reply, correlated to the NEW request's id — failover
+// issues a fresh ReqID per attempt; (session, seq) is the stable
+// identity across them.
+func (c *Context) replayCached(f *wire.Frame, ent *session.Entry) {
+	if f.Src.IsZero() {
+		return
+	}
+	resp := wire.GetFrame()
+	resp.Kind = ent.Kind
+	if ent.IsErr {
+		resp.Kind = wire.KindError
+	}
+	resp.Flags = wire.FlagResponse
+	resp.ReqID = f.ReqID
+	resp.Dst = f.Src
+	resp.Object = wire.KernelObject
+	resp.Payload = ent.Payload
+	_ = c.Send(resp)
+	resp.Release()
+}
+
+// replyExpired refuses a retry whose session the dedup table evicted.
+// Deliberately NOT FlagNoRoute: the refusal must decode as a
+// CodeSessionExpired InvokeError and surface to the caller — a no-route
+// flag would license failover, and an alternate binding knows even less
+// about whether the original executed.
+func (c *Context) replyExpired(f *wire.Frame) {
+	if f.Src.IsZero() {
+		return
+	}
+	resp := wire.GetFrame()
+	resp.Kind = wire.KindError
+	resp.Flags = wire.FlagResponse
+	resp.ReqID = f.ReqID
+	resp.Dst = f.Src
+	resp.Object = wire.KernelObject
+	resp.Payload = session.ExpiredPayload()
+	_ = c.Send(resp)
+	resp.Release()
+}
+
+// recordSession commits an object-layer reply into the dedup table when
+// the request it answers was session-stamped. Kernel-level no-route,
+// pushback, and expired responses are built with raw sends, so they are
+// never recorded — correctly: they prove the invocation did not run.
+func (c *Context) recordSession(req *wire.Frame, kind wire.Kind, payload []byte) {
+	tab := c.node.sessions
+	if tab == nil || req.Flags&wire.FlagOneWay != 0 {
+		return
+	}
+	if req.Kind != wire.KindRequest && req.Kind < wire.KindCustom {
+		return
+	}
+	if sid, seq, ok := wire.PeekSession(req.Payload); ok {
+		tab.Commit(sid, seq, kind, kind == wire.KindError, payload)
+	}
 }
 
 func (c *Context) runHandler(h Handler, f *wire.Frame) {
@@ -683,6 +802,7 @@ func (c *Context) failPending(err error) {
 // response frame is pooled: both transports copy it before Send
 // returns, so it is recycled immediately after the send.
 func (c *Context) Respond(req *wire.Frame, kind wire.Kind, payload []byte) error {
+	c.recordSession(req, kind, payload)
 	resp := wire.GetFrame()
 	resp.Kind = kind
 	resp.Flags = wire.FlagResponse

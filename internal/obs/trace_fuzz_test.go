@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz entry point for the trace-header parser (0xF5), the obs-owned
+// member of the optional payload-header family (priority, session, and
+// deadline live in internal/wire and are fuzzed there). Same contract:
+// never panic, hand malformed payloads through untouched, and parse any
+// accepted header back to the values that re-encode it. Run with e.g.
+//
+//	go test -fuzz=FuzzSplitSpanHeader -fuzztime=30s ./internal/obs
+func FuzzSplitSpanHeader(f *testing.F) {
+	good := AppendSpanHeader(nil, SpanContext{Trace: 0x0102, Span: 0x77})
+	good = append(good, "body"...)
+	f.Add(good)
+	f.Add([]byte{headerMagic})             // magic alone
+	f.Add([]byte{headerMagic, 0x85})       // truncated trace uvarint
+	f.Add([]byte{0xF4, 'j', 'u', 'n', 'k'}) // unassigned header magic
+	f.Add([]byte("headerless payload"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, rest := SplitSpanHeader(data)
+		if len(rest) > len(data) || (len(rest) > 0 && !bytes.HasSuffix(data, rest)) {
+			t.Fatalf("rest is not a suffix of the payload (%d of %d bytes)", len(rest), len(data))
+		}
+		if len(rest) == len(data) {
+			return // nothing consumed: must have parsed nothing
+		}
+		if sc.Trace == 0 {
+			// A zero trace id cannot re-encode (zero means "untraced"),
+			// but a non-minimal uvarint may still have been consumed.
+			return
+		}
+		// Uvarint fields admit non-minimal encodings, so compare the
+		// re-parse rather than the bytes.
+		sc2, r2 := SplitSpanHeader(append(AppendSpanHeader(nil, sc), rest...))
+		if sc2 != sc || !bytes.Equal(r2, rest) {
+			t.Fatalf("round trip: got %+v, want %+v", sc2, sc)
+		}
+	})
+}

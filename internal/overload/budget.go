@@ -83,3 +83,20 @@ func (b *Budget) Tokens(n wire.NodeID) float64 {
 	defer b.mu.Unlock()
 	return b.bucketFor(n).tokens
 }
+
+// Poorest reports the lowest balance across every destination the budget
+// tracks, plus the number of destinations. The minimum is the number
+// that matters operationally: it is the destination closest to tripping
+// ErrRetryBudget. A budget with no traffic yet reports the full burst
+// allowance and zero destinations.
+func (b *Budget) Poorest() (tokens float64, dests int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tokens = b.burst
+	for _, bk := range b.buckets {
+		if bk.tokens < tokens {
+			tokens = bk.tokens
+		}
+	}
+	return tokens, len(b.buckets)
+}

@@ -22,11 +22,20 @@ import (
 //
 //	snapshot block: 'S' epoch(uvarint) seq(uvarint) state(bytes) crc32(4)
 //	record block:   'R' epoch(uvarint) seq(uvarint) payload(bytes) crc32(4)
+//	dedup block:    'D' epoch(uvarint) seq(uvarint) entry(bytes) crc32(4)
+//	  entry = sid(uvarint) cseq(uvarint) digest(uvarint)
 //
 // The CRC (Castagnoli, as in checkpoints) covers the block from the kind
 // byte through the body. A snapshot block resets the baseline: replay
 // state = last snapshot + records after it, and Compact rewrites the log
-// to exactly that. A torn final block — the artifact of dying mid-append —
+// to exactly that. A dedup block rides next to the record it annotates:
+// it binds a logged write to the (session, sequence) identity the client
+// stamped it with, plus a digest of the reply, so a successor replaying
+// the log rebuilds not just the state but the exactly-once dedup table —
+// a retransmit landing after promotion is recognized, not re-applied.
+// Dedup blocks are subsumed by snapshots exactly like records (the
+// snapshot state embeds the dedup table) and are dropped by compaction.
+// A torn final block — the artifact of dying mid-append —
 // is silently dropped on open (and truncated away, so later appends stay
 // parseable); a complete block whose CRC mismatches is ErrBadLog, because
 // that is corruption, not a crash.
@@ -41,6 +50,7 @@ var ErrCompacted = errors.New("persist: suffix compacted away")
 const (
 	blockSnapshot = 'S'
 	blockRecord   = 'R'
+	blockDedup    = 'D'
 )
 
 // Record is one ordered write as logged by the primary: the epoch it was
@@ -49,6 +59,18 @@ type Record struct {
 	Epoch   uint64
 	Seq     uint64
 	Payload []byte
+}
+
+// DedupRecord binds a logged write to the exactly-once identity its client
+// stamped it with: write (Epoch, Seq) was invocation (SID, CSeq), and the
+// reply it produced hashed to Digest. Replaying these alongside the record
+// stream reconstructs the primary's dedup table after a crash.
+type DedupRecord struct {
+	Epoch  uint64
+	Seq    uint64
+	SID    uint64
+	CSeq   uint64
+	Digest uint32
 }
 
 // LogStore is the durability substrate a WAL writes through. Append must
@@ -191,6 +213,7 @@ type WAL struct {
 	snapshot  []byte
 	hasSnap   bool
 	records   []Record
+	dedups    []DedupRecord
 }
 
 // OpenWAL replays the store's contents. A torn final block is dropped and
@@ -220,7 +243,7 @@ func (w *WAL) replay(raw []byte) (int, error) {
 	off := 0
 	for off < len(raw) {
 		kind := raw[off]
-		if kind != blockSnapshot && kind != blockRecord {
+		if kind != blockSnapshot && kind != blockRecord && kind != blockDedup {
 			return 0, fmt.Errorf("%w: unknown block kind 0x%02x at %d", ErrBadLog, kind, off)
 		}
 		body := raw[off+1:]
@@ -256,16 +279,39 @@ func (w *WAL) replay(raw []byte) (int, error) {
 			w.snapshot = append([]byte(nil), data...)
 			w.hasSnap = true
 			w.records = w.records[:0]
+			w.dedups = w.dedups[:0]
 		case blockRecord:
 			le, ls := w.lastLocked()
 			if epoch < le || seq <= ls {
 				return 0, fmt.Errorf("%w: record order violation at %d (epoch %d seq %d after epoch %d seq %d)", ErrBadLog, off, epoch, seq, le, ls)
 			}
 			w.records = append(w.records, Record{Epoch: epoch, Seq: seq, Payload: append([]byte(nil), data...)})
+		case blockDedup:
+			dr, err := decodeDedupEntry(epoch, seq, data)
+			if err != nil {
+				return 0, fmt.Errorf("%w: bad dedup entry at %d: %v", ErrBadLog, off, err)
+			}
+			w.dedups = append(w.dedups, dr)
 		}
 		off += blockLen + 4
 	}
 	return off, nil
+}
+
+func decodeDedupEntry(epoch, seq uint64, data []byte) (DedupRecord, error) {
+	sid, n1, err := wire.Uvarint(data)
+	if err != nil {
+		return DedupRecord{}, err
+	}
+	cseq, n2, err := wire.Uvarint(data[n1:])
+	if err != nil {
+		return DedupRecord{}, err
+	}
+	digest, _, err := wire.Uvarint(data[n1+n2:])
+	if err != nil {
+		return DedupRecord{}, err
+	}
+	return DedupRecord{Epoch: epoch, Seq: seq, SID: sid, CSeq: cseq, Digest: uint32(digest)}, nil
 }
 
 func appendBlock(dst []byte, kind byte, epoch, seq uint64, data []byte) []byte {
@@ -312,6 +358,36 @@ func (w *WAL) Append(epoch, seq uint64, payload []byte) error {
 	return nil
 }
 
+// AppendDedup durably logs the exactly-once identity of the write at
+// (epoch, seq): client session sid committed its cseq-th invocation and
+// received a reply hashing to digest. Called right after Append for the
+// same (epoch, seq), before the ack — so the ack implies the dedup entry
+// is durable, and a successor that replays the log can refuse to
+// re-apply a retransmission of this invocation.
+func (w *WAL) AppendDedup(epoch, seq, sid, cseq uint64, digest uint32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entry := wire.AppendUvarint(nil, sid)
+	entry = wire.AppendUvarint(entry, cseq)
+	entry = wire.AppendUvarint(entry, uint64(digest))
+	if err := w.store.Append(appendBlock(nil, blockDedup, epoch, seq, entry)); err != nil {
+		return err
+	}
+	w.dedups = append(w.dedups, DedupRecord{Epoch: epoch, Seq: seq, SID: sid, CSeq: cseq, Digest: digest})
+	return nil
+}
+
+// DedupRecords returns every dedup record after the snapshot baseline,
+// in append order. Chaos tests use this to audit that every acked
+// session-stamped write left a durable dedup trace.
+func (w *WAL) DedupRecords() []DedupRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]DedupRecord, len(w.dedups))
+	copy(out, w.dedups)
+	return out
+}
+
 // Snapshot records a full-state snapshot as of (epoch, seq) and compacts:
 // the log is atomically rewritten to just the snapshot block, discarding
 // the records it subsumes.
@@ -328,6 +404,7 @@ func (w *WAL) Snapshot(epoch, seq uint64, state []byte) error {
 	w.snapshot = append([]byte(nil), state...)
 	w.hasSnap = true
 	w.records = w.records[:0]
+	w.dedups = w.dedups[:0]
 	return nil
 }
 

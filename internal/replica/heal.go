@@ -146,10 +146,15 @@ func (p *Proxy) syncOnce() error {
 	case syncSnapshot:
 		// Full state transfer: the restored snapshot IS the state at
 		// curSeq, so the position is set exactly (rewinding past any
-		// divergent tail applied under a dead epoch).
+		// divergent tail applied under a dead epoch). The dedup table
+		// travels inside the blob — it is part of the state.
 		member.ResumeAt(epoch, curSeq, true, func() {
-			if err := p.local.Restore(blob); err != nil {
+			dedup, svcState := splitSnapshot(blob)
+			if err := p.local.Restore(svcState); err != nil {
 				return
+			}
+			if dedup != nil {
+				_ = p.tab.Restore(dedup)
 			}
 			p.appliedSeq.Store(curSeq)
 		})
@@ -342,6 +347,12 @@ func (p *Proxy) promote() {
 		if err != nil {
 			return
 		}
+		// The baseline snapshot carries the member's dedup table: every
+		// write the dead primary acked was delivered here first, so its
+		// identity is in this table, and the new incarnation inherits it —
+		// a client retransmitting across the promotion is answered from
+		// cache, not re-applied.
+		state = combineSnapshot(p.tab.Snapshot(), state)
 		wal, err := persist.OpenWAL(p.f.walStore(p.rt.Addr()))
 		if err != nil {
 			return
@@ -351,7 +362,7 @@ func (p *Proxy) promote() {
 		}
 		np := &primary{
 			rt: p.rt, svc: p.local, isRead: p.isRead, cap: p.ref.Cap,
-			wal: wal, name: p.f.name, snapEvery: p.f.snapEvery,
+			wal: wal, tab: p.tab, name: p.f.name, snapEvery: p.f.snapEvery,
 		}
 		seqOpts := []group.SequencerOption{
 			group.WithEpoch(newEpoch),

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/group"
 	"repro/internal/rpc"
+	"repro/internal/session"
 	"repro/internal/wire"
 )
 
@@ -34,7 +36,11 @@ type Proxy struct {
 	ref    codec.Ref
 	isRead func(string) bool
 	local  StateMachine
-	stop   chan struct{}
+	// tab mirrors the primary's exactly-once dedup table: seeded from the
+	// bootstrap snapshot, maintained by every delivered write (dedup.go),
+	// and handed to the new primary on promotion.
+	tab  *session.Table
+	stop chan struct{}
 
 	mu     sync.Mutex
 	ctrl   wire.ObjAddr
@@ -78,9 +84,14 @@ func (p *Proxy) apply(seq uint64, payload []byte) {
 		// stale rather than crash.
 		return
 	}
-	// Result and error are discarded: the primary already returned them to
-	// the writer; replicas apply purely for state.
-	_, _ = p.local.Invoke(context.Background(), method, args)
+	// The primary already returned results to the writer; replicas apply
+	// for state — and, for session-stamped writes, reconstruct the reply
+	// deterministically into the dedup table, so a promoted successor can
+	// answer the writer's retransmission from cache.
+	results, ierr := p.local.Invoke(context.Background(), method, args)
+	if sid, cseq, ok := wire.PeekSession(payload); ok {
+		commitApplied(p.rt, p.tab, sid, cseq, method, results, ierr)
+	}
 	p.applied.Add(1)
 	p.appliedSeq.Store(seq)
 }
@@ -129,12 +140,33 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args ...any) ([]any, 
 	return results, err
 }
 
+// maxWriteAttempts caps a sessioned write's cross-promotion retry loop;
+// the ctx deadline is the intended bound, this is the backstop.
+const maxWriteAttempts = 50
+
 // writeToPrimary funnels one write through the primary's ordered path.
 // The request payload carries the span and deadline budget from ctx so
 // the primary's apply and broadcast hops land in the same trace and
 // abandoned writes cancel server-side. The call goes through the
 // runtime's shared circuit breaker, like every other proxy kind's.
+//
+// With sessions enabled the exactly-once identity is minted ONCE, before
+// any attempt, and the loop below retries the SAME (sid, seq) across
+// primary death and promotion: each attempt re-reads the control address
+// (the heal loop rewrites it when it adopts a successor, and p.prim when
+// this proxy promotes itself), so the retransmission lands on the new
+// primary — whose inherited dedup table recognizes it if the old primary
+// already applied it. Without a session the write stays single-shot:
+// re-sending a maybe-applied write would risk double-apply.
 func (p *Proxy) writeToPrimary(ctx context.Context, method string, args []any) ([]any, error) {
+	sessioned := false
+	if sid, _ := core.SessionFromContext(ctx); sid != 0 {
+		sessioned = true
+	} else if m := p.rt.Sessions(); m != nil && !core.IdempotentFrom(ctx) && !p.rt.IsIdempotent(p.ref.Type, method) {
+		sid, seq := m.Next()
+		ctx = core.ContextWithSession(ctx, sid, seq)
+		sessioned = true
+	}
 	lowered, err := p.rt.LowerArgs(args)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
@@ -143,14 +175,52 @@ func (p *Proxy) writeToPrimary(ctx context.Context, method string, args []any) (
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
 	}
-	p.mu.Lock()
-	ctrl := p.ctrl
-	p.mu.Unlock()
-	reply, err := p.rt.GuardedCall(ctx, ctrl, kindWrite, payload)
-	if err != nil {
-		return nil, core.RemoteToInvokeError(method, err)
+	for attempt := 1; ; attempt++ {
+		p.mu.Lock()
+		ctrl, prim, closed := p.ctrl, p.prim, p.closed
+		p.mu.Unlock()
+		if closed {
+			return nil, core.ErrProxyClosed
+		}
+		if prim != nil {
+			// Promoted locally mid-retry: the in-process path dedups
+			// through the shared table under the same identity.
+			return invokeOnPrimary(ctx, prim, method, args)
+		}
+		reply, err := p.rt.GuardedCall(ctx, ctrl, kindWrite, payload)
+		if err == nil {
+			return core.DecodeResults(p.rt.Decoder(), reply.Payload)
+		}
+		ierr := core.RemoteToInvokeError(method, err)
+		if !sessioned || attempt >= maxWriteAttempts || !retryableWrite(ierr) {
+			return nil, ierr
+		}
+		// Give the heal loop a beat to elect/adopt the successor, then
+		// re-present the same identity to whatever primary it found.
+		select {
+		case <-ctx.Done():
+			return nil, ierr
+		case <-p.stop:
+			return nil, core.ErrProxyClosed
+		case <-time.After(p.f.syncInterval):
+		}
 	}
-	return core.DecodeResults(p.rt.Decoder(), reply.Payload)
+}
+
+// retryableWrite reports whether a sessioned write may be re-presented:
+// the primary is unreachable, fenced, or shedding — conditions failover
+// resolves. Everything else (app errors, denial, expiry) is final.
+func retryableWrite(err error) bool {
+	var ie *core.InvokeError
+	if !errors.As(err, &ie) {
+		return false
+	}
+	switch ie.Code {
+	case core.CodeUnavailable, core.CodeFenced, core.CodeOverload:
+		return true
+	default:
+		return false
+	}
 }
 
 // Ref implements core.Proxy.

@@ -229,7 +229,8 @@ func TestPrimaryCrashPromotesSuccessor(t *testing.T) {
 	}
 	rec := newReg()
 	if _, _, state, ok := wal.LastSnapshot(); ok {
-		if err := rec.Restore(state); err != nil {
+		_, svcState := splitSnapshot(state)
+		if err := rec.Restore(svcState); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rpc"
+	"repro/internal/session"
 	"repro/internal/wire"
 )
 
@@ -212,11 +213,20 @@ func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (cor
 	if err != nil {
 		return nil, nil, fmt.Errorf("replica: open wal: %w", err)
 	}
+	tab := session.NewTable(session.Config{})
 	epoch, startSeq := uint64(1), uint64(0)
 	if le, ls := wal.Last(); le > 0 {
-		// Reassume a crashed incarnation's group from its log.
+		// Reassume a crashed incarnation's group from its log. The dedup
+		// table is rebuilt along with the state: the snapshot carries its
+		// baseline, and replaying each logged write re-records its reply,
+		// so a client retransmission that outlived the crash is recognized
+		// by the reassumed incarnation instead of re-applied.
 		if _, _, state, ok := wal.LastSnapshot(); ok {
-			if err := sm.Restore(state); err != nil {
+			dedup, svcState := splitSnapshot(state)
+			if dedup != nil {
+				_ = tab.Restore(dedup)
+			}
+			if err := sm.Restore(svcState); err != nil {
 				return nil, nil, fmt.Errorf("replica: restore wal snapshot: %w", err)
 			}
 		}
@@ -225,13 +235,16 @@ func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (cor
 			if err != nil {
 				continue
 			}
-			_, _ = sm.Invoke(context.Background(), method, args)
+			results, ierr := sm.Invoke(context.Background(), method, args)
+			if sid, cseq, ok := wire.PeekSession(r.Payload); ok {
+				commitApplied(rt, tab, sid, cseq, method, results, ierr)
+			}
 		}
 		epoch, startSeq = le+1, ls
 	}
 	p := &primary{
 		rt: rt, svc: sm, isRead: readSet(f.reads), cap: ref.Cap,
-		wal: wal, name: f.name, snapEvery: f.snapEvery,
+		wal: wal, tab: tab, name: f.name, snapEvery: f.snapEvery,
 	}
 	seqOpts := []group.SequencerOption{
 		group.WithEpoch(epoch),
@@ -244,7 +257,7 @@ func (f *Factory) Export(rt *core.Runtime, svc core.Service, ref codec.Ref) (cor
 	p.seq = group.NewSequencer(rt, seqOpts...)
 	// Stamp this incarnation's baseline into the log: recovery of *this*
 	// incarnation starts here.
-	if state, err := sm.Snapshot(); err == nil {
+	if state, err := p.snapshotState(); err == nil {
 		_ = wal.Snapshot(epoch, startSeq, state)
 	}
 	srv := rpc.NewServer(rpc.HandlerFunc(p.handle))
@@ -272,6 +285,7 @@ func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
 		ctrl:   wire.ObjAddr{Addr: ref.Target.Addr, Object: h.Ctrl},
 		isRead: readSet(h.Reads),
 		local:  f.ctor(),
+		tab:    session.NewTable(session.Config{}),
 		stop:   make(chan struct{}),
 	}
 	ctx, cancel := contextWithJoinTimeout()
@@ -280,7 +294,11 @@ func (f *Factory) New(rt *core.Runtime, ref codec.Ref) (core.Proxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: join: %w", err)
 	}
-	if err := p.local.Restore(info.Boot); err != nil {
+	dedup, boot := splitSnapshot(info.Boot)
+	if dedup != nil {
+		_ = p.tab.Restore(dedup)
+	}
+	if err := p.local.Restore(boot); err != nil {
 		_ = member.Leave(ctx)
 		return nil, fmt.Errorf("replica: restore bootstrap: %w", err)
 	}
@@ -311,7 +329,11 @@ type primary struct {
 	isRead func(string) bool
 	seq    *group.Sequencer
 	wal    *persist.WAL
-	id     wire.ObjectID
+	// tab is the exactly-once dedup table, replicated with the state
+	// (see dedup.go). A promoted proxy passes its member table in, so
+	// the new incarnation inherits every committed identity.
+	tab *session.Table
+	id  wire.ObjectID
 	// cap mirrors the export's capability token for the private write path.
 	cap       uint64
 	name      string
@@ -347,7 +369,7 @@ func (p *primary) handle(req *rpc.Request) (wire.Kind, []byte, []byte) {
 			p.mu.Unlock()
 			return 0, nil, errDeposed("join")
 		}
-		boot, err := p.svc.Snapshot()
+		boot, err := p.snapshotState()
 		if err != nil {
 			p.mu.Unlock()
 			return 0, nil, core.EncodeInvokeError("join", err)
@@ -413,24 +435,81 @@ func (p *primary) handleWrite(req *rpc.Request) (wire.Kind, []byte, []byte) {
 	return kindWrite, reply, nil
 }
 
-// applyWrite runs one write at the primary: apply to the authoritative
-// copy, append to the write-ahead log (durability before acknowledgement),
-// push to every replica, and only then return. rawPayload is the
-// already-encoded request, logged and forwarded verbatim.
+// applyWrite runs one write at the primary: dedup-check, apply to the
+// authoritative copy, append to the write-ahead log (durability before
+// acknowledgement), push to every replica, and only then return.
+// rawPayload is the already-encoded request — session header included —
+// logged and forwarded verbatim, so members and WAL replay see the same
+// exactly-once identity the primary deduped on.
 func (p *primary) applyWrite(ctx context.Context, from wire.Addr, method string, args []any, rawPayload []byte) ([]any, []byte) {
+	sid, cseq, stamped := wire.PeekSession(rawPayload)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.deposed {
 		return nil, errDeposed(method)
 	}
+	if stamped {
+		switch verdict, ent := p.tab.Begin(sid, cseq); verdict {
+		case session.Replay:
+			// Already applied (possibly by a prior incarnation): answer
+			// from the cached reply, no re-execution.
+			if ent.IsErr {
+				return nil, append([]byte(nil), ent.Payload...)
+			}
+			results, err := core.DecodeResults(p.rt.Decoder(), ent.Payload)
+			if err != nil {
+				return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "replica: replay decode: %s", err))
+			}
+			return results, nil
+		case session.InFlight:
+			// mu serializes writes, so a duplicate can only be observed in
+			// flight across incarnations (an aborted mark that never
+			// cleared). Retryable: the retry re-presents the identity.
+			return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeUnavailable, method, "replica: duplicate in flight"))
+		case session.Expired:
+			return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeSessionExpired, method, "session expired: retry outlived the dedup window; outcome unknown"))
+		}
+		ctx = core.ContextWithSession(ctx, sid, cseq)
+	}
 	results, err := p.svc.Invoke(core.WithCaller(ctx, from), method, args)
 	if err != nil {
-		return nil, core.EncodeInvokeError(method, err)
+		errPayload := core.EncodeInvokeError(method, err)
+		if stamped {
+			// The state machine rejected the write without it entering the
+			// order: cache the verdict in memory only (nothing to log) so a
+			// retransmission sees the same error instead of a re-execution.
+			p.tab.Commit(sid, cseq, wire.KindError, true, errPayload)
+		}
+		return nil, errPayload
+	}
+	var replyPayload []byte
+	if stamped {
+		lowered, lerr := p.rt.LowerArgs(results)
+		if lerr == nil {
+			replyPayload, lerr = core.EncodeResults(lowered)
+		}
+		if lerr != nil {
+			// Deterministically un-encodable reply: cache the failure — a
+			// retry must NOT re-apply a write that did mutate state.
+			errPayload := core.EncodeInvokeError(method, core.Errorf(core.CodeInternal, method, "%s", lerr))
+			p.tab.Commit(sid, cseq, wire.KindError, true, errPayload)
+			return nil, errPayload
+		}
 	}
 	epoch, seq := p.seq.Reserve()
 	if err := p.wal.Append(epoch, seq, rawPayload); err != nil {
 		// Unlogged writes must not be acknowledged: a crash would lose them.
+		if stamped {
+			p.tab.Abort(sid, cseq)
+		}
 		return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeUnavailable, method, "replica wal: %s", err))
+	}
+	if stamped {
+		// Durability order: write record, then dedup record, then ack —
+		// so an acked write's identity survives the crash that its state
+		// does (via replay), and a successor refuses to re-apply it.
+		_ = p.wal.AppendDedup(epoch, seq, sid, cseq, session.Digest(replyPayload))
+		p.tab.Commit(sid, cseq, kindWrite, false, replyPayload)
 	}
 	if err := p.seq.Deliver(ctx, epoch, seq, rawPayload); err != nil {
 		if errors.Is(err, group.ErrFenced) {
@@ -441,15 +520,30 @@ func (p *primary) applyWrite(ctx context.Context, from wire.Addr, method string,
 		}
 		// The write is applied at the primary; a broadcast failure means
 		// some replica may be behind. Fail loudly so the caller knows.
+		// The dedup entry stays: the write is applied and durable here,
+		// so a retry of the same identity is answered from cache (the
+		// repair loop catches members up from the log).
 		return nil, core.EncodeInvokeError(method, core.Errorf(core.CodeUnavailable, method, "replica broadcast: %s", err))
 	}
 	p.writes++
 	if p.snapEvery > 0 && p.writes%p.snapEvery == 0 {
-		if state, err := p.svc.Snapshot(); err == nil {
+		if state, err := p.snapshotState(); err == nil {
 			_ = p.wal.Snapshot(epoch, seq, state)
 		}
 	}
 	return results, nil
+}
+
+// snapshotState captures the combined [dedup table][service state] blob
+// every state transfer ships (see dedup.go). Caller need not hold mu for
+// the table (it locks itself), but consistent captures take it under mu
+// like every other snapshot.
+func (p *primary) snapshotState() ([]byte, error) {
+	svcState, err := p.svc.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return combineSnapshot(p.tab.Snapshot(), svcState), nil
 }
 
 // Sync-reply transfer modes.
@@ -504,7 +598,7 @@ func (p *primary) handleSync(req *rpc.Request) (wire.Kind, []byte, []byte) {
 		}
 		fallthrough
 	default:
-		state, err := p.svc.Snapshot()
+		state, err := p.snapshotState()
 		if err != nil {
 			p.mu.Unlock()
 			return 0, nil, core.EncodeInvokeError("sync", err)
@@ -654,6 +748,11 @@ func invokeOnPrimary(ctx context.Context, p *primary, method string, args []any)
 	raw, err := core.EncodeRequest(p.cap, method, lowered)
 	if err != nil {
 		return nil, core.Errorf(core.CodeInternal, method, "%s", err)
+	}
+	if sid, seq := core.SessionFromContext(ctx); sid != 0 {
+		// The logged/broadcast payload must carry the identity the caller
+		// stamped, so dedup holds across WAL replay and member delivery.
+		raw = append(wire.AppendSessionHeader(nil, sid, seq), raw...)
 	}
 	results, errPayload := p.applyWrite(ctx, from, method, args, raw)
 	if errPayload != nil {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -128,6 +129,12 @@ type ClientStats struct {
 	Calls       uint64
 	Retransmits uint64
 	Failures    uint64
+	// BudgetDenied counts calls that failed with ErrRetryBudget: a
+	// retransmission was due but the destination's retry budget was dry.
+	BudgetDenied uint64
+	// DeadlineFast counts calls that failed with ErrDeadlineBudget: the
+	// next backoff would have slept past the caller's deadline.
+	DeadlineFast uint64
 }
 
 // Client issues reliable request/reply calls out of one context. The zero
@@ -190,6 +197,20 @@ func NewClient(ktx *kernel.Context, opts ...ClientOption) *Client {
 	c.failures = c.obs.Registry.Counter(scope + "failures")
 	c.budgetDenied = c.obs.Registry.Counter(scope + "budget.denied")
 	c.deadlineFast = c.obs.Registry.Counter(scope + "deadline.fastfail")
+	if b := c.budget; b != nil {
+		// Token levels are computed gauges: the budget already owns the
+		// numbers, the registry just reads them at snapshot time. The
+		// minimum across destinations is the one to alert on — it is the
+		// destination closest to tripping ErrRetryBudget.
+		c.obs.Registry.GaugeFunc(scope+"budget.tokens.min", func() string {
+			tokens, _ := b.Poorest()
+			return strconv.FormatFloat(tokens, 'f', 2, 64)
+		})
+		c.obs.Registry.GaugeFunc(scope+"budget.dests", func() string {
+			_, dests := b.Poorest()
+			return strconv.Itoa(dests)
+		})
+	}
 	return c
 }
 
@@ -203,9 +224,11 @@ func (c *Client) Observer() *obs.Observer { return c.obs }
 // Stats returns a snapshot of the client counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Calls:       c.calls.Load(),
-		Retransmits: c.retransmits.Load(),
-		Failures:    c.failures.Load(),
+		Calls:        c.calls.Load(),
+		Retransmits:  c.retransmits.Load(),
+		Failures:     c.failures.Load(),
+		BudgetDenied: c.budgetDenied.Load(),
+		DeadlineFast: c.deadlineFast.Load(),
 	}
 }
 

@@ -1,0 +1,36 @@
+package session
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Minter is the client half: one unforgeable session id per runtime and
+// a monotonically increasing sequence per invocation. The same (sid,
+// seq) pair is reused across every retransmission and failover attempt
+// of one logical invocation — that reuse is the whole mechanism.
+type Minter struct {
+	sid uint64
+	seq atomic.Uint64
+}
+
+// NewMinter draws a random nonzero session id.
+func NewMinter() *Minter {
+	var b [8]byte
+	for {
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			panic("session: cannot read random source: " + err.Error())
+		}
+		if v := binary.BigEndian.Uint64(b[:]); v != 0 {
+			return &Minter{sid: v}
+		}
+	}
+}
+
+// SID reports the minter's session id.
+func (m *Minter) SID() uint64 { return m.sid }
+
+// Next allocates the identity for one logical invocation. Sequences
+// start at 1 (0 means "unsequenced").
+func (m *Minter) Next() (sid, seq uint64) { return m.sid, m.seq.Add(1) }

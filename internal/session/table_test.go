@@ -1,0 +1,281 @@
+package session
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeClock is a manually-advanced clock for TTL tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newClockTable(cfg Config) (*Table, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg.now = clk.now
+	return NewTable(cfg), clk
+}
+
+func TestBeginCommitReplay(t *testing.T) {
+	tab := NewTable(Config{})
+	v, _ := tab.Begin(7, 1)
+	if v != Fresh {
+		t.Fatalf("first presentation = %v, want fresh", v)
+	}
+	// Duplicate while running.
+	if v, _ := tab.Begin(7, 1); v != InFlight {
+		t.Fatalf("dup while running = %v, want in-flight", v)
+	}
+	tab.Commit(7, 1, wire.KindReply, false, []byte("reply-1"))
+	v, e := tab.Begin(7, 1)
+	if v != Replay {
+		t.Fatalf("retry after commit = %v, want replay", v)
+	}
+	if string(e.Payload) != "reply-1" || e.Kind != wire.KindReply || e.IsErr {
+		t.Fatalf("cached entry = %+v", e)
+	}
+	if e.Digest != Digest([]byte("reply-1")) {
+		t.Fatal("entry digest mismatch")
+	}
+	// The next sequence is fresh.
+	if v, _ := tab.Begin(7, 2); v != Fresh {
+		t.Fatalf("next seq = %v, want fresh", v)
+	}
+	st := tab.Stats()
+	if st.Hits != 1 || st.InFlight != 1 || st.Sessions != 1 || st.Replies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSessionZeroIsUnsequenced(t *testing.T) {
+	tab := NewTable(Config{})
+	if v, _ := tab.Begin(0, 5); v != Fresh {
+		t.Fatal("sid 0 must always be fresh")
+	}
+	if v, _ := tab.Peek(0, 5); v != Fresh {
+		t.Fatal("peek sid 0 must be fresh")
+	}
+	tab.Commit(0, 5, wire.KindReply, false, []byte("x"))
+	tab.Abort(0, 5)
+	if st := tab.Stats(); st.Sessions != 0 || st.Replies != 0 {
+		t.Fatalf("sid 0 left state behind: %+v", st)
+	}
+}
+
+func TestAbortAllowsRetry(t *testing.T) {
+	tab := NewTable(Config{})
+	tab.Begin(7, 1)
+	tab.Abort(7, 1)
+	if v, _ := tab.Begin(7, 1); v != Fresh {
+		t.Fatalf("retry after abort = %v, want fresh", v)
+	}
+	tab.Abort(99, 1) // unknown session: no-op
+}
+
+func TestCommitErrorEntry(t *testing.T) {
+	tab := NewTable(Config{})
+	tab.Begin(7, 1)
+	tab.Commit(7, 1, wire.KindError, true, []byte("boom"))
+	v, e := tab.Begin(7, 1)
+	if v != Replay || !e.IsErr || e.Kind != wire.KindError {
+		t.Fatalf("error replay = %v, %+v", v, e)
+	}
+}
+
+func TestCommitWithoutBeginCreatesSession(t *testing.T) {
+	// Replica members commit applied writes they never Began.
+	tab := NewTable(Config{})
+	tab.Commit(7, 3, wire.KindReply, false, []byte("r"))
+	if v, _ := tab.Peek(7, 3); v != Replay {
+		t.Fatal("member-side commit not visible")
+	}
+}
+
+func TestReplyWindowRaisesFloor(t *testing.T) {
+	tab := NewTable(Config{RepliesPerSession: 2})
+	for seq := uint64(1); seq <= 4; seq++ {
+		tab.Begin(7, seq)
+		tab.Commit(7, seq, wire.KindReply, false, []byte{byte(seq)})
+	}
+	// Window holds {3,4}; 1 and 2 were dropped, raising the floor.
+	if v, _ := tab.Begin(7, 1); v != Expired {
+		t.Fatalf("retry below floor = %v, want expired", v)
+	}
+	if v, _ := tab.Peek(7, 2); v != Expired {
+		t.Fatalf("peek below floor = %v, want expired", v)
+	}
+	if v, _ := tab.Begin(7, 3); v != Replay {
+		t.Fatalf("retry inside window = %v, want replay", v)
+	}
+	if st := tab.Stats(); st.Replies != 2 {
+		t.Fatalf("replies = %d, want 2", st.Replies)
+	}
+}
+
+func TestCommitOverwriteIsIdempotent(t *testing.T) {
+	tab := NewTable(Config{})
+	tab.Commit(7, 1, wire.KindReply, false, []byte("a"))
+	tab.Commit(7, 1, wire.KindReply, false, []byte("a"))
+	if st := tab.Stats(); st.Replies != 1 {
+		t.Fatalf("double commit counted twice: %+v", st)
+	}
+}
+
+func TestLRUEvictionTombstones(t *testing.T) {
+	tab := NewTable(Config{MaxSessions: 2})
+	for sid := uint64(1); sid <= 3; sid++ {
+		tab.Begin(sid, 1)
+		tab.Commit(sid, 1, wire.KindReply, false, []byte("r"))
+	}
+	// Session 1 was coldest and is gone; its committed seq is Expired,
+	// but a seq past the tombstone revives the session fresh.
+	if v, _ := tab.Begin(1, 1); v != Expired {
+		t.Fatal("retry into tombstone must be expired")
+	}
+	if v, _ := tab.Begin(1, 2); v != Fresh {
+		t.Fatal("new seq past tombstone must be fresh")
+	}
+	// The revived session keeps its floor: seq 1 stays expired.
+	if v, _ := tab.Begin(1, 1); v != Expired {
+		t.Fatal("revived session must keep its floor")
+	}
+	st := tab.Stats()
+	if st.Evictions < 2 || st.Expired != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTombstoneCapFIFO(t *testing.T) {
+	tab := NewTable(Config{MaxSessions: 1, MaxTombstones: 2})
+	for sid := uint64(1); sid <= 4; sid++ {
+		tab.Begin(sid, 1)
+		tab.Commit(sid, 1, wire.KindReply, false, []byte("r"))
+	}
+	if st := tab.Stats(); st.Tombstones != 2 {
+		t.Fatalf("tombstones = %d, want 2", st.Tombstones)
+	}
+	// Session 1's tombstone fell off the FIFO: its retry is (unavoidably)
+	// fresh again — the documented bounded-at-most-once trade-off.
+	if v, _ := tab.Peek(1, 1); v != Fresh {
+		t.Fatal("dropped tombstone should read fresh")
+	}
+}
+
+func TestTTLSweep(t *testing.T) {
+	tab, clk := newClockTable(Config{TTL: time.Minute})
+	tab.Begin(7, 1)
+	tab.Commit(7, 1, wire.KindReply, false, []byte("r"))
+	clk.advance(30 * time.Second)
+	tab.Begin(8, 1) // touches 8, not 7
+	clk.advance(45 * time.Second)
+	tab.Sweep()
+	// 7 idled past the TTL; 8 is 45s idle and survives.
+	if v, _ := tab.Peek(7, 1); v != Expired {
+		t.Fatal("TTL-evicted session must be expired")
+	}
+	if v, _ := tab.Peek(8, 1); v != InFlight {
+		t.Fatal("recently-active session must survive the sweep")
+	}
+	if st := tab.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestPeekDoesNotMarkInflight(t *testing.T) {
+	tab := NewTable(Config{})
+	if v, _ := tab.Peek(7, 1); v != Fresh {
+		t.Fatal("peek unknown = fresh")
+	}
+	if v, _ := tab.Begin(7, 1); v != Fresh {
+		t.Fatal("begin after peek must still be fresh")
+	}
+	if v, _ := tab.Peek(7, 1); v != InFlight {
+		t.Fatal("peek of running invocation = in-flight")
+	}
+}
+
+func TestSessionsListing(t *testing.T) {
+	tab := NewTable(Config{})
+	tab.Begin(1, 1)
+	tab.Commit(1, 1, wire.KindReply, false, []byte("r"))
+	tab.Begin(2, 5)
+	infos := tab.Sessions()
+	if len(infos) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(infos))
+	}
+	// Most recently used first.
+	if infos[0].SID != 2 || infos[0].High != 5 || infos[0].InFlight != 1 {
+		t.Fatalf("infos[0] = %+v", infos[0])
+	}
+	if infos[1].SID != 1 || infos[1].Cached != 1 {
+		t.Fatalf("infos[1] = %+v", infos[1])
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Fresh: "fresh", Replay: "replay", InFlight: "in-flight",
+		Expired: "expired", Verdict(99): "verdict(?)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMinter(t *testing.T) {
+	m := NewMinter()
+	if m.SID() == 0 {
+		t.Fatal("minted sid must be nonzero")
+	}
+	sid1, seq1 := m.Next()
+	sid2, seq2 := m.Next()
+	if sid1 != m.SID() || sid2 != sid1 {
+		t.Fatal("sid must be stable across Next calls")
+	}
+	if seq1 != 1 || seq2 != 2 {
+		t.Fatalf("sequences = %d, %d; want 1, 2", seq1, seq2)
+	}
+	if NewMinter().SID() == m.SID() {
+		t.Fatal("two minters drew the same sid")
+	}
+}
+
+func TestServiceAndFormatStatus(t *testing.T) {
+	disabled := NewService(nil)
+	out, err := disabled.Invoke(nil, "sessions", nil)
+	if err != nil || !strings.Contains(out[0].(string), "disabled") {
+		t.Fatalf("disabled service: %v, %v", out, err)
+	}
+	if _, err := disabled.Invoke(nil, "nope", nil); err == nil {
+		t.Fatal("unknown method must error")
+	}
+
+	tab := NewTable(Config{})
+	tab.Begin(0xAB, 1)
+	tab.Commit(0xAB, 1, wire.KindReply, false, []byte("r"))
+	tab.Begin(0xAB, 1) // a replay hit
+	svc := NewService(tab)
+	out, err = svc.Invoke(nil, "sessions", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out[0].(string)
+	for _, want := range []string{"1 live", "1 cached", "1 replays answered", "00000000000000ab"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("status output missing %q:\n%s", want, text)
+		}
+	}
+	// The listing truncates past maxListed sessions.
+	big := NewTable(Config{})
+	for sid := uint64(1); sid <= maxListed+5; sid++ {
+		big.Begin(sid, 1)
+	}
+	if text := FormatStatus(big.Stats(), big.Sessions()); !strings.Contains(text, "and 5 more") {
+		t.Errorf("truncation notice missing:\n%s", text)
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/wire"
 )
 
 // Reserved invocation methods of the rebalance protocol. They flow
@@ -67,6 +69,13 @@ type Guard struct {
 	inner  Store
 	single map[string]bool
 
+	// tab dedups session-stamped single-key writes, with entries tagged
+	// by key so a rebalance carries them to the key's new owner (the
+	// shard.pull reply ships the blob; shard.push imports it). Ownership
+	// is checked BEFORE the dedup consult, so an entry for a key this
+	// member no longer owns can never answer a misrouted retry.
+	tab *session.Table
+
 	mu     sync.Mutex
 	epoch  uint64
 	ring   *Ring
@@ -78,7 +87,10 @@ type Guard struct {
 // factory's constructor so every replica of the member carries the same
 // guard; inner must then also implement replica.StateMachine.
 func NewGuard(self string, spec Spec, inner Store) *Guard {
-	return &Guard{self: self, spec: spec, inner: inner, single: spec.singleSet()}
+	return &Guard{
+		self: self, spec: spec, inner: inner, single: spec.singleSet(),
+		tab: session.NewTable(session.Config{}),
+	}
 }
 
 // Inner exposes the wrapped store (tests and audits).
@@ -105,8 +117,50 @@ func (g *Guard) Invoke(ctx context.Context, method string, args []any) ([]any, e
 		if err := g.checkOwnership(method, key); err != nil {
 			return nil, err
 		}
+		if sid, seq := core.SessionFromContext(ctx); sid != 0 {
+			return g.invokeDeduped(ctx, sid, seq, key, method, args)
+		}
 	}
 	return g.inner.Invoke(ctx, method, args)
+}
+
+// invokeDeduped runs one session-stamped single-key invocation through
+// the guard's exactly-once table: a replay is answered from the cached
+// reply (reconstructed via codec.Marshal, so no runtime machinery is
+// needed here), an expired identity is refused loudly, and a fresh one
+// executes and commits key-tagged so a rebalance hands the entry to the
+// key's next owner.
+func (g *Guard) invokeDeduped(ctx context.Context, sid, seq uint64, key, method string, args []any) ([]any, error) {
+	switch verdict, ent := g.tab.Begin(sid, seq); verdict {
+	case session.Replay:
+		if ent.IsErr {
+			return nil, core.DecodeInvokeError(ent.Payload)
+		}
+		var results []any
+		if err := codec.Unmarshal(ent.Payload, &results); err != nil {
+			return nil, core.Errorf(core.CodeInternal, method, "shard: replay decode: %s", err)
+		}
+		return results, nil
+	case session.InFlight:
+		// The guard cannot block on the original execution; refuse
+		// retryably and let the client re-present the identity.
+		return nil, core.Errorf(core.CodeUnavailable, method, "shard: duplicate of an in-flight invocation")
+	case session.Expired:
+		return nil, core.Errorf(core.CodeSessionExpired, method, "session expired: retry outlived the dedup window; outcome unknown")
+	}
+	results, err := g.inner.Invoke(ctx, method, args)
+	if err != nil {
+		g.tab.CommitKeyed(sid, seq, key, wire.KindError, true, core.EncodeInvokeError(method, err))
+		return nil, err
+	}
+	blob, merr := codec.Marshal(results)
+	if merr != nil {
+		// Un-cacheable reply: release the mark rather than caching garbage.
+		g.tab.Abort(sid, seq)
+		return results, nil
+	}
+	g.tab.CommitKeyed(sid, seq, key, wire.KindReply, false, blob)
+	return results, nil
 }
 
 // checkOwnership applies the routing table to one key.
@@ -196,7 +250,11 @@ func (g *Guard) invokeReserved(method string, args []any) ([]any, error) {
 		for k, v := range kvs {
 			m[k] = v
 		}
-		return []any{m}, nil
+		// The moved keys' dedup entries travel with their state, so the
+		// new owner keeps recognizing retries of writes this member
+		// already applied. Empty (or absent, from an older guard) blobs
+		// decode as no entries.
+		return []any{m, g.tab.ExportKeys(keys)}, nil
 	case methodPush:
 		kvs, err := decodeKVMap(method, rest)
 		if err != nil {
@@ -204,6 +262,18 @@ func (g *Guard) invokeReserved(method string, args []any) ([]any, error) {
 		}
 		if err := g.inner.ImportKeys(kvs); err != nil {
 			return nil, core.Errorf(core.CodeInternal, method, "shard: import keys: %s", err)
+		}
+		// Optional trailing dedup blob (see methodPull). The blob may
+		// carry entries for keys routed to other destinations too — the
+		// router cannot filter an opaque blob — which is benign: ownership
+		// is checked before the dedup consult, so a stray entry can never
+		// answer a retry of a key this member does not own.
+		if len(rest) > 1 {
+			if blob, ok := rest[1].([]byte); ok {
+				if err := g.tab.ImportBlob(blob); err != nil {
+					return nil, core.Errorf(core.CodeInternal, method, "shard: import dedup: %s", err)
+				}
+			}
 		}
 		return nil, nil
 	}
@@ -232,6 +302,7 @@ func (g *Guard) Snapshot() ([]byte, error) {
 	state := map[string]any{
 		"epoch": g.epoch,
 		"inner": innerBlob,
+		"dedup": g.tab.Snapshot(),
 	}
 	if g.ring != nil {
 		state["vnodes"] = int64(g.ring.VirtualNodes())
@@ -266,6 +337,9 @@ func (g *Guard) Restore(data []byte) error {
 	innerBlob, _ := state["inner"].([]byte)
 	if err := sm.Restore(innerBlob); err != nil {
 		return err
+	}
+	if dedup, ok := state["dedup"].([]byte); ok {
+		_ = g.tab.Restore(dedup)
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()

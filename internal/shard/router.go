@@ -323,6 +323,13 @@ func (r *Router) handoffFrom(ctx context.Context, target uint64, src string, src
 	if err != nil {
 		return err
 	}
+	// The source's dedup entries for the moved keys ride along (opaque to
+	// the router) so the new owners keep exactly-once semantics across
+	// the handoff. Older guards reply without the blob.
+	var dedup []byte
+	if len(res) > 1 {
+		dedup, _ = res[1].([]byte)
+	}
 	byDst := make(map[string]map[string]any)
 	for k, v := range kvs {
 		dst := newRing.Owner(k)
@@ -341,7 +348,7 @@ func (r *Router) handoffFrom(ctx context.Context, target uint64, src string, src
 		if !ok {
 			return fmt.Errorf("key range owner %q is not a member", dst)
 		}
-		if _, err := r.invokeMember(ctx, dst, ref, methodPush, int64(target), byDst[dst]); err != nil {
+		if _, err := r.invokeMember(ctx, dst, ref, methodPush, int64(target), byDst[dst], dedup); err != nil {
 			return err
 		}
 		counts[dst] += len(byDst[dst])

@@ -39,27 +39,34 @@ func SplitDeadlineHeader(payload []byte) (time.Duration, []byte) {
 }
 
 // HasDeadlineHeader reports whether the payload opens with a deadline
-// header — directly, or right behind a priority header (senders that
-// stamp a priority write it first so the kernel can peek it; the
-// deadline header follows).
+// header — directly, or behind the priority and/or session headers that
+// precede it (senders write priority first so the kernel can peek it,
+// then the session identity, then the deadline).
 func HasDeadlineHeader(payload []byte) bool {
 	if len(payload) >= 2 && payload[0] == PriorityMagic {
 		payload = payload[2:]
 	}
+	payload = skipSessionHeader(payload)
 	return len(payload) > 0 && payload[0] == DeadlineMagic
 }
 
 // RewriteDeadlineHeader replaces a leading deadline header with one
-// carrying budget, leaving everything around it untouched (a priority
-// header in front of it is preserved byte-for-byte). Payloads without a
-// leading deadline header come back unchanged. A non-positive budget is
-// clamped to one nanosecond rather than dropped: a headerless payload
-// would read as "no deadline", the opposite of an expired one.
+// carrying budget, leaving everything around it untouched (priority and
+// session headers in front of it are preserved byte-for-byte — the
+// session identity in particular MUST survive every retransmission, or
+// the server-side dedup it exists for stops recognizing the retry).
+// Payloads without a leading deadline header come back unchanged. A
+// non-positive budget is clamped to one nanosecond rather than dropped:
+// a headerless payload would read as "no deadline", the opposite of an
+// expired one.
 func RewriteDeadlineHeader(payload []byte, budget time.Duration) []byte {
 	var prefix []byte
 	body := payload
 	if len(body) >= 2 && body[0] == PriorityMagic {
 		prefix, body = body[:2], body[2:]
+	}
+	if rest := skipSessionHeader(body); len(rest) != len(body) {
+		prefix, body = payload[:len(payload)-len(rest)], rest
 	}
 	if len(body) == 0 || body[0] != DeadlineMagic {
 		return payload

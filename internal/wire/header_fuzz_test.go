@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Fuzz entry point for the optional payload-header parsers: priority
+// (0xF7), session (0xF8), and deadline (0xF6) — the headers every
+// request payload may open with, parsed below the codec by the kernel
+// and rpc layers (the 0xF5 trace header lives in internal/obs and has
+// its own target there). The contract under hostile input mirrors the
+// frame decoder's: never panic, never consume bytes for a malformed
+// header (the splitters hand the payload through untouched and the
+// codec layer reports it), and every accepted header must re-encode to
+// something that parses back to the same values. Run with e.g.
+//
+//	go test -fuzz=FuzzPayloadHeaders -fuzztime=30s ./internal/wire
+//
+// Seed corpus: a fully-stamped payload (priority → session → deadline →
+// trace, the canonical order), each header alone, truncated uvarints,
+// and a garbage 0xF4 prefix — as f.Add seeds below and as committed
+// files under testdata/fuzz/FuzzPayloadHeaders.
+func FuzzPayloadHeaders(f *testing.F) {
+	full := AppendPriorityHeader(nil, PriorityHigh)
+	full = AppendSessionHeader(full, 5, 2)
+	full = AppendDeadlineHeader(full, time.Microsecond)
+	full = append(full, 0xF5, 0x01, 0x02) // trace header, opaque at this layer
+	full = append(full, "body"...)
+	f.Add(full)
+	f.Add(AppendSessionHeader([]byte(nil), 5, 2))
+	f.Add(AppendDeadlineHeader([]byte(nil), time.Millisecond))
+	f.Add([]byte{SessionMagic, 0x85})          // truncated session uvarint
+	f.Add([]byte{DeadlineMagic})               // deadline magic, no budget
+	f.Add([]byte{PriorityMagic})               // priority magic, no class
+	f.Add([]byte{0xF4, 'j', 'u', 'n', 'k'})    // unassigned header magic
+	f.Add(full[:len(full)-6])                  // truncated mid-chain
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each splitter must return a tail of its input: same bytes,
+		// never grown, never rewritten in place.
+		checkTail := func(name string, rest []byte) {
+			if len(rest) > len(data) || (len(rest) > 0 && !bytes.HasSuffix(data, rest)) {
+				t.Fatalf("%s returned a non-suffix rest (%d of %d bytes)", name, len(rest), len(data))
+			}
+		}
+
+		prio, prest := SplitPriorityHeader(data)
+		checkTail("SplitPriorityHeader", prest)
+		if len(prest) != len(data) && prio != PriorityNormal {
+			// Consumed non-normal headers round-trip exactly: the priority
+			// header is a fixed two-byte form with no redundancy. (An
+			// explicit normal-class header is legal on the wire but
+			// re-encodes to nothing — normal is the headerless default.)
+			re := AppendPriorityHeader(nil, prio)
+			if !bytes.Equal(re, data[:2]) {
+				t.Fatalf("priority round trip changed bytes: %x != %x", re, data[:2])
+			}
+		}
+
+		sid, seq, srest := SplitSessionHeader(data)
+		checkTail("SplitSessionHeader", srest)
+		if len(srest) != len(data) {
+			// Uvarint fields admit non-minimal encodings, so compare the
+			// re-parse, not the bytes: re-encoding the parsed identity and
+			// re-parsing it must yield the identity back.
+			if sid == 0 {
+				// A parsed sid of zero cannot re-encode (zero means "no
+				// session"), but the splitter may still consume it.
+				return
+			}
+			s2, q2, r2 := SplitSessionHeader(append(AppendSessionHeader(nil, sid, seq), srest...))
+			if s2 != sid || q2 != seq || !bytes.Equal(r2, srest) {
+				t.Fatalf("session round trip: got (%d,%d), want (%d,%d)", s2, q2, sid, seq)
+			}
+		}
+
+		// PeekSession must agree with the splitters: what it reports is
+		// exactly what splitting priority-then-session finds.
+		if psid, pseq, ok := PeekSession(data); ok {
+			wsid, wseq, wrest := SplitSessionHeader(prest)
+			if wsid == 0 && len(wrest) == len(prest) {
+				t.Fatal("PeekSession ok but split found no session header")
+			}
+			if psid != wsid || pseq != wseq {
+				t.Fatalf("PeekSession (%d,%d) disagrees with split (%d,%d)", psid, pseq, wsid, wseq)
+			}
+		}
+
+		budget, drest := SplitDeadlineHeader(data)
+		checkTail("SplitDeadlineHeader", drest)
+		if len(drest) != len(data) && budget > 0 {
+			b2, r2 := SplitDeadlineHeader(append(AppendDeadlineHeader(nil, budget), drest...))
+			if b2 != budget || !bytes.Equal(r2, drest) {
+				t.Fatalf("deadline round trip: got %v, want %v", b2, budget)
+			}
+		}
+
+		// Rewriting the deadline must preserve everything in front of it
+		// (the session identity in particular) and install the new budget;
+		// payloads without a deadline header pass through untouched.
+		out := RewriteDeadlineHeader(data, time.Second)
+		if !HasDeadlineHeader(data) {
+			if !bytes.Equal(out, data) {
+				t.Fatal("rewrite modified a payload with no deadline header")
+			}
+			return
+		}
+		osid, oseq, ook := PeekSession(data)
+		rsid, rseq, rok := PeekSession(out)
+		if rok != ook {
+			t.Fatal("rewrite changed session header presence")
+		}
+		if ook && (rsid != osid || rseq != oseq) {
+			t.Fatalf("rewrite changed session identity: (%d,%d) != (%d,%d)", rsid, rseq, osid, oseq)
+		}
+		if PeekPriority(out) != PeekPriority(data) {
+			t.Fatal("rewrite changed priority class")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package wire
+
+// Session header. A request payload may carry [SessionMagic, uvarint
+// session id, uvarint sequence]: the caller's exactly-once identity for
+// this invocation. Servers that keep a session dedup table use it to
+// recognize a retransmission — or a failover replay of the same logical
+// call against an alternate binding — and answer from the cached reply
+// instead of re-executing. The primitives live here (like the priority
+// and deadline headers) because layers below core must read the identity
+// without understanding the rest of the payload.
+//
+// SessionMagic follows the optional-header convention: codec tags occupy
+// 1..13, so any leading byte ≥ 0xF0 is unambiguously a header, and
+// headerless payloads from session-less peers decode unchanged.
+//
+// Header order on the wire is priority → session → deadline → trace:
+// the kernel classifies by peeking payload[0] (priority must lead), and
+// the rpc layer rewrites the deadline header on each retransmission, so
+// the variable-length session header sits between them where neither
+// rewrite disturbs it.
+const SessionMagic = 0xF8
+
+// AppendSessionHeader prefixes dst with a session header. A zero session
+// id appends nothing — zero means "no session", so unstamped calls cost
+// no bytes on the wire.
+func AppendSessionHeader(dst []byte, sid, seq uint64) []byte {
+	if sid == 0 {
+		return dst
+	}
+	dst = append(dst, SessionMagic)
+	dst = AppendUvarint(dst, sid)
+	return AppendUvarint(dst, seq)
+}
+
+// SplitSessionHeader strips a leading session header, returning the
+// identity it carried (zero if absent) and the rest of the payload.
+// Malformed headers are left in place, like the other header splitters.
+func SplitSessionHeader(payload []byte) (sid, seq uint64, rest []byte) {
+	if len(payload) == 0 || payload[0] != SessionMagic {
+		return 0, 0, payload
+	}
+	s, n, err := Uvarint(payload[1:])
+	if err != nil {
+		return 0, 0, payload
+	}
+	q, m, err := Uvarint(payload[1+n:])
+	if err != nil {
+		return 0, 0, payload
+	}
+	return s, q, payload[1+n+m:]
+}
+
+// PeekSession reads a request's session identity without consuming
+// anything, skipping an optional leading priority header (which senders
+// write first so the kernel can classify by payload[0]). ok is false for
+// unstamped or malformed payloads.
+func PeekSession(payload []byte) (sid, seq uint64, ok bool) {
+	if len(payload) >= 2 && payload[0] == PriorityMagic {
+		payload = payload[2:]
+	}
+	if len(payload) == 0 || payload[0] != SessionMagic {
+		return 0, 0, false
+	}
+	s, n, err := Uvarint(payload[1:])
+	if err != nil {
+		return 0, 0, false
+	}
+	q, _, err := Uvarint(payload[1+n:])
+	if err != nil {
+		return 0, 0, false
+	}
+	return s, q, true
+}
+
+// skipSessionHeader returns the payload past a well-formed leading
+// session header, or the payload unchanged when none leads it. The
+// deadline-header primitives use it to look through the session header
+// the same way they look through the priority header.
+func skipSessionHeader(payload []byte) []byte {
+	if len(payload) == 0 || payload[0] != SessionMagic {
+		return payload
+	}
+	_, n, err := Uvarint(payload[1:])
+	if err != nil {
+		return payload
+	}
+	_, m, err := Uvarint(payload[1+n:])
+	if err != nil {
+		return payload
+	}
+	return payload[1+n+m:]
+}

@@ -141,7 +141,10 @@ func walReconstruct(t *testing.T, rt *core.Runtime, store persist.LogStore) *cha
 	}
 	reg := newChaosReg()
 	if _, _, state, ok := wal.LastSnapshot(); ok {
-		if err := reg.Restore(state); err != nil {
+		// WAL snapshots are combined [dedup table][service state] blobs
+		// (replica/dedup.go); the audit restores the service half.
+		_, svcState := replica.SplitSnapshotState(state)
+		if err := reg.Restore(svcState); err != nil {
 			t.Fatalf("restore wal snapshot: %v", err)
 		}
 	}

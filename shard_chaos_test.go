@@ -150,7 +150,10 @@ func walShardReconstruct(t *testing.T, rt *core.Runtime, member string, spec sha
 	}
 	g := shard.NewGuard(member, spec, bench.NewKV())
 	if _, _, state, ok := wal.LastSnapshot(); ok {
-		if err := g.Restore(state); err != nil {
+		// WAL snapshots are combined [dedup table][service state] blobs
+		// (replica/dedup.go); the guard restores the service half.
+		_, svcState := replica.SplitSnapshotState(state)
+		if err := g.Restore(svcState); err != nil {
 			t.Fatalf("restore %s wal snapshot: %v", member, err)
 		}
 	}
